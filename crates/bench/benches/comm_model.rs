@@ -1,0 +1,36 @@
+//! Criterion bench: NoP/off-chip communication model (`Lat_com`) and the
+//! link-level congestion (δ) accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scar_mcm::templates::{het_cross_6x6, het_sides_3x3, Profile};
+use scar_mcm::{LinkLoads, Loc};
+
+fn bench_comm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("comm_model");
+    let m3 = het_sides_3x3(Profile::Datacenter);
+    let m6 = het_cross_6x6(Profile::Datacenter);
+
+    g.bench_function("transfer_3x3", |b| {
+        b.iter(|| m3.transfer(Loc::Chiplet(0), Loc::Chiplet(8), std::hint::black_box(1 << 20)))
+    });
+    g.bench_function("transfer_offchip", |b| {
+        b.iter(|| m3.transfer(Loc::Offchip, Loc::Chiplet(4), std::hint::black_box(1 << 20)))
+    });
+    g.bench_function("route_6x6", |b| {
+        b.iter(|| m6.topology().route(std::hint::black_box(0), std::hint::black_box(35)))
+    });
+    g.bench_function("link_loads_window_6x6", |b| {
+        b.iter(|| {
+            let mut loads = LinkLoads::new(&m6);
+            for i in 0..12 {
+                loads.record(Loc::Chiplet(i), Loc::Chiplet(35 - i), 1 << 22);
+                loads.record(Loc::Offchip, Loc::Chiplet(i), 1 << 24);
+            }
+            loads.delta_for(Loc::Chiplet(0), Loc::Chiplet(35), 1 << 22)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_comm);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: MAESTRO-style intra-chiplet cost evaluation throughput
+//! (the inner loop of every schedule evaluation).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use scar_maestro::{ChipletConfig, CostDatabase, Dataflow};
+use scar_workloads::{zoo, LayerKind};
+
+fn bench_cost_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cost_model");
+    let dc_nvd = ChipletConfig::datacenter(Dataflow::NvdlaLike);
+    let dc_shi = ChipletConfig::datacenter(Dataflow::ShidiannaoLike);
+    let conv = LayerKind::Conv2d {
+        in_h: 56,
+        in_w: 56,
+        in_ch: 64,
+        out_ch: 256,
+        kernel_h: 3,
+        kernel_w: 3,
+        stride: 1,
+        padding: 1,
+        groups: 1,
+    };
+    let gemm = LayerKind::Gemm { m: 4096, k: 1024, n: 128 };
+
+    g.bench_function("conv_nvdla", |b| b.iter(|| dc_nvd.evaluate(std::hint::black_box(&conv), 8)));
+    g.bench_function("conv_shidiannao", |b| {
+        b.iter(|| dc_shi.evaluate(std::hint::black_box(&conv), 8))
+    });
+    g.bench_function("gemm_nvdla", |b| b.iter(|| dc_nvd.evaluate(std::hint::black_box(&gemm), 8)));
+
+    // full-model sweep: every ResNet-50 layer on both classes
+    let resnet = zoo::resnet50();
+    g.bench_function("resnet50_both_classes", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for l in resnet.layers() {
+                acc += dc_nvd.evaluate(&l.kind, 1).time_s;
+                acc += dc_shi.evaluate(&l.kind, 1).time_s;
+            }
+            acc
+        })
+    });
+
+    // memoized database hit path
+    g.bench_function("database_hit", |b| {
+        b.iter_batched(
+            || {
+                let db = CostDatabase::new();
+                let _ = db.get(&dc_nvd, &gemm, 8);
+                db
+            },
+            |db| db.get(&dc_nvd, std::hint::black_box(&gemm), 8),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cost_model);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: full SCAR scheduling runs (MCM-Reconfig → PROV → SEG →
+//! SCHED → evaluation) on 3×3 MCMs with the brute-force driver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scar_core::{OptMetric, Scar, SearchBudget};
+use scar_mcm::templates::{het_sides_3x3, Profile};
+use scar_workloads::Scenario;
+
+fn tiny_budget() -> SearchBudget {
+    SearchBudget {
+        max_root_perms: 12,
+        max_paths_per_model: 4,
+        max_placements_per_window: 100,
+        max_candidates_per_window: 200,
+        ..SearchBudget::default()
+    }
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end_3x3");
+    g.sample_size(10);
+    let mcm = het_sides_3x3(Profile::Datacenter);
+    for scn in [1usize, 4] {
+        let sc = Scenario::datacenter(scn);
+        g.bench_function(format!("sc{scn}_edp_search"), |b| {
+            b.iter(|| {
+                Scar::builder()
+                    .metric(OptMetric::Edp)
+                    .budget(tiny_budget())
+                    .build()
+                    .schedule(std::hint::black_box(&sc), &mcm)
+                    .expect("feasible")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench: the evolutionary 6×6 search (population 10,
+//! 4 generations — the paper's §V-D configuration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scar_core::{EvoParams, OptMetric, Scar, SearchBudget, SearchKind};
+use scar_mcm::templates::{het_cross_6x6, Profile};
+use scar_workloads::Scenario;
+
+fn bench_evolutionary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("evolutionary_6x6");
+    g.sample_size(10);
+    let mcm = het_cross_6x6(Profile::Datacenter);
+    let sc = Scenario::datacenter(4);
+    g.bench_function("sc4_nsplits2_pop10_gen4", |b| {
+        b.iter(|| {
+            Scar::builder()
+                .metric(OptMetric::Edp)
+                .nsplits(2)
+                .search(SearchKind::Evolutionary(EvoParams::default()))
+                .budget(SearchBudget::default())
+                .build()
+                .schedule(std::hint::black_box(&sc), &mcm)
+                .expect("feasible")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_evolutionary);
+criterion_main!(benches);

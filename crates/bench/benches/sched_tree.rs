@@ -1,0 +1,39 @@
+//! Criterion bench: the SCHED engine's scheduling-tree placement
+//! enumeration (root permutations × constrained DFS).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scar_core::tree::{enumerate_placements, identity_prefs};
+use scar_mcm::templates::{het_cross_6x6, het_sides_3x3, Profile};
+
+fn bench_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_tree");
+    let m3 = het_sides_3x3(Profile::Datacenter);
+    let m6 = het_cross_6x6(Profile::Datacenter);
+
+    g.bench_function("3x3_three_models", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            enumerate_placements(&m3, &[3, 2, 2], &identity_prefs(9, 3), 48, 16, 1500, &mut rng)
+        })
+    });
+    g.bench_function("6x6_four_models", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            enumerate_placements(
+                &m6,
+                &[6, 4, 3, 2],
+                &identity_prefs(36, 4),
+                48,
+                16,
+                1500,
+                &mut rng,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tree);
+criterion_main!(benches);

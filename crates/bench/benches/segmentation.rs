@@ -1,0 +1,38 @@
+//! Criterion bench: the SEG engine's enumeration + top-k scoring
+//! (Heuristic 1) at the paper's problem sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scar_core::segmentation::top_k_for_model;
+use scar_core::ExpectedCosts;
+use scar_maestro::CostDatabase;
+use scar_mcm::templates::{het_sides_3x3, Profile};
+use scar_workloads::Scenario;
+
+fn bench_segmentation(c: &mut Criterion) {
+    let sc = Scenario::datacenter(1);
+    let mcm = het_sides_3x3(Profile::Datacenter);
+    let db = CostDatabase::new();
+    let expected = ExpectedCosts::compute(&sc, &mcm, &db);
+
+    let mut g = c.benchmark_group("segmentation");
+    // GPT-L: 120 layers, 3 nodes → exact C(119,2) enumeration
+    g.bench_function("gpt_120_layers_3_nodes", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            top_k_for_model(&sc, &mcm, &expected, 0, &(0..120), 3, 4, 20_000, &mut rng)
+        })
+    });
+    // sampled regime: 6 nodes over 120 layers (C(119,5) ≫ cap)
+    g.bench_function("gpt_120_layers_6_nodes_sampled", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            top_k_for_model(&sc, &mcm, &expected, 0, &(0..120), 6, 4, 2_000, &mut rng)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_segmentation);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Experiment harness for the SCAR reproduction: strategy runners, table
+//! formatting, normalization, and Pareto utilities shared by the
+//! per-table/figure binaries (see DESIGN.md §4 for the experiment index).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pareto;
+pub mod strategy;
+pub mod table;
+
+pub use pareto::{ascii_scatter, pareto_front};
+pub use strategy::{run_strategies, LabeledResult, Strategy};
+pub use table::Table;

@@ -1,0 +1,260 @@
+//! The paper's baseline schedulers (§V-A): Standalone and NN-baton-like.
+//!
+//! * **Standalone** — every model runs end-to-end on its own chiplet; all
+//!   chiplets share one dataflow. Models execute concurrently (one window).
+//! * **NN-baton-like** [68] — a single-model scheduler: models execute
+//!   *sequentially*, each from its starting chiplet, partitioning across
+//!   chiplets only when a model's working set exceeds one chiplet's
+//!   capacity (Figure 2's motivational baseline). Dataflow-agnostic.
+//!
+//! The Simba-like pipelining baseline needs no code of its own: it is the
+//! SCAR search restricted to a homogeneous MCM template.
+
+use crate::problem::{OptMetric, ScheduleError, ScheduleInstance, Segment, TimeWindow, WindowSchedule};
+use crate::scar::ScheduleResult;
+use crate::tree;
+use scar_maestro::CostDatabase;
+use scar_mcm::McmConfig;
+use scar_workloads::{DataType, Scenario};
+
+/// Schedules each model standalone on its own chiplet (concurrently).
+///
+/// Chiplets are assigned nearest-to-DRAM first (side columns), matching the
+/// paper's off-chip-interface placement.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::InsufficientChiplets`] when the scenario has
+/// more models than the MCM has chiplets.
+pub fn standalone(
+    scenario: &Scenario,
+    mcm: &McmConfig,
+    metric: OptMetric,
+) -> Result<ScheduleResult, ScheduleError> {
+    let m = scenario.models().len();
+    let c = mcm.num_chiplets();
+    if m > c {
+        return Err(ScheduleError::InsufficientChiplets {
+            needed: m,
+            available: c,
+        });
+    }
+    // prefer chiplets closest to an off-chip interface
+    let mut order: Vec<usize> = (0..c).collect();
+    order.sort_by_key(|&id| (mcm.nearest_interface(id).1, id));
+
+    let layers: Vec<_> = scenario
+        .models()
+        .iter()
+        .map(|sm| 0..sm.model.num_layers())
+        .collect();
+    let segments = (0..m)
+        .map(|mi| vec![Segment::new(mi, 0, scenario.models()[mi].model.num_layers())])
+        .collect();
+    let placement = (0..m).map(|mi| vec![order[mi]]).collect();
+    let schedule = ScheduleInstance {
+        windows: vec![WindowSchedule {
+            window: TimeWindow { index: 0, layers },
+            segments,
+            placement,
+        }],
+    };
+    schedule.validate(scenario, c)?;
+
+    let db = CostDatabase::new();
+    let name = format!(
+        "Standalone ({})",
+        mcm.chiplet(0).dataflow.short_name()
+    );
+    Ok(ScheduleResult::from_instance(
+        name,
+        scenario,
+        mcm,
+        &db,
+        metric,
+        schedule,
+        Vec::new(),
+    ))
+}
+
+/// NN-baton-like single-model scheduling: models run sequentially (one
+/// time window each) from the package's starting chiplet, splitting across
+/// adjacent chiplets only when a model's largest single-sample working set
+/// exceeds the chiplet L2 (`k = ceil(working_set / L2)` pipeline stages).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::NoFeasibleSchedule`] if a required partition
+/// cannot find an adjacent chiplet path (never happens on connected
+/// topologies with `k ≤ |C|`), and [`ScheduleError::InsufficientChiplets`]
+/// if a model needs more chiplets than the package has.
+pub fn nn_baton(
+    scenario: &Scenario,
+    mcm: &McmConfig,
+    metric: OptMetric,
+) -> Result<ScheduleResult, ScheduleError> {
+    nn_baton_from(scenario, mcm, metric, 0)
+}
+
+/// [`nn_baton`] with an explicit starting chiplet — NN-baton is agnostic to
+/// the MCM's dataflow composition, so the starting position materially
+/// changes its results on heterogeneous packages (Figure 2's B1).
+///
+/// # Errors
+///
+/// See [`nn_baton`].
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+pub fn nn_baton_from(
+    scenario: &Scenario,
+    mcm: &McmConfig,
+    metric: OptMetric,
+    start: usize,
+) -> Result<ScheduleResult, ScheduleError> {
+    let num_models = scenario.models().len();
+    let c = mcm.num_chiplets();
+    assert!(start < c, "starting chiplet out of range");
+    let dt = DataType::Int8;
+
+    let mut windows = Vec::with_capacity(num_models);
+    for (mi, sm) in scenario.models().iter().enumerate() {
+        let n = sm.model.num_layers();
+        // capacity rule: partition when the largest single-sample working
+        // set does not fit one chiplet
+        let ws_max = sm
+            .model
+            .layers()
+            .iter()
+            .map(|l| l.weight_bytes(dt) + l.input_bytes(dt) + l.output_bytes(dt))
+            .max()
+            .unwrap_or(0);
+        let l2 = mcm.chiplet(start).l2_bytes;
+        let k = (ws_max.div_ceil(l2.max(1)) as usize).clamp(1, n);
+        if k > c {
+            return Err(ScheduleError::InsufficientChiplets {
+                needed: k,
+                available: c,
+            });
+        }
+        let path = tree::dfs_paths(mcm, start, k, &vec![false; c], 1)
+            .into_iter()
+            .next()
+            .ok_or(ScheduleError::NoFeasibleSchedule { window: mi })?;
+
+        let mut layers = vec![0..0; num_models];
+        layers[mi] = 0..n;
+        let mut segments = vec![Vec::new(); num_models];
+        segments[mi] = (0..k)
+            .map(|i| Segment::new(mi, n * i / k, n * (i + 1) / k))
+            .collect();
+        let mut placement = vec![Vec::new(); num_models];
+        placement[mi] = path;
+        windows.push(WindowSchedule {
+            window: TimeWindow {
+                index: mi,
+                layers,
+            },
+            segments,
+            placement,
+        });
+    }
+
+    let schedule = ScheduleInstance { windows };
+    schedule.validate(scenario, c)?;
+    let db = CostDatabase::new();
+    Ok(ScheduleResult::from_instance(
+        "NN-baton",
+        scenario,
+        mcm,
+        &db,
+        metric,
+        schedule,
+        Vec::new(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scar_maestro::Dataflow;
+    use scar_mcm::templates::{het_2x2, simba_3x3, Profile};
+
+    #[test]
+    fn standalone_uses_one_chiplet_per_model() {
+        let sc = Scenario::datacenter(2);
+        let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
+        let r = standalone(&sc, &mcm, OptMetric::Edp).unwrap();
+        let w = &r.schedule().windows[0];
+        let mut used = std::collections::HashSet::new();
+        for p in &w.placement {
+            assert_eq!(p.len(), 1);
+            assert!(used.insert(p[0]));
+        }
+        assert_eq!(r.strategy(), "Standalone (NVD)");
+    }
+
+    #[test]
+    fn standalone_latency_is_max_of_models() {
+        let sc = Scenario::datacenter(1);
+        let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
+        let r = standalone(&sc, &mcm, OptMetric::Edp).unwrap();
+        let w = &r.windows()[0];
+        let max_model = w
+            .models
+            .iter()
+            .map(|m| m.latency_s)
+            .fold(0.0f64, f64::max);
+        assert!((r.total().latency_s - max_model).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nn_baton_runs_models_sequentially() {
+        let sc = Scenario::datacenter(1);
+        let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
+        let r = nn_baton(&sc, &mcm, OptMetric::Edp).unwrap();
+        assert_eq!(r.schedule().windows.len(), sc.models().len());
+        // sequential latency = sum of window latencies > standalone's max
+        let st = standalone(&sc, &mcm, OptMetric::Edp).unwrap();
+        assert!(r.total().latency_s > st.total().latency_s);
+    }
+
+    #[test]
+    fn nn_baton_partitions_oversized_models() {
+        // U-Net's early 512×512 activations exceed a 10 MB L2 at batch 1
+        let sc = Scenario::datacenter(4);
+        let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
+        let r = nn_baton(&sc, &mcm, OptMetric::Edp).unwrap();
+        let unet = sc
+            .models()
+            .iter()
+            .position(|m| m.model.name() == "U-Net")
+            .unwrap();
+        let w = &r.schedule().windows[unet];
+        assert!(
+            w.placement[unet].len() > 1,
+            "U-Net should be partitioned, got {:?}",
+            w.placement[unet]
+        );
+    }
+
+    #[test]
+    fn too_many_models_for_standalone_errors() {
+        let sc = Scenario::datacenter(5); // 6 models
+        let mcm = het_2x2(Profile::Datacenter); // 4 chiplets
+        assert!(matches!(
+            standalone(&sc, &mcm, OptMetric::Edp),
+            Err(ScheduleError::InsufficientChiplets { .. })
+        ));
+    }
+
+    #[test]
+    fn baselines_validate() {
+        let sc = Scenario::datacenter(2);
+        let mcm = simba_3x3(Profile::Datacenter, Dataflow::ShidiannaoLike);
+        for r in [standalone(&sc, &mcm, OptMetric::Edp).unwrap(), nn_baton(&sc, &mcm, OptMetric::Edp).unwrap()] {
+            r.schedule().validate(&sc, mcm.num_chiplets()).unwrap();
+        }
+    }
+}

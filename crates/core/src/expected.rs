@@ -1,0 +1,208 @@
+//! Expected (placement-agnostic) layer costs — Equation (1).
+//!
+//! Before any chiplet assignment exists, the MCM-Reconfig and PROV engines
+//! reason about layers through their *expected* execution cost over the
+//! package's dataflow mix:
+//!
+//! ```text
+//! E(Lat(l)) = Σ_i (n_df_i / |C|) · Lat(l → i)        (Equation 1)
+//! ```
+//!
+//! where `n_df_i` counts chiplets of dataflow class `i` and `Lat(l → i)` is
+//! the offline-analyzed latency of `l` on that class. This module
+//! precomputes per-model prefix sums of expected latency/energy so range
+//! queries are O(1).
+
+use crate::problem::OptMetric;
+use scar_maestro::CostDatabase;
+use scar_mcm::McmConfig;
+use scar_workloads::Scenario;
+use std::ops::Range;
+
+/// Precomputed expected costs for every layer of a scenario on a given MCM.
+#[derive(Debug, Clone)]
+pub struct ExpectedCosts {
+    /// `lat[m][l+1] - lat[m][l]` = expected latency of layer `l` of model
+    /// `m` at the model's full batch.
+    lat_prefix: Vec<Vec<f64>>,
+    /// Same structure for energy.
+    energy_prefix: Vec<Vec<f64>>,
+    /// Expected latency at batch 1 (used by SEG's placement-agnostic
+    /// pipeline scoring).
+    lat1_prefix: Vec<Vec<f64>>,
+}
+
+impl ExpectedCosts {
+    /// Computes Equation (1) expectations for all layers of `scenario`
+    /// over the dataflow mix of `mcm`, reading (and populating) `db`.
+    pub fn compute(scenario: &Scenario, mcm: &McmConfig, db: &CostDatabase) -> Self {
+        let classes = mcm.chiplet_classes();
+        let total = mcm.num_chiplets() as f64;
+        let weights: Vec<f64> = classes
+            .iter()
+            .map(|cl| {
+                mcm.chiplets()
+                    .iter()
+                    .filter(|c| c.dataflow == cl.dataflow)
+                    .count() as f64
+                    / total
+            })
+            .collect();
+
+        let mut lat_prefix = Vec::with_capacity(scenario.models().len());
+        let mut energy_prefix = Vec::with_capacity(scenario.models().len());
+        let mut lat1_prefix = Vec::with_capacity(scenario.models().len());
+        for sm in scenario.models() {
+            let mut lat = vec![0.0f64];
+            let mut energy = vec![0.0f64];
+            let mut lat1 = vec![0.0f64];
+            for layer in sm.model.layers() {
+                let (mut el, mut ee, mut el1) = (0.0, 0.0, 0.0);
+                for (cl, w) in classes.iter().zip(&weights) {
+                    let c = db.get(cl, &layer.kind, sm.batch);
+                    el += w * c.time_s;
+                    ee += w * c.energy_j;
+                    el1 += w * db.get(cl, &layer.kind, 1).time_s;
+                }
+                lat.push(lat.last().unwrap() + el);
+                energy.push(energy.last().unwrap() + ee);
+                lat1.push(lat1.last().unwrap() + el1);
+            }
+            lat_prefix.push(lat);
+            energy_prefix.push(energy);
+            lat1_prefix.push(lat1);
+        }
+        Self {
+            lat_prefix,
+            energy_prefix,
+            lat1_prefix,
+        }
+    }
+
+    /// Expected latency of one layer (full model batch).
+    pub fn layer_latency(&self, model: usize, layer: usize) -> f64 {
+        self.lat_prefix[model][layer + 1] - self.lat_prefix[model][layer]
+    }
+
+    /// Expected latency of a contiguous layer range (full model batch).
+    pub fn range_latency(&self, model: usize, range: &Range<usize>) -> f64 {
+        self.lat_prefix[model][range.end] - self.lat_prefix[model][range.start]
+    }
+
+    /// Expected energy of a contiguous layer range (full model batch).
+    pub fn range_energy(&self, model: usize, range: &Range<usize>) -> f64 {
+        self.energy_prefix[model][range.end] - self.energy_prefix[model][range.start]
+    }
+
+    /// Expected latency of a contiguous layer range at batch 1.
+    pub fn range_latency_b1(&self, model: usize, range: &Range<usize>) -> f64 {
+        self.lat1_prefix[model][range.end] - self.lat1_prefix[model][range.start]
+    }
+
+    /// Expected sequential latency of model `m`'s full layer chain — the
+    /// per-model term whose maximum defines the MCM-Reconfig time horizon.
+    pub fn model_latency(&self, model: usize) -> f64 {
+        *self.lat_prefix[model].last().unwrap()
+    }
+
+    /// The `E(P_i)` of Equation (2): the expected value of the target
+    /// optimization metric for a model's layer range.
+    pub fn expected_metric(&self, model: usize, range: &Range<usize>, metric: &OptMetric) -> f64 {
+        let lat = self.range_latency(model, range);
+        let energy = self.range_energy(model, range);
+        metric.score(&crate::problem::EvalTotals {
+            latency_s: lat,
+            energy_j: energy,
+        })
+    }
+
+    /// Number of models covered.
+    pub fn num_models(&self) -> usize {
+        self.lat_prefix.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scar_mcm::templates::{het_sides_3x3, simba_3x3, Profile};
+    use scar_maestro::Dataflow;
+
+    fn setup(sc: &Scenario, mcm: &McmConfig) -> ExpectedCosts {
+        let db = CostDatabase::new();
+        ExpectedCosts::compute(sc, mcm, &db)
+    }
+
+    #[test]
+    fn prefix_sums_are_monotone() {
+        let sc = Scenario::datacenter(1);
+        let e = setup(&sc, &het_sides_3x3(Profile::Datacenter));
+        for m in 0..sc.models().len() {
+            let n = sc.models()[m].model.num_layers();
+            let mut prev = 0.0;
+            for l in 0..n {
+                let r = e.range_latency(m, &(0..l + 1));
+                assert!(r > prev);
+                prev = r;
+            }
+        }
+    }
+
+    #[test]
+    fn range_decomposes_additively() {
+        let sc = Scenario::datacenter(1);
+        let e = setup(&sc, &het_sides_3x3(Profile::Datacenter));
+        let full = e.range_latency(0, &(0..20));
+        let split = e.range_latency(0, &(0..7)) + e.range_latency(0, &(7..20));
+        assert!((full - split).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_expectation_equals_single_class_cost() {
+        let sc = Scenario::datacenter(1);
+        let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
+        let db = CostDatabase::new();
+        let e = ExpectedCosts::compute(&sc, &mcm, &db);
+        let layer = &sc.models()[0].model.layers()[0];
+        let direct = mcm.chiplet(0).evaluate(&layer.kind, sc.models()[0].batch);
+        assert!((e.layer_latency(0, 0) - direct.time_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn heterogeneous_expectation_is_between_class_costs() {
+        let sc = Scenario::datacenter(1);
+        let mcm = het_sides_3x3(Profile::Datacenter);
+        let e = setup(&sc, &mcm);
+        let layer = &sc.models()[0].model.layers()[0];
+        let b = sc.models()[0].batch;
+        let costs: Vec<f64> = mcm
+            .chiplet_classes()
+            .iter()
+            .map(|c| c.evaluate(&layer.kind, b).time_s)
+            .collect();
+        let lo = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = costs.iter().cloned().fold(0.0, f64::max);
+        let exp = e.layer_latency(0, 0);
+        assert!(exp >= lo - 1e-15 && exp <= hi + 1e-15);
+    }
+
+    #[test]
+    fn model_latency_is_full_range() {
+        let sc = Scenario::datacenter(1);
+        let e = setup(&sc, &het_sides_3x3(Profile::Datacenter));
+        let n = sc.models()[1].model.num_layers();
+        assert_eq!(e.model_latency(1), e.range_latency(1, &(0..n)));
+    }
+
+    #[test]
+    fn expected_metric_matches_components() {
+        let sc = Scenario::datacenter(1);
+        let e = setup(&sc, &het_sides_3x3(Profile::Datacenter));
+        let r = 0..10;
+        let lat = e.range_latency(0, &r);
+        let en = e.range_energy(0, &r);
+        assert_eq!(e.expected_metric(0, &r, &OptMetric::Latency), lat);
+        assert_eq!(e.expected_metric(0, &r, &OptMetric::Energy), en);
+        assert!((e.expected_metric(0, &r, &OptMetric::Edp) - lat * en).abs() < 1e-18);
+    }
+}

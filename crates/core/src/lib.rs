@@ -1,0 +1,63 @@
+//! SCAR: the multi-model scheduler for heterogeneous multi-chiplet module
+//! AI accelerators (MICRO 2024 reproduction).
+//!
+//! The scheduler follows the paper's two-level architecture (Figures 3/4):
+//!
+//! * **Top level** — the [`reconfig`] engine (MCM-Reconfig) partitions the
+//!   multi-model workload into *time windows* using expected per-layer
+//!   latencies (Equation 1) and the first-fit greedy packing of
+//!   Algorithm 1; the [`provision`] engine (PROV) assigns each model a
+//!   number of chiplet *nodes* per window (Equation 2).
+//! * **Per window** — the [`segmentation`] engine (SEG) partitions each
+//!   model's window layers into contiguous *segments* (Definition 5,
+//!   Heuristics 1–2); the [`tree`] engine (SCHED) maps segments onto
+//!   chiplets by traversing scheduling trees rooted at candidate starting
+//!   chiplets; [`evaluate`] scores every candidate with the §III-E cost
+//!   model (inter-chiplet pipelined latency, energy, EDP).
+//!
+//! Search drivers live in [`search`]: exhaustive brute force (the paper's
+//! 3×3 experiments) and an evolutionary algorithm (the 6×6 experiments).
+//! The paper's comparison schedulers live in [`baselines`]: Standalone and
+//! an NN-baton-like single-model scheduler.
+//!
+//! The entry point is [`Scar`]:
+//!
+//! ```
+//! use scar_core::{OptMetric, Scar};
+//! use scar_mcm::templates::{het_sides_3x3, Profile};
+//! use scar_workloads::Scenario;
+//!
+//! let scenario = Scenario::datacenter(1);
+//! let mcm = het_sides_3x3(Profile::Datacenter);
+//! let result = Scar::builder()
+//!     .metric(OptMetric::Edp)
+//!     .build()
+//!     .schedule(&scenario, &mcm)
+//!     .expect("feasible scenario");
+//! println!("EDP = {:.3} J·s", result.total().edp());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod evaluate;
+mod expected;
+pub mod problem;
+pub mod provision;
+pub mod reconfig;
+mod scar;
+pub mod search;
+pub mod segmentation;
+pub mod tree;
+
+pub use evaluate::{ModelWindowEval, WindowEval};
+pub use expected::ExpectedCosts;
+pub use problem::{
+    EvalTotals, OptMetric, ScheduleError, ScheduleInstance, Segment, TimeWindow, WindowPartition,
+    WindowSchedule,
+};
+pub use provision::ProvisionRule;
+pub use reconfig::PackingRule;
+pub use scar::{CandidatePoint, ModelWindowReport, Scar, ScarBuilder, ScheduleResult, WindowReport};
+pub use search::{EvoParams, SearchBudget, SearchKind};

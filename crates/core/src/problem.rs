@@ -1,0 +1,584 @@
+//! The scheduling-problem formulation (Definitions 4–10, Theorems 1–2).
+
+use scar_mcm::ChipletId;
+use scar_workloads::Scenario;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A layer segment (Definition 5): a contiguous run of one model's layers,
+/// executed exclusively on a single chiplet within a time window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Segment {
+    /// The owning model's index within the scenario.
+    pub model: usize,
+    /// First layer index (inclusive).
+    pub start: usize,
+    /// One past the last layer index.
+    pub end: usize,
+}
+
+impl Segment {
+    /// Creates a segment over `[start, end)` of model `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or reversed.
+    pub fn new(model: usize, start: usize, end: usize) -> Self {
+        assert!(start < end, "segment must contain at least one layer");
+        Self { model, start, end }
+    }
+
+    /// The layer-index range of this segment.
+    pub fn layer_range(&self) -> Range<usize> {
+        self.start..self.end
+    }
+
+    /// Number of layers in the segment.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Segments are never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl std::fmt::Display for Segment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}[{}..{}]", self.model, self.start, self.end)
+    }
+}
+
+/// A time window (Definition 4): for each model, the contiguous range of
+/// its layers assigned to this window (possibly empty).
+///
+/// Start/duration (`T_s`, `T_tw`) are emergent quantities computed by the
+/// evaluator; the window's identity is its layer assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeWindow {
+    /// Position of the window in the schedule (0-based).
+    pub index: usize,
+    /// Per-model layer ranges; `layers[i]` is empty when model `i` has no
+    /// work in this window.
+    pub layers: Vec<Range<usize>>,
+}
+
+impl TimeWindow {
+    /// True if no model has layers in this window.
+    pub fn is_trivial(&self) -> bool {
+        self.layers.iter().all(|r| r.is_empty())
+    }
+
+    /// Indices of models with work in this window.
+    pub fn active_models(&self) -> Vec<usize> {
+        (0..self.layers.len())
+            .filter(|&m| !self.layers[m].is_empty())
+            .collect()
+    }
+
+    /// Total layer count across models.
+    pub fn num_layers(&self) -> usize {
+        self.layers.iter().map(|r| r.len()).sum()
+    }
+}
+
+/// A complete time-window partitioning of a scenario (the output of the
+/// MCM-Reconfig engine).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowPartition {
+    windows: Vec<TimeWindow>,
+}
+
+impl WindowPartition {
+    /// Wraps windows into a partition, dropping trivial (empty) windows and
+    /// re-indexing (the paper: "dynamically controlling the number of time
+    /// windows by skipping trivial time windows").
+    pub fn new(windows: Vec<TimeWindow>) -> Self {
+        let mut kept: Vec<TimeWindow> = windows.into_iter().filter(|w| !w.is_trivial()).collect();
+        for (i, w) in kept.iter_mut().enumerate() {
+            w.index = i;
+        }
+        Self { windows: kept }
+    }
+
+    /// The (non-trivial) windows in execution order.
+    pub fn windows(&self) -> &[TimeWindow] {
+        &self.windows
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True if the partition has no windows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Theorem 2 validity: for every model, the per-window ranges must be
+    /// in order, pairwise disjoint, and jointly cover `0..num_layers`.
+    pub fn validate(&self, scenario: &Scenario) -> Result<(), ScheduleError> {
+        for (mi, sm) in scenario.models().iter().enumerate() {
+            let mut next = 0usize;
+            for w in &self.windows {
+                let r = w
+                    .layers
+                    .get(mi)
+                    .ok_or(ScheduleError::ModelCountMismatch {
+                        expected: scenario.models().len(),
+                        found: w.layers.len(),
+                    })?;
+                if r.is_empty() {
+                    continue;
+                }
+                if r.start != next {
+                    return Err(ScheduleError::InvalidPartition {
+                        model: mi,
+                        detail: format!("window {} starts at {} but expected {}", w.index, r.start, next),
+                    });
+                }
+                next = r.end;
+            }
+            if next != sm.model.num_layers() {
+                return Err(ScheduleError::InvalidPartition {
+                    model: mi,
+                    detail: format!(
+                        "covers {next} of {} layers",
+                        sm.model.num_layers()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The scheduled content of one time window: segmentation (Definition 5)
+/// plus spatial mapping (Definition 7). Execution order within a model
+/// follows segment order (inter-chiplet pipeline); chiplets are exclusively
+/// owned for the window's duration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSchedule {
+    /// The window's per-model layer ranges.
+    pub window: TimeWindow,
+    /// Per model: its segments, in execution order. Empty for idle models.
+    pub segments: Vec<Vec<Segment>>,
+    /// Per model: the chiplet executing each segment (parallel to
+    /// `segments`).
+    pub placement: Vec<Vec<ChipletId>>,
+}
+
+impl WindowSchedule {
+    /// Theorem 1 validity plus mapping sanity: segments of each model must
+    /// exactly tile the window's range in order; placements must be
+    /// parallel to segments, reference valid chiplets, and no chiplet may
+    /// be claimed twice within the window.
+    pub fn validate(&self, num_chiplets: usize) -> Result<(), ScheduleError> {
+        let mut used = std::collections::HashSet::new();
+        for (mi, (segs, places)) in self.segments.iter().zip(&self.placement).enumerate() {
+            if segs.len() != places.len() {
+                return Err(ScheduleError::InvalidSchedule(format!(
+                    "model {mi}: {} segments but {} placements",
+                    segs.len(),
+                    places.len()
+                )));
+            }
+            let range = &self.window.layers[mi];
+            if range.is_empty() {
+                if !segs.is_empty() {
+                    return Err(ScheduleError::InvalidSchedule(format!(
+                        "model {mi} idle in window but has segments"
+                    )));
+                }
+                continue;
+            }
+            let mut next = range.start;
+            for s in segs {
+                if s.model != mi || s.start != next || s.end > range.end {
+                    return Err(ScheduleError::InvalidSchedule(format!(
+                        "model {mi}: segment {s} breaks coverage at {next}"
+                    )));
+                }
+                next = s.end;
+            }
+            if next != range.end {
+                return Err(ScheduleError::InvalidSchedule(format!(
+                    "model {mi}: segments cover to {next}, window ends at {}",
+                    range.end
+                )));
+            }
+            for &c in places {
+                if c >= num_chiplets {
+                    return Err(ScheduleError::InvalidSchedule(format!(
+                        "chiplet {c} out of range"
+                    )));
+                }
+                if !used.insert(c) {
+                    return Err(ScheduleError::InvalidSchedule(format!(
+                        "chiplet {c} claimed twice in one window"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A complete schedule instance (Definition 9): one [`WindowSchedule`] per
+/// time window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleInstance {
+    /// Window schedules in execution order.
+    pub windows: Vec<WindowSchedule>,
+}
+
+impl ScheduleInstance {
+    /// Validates partition coverage (Theorem 2) and every window's
+    /// segmentation/mapping (Theorem 1).
+    pub fn validate(&self, scenario: &Scenario, num_chiplets: usize) -> Result<(), ScheduleError> {
+        let partition = WindowPartition::new(self.windows.iter().map(|w| w.window.clone()).collect());
+        partition.validate(scenario)?;
+        for w in &self.windows {
+            w.validate(num_chiplets)?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate latency/energy of a schedule (or window); the quantities the
+/// optimization metric (Definition 10) consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EvalTotals {
+    /// End-to-end latency in seconds.
+    pub latency_s: f64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+}
+
+impl EvalTotals {
+    /// Energy-delay product in J·s.
+    pub fn edp(&self) -> f64 {
+        self.latency_s * self.energy_j
+    }
+
+    /// Component-wise accumulation (sequential composition).
+    pub fn accumulate(&mut self, other: EvalTotals) {
+        self.latency_s += other.latency_s;
+        self.energy_j += other.energy_j;
+    }
+}
+
+/// The optimization metric of Definition 10.
+///
+/// The paper: "a comprehensive and customizable score … which can be the
+/// mentioned frequently used metrics, or a user-defined function that takes
+/// a schedule instance and generates a custom metric."
+#[derive(Clone)]
+pub enum OptMetric {
+    /// Minimize end-to-end latency (the paper's "Latency Search").
+    Latency,
+    /// Minimize total energy ("Energy Search").
+    Energy,
+    /// Minimize energy-delay product ("EDP Search", the paper's default).
+    Edp,
+    /// The §VI extension: minimize EDP subject to a latency constraint —
+    /// "the EDP search becomes lower bounded by the latency search".
+    /// Candidates whose latency exceeds the bound are invalidated
+    /// (scored `+∞`).
+    ConstrainedEdp {
+        /// Maximum admissible end-to-end latency in seconds.
+        max_latency_s: f64,
+    },
+    /// Minimize a user-defined score over the evaluated totals.
+    Custom(Arc<dyn Fn(&EvalTotals) -> f64 + Send + Sync>),
+}
+
+impl OptMetric {
+    /// The scalar score of `totals` under this metric (lower is better).
+    pub fn score(&self, totals: &EvalTotals) -> f64 {
+        match self {
+            OptMetric::Latency => totals.latency_s,
+            OptMetric::Energy => totals.energy_j,
+            OptMetric::Edp => totals.edp(),
+            OptMetric::ConstrainedEdp { max_latency_s } => {
+                if totals.latency_s > *max_latency_s {
+                    f64::INFINITY
+                } else {
+                    totals.edp()
+                }
+            }
+            OptMetric::Custom(f) => f(totals),
+        }
+    }
+
+    /// Short label used in reports (`lat` / `energy` / `edp` / …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OptMetric::Latency => "lat",
+            OptMetric::Energy => "energy",
+            OptMetric::Edp => "edp",
+            OptMetric::ConstrainedEdp { .. } => "edp<=lat",
+            OptMetric::Custom(_) => "custom",
+        }
+    }
+}
+
+impl std::fmt::Debug for OptMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OptMetric::{}", self.label())
+    }
+}
+
+impl PartialEq for OptMetric {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (OptMetric::Latency, OptMetric::Latency)
+            | (OptMetric::Energy, OptMetric::Energy)
+            | (OptMetric::Edp, OptMetric::Edp) => true,
+            (
+                OptMetric::ConstrainedEdp { max_latency_s: a },
+                OptMetric::ConstrainedEdp { max_latency_s: b },
+            ) => a == b,
+            (OptMetric::Custom(a), OptMetric::Custom(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+/// Errors produced by the scheduling pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The scenario has more concurrently active models in some window than
+    /// the MCM has chiplets.
+    InsufficientChiplets {
+        /// Chiplets required (one per active model at minimum).
+        needed: usize,
+        /// Chiplets available on the package.
+        available: usize,
+    },
+    /// A window's candidate enumeration produced no feasible schedule.
+    NoFeasibleSchedule {
+        /// Index of the failing window.
+        window: usize,
+    },
+    /// A window partition failed Theorem 2 validation.
+    InvalidPartition {
+        /// Offending model.
+        model: usize,
+        /// Human-readable diagnosis.
+        detail: String,
+    },
+    /// A schedule failed Theorem 1 / mapping validation.
+    InvalidSchedule(String),
+    /// A window listed a different number of models than the scenario.
+    ModelCountMismatch {
+        /// Models in the scenario.
+        expected: usize,
+        /// Models listed in the window.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::InsufficientChiplets { needed, available } => write!(
+                f,
+                "scenario needs at least {needed} chiplets but the MCM has {available}"
+            ),
+            ScheduleError::NoFeasibleSchedule { window } => {
+                write!(f, "no feasible schedule found for window {window}")
+            }
+            ScheduleError::InvalidPartition { model, detail } => {
+                write!(f, "invalid window partition for model {model}: {detail}")
+            }
+            ScheduleError::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+            ScheduleError::ModelCountMismatch { expected, found } => {
+                write!(f, "window lists {found} models, scenario has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scar_workloads::Scenario;
+
+    fn two_window_partition(sc: &Scenario) -> WindowPartition {
+        let models = sc.models();
+        let mk_range = |mi: usize, half: usize| {
+            let n = models[mi].model.num_layers();
+            if half == 0 {
+                0..n / 2
+            } else {
+                n / 2..n
+            }
+        };
+        WindowPartition::new(vec![
+            TimeWindow {
+                index: 0,
+                layers: (0..models.len()).map(|mi| mk_range(mi, 0)).collect(),
+            },
+            TimeWindow {
+                index: 1,
+                layers: (0..models.len()).map(|mi| mk_range(mi, 1)).collect(),
+            },
+        ])
+    }
+
+    #[test]
+    fn valid_partition_passes_theorem_2() {
+        let sc = Scenario::datacenter(1);
+        assert!(two_window_partition(&sc).validate(&sc).is_ok());
+    }
+
+    #[test]
+    fn gap_in_coverage_fails() {
+        let sc = Scenario::datacenter(1);
+        let n0 = sc.models()[0].model.num_layers();
+        let n1 = sc.models()[1].model.num_layers();
+        let p = WindowPartition::new(vec![TimeWindow {
+            index: 0,
+            layers: vec![0..n0 - 1, 0..n1], // model 0 misses its last layer
+        }]);
+        assert!(matches!(
+            p.validate(&sc),
+            Err(ScheduleError::InvalidPartition { model: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn overlap_fails() {
+        let sc = Scenario::datacenter(1);
+        let n0 = sc.models()[0].model.num_layers();
+        let n1 = sc.models()[1].model.num_layers();
+        let p = WindowPartition::new(vec![
+            TimeWindow {
+                index: 0,
+                layers: vec![0..10, 0..n1],
+            },
+            TimeWindow {
+                index: 1,
+                layers: vec![5..n0, 0..0], // restarts at 5: overlap
+            },
+        ]);
+        assert!(p.validate(&sc).is_err());
+    }
+
+    #[test]
+    fn trivial_windows_are_dropped() {
+        let p = WindowPartition::new(vec![
+            TimeWindow {
+                index: 0,
+                layers: vec![0..0, 0..0],
+            },
+            TimeWindow {
+                index: 1,
+                layers: vec![0..3, 0..0],
+            },
+        ]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.windows()[0].index, 0); // re-indexed
+    }
+
+    #[test]
+    fn window_schedule_validation_catches_double_booking() {
+        let w = WindowSchedule {
+            window: TimeWindow {
+                index: 0,
+                layers: vec![0..2, 0..2],
+            },
+            segments: vec![
+                vec![Segment::new(0, 0, 2)],
+                vec![Segment::new(1, 0, 2)],
+            ],
+            placement: vec![vec![3], vec![3]],
+        };
+        let err = w.validate(9).unwrap_err();
+        assert!(err.to_string().contains("claimed twice"));
+    }
+
+    #[test]
+    fn window_schedule_validation_catches_bad_coverage() {
+        let w = WindowSchedule {
+            window: TimeWindow {
+                index: 0,
+                layers: vec![0..4],
+            },
+            segments: vec![vec![Segment::new(0, 0, 2), Segment::new(0, 3, 4)]],
+            placement: vec![vec![0, 1]],
+        };
+        assert!(w.validate(9).is_err());
+    }
+
+    #[test]
+    fn segment_invariants() {
+        let s = Segment::new(2, 5, 9);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.layer_range(), 5..9);
+        assert_eq!(s.to_string(), "m2[5..9]");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_segment_panics() {
+        let _ = Segment::new(0, 3, 3);
+    }
+
+    #[test]
+    fn metric_scores() {
+        let t = EvalTotals {
+            latency_s: 2.0,
+            energy_j: 3.0,
+        };
+        assert_eq!(OptMetric::Latency.score(&t), 2.0);
+        assert_eq!(OptMetric::Energy.score(&t), 3.0);
+        assert_eq!(OptMetric::Edp.score(&t), 6.0);
+        let custom = OptMetric::Custom(Arc::new(|t| t.latency_s * 10.0 + t.energy_j));
+        assert_eq!(custom.score(&t), 23.0);
+        assert_eq!(custom.label(), "custom");
+    }
+
+    #[test]
+    fn constrained_edp_invalidates_late_schedules() {
+        // §VI: "invalidating schedules that have certain models violate a
+        // latency constraint (the EDP search becomes lower bounded by the
+        // latency search)"
+        let fast = EvalTotals {
+            latency_s: 1.0,
+            energy_j: 5.0,
+        };
+        let slow = EvalTotals {
+            latency_s: 3.0,
+            energy_j: 1.0,
+        };
+        let m = OptMetric::ConstrainedEdp { max_latency_s: 2.0 };
+        assert_eq!(m.score(&fast), 5.0);
+        assert_eq!(m.score(&slow), f64::INFINITY);
+        assert_eq!(m.label(), "edp<=lat");
+        assert_eq!(m, OptMetric::ConstrainedEdp { max_latency_s: 2.0 });
+        assert_ne!(m, OptMetric::ConstrainedEdp { max_latency_s: 2.5 });
+        assert_ne!(m, OptMetric::Edp);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut a = EvalTotals {
+            latency_s: 1.0,
+            energy_j: 2.0,
+        };
+        a.accumulate(EvalTotals {
+            latency_s: 0.5,
+            energy_j: 0.25,
+        });
+        assert_eq!(a.latency_s, 1.5);
+        assert_eq!(a.energy_j, 2.25);
+        assert_eq!(a.edp(), 1.5 * 2.25);
+    }
+}

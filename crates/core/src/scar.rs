@@ -1,0 +1,548 @@
+//! The SCAR scheduling framework facade (Figure 4).
+
+use crate::evaluate::{Evaluator, WindowEval};
+use crate::expected::ExpectedCosts;
+use crate::problem::{
+    EvalTotals, OptMetric, ScheduleError, ScheduleInstance, Segment,
+};
+use crate::provision::{self, ProvisionRule};
+use crate::reconfig::{self, PackingRule};
+use crate::search::{self, SearchBudget, SearchCtx, SearchKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scar_maestro::CostDatabase;
+use scar_mcm::{ChipletId, McmConfig};
+use scar_workloads::Scenario;
+use std::ops::Range;
+
+/// One candidate schedule's totals: a point for the Pareto figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidatePoint {
+    /// End-to-end latency in seconds.
+    pub latency_s: f64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+}
+
+impl CandidatePoint {
+    /// Energy-delay product in J·s.
+    pub fn edp(&self) -> f64 {
+        self.latency_s * self.energy_j
+    }
+}
+
+/// A model's schedule within one window, for reporting (Figure 9 rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelWindowReport {
+    /// Model name.
+    pub model_name: String,
+    /// Model index in the scenario.
+    pub model: usize,
+    /// The layer range executed in this window.
+    pub layers: Range<usize>,
+    /// `(segment, chiplet)` assignments in pipeline order.
+    pub assignments: Vec<(Segment, ChipletId)>,
+    /// The model's pipelined latency in this window, in seconds.
+    pub latency_s: f64,
+    /// Chosen mini-batch.
+    pub mini_batch: u64,
+}
+
+/// Per-window report (drives Figure 9 and Table VI).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowReport {
+    /// Window position.
+    pub index: usize,
+    /// Window latency (max over models), seconds.
+    pub latency_s: f64,
+    /// Window energy (sum over models), joules.
+    pub energy_j: f64,
+    /// Reports for models active in this window.
+    pub models: Vec<ModelWindowReport>,
+}
+
+/// The outcome of scheduling a scenario on an MCM.
+#[derive(Debug, Clone)]
+pub struct ScheduleResult {
+    strategy: String,
+    schedule: ScheduleInstance,
+    totals: EvalTotals,
+    windows: Vec<WindowReport>,
+    candidates: Vec<CandidatePoint>,
+}
+
+impl ScheduleResult {
+    /// The MCM/strategy name this result was produced on.
+    pub fn strategy(&self) -> &str {
+        &self.strategy
+    }
+
+    /// The winning schedule instance.
+    pub fn schedule(&self) -> &ScheduleInstance {
+        &self.schedule
+    }
+
+    /// End-to-end totals of the winning schedule.
+    pub fn total(&self) -> EvalTotals {
+        self.totals
+    }
+
+    /// Per-window breakdown of the winning schedule.
+    pub fn windows(&self) -> &[WindowReport] {
+        &self.windows
+    }
+
+    /// Every candidate evaluated during the search, expressed as
+    /// full-schedule totals (the best schedule with one window's candidate
+    /// swapped in) — the paper's Pareto raw material.
+    pub fn candidates(&self) -> &[CandidatePoint] {
+        &self.candidates
+    }
+
+    /// The Pareto-optimal subset of [`ScheduleResult::candidates`] in the
+    /// (latency, energy) plane, sorted by latency.
+    pub fn pareto_front(&self) -> Vec<CandidatePoint> {
+        let mut pts = self.candidates.clone();
+        pts.sort_by(|a, b| {
+            a.latency_s
+                .partial_cmp(&b.latency_s)
+                .unwrap()
+                .then(a.energy_j.partial_cmp(&b.energy_j).unwrap())
+        });
+        let mut front: Vec<CandidatePoint> = Vec::new();
+        let mut best_energy = f64::INFINITY;
+        for p in pts {
+            if p.energy_j < best_energy {
+                best_energy = p.energy_j;
+                front.push(p);
+            }
+        }
+        front
+    }
+
+    /// Assembles a result from a schedule instance by evaluating it under
+    /// `metric` (used by SCAR itself and by the baseline schedulers).
+    pub(crate) fn from_instance(
+        strategy: impl Into<String>,
+        scenario: &Scenario,
+        mcm: &McmConfig,
+        db: &CostDatabase,
+        metric: OptMetric,
+        schedule: ScheduleInstance,
+        candidates: Vec<CandidatePoint>,
+    ) -> Self {
+        let evaluator = Evaluator::with_metric(scenario, mcm, db, metric);
+        let (totals, evals) = evaluator.evaluate_schedule(&schedule);
+        let windows = build_reports(scenario, &schedule, &evals);
+        Self {
+            strategy: strategy.into(),
+            schedule,
+            totals,
+            windows,
+            candidates,
+        }
+    }
+}
+
+fn build_reports(
+    scenario: &Scenario,
+    schedule: &ScheduleInstance,
+    evals: &[WindowEval],
+) -> Vec<WindowReport> {
+    schedule
+        .windows
+        .iter()
+        .zip(evals)
+        .map(|(ws, eval)| {
+            let mut models = Vec::new();
+            for (m, per) in eval.per_model.iter().enumerate() {
+                let Some(per) = per else { continue };
+                models.push(ModelWindowReport {
+                    model_name: scenario.models()[m].model.name().to_string(),
+                    model: m,
+                    layers: ws.window.layers[m].clone(),
+                    assignments: ws.segments[m]
+                        .iter()
+                        .copied()
+                        .zip(ws.placement[m].iter().copied())
+                        .collect(),
+                    latency_s: per.latency_s,
+                    mini_batch: per.mini_batch,
+                });
+            }
+            WindowReport {
+                index: ws.window.index,
+                latency_s: eval.latency_s,
+                energy_j: eval.energy_j,
+                models,
+            }
+        })
+        .collect()
+}
+
+/// Builder for [`Scar`].
+#[derive(Debug, Clone)]
+pub struct ScarBuilder {
+    nsplits: usize,
+    metric: OptMetric,
+    packing: PackingRule,
+    provisioning: ProvisionRule,
+    search: SearchKind,
+    budget: SearchBudget,
+}
+
+impl Default for ScarBuilder {
+    fn default() -> Self {
+        Self {
+            nsplits: 4,
+            metric: OptMetric::Edp,
+            packing: PackingRule::Greedy,
+            provisioning: ProvisionRule::Uniform,
+            search: SearchKind::BruteForce,
+            budget: SearchBudget::default(),
+        }
+    }
+}
+
+impl ScarBuilder {
+    /// Number of time-window splits (§IV-A; default 4 → up to 5 windows).
+    pub fn nsplits(mut self, n: usize) -> Self {
+        self.nsplits = n;
+        self
+    }
+
+    /// The optimization metric (Definition 10; default EDP).
+    pub fn metric(mut self, metric: OptMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// The layer-packing rule (default: Algorithm 1 greedy).
+    pub fn packing(mut self, rule: PackingRule) -> Self {
+        self.packing = rule;
+        self
+    }
+
+    /// The PROV node-distribution rule (default: Equation 2 uniform).
+    pub fn provisioning(mut self, rule: ProvisionRule) -> Self {
+        self.provisioning = rule;
+        self
+    }
+
+    /// The per-window search driver (default: brute force).
+    pub fn search(mut self, kind: SearchKind) -> Self {
+        self.search = kind;
+        self
+    }
+
+    /// Search budgets (enumeration caps, Heuristic 2 constraint, RNG seed).
+    pub fn budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Finalizes the scheduler.
+    pub fn build(self) -> Scar {
+        Scar { config: self }
+    }
+}
+
+/// The SCAR scheduler (Figure 4): MCM-Reconfig → PROV → SEG → SCHED with
+/// cost-model feedback.
+///
+/// Construct via [`Scar::builder`]; `schedule` runs the full pipeline.
+#[derive(Debug, Clone)]
+pub struct Scar {
+    config: ScarBuilder,
+}
+
+impl Scar {
+    /// Starts configuring a scheduler.
+    pub fn builder() -> ScarBuilder {
+        ScarBuilder::default()
+    }
+
+    /// A scheduler with all defaults (EDP search, greedy packing, uniform
+    /// PROV, brute force, nsplits = 4).
+    pub fn with_defaults() -> Self {
+        Self::builder().build()
+    }
+
+    /// Schedules `scenario` onto `mcm`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScheduleError::InsufficientChiplets`] when some window has more
+    ///   concurrently active models than the package has chiplets;
+    /// * [`ScheduleError::NoFeasibleSchedule`] when a window's search finds
+    ///   no candidate (budgets too tight for the topology).
+    pub fn schedule(
+        &self,
+        scenario: &Scenario,
+        mcm: &McmConfig,
+    ) -> Result<ScheduleResult, ScheduleError> {
+        let db = CostDatabase::new();
+        self.schedule_with_db(scenario, mcm, &db)
+    }
+
+    /// [`Scar::schedule`] reusing a caller-provided cost database (lets
+    /// experiment harnesses share MAESTRO results across strategies).
+    ///
+    /// # Errors
+    ///
+    /// See [`Scar::schedule`].
+    pub fn schedule_with_db(
+        &self,
+        scenario: &Scenario,
+        mcm: &McmConfig,
+        db: &CostDatabase,
+    ) -> Result<ScheduleResult, ScheduleError> {
+        let cfg = &self.config;
+        let expected = ExpectedCosts::compute(scenario, mcm, db);
+        let partition = reconfig::partition(scenario, &expected, cfg.nsplits, cfg.packing);
+        debug_assert!(partition.validate(scenario).is_ok());
+
+        let max_active = partition
+            .windows()
+            .iter()
+            .map(|w| w.active_models().len())
+            .max()
+            .unwrap_or(0);
+        if max_active > mcm.num_chiplets() {
+            return Err(ScheduleError::InsufficientChiplets {
+                needed: max_active,
+                available: mcm.num_chiplets(),
+            });
+        }
+
+        // windows are scored independently: apportion an end-to-end latency
+        // constraint equally across them (§VI's constrained EDP search)
+        let window_metric = match &cfg.metric {
+            OptMetric::ConstrainedEdp { max_latency_s } => OptMetric::ConstrainedEdp {
+                max_latency_s: max_latency_s / partition.len().max(1) as f64,
+            },
+            other => other.clone(),
+        };
+        let ctx = SearchCtx {
+            scenario,
+            mcm,
+            db,
+            expected: &expected,
+            metric: &window_metric,
+            budget: &cfg.budget,
+        };
+
+        let mut rng = StdRng::seed_from_u64(cfg.budget.seed);
+        let mut window_schedules = Vec::with_capacity(partition.len());
+        let mut window_evals: Vec<WindowEval> = Vec::with_capacity(partition.len());
+        let mut per_window_candidates: Vec<Vec<EvalTotals>> = Vec::with_capacity(partition.len());
+
+        for window in partition.windows() {
+            let allocations = provision::allocations(
+                window,
+                scenario,
+                &expected,
+                &cfg.metric,
+                mcm.num_chiplets(),
+                cfg.provisioning,
+                cfg.budget.node_constraint,
+            );
+            if allocations.is_empty() {
+                return Err(ScheduleError::InsufficientChiplets {
+                    needed: window.active_models().len(),
+                    available: mcm.num_chiplets(),
+                });
+            }
+            let result = search::search_window(&ctx, window, &allocations, &cfg.search, &mut rng)
+                .ok_or(ScheduleError::NoFeasibleSchedule {
+                    window: window.index,
+                })?;
+            window_schedules.push(result.best);
+            window_evals.push(result.eval);
+            per_window_candidates.push(result.candidates);
+        }
+
+        let schedule = ScheduleInstance {
+            windows: window_schedules,
+        };
+        schedule.validate(scenario, mcm.num_chiplets())?;
+
+        // full-schedule candidate cloud: swap one window's candidate into
+        // the otherwise-best schedule (latency and energy are additive
+        // across windows)
+        let best_totals: Vec<EvalTotals> = window_evals.iter().map(|e| e.totals()).collect();
+        let total_best = best_totals
+            .iter()
+            .fold(EvalTotals::default(), |mut acc, t| {
+                acc.accumulate(*t);
+                acc
+            });
+        let mut candidates = Vec::new();
+        for (w, cands) in per_window_candidates.iter().enumerate() {
+            for c in cands {
+                candidates.push(CandidatePoint {
+                    latency_s: total_best.latency_s - best_totals[w].latency_s + c.latency_s,
+                    energy_j: total_best.energy_j - best_totals[w].energy_j + c.energy_j,
+                });
+            }
+        }
+
+        Ok(ScheduleResult::from_instance(
+            mcm.name(),
+            scenario,
+            mcm,
+            db,
+            cfg.metric.clone(),
+            schedule,
+            candidates,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scar_mcm::templates::{het_sides_3x3, simba_3x3, Profile};
+    use scar_maestro::Dataflow;
+
+    fn quick_budget() -> SearchBudget {
+        SearchBudget {
+            max_root_perms: 12,
+            max_paths_per_model: 6,
+            max_placements_per_window: 200,
+            max_candidates_per_window: 400,
+            ..SearchBudget::default()
+        }
+    }
+
+    #[test]
+    fn schedules_scenario_1_on_het_sides() {
+        let sc = Scenario::datacenter(1);
+        let mcm = het_sides_3x3(Profile::Datacenter);
+        let r = Scar::builder()
+            .budget(quick_budget())
+            .build()
+            .schedule(&sc, &mcm)
+            .unwrap();
+        assert!(r.total().latency_s > 0.0);
+        assert!(r.total().energy_j > 0.0);
+        assert!(!r.windows().is_empty());
+        assert!(!r.candidates().is_empty());
+        r.schedule().validate(&sc, 9).unwrap();
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sc = Scenario::datacenter(1);
+        let mcm = het_sides_3x3(Profile::Datacenter);
+        let scar = Scar::builder().budget(quick_budget()).build();
+        let a = scar.schedule(&sc, &mcm).unwrap();
+        let b = scar.schedule(&sc, &mcm).unwrap();
+        assert_eq!(a.total(), b.total());
+        assert_eq!(a.schedule(), b.schedule());
+    }
+
+    #[test]
+    fn chosen_schedule_minimizes_its_metric_over_candidates() {
+        // the winner must be optimal within the candidate cloud it searched
+        // (note: a latency search can legitimately lose to an EDP search on
+        // latency — PROV allocations are metric-dependent, as in Table IV
+        // where Simba (Shi) Sc2 has 0.99 s under latency search but 0.97 s
+        // under EDP search)
+        let sc = Scenario::datacenter(1);
+        let mcm = het_sides_3x3(Profile::Datacenter);
+        for metric in [OptMetric::Latency, OptMetric::Energy, OptMetric::Edp] {
+            let r = Scar::builder()
+                .metric(metric.clone())
+                .budget(quick_budget())
+                .build()
+                .schedule(&sc, &mcm)
+                .unwrap();
+            let best = metric.score(&r.total());
+            for c in r.candidates() {
+                let t = EvalTotals {
+                    latency_s: c.latency_s,
+                    energy_j: c.energy_j,
+                };
+                assert!(
+                    best <= metric.score(&t) * 1.0000001,
+                    "{}: best {best} beaten by candidate {}",
+                    metric.label(),
+                    metric.score(&t)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_front_is_nondominated() {
+        let sc = Scenario::datacenter(1);
+        let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
+        let r = Scar::builder()
+            .budget(quick_budget())
+            .build()
+            .schedule(&sc, &mcm)
+            .unwrap();
+        let front = r.pareto_front();
+        assert!(!front.is_empty());
+        for w in front.windows(2) {
+            assert!(w[1].latency_s >= w[0].latency_s);
+            assert!(w[1].energy_j <= w[0].energy_j);
+        }
+    }
+
+    #[test]
+    fn evolutionary_search_works() {
+        let sc = Scenario::datacenter(1);
+        let mcm = het_sides_3x3(Profile::Datacenter);
+        let r = Scar::builder()
+            .search(SearchKind::Evolutionary(crate::search::EvoParams::default()))
+            .budget(quick_budget())
+            .build()
+            .schedule(&sc, &mcm)
+            .unwrap();
+        assert!(r.total().latency_s > 0.0);
+        r.schedule().validate(&sc, 9).unwrap();
+    }
+
+    #[test]
+    fn too_small_mcm_errors() {
+        let sc = Scenario::datacenter(5); // 6 models
+        let chiplets = (0..4)
+            .map(|_| scar_maestro::ChipletConfig::datacenter(Dataflow::NvdlaLike))
+            .collect();
+        let mcm = scar_mcm::McmConfig::new(
+            "tiny",
+            chiplets,
+            scar_mcm::NopTopology::mesh(2, 2),
+            vec![0, 1, 2, 3],
+        );
+        let err = Scar::builder()
+            .nsplits(0)
+            .budget(quick_budget())
+            .build()
+            .schedule(&sc, &mcm)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::InsufficientChiplets { .. }));
+    }
+
+    #[test]
+    fn window_reports_cover_all_layers() {
+        let sc = Scenario::datacenter(1);
+        let mcm = het_sides_3x3(Profile::Datacenter);
+        let r = Scar::builder()
+            .budget(quick_budget())
+            .build()
+            .schedule(&sc, &mcm)
+            .unwrap();
+        let mut covered = vec![0usize; sc.models().len()];
+        for w in r.windows() {
+            for m in &w.models {
+                covered[m.model] += m.layers.len();
+            }
+        }
+        for (mi, sm) in sc.models().iter().enumerate() {
+            assert_eq!(covered[mi], sm.model.num_layers());
+        }
+    }
+}

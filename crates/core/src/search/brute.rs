@@ -1,0 +1,198 @@
+//! Budgeted exhaustive enumeration (the paper's 3×3 search).
+
+use super::{SearchCtx, WindowSearchResult};
+use crate::problem::{EvalTotals, Segment, TimeWindow, WindowSchedule};
+use crate::tree;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+
+/// Enumerates (allocation × segmentation-combo × placement) candidates for
+/// one window, evaluates each, and returns the best under the metric.
+///
+/// Budget shaping: segmentation combos are visited best-score-first; the
+/// best combo receives the largest placement share and later combos rotate
+/// through different regions of the placement list, so the candidate cloud
+/// covers both decision dimensions even under tight caps.
+pub(super) fn search(
+    ctx: &SearchCtx<'_>,
+    window: &TimeWindow,
+    allocations: &[Vec<usize>],
+    rng: &mut StdRng,
+) -> Option<WindowSearchResult> {
+    let active = window.active_models();
+    let num_models = ctx.scenario.models().len();
+    let evaluator = ctx.evaluator();
+    let prefs = affinity_prefs(ctx, window, &active);
+
+    let mut best: Option<(f64, WindowSchedule, crate::evaluate::WindowEval)> = None;
+    let mut candidates: Vec<EvalTotals> = Vec::new();
+    let mut evaluated = 0usize;
+
+    let per_alloc_budget = (ctx.budget.max_candidates_per_window / allocations.len().max(1)).max(8);
+
+    for alloc in allocations {
+        let Some(seg_lists) = ctx.seg_lists(window, alloc, rng) else {
+            continue;
+        };
+
+        // all segmentation combos, best combined score first, capped
+        const MAX_COMBOS: usize = 128;
+        let mut combos: Vec<(f64, Vec<usize>)> = Vec::new();
+        let mut idx = vec![0usize; seg_lists.len()];
+        'enumerate: loop {
+            let score: f64 = idx
+                .iter()
+                .zip(&seg_lists)
+                .map(|(&i, list)| list[i].score)
+                .sum();
+            combos.push((score, idx.clone()));
+            let mut i = 0;
+            loop {
+                if i == idx.len() {
+                    break 'enumerate;
+                }
+                idx[i] += 1;
+                if idx[i] < seg_lists[i].len() {
+                    break;
+                }
+                idx[i] = 0;
+                i += 1;
+            }
+            if combos.len() >= 4096 {
+                break;
+            }
+        }
+        combos.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        combos.truncate(MAX_COMBOS);
+
+        // placements depend only on segment counts: cache by signature
+        let mut placement_cache: HashMap<Vec<usize>, Vec<tree::Placement>> = HashMap::new();
+        let mut rotate = 0usize;
+        let mut alloc_evaluated = 0usize;
+
+        for (rank, (_, combo)) in combos.iter().enumerate() {
+            let seg_choice: Vec<&Vec<Segment>> = combo
+                .iter()
+                .zip(&seg_lists)
+                .map(|(&i, list)| &list[i].segments)
+                .collect();
+            let counts: Vec<usize> = seg_choice.iter().map(|s| s.len()).collect();
+            let placements = placement_cache.entry(counts.clone()).or_insert_with(|| {
+                tree::enumerate_placements(
+                    ctx.mcm,
+                    &counts,
+                    &prefs,
+                    ctx.budget.max_root_perms,
+                    ctx.budget.max_paths_per_model,
+                    ctx.budget.max_placements_per_window,
+                    rng,
+                )
+            });
+            if placements.is_empty() {
+                continue;
+            }
+
+            let remaining = per_alloc_budget.saturating_sub(alloc_evaluated);
+            if remaining == 0 {
+                break;
+            }
+            // every combo gets at least the affinity-aligned placement
+            // (index 0); the top combo gets a third of the budget and the
+            // rest split the remainder evenly, rotating through the list
+            let share = if rank == 0 {
+                (remaining / 3).max(1)
+            } else {
+                (remaining / (combos.len() - rank)).max(1)
+            }
+            .min(placements.len());
+
+            for j in 0..share {
+                let placement = if j == 0 {
+                    &placements[0]
+                } else {
+                    &placements[(rotate + j) % placements.len()]
+                };
+                let mut segments = vec![Vec::new(); num_models];
+                let mut place = vec![Vec::new(); num_models];
+                for ((&m, segs), path) in active.iter().zip(&seg_choice).zip(placement) {
+                    segments[m] = (*segs).clone();
+                    place[m] = path.clone();
+                }
+                let ws = WindowSchedule {
+                    window: window.clone(),
+                    segments,
+                    placement: place,
+                };
+                let eval = evaluator.evaluate_window(&ws);
+                let totals = eval.totals();
+                let score = ctx.metric.score(&totals);
+                candidates.push(totals);
+                evaluated += 1;
+                alloc_evaluated += 1;
+                if best.as_ref().map(|(s, _, _)| score < *s).unwrap_or(true) {
+                    best = Some((score, ws, eval));
+                }
+            }
+            rotate = rotate.wrapping_add(share);
+        }
+        if evaluated >= ctx.budget.max_candidates_per_window {
+            break;
+        }
+    }
+
+    best.map(|(_, ws, eval)| WindowSearchResult {
+        best: ws,
+        eval,
+        candidates,
+    })
+}
+
+/// Per-model chiplet preference orders: chiplets sorted by the model's
+/// window-range cost — under the *search metric* — on the chiplet's
+/// dataflow class, with ties broken toward the off-chip interfaces (the
+/// heterogeneity-aware chiplet assignment of Figure 1). Under an EDP
+/// search this sends, e.g., batched encoder GEMMs to Shidiannao chiplets
+/// when the energy saving outweighs the utilization loss.
+fn affinity_prefs(
+    ctx: &SearchCtx<'_>,
+    window: &TimeWindow,
+    active: &[usize],
+) -> Vec<Vec<usize>> {
+    let classes = ctx.mcm.chiplet_classes();
+    active
+        .iter()
+        .map(|&m| {
+            let sm = &ctx.scenario.models()[m];
+            // window-range metric score per dataflow class
+            let class_cost: Vec<(scar_maestro::Dataflow, f64)> = classes
+                .iter()
+                .map(|cl| {
+                    let mut totals = EvalTotals::default();
+                    for l in window.layers[m].clone() {
+                        let c = ctx.db.get(cl, &sm.model.layers()[l].kind, sm.batch);
+                        totals.latency_s += c.time_s;
+                        totals.energy_j += c.energy_j;
+                    }
+                    (cl.dataflow, ctx.metric.score(&totals))
+                })
+                .collect();
+            let cost_of = |df: scar_maestro::Dataflow| {
+                class_cost
+                    .iter()
+                    .find(|(d, _)| *d == df)
+                    .map(|(_, l)| *l)
+                    .unwrap_or(f64::INFINITY)
+            };
+            let mut ids: Vec<usize> = (0..ctx.mcm.num_chiplets()).collect();
+            ids.sort_by(|&a, &b| {
+                let la = cost_of(ctx.mcm.chiplet(a).dataflow);
+                let lb = cost_of(ctx.mcm.chiplet(b).dataflow);
+                la.partial_cmp(&lb)
+                    .unwrap()
+                    .then_with(|| ctx.mcm.nearest_interface(a).1.cmp(&ctx.mcm.nearest_interface(b).1))
+                    .then(a.cmp(&b))
+            });
+            ids
+        })
+        .collect()
+}

@@ -1,0 +1,252 @@
+//! Evolutionary per-window search (the paper's 6×6 scaling driver, §V-D).
+//!
+//! A genome holds, per active model, three genes mirroring the Figure 5
+//! schedule encoding: a segmentation choice (index into the SEG engine's
+//! top-k list), a subtree-root selector, and a path-shape selector that
+//! steers the constrained DFS. Decoding reconstructs a full window
+//! schedule; infeasible genomes (no disjoint paths) score `+∞`.
+
+use super::{EvoParams, SearchCtx, WindowSearchResult};
+use crate::problem::{EvalTotals, TimeWindow, WindowSchedule};
+use crate::segmentation::SegCandidate;
+use rand::rngs::StdRng;
+use rand::Rng;
+use scar_mcm::{ChipletId, McmConfig};
+
+const GENES_PER_MODEL: usize = 3;
+
+pub(super) fn search(
+    ctx: &SearchCtx<'_>,
+    window: &TimeWindow,
+    allocations: &[Vec<usize>],
+    params: &EvoParams,
+    rng: &mut StdRng,
+) -> Option<WindowSearchResult> {
+    // the EA explores segmentation × placement under the first allocation
+    // (PROV's rule-based output); extra allocations extend the pool
+    let active = window.active_models();
+    let evaluator = ctx.evaluator();
+
+    let mut best: Option<(f64, WindowSchedule, crate::evaluate::WindowEval)> = None;
+    let mut candidates: Vec<EvalTotals> = Vec::new();
+
+    for alloc in allocations {
+        let Some(seg_lists) = ctx.seg_lists(window, alloc, rng) else {
+            continue;
+        };
+        let genome_len = active.len() * GENES_PER_MODEL;
+
+        let mut population: Vec<Vec<u64>> = (0..params.population)
+            .map(|_| (0..genome_len).map(|_| rng.gen()).collect())
+            .collect();
+
+        for _gen in 0..=params.generations {
+            // evaluate
+            let mut scored: Vec<(f64, Vec<u64>)> = Vec::with_capacity(population.len());
+            for genome in &population {
+                let decoded = decode(ctx.mcm, window, &active, &seg_lists, genome);
+                let score = match decoded {
+                    Some(ws) => {
+                        let eval = evaluator.evaluate_window(&ws);
+                        let totals = eval.totals();
+                        let s = ctx.metric.score(&totals);
+                        candidates.push(totals);
+                        if best.as_ref().map(|(b, _, _)| s < *b).unwrap_or(true) {
+                            best = Some((s, ws, eval));
+                        }
+                        s
+                    }
+                    None => f64::INFINITY,
+                };
+                scored.push((score, genome.clone()));
+            }
+            scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+            // next generation: elitism + tournament + crossover + mutation
+            let mut next: Vec<Vec<u64>> = scored.iter().take(2).map(|(_, g)| g.clone()).collect();
+            while next.len() < params.population {
+                let a = tournament(&scored, rng);
+                let b = tournament(&scored, rng);
+                let cut = rng.gen_range(0..genome_len);
+                let mut child: Vec<u64> = a[..cut].iter().chain(&b[cut..]).copied().collect();
+                for gene in child.iter_mut() {
+                    if rng.gen::<f64>() < params.mutation_rate {
+                        *gene = rng.gen();
+                    }
+                }
+                next.push(child);
+            }
+            population = next;
+        }
+    }
+
+    best.map(|(_, ws, eval)| WindowSearchResult {
+        best: ws,
+        eval,
+        candidates,
+    })
+}
+
+fn tournament<'p>(scored: &'p [(f64, Vec<u64>)], rng: &mut StdRng) -> &'p [u64] {
+    let a = rng.gen_range(0..scored.len());
+    let b = rng.gen_range(0..scored.len());
+    let winner = if scored[a].0 <= scored[b].0 { a } else { b };
+    &scored[winner].1
+}
+
+/// Decodes a genome into a window schedule, or `None` when no disjoint
+/// path assignment exists for the encoded roots/shapes.
+fn decode(
+    mcm: &McmConfig,
+    window: &TimeWindow,
+    active: &[usize],
+    seg_lists: &[Vec<SegCandidate>],
+    genome: &[u64],
+) -> Option<WindowSchedule> {
+    let num_models = window.layers.len();
+    let mut segments = vec![Vec::new(); num_models];
+    let mut placement = vec![Vec::new(); num_models];
+    let mut used = vec![false; mcm.num_chiplets()];
+
+    for (i, &m) in active.iter().enumerate() {
+        let seg_gene = genome[i * GENES_PER_MODEL];
+        let root_gene = genome[i * GENES_PER_MODEL + 1];
+        let path_gene = genome[i * GENES_PER_MODEL + 2];
+
+        let list = &seg_lists[i];
+        let choice = &list[(seg_gene % list.len() as u64) as usize];
+        let depth = choice.segments.len();
+
+        let avail: Vec<ChipletId> = (0..mcm.num_chiplets()).filter(|&c| !used[c]).collect();
+        if avail.is_empty() {
+            return None;
+        }
+        let root = avail[(root_gene % avail.len() as u64) as usize];
+        let path = guided_path(mcm, root, depth, &used, path_gene)?;
+        for &c in &path {
+            used[c] = true;
+        }
+        segments[m] = choice.segments.clone();
+        placement[m] = path;
+    }
+
+    Some(WindowSchedule {
+        window: window.clone(),
+        segments,
+        placement,
+    })
+}
+
+/// Finds one simple path of `depth` nodes from `root` avoiding `used`,
+/// exploring neighbors in a pseudo-random order keyed by `gene`
+/// (deterministic; different genes walk different shapes). Backtracks, so
+/// it fails only when no path exists at all.
+fn guided_path(
+    mcm: &McmConfig,
+    root: ChipletId,
+    depth: usize,
+    used: &[bool],
+    gene: u64,
+) -> Option<Vec<ChipletId>> {
+    if used[root] || depth == 0 {
+        return None;
+    }
+    let mut path = vec![root];
+    let mut on_path = vec![false; mcm.num_chiplets()];
+    on_path[root] = true;
+    if walk(mcm, depth, used, gene, &mut path, &mut on_path) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+fn walk(
+    mcm: &McmConfig,
+    depth: usize,
+    used: &[bool],
+    gene: u64,
+    path: &mut Vec<ChipletId>,
+    on_path: &mut Vec<bool>,
+) -> bool {
+    if path.len() == depth {
+        return true;
+    }
+    let last = *path.last().unwrap();
+    let mut neighbors: Vec<ChipletId> = mcm
+        .topology()
+        .neighbors(last)
+        .iter()
+        .copied()
+        .filter(|&n| !used[n] && !on_path[n])
+        .collect();
+    neighbors.sort_by_key(|&n| mix(gene, path.len() as u64, n as u64));
+    for n in neighbors {
+        path.push(n);
+        on_path[n] = true;
+        if walk(mcm, depth, used, gene, path, on_path) {
+            return true;
+        }
+        on_path[n] = false;
+        path.pop();
+    }
+    false
+}
+
+/// SplitMix64-style mixing for deterministic pseudo-random orderings.
+fn mix(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.rotate_left(17))
+        .wrapping_add(c.rotate_left(43));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scar_mcm::templates::{het_sides_3x3, Profile};
+
+    #[test]
+    fn guided_path_has_requested_depth() {
+        let m = het_sides_3x3(Profile::Datacenter);
+        let used = vec![false; 9];
+        for gene in 0..20u64 {
+            let p = guided_path(&m, 4, 3, &used, gene).unwrap();
+            assert_eq!(p.len(), 3);
+            assert_eq!(p[0], 4);
+            for w in p.windows(2) {
+                assert!(m.topology().is_adjacent(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn guided_path_respects_used() {
+        let m = het_sides_3x3(Profile::Datacenter);
+        let mut used = vec![false; 9];
+        used[1] = true;
+        used[3] = true;
+        assert!(guided_path(&m, 0, 2, &used, 7).is_none());
+        assert!(guided_path(&m, 0, 1, &used, 7).is_some());
+    }
+
+    #[test]
+    fn different_genes_explore_different_shapes() {
+        let m = het_sides_3x3(Profile::Datacenter);
+        let used = vec![false; 9];
+        let shapes: std::collections::HashSet<Vec<usize>> = (0..32u64)
+            .filter_map(|g| guided_path(&m, 4, 4, &used, g))
+            .collect();
+        assert!(shapes.len() > 3, "only {} shapes", shapes.len());
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_spread() {
+        assert_eq!(mix(1, 2, 3), mix(1, 2, 3));
+        assert_ne!(mix(1, 2, 3), mix(1, 2, 4));
+        assert_ne!(mix(1, 2, 3), mix(2, 2, 3));
+    }
+}

@@ -1,0 +1,167 @@
+//! Search drivers over the per-window scheduling space.
+//!
+//! The paper adopts exhaustive brute force for the 3×3 experiments and an
+//! evolutionary algorithm for the 6×6 system (§V-A, §V-D). Both drivers
+//! share the per-model top-k segmentation lists of the SEG engine and the
+//! scheduling-tree placement generator of the SCHED engine, and both
+//! return every evaluated candidate (for the paper's Pareto figures).
+
+mod brute;
+mod evolutionary;
+
+use crate::evaluate::{Evaluator, WindowEval};
+use crate::expected::ExpectedCosts;
+use crate::problem::{EvalTotals, OptMetric, TimeWindow, WindowSchedule};
+use crate::segmentation::SegCandidate;
+use rand::rngs::StdRng;
+use scar_maestro::CostDatabase;
+use scar_mcm::McmConfig;
+use scar_workloads::Scenario;
+
+/// Enumeration budgets bounding the "brute-force" search (see DESIGN.md §5:
+/// the paper's 3×3 exhaustive search is tractable only under pruning it
+/// does not fully specify; these caps make the same decision dimensions
+/// explicit and configurable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchBudget {
+    /// Segmentation candidates kept per model (Heuristic 1's top-k).
+    pub top_k_segmentations: usize,
+    /// Cap on segmentations enumerated per model before sampling kicks in.
+    pub max_segmentations_enumerated: usize,
+    /// Cap on scheduling-tree root permutations (trees per forest).
+    pub max_root_perms: usize,
+    /// Cap on DFS paths per subtree (per model).
+    pub max_paths_per_model: usize,
+    /// Cap on placements enumerated per window.
+    pub max_placements_per_window: usize,
+    /// Cap on fully evaluated candidates per window.
+    pub max_candidates_per_window: usize,
+    /// Heuristic 2: optional cap on nodes per model.
+    pub node_constraint: Option<usize>,
+    /// RNG seed: all sampling is deterministic given this seed.
+    pub seed: u64,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        Self {
+            top_k_segmentations: 4,
+            max_segmentations_enumerated: 20_000,
+            max_root_perms: 48,
+            max_paths_per_model: 16,
+            max_placements_per_window: 1_500,
+            max_candidates_per_window: 3_000,
+            node_constraint: None,
+            seed: seed_default(),
+        }
+    }
+}
+
+/// Evolutionary-search hyperparameters (§V-A: population 10, 4 generations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvoParams {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+}
+
+impl Default for EvoParams {
+    fn default() -> Self {
+        Self {
+            population: 10,
+            generations: 4,
+            mutation_rate: 0.3,
+        }
+    }
+}
+
+/// Which driver explores each window's space.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchKind {
+    /// Budgeted exhaustive enumeration (the 3×3 experiments).
+    BruteForce,
+    /// Evolutionary algorithm (the 6×6 experiments).
+    Evolutionary(EvoParams),
+}
+
+/// The outcome of searching one window.
+#[derive(Debug, Clone)]
+pub struct WindowSearchResult {
+    /// The best window schedule found under the metric.
+    pub best: WindowSchedule,
+    /// Its evaluation.
+    pub eval: WindowEval,
+    /// Totals of every candidate evaluated (Pareto raw material).
+    pub candidates: Vec<EvalTotals>,
+}
+
+/// Shared context threaded through the drivers.
+pub(crate) struct SearchCtx<'a> {
+    pub scenario: &'a Scenario,
+    pub mcm: &'a McmConfig,
+    pub db: &'a CostDatabase,
+    pub expected: &'a ExpectedCosts,
+    pub metric: &'a OptMetric,
+    pub budget: &'a SearchBudget,
+}
+
+impl<'a> SearchCtx<'a> {
+    pub fn evaluator(&self) -> Evaluator<'a> {
+        Evaluator::with_metric(self.scenario, self.mcm, self.db, self.metric.clone())
+    }
+
+    /// Per-model top-k segmentation lists for this window under an
+    /// allocation (indexing follows `window.active_models()` order).
+    pub fn seg_lists(
+        &self,
+        window: &TimeWindow,
+        alloc: &[usize],
+        rng: &mut StdRng,
+    ) -> Option<Vec<Vec<SegCandidate>>> {
+        let mut lists = Vec::new();
+        for m in window.active_models() {
+            let cands = crate::segmentation::top_k_for_model(
+                self.scenario,
+                self.mcm,
+                self.expected,
+                m,
+                &window.layers[m],
+                alloc[m],
+                self.budget.top_k_segmentations,
+                self.budget.max_segmentations_enumerated,
+                rng,
+            );
+            if cands.is_empty() {
+                return None;
+            }
+            lists.push(cands);
+        }
+        Some(lists)
+    }
+}
+
+/// Searches one window with the chosen driver.
+pub(crate) fn search_window(
+    ctx: &SearchCtx<'_>,
+    window: &TimeWindow,
+    allocations: &[Vec<usize>],
+    kind: &SearchKind,
+    rng: &mut StdRng,
+) -> Option<WindowSearchResult> {
+    match kind {
+        SearchKind::BruteForce => brute::search(ctx, window, allocations, rng),
+        SearchKind::Evolutionary(p) => evolutionary::search(ctx, window, allocations, p, rng),
+    }
+}
+
+const fn seed_default() -> u64 {
+    0x5CA7_2024
+}
+
+impl SearchBudget {
+    /// The default seed used by [`SearchBudget::default`].
+    pub const DEFAULT_SEED: u64 = seed_default();
+}

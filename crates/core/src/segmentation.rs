@@ -1,0 +1,358 @@
+//! The SEG engine: layer segmentation within a time window (§IV-C).
+//!
+//! A segmentation candidate for a model is a sequence of splitting points
+//! over its window layers; at most `N_i` segments may be produced (one per
+//! provisioned node). The full per-model space is `C(L_i - 1, k - 1)` for
+//! `k` segments; **Heuristic 1** evaluates models independently and keeps
+//! only the top-k candidates per model, reducing the combinatorial space
+//! from a product to a maximum.
+
+use crate::expected::ExpectedCosts;
+use crate::problem::Segment;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use scar_mcm::McmConfig;
+use scar_workloads::{DataType, Scenario};
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// A scored per-model segmentation candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegCandidate {
+    /// The segments, in execution order; they tile the window range.
+    pub segments: Vec<Segment>,
+    /// Placement-agnostic pipeline score (lower is better).
+    pub score: f64,
+}
+
+/// Enumerates and scores segmentations of `range` for `model`, returning
+/// the best `top_k` (Heuristic 1).
+///
+/// `nodes` bounds the segment count (`N_i` from PROV). When the exact
+/// enumeration exceeds `enum_cap`, the space is sampled: balanced
+/// (cost-quantile) cuts are always included, and the remainder is drawn
+/// uniformly at random from the cut lattice using `rng` (deterministic for
+/// a fixed seed).
+#[allow(clippy::too_many_arguments)]
+pub fn top_k_for_model(
+    scenario: &Scenario,
+    mcm: &McmConfig,
+    expected: &ExpectedCosts,
+    model: usize,
+    range: &Range<usize>,
+    nodes: usize,
+    top_k: usize,
+    enum_cap: usize,
+    rng: &mut StdRng,
+) -> Vec<SegCandidate> {
+    let len = range.len();
+    if len == 0 || nodes == 0 {
+        return Vec::new();
+    }
+    let max_k = nodes.min(len);
+    let batch = scenario.models()[model].batch;
+
+    let mut candidates: Vec<Vec<usize>> = Vec::new(); // cut-position sets
+    let mut budget = enum_cap.max(1);
+    for k in 1..=max_k {
+        let slots = len - 1; // candidate cut positions: after layer 1..len-1
+        let picks = k - 1;
+        let count = binomial(slots, picks);
+        if count <= budget as u128 {
+            enumerate_combinations(slots, picks, &mut |cuts| {
+                candidates.push(cuts.to_vec());
+            });
+            budget = budget.saturating_sub(count as usize);
+        } else {
+            // sampled: balanced quantile cuts + uniform random draws
+            candidates.push(balanced_cuts(expected, model, range, k));
+            let draws = budget.min(512).max(1);
+            let mut seen = BTreeSet::new();
+            let mut positions: Vec<usize> = (1..len).collect();
+            for _ in 0..draws * 4 {
+                if seen.len() >= draws {
+                    break;
+                }
+                positions.shuffle(rng);
+                let mut cut: Vec<usize> = positions[..picks].to_vec();
+                cut.sort_unstable();
+                if seen.insert(cut.clone()) {
+                    candidates.push(cut);
+                }
+            }
+            budget = budget.saturating_sub(draws);
+        }
+        if budget == 0 {
+            break;
+        }
+    }
+
+    let mut scored: Vec<SegCandidate> = candidates
+        .into_iter()
+        .map(|cuts| {
+            let segments = cuts_to_segments(model, range, &cuts);
+            let score = score_segmentation(scenario, mcm, expected, model, batch, &segments);
+            SegCandidate { segments, score }
+        })
+        .collect();
+    scored.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap());
+    scored.dedup_by(|a, b| a.segments == b.segments);
+
+    // Keep segment-count diversity: the placement-agnostic score favors
+    // deep pipelines, but on heterogeneous MCMs long chiplet paths are
+    // forced through both dataflow classes — only the SCHED engine can see
+    // which pipeline depth the package geometry supports. Return the best
+    // candidate of *every* segment count (1..=max_k), then pad with the
+    // next-best candidates overall up to `top_k` extras.
+    let mut best_per_k: std::collections::BTreeMap<usize, SegCandidate> =
+        std::collections::BTreeMap::new();
+    for c in &scored {
+        best_per_k.entry(c.segments.len()).or_insert_with(|| c.clone());
+    }
+    let mut picked: Vec<SegCandidate> = best_per_k.into_values().collect();
+    let cap = picked.len() + top_k.saturating_sub(1);
+    for c in scored {
+        if picked.len() >= cap {
+            break;
+        }
+        if !picked.contains(&c) {
+            picked.push(c);
+        }
+    }
+    picked.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap());
+    picked
+}
+
+/// Converts relative cut positions (1-based offsets into the range) to
+/// segments tiling `range`.
+fn cuts_to_segments(model: usize, range: &Range<usize>, cuts: &[usize]) -> Vec<Segment> {
+    let mut out = Vec::with_capacity(cuts.len() + 1);
+    let mut start = range.start;
+    for &c in cuts {
+        let end = range.start + c;
+        out.push(Segment::new(model, start, end));
+        start = end;
+    }
+    out.push(Segment::new(model, start, range.end));
+    out
+}
+
+/// The placement-agnostic score: the inter-chiplet pipeline latency of the
+/// segmentation under expected (Equation 1) per-layer costs at batch 1,
+/// `Σ_k L_k + (b − 1)·max_k L_k`, plus the NoP cost of the boundary
+/// activations. Balanced segmentations with small cut tensors win.
+fn score_segmentation(
+    scenario: &Scenario,
+    mcm: &McmConfig,
+    expected: &ExpectedCosts,
+    model: usize,
+    batch: u64,
+    segments: &[Segment],
+) -> f64 {
+    let layers = scenario.models()[model].model.layers();
+    let mut sum = 0.0f64;
+    let mut max = 0.0f64;
+    let mut comm = 0.0f64;
+    for (i, s) in segments.iter().enumerate() {
+        let l = expected.range_latency_b1(model, &s.layer_range());
+        sum += l;
+        max = max.max(l);
+        if i + 1 < segments.len() {
+            let boundary_bytes = layers[s.end - 1].output_bytes(DataType::Int8);
+            comm += boundary_bytes as f64 / mcm.nop.bw_bytes_per_s + mcm.nop.hop_latency_s;
+        }
+    }
+    sum + (batch.saturating_sub(1)) as f64 * max + batch as f64 * comm
+}
+
+/// Equal-expected-cost quantile cuts: the balanced segmentation heuristic
+/// used to seed sampled spaces.
+fn balanced_cuts(
+    expected: &ExpectedCosts,
+    model: usize,
+    range: &Range<usize>,
+    k: usize,
+) -> Vec<usize> {
+    let total = expected.range_latency_b1(model, range);
+    let mut cuts = Vec::with_capacity(k - 1);
+    let mut acc = 0.0;
+    let mut next_quantile = 1;
+    for li in range.clone() {
+        acc += expected.range_latency_b1(model, &(li..li + 1));
+        if next_quantile >= k {
+            break;
+        }
+        if acc >= total * next_quantile as f64 / k as f64 {
+            let cut = li + 1 - range.start;
+            if cut >= 1 && cut < range.len() && cuts.last() != Some(&cut) {
+                cuts.push(cut);
+                next_quantile += 1;
+            }
+        }
+    }
+    cuts
+}
+
+/// `C(n, k)` with saturation (u128 to avoid overflow for the sizes the SEG
+/// engine sees).
+pub(crate) fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul((n - i) as u128) / (i + 1) as u128;
+    }
+    acc
+}
+
+/// Calls `f` with every k-combination of `{1, …, n}` in lexicographic
+/// order (combinations are cut positions, hence 1-based).
+fn enumerate_combinations(n: usize, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == 0 {
+        f(&[]);
+        return;
+    }
+    let mut idx: Vec<usize> = (1..=k).collect();
+    loop {
+        f(&idx);
+        // advance lexicographically
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if idx[i] < n - (k - 1 - i) {
+                idx[i] += 1;
+                for j in i + 1..k {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use scar_maestro::CostDatabase;
+    use scar_mcm::templates::{het_sides_3x3, Profile};
+
+    fn setup() -> (Scenario, McmConfig, ExpectedCosts) {
+        let sc = Scenario::datacenter(1);
+        let mcm = het_sides_3x3(Profile::Datacenter);
+        let db = CostDatabase::new();
+        let e = ExpectedCosts::compute(&sc, &mcm, &db);
+        (sc, mcm, e)
+    }
+
+    #[test]
+    fn binomial_matches_pascal() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(10, 10), 1);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(119, 2), 7021);
+    }
+
+    #[test]
+    fn combination_count_is_exact() {
+        let mut count = 0usize;
+        enumerate_combinations(6, 2, &mut |_| count += 1);
+        assert_eq!(count as u128, binomial(6, 2));
+        let mut count1 = 0usize;
+        enumerate_combinations(9, 0, &mut |_| count1 += 1);
+        assert_eq!(count1, 1);
+    }
+
+    #[test]
+    fn candidates_tile_the_range() {
+        let (sc, mcm, e) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        let range = 5..25;
+        let cands = top_k_for_model(&sc, &mcm, &e, 0, &range, 3, 8, 10_000, &mut rng);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c.segments.len() <= 3);
+            assert_eq!(c.segments[0].start, 5);
+            assert_eq!(c.segments.last().unwrap().end, 25);
+            for w in c.segments.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn scores_are_sorted_ascending() {
+        let (sc, mcm, e) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        let cands = top_k_for_model(&sc, &mcm, &e, 0, &(0..30), 3, 10, 10_000, &mut rng);
+        for w in cands.windows(2) {
+            assert!(w[0].score <= w[1].score);
+        }
+    }
+
+    #[test]
+    fn single_node_yields_single_segment() {
+        let (sc, mcm, e) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        let cands = top_k_for_model(&sc, &mcm, &e, 0, &(0..40), 1, 4, 10_000, &mut rng);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].segments.len(), 1);
+    }
+
+    #[test]
+    fn sampled_space_still_produces_valid_candidates() {
+        let (sc, mcm, e) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        // C(119, 5) is astronomically large: forces sampling
+        let cands = top_k_for_model(&sc, &mcm, &e, 0, &(0..120), 6, 6, 2_000, &mut rng);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert_eq!(c.segments[0].start, 0);
+            assert_eq!(c.segments.last().unwrap().end, 120);
+        }
+    }
+
+    #[test]
+    fn balanced_segmentation_beats_degenerate_one() {
+        // pipeline scoring must prefer even splits over a lopsided split
+        let (sc, mcm, e) = setup();
+        let model = 1; // BERT-L, batch 3
+        let range = 0..60;
+        let balanced = cuts_to_segments(model, &range, &[30]);
+        let lopsided = cuts_to_segments(model, &range, &[1]);
+        let batch = sc.models()[model].batch;
+        let sb = score_segmentation(&sc, &mcm, &e, model, batch, &balanced);
+        let sl = score_segmentation(&sc, &mcm, &e, model, batch, &lopsided);
+        assert!(sb < sl, "balanced {sb} should beat lopsided {sl}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (sc, mcm, e) = setup();
+        let a = top_k_for_model(
+            &sc, &mcm, &e, 0, &(0..120), 5, 5, 1_000,
+            &mut StdRng::seed_from_u64(42),
+        );
+        let b = top_k_for_model(
+            &sc, &mcm, &e, 0, &(0..120), 5, 5, 1_000,
+            &mut StdRng::seed_from_u64(42),
+        );
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.segments, y.segments);
+        }
+    }
+
+    #[test]
+    fn empty_range_gives_no_candidates() {
+        let (sc, mcm, e) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(top_k_for_model(&sc, &mcm, &e, 0, &(3..3), 2, 4, 100, &mut rng).is_empty());
+    }
+}

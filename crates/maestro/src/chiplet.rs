@@ -1,0 +1,149 @@
+//! AI accelerator chiplet descriptions (Definition 2).
+
+use crate::{cost, Dataflow, EnergyModel, LayerCost};
+use scar_workloads::{DataType, LayerKind};
+use serde::{Deserialize, Serialize};
+
+/// An AI accelerator chiplet: Definition 2's
+/// `c = {df, N_PE, BW_noc, BW_mem, Sz_mem}`.
+///
+/// Construct with [`ChipletConfig::datacenter`] / [`ChipletConfig::arvr`]
+/// for the paper's §V-A configurations, then adjust fields as needed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipletConfig {
+    /// The dataflow style (`df`).
+    pub dataflow: Dataflow,
+    /// Number of processing engines (`N_PE`).
+    pub num_pes: u64,
+    /// Clock frequency in Hz (the paper evaluates at 500 MHz).
+    pub freq_hz: f64,
+    /// L2 ↔ PE-array (NoC) bandwidth in bytes per cycle (`BW_noc`).
+    pub noc_bytes_per_cycle: f64,
+    /// Chiplet-level shared (L2) memory size in bytes (`Sz_mem`).
+    pub l2_bytes: u64,
+    /// Tensor element precision.
+    pub dtype: DataType,
+    /// Intra-chiplet energy constants.
+    pub energy: EnergyModel,
+}
+
+impl ChipletConfig {
+    /// The paper's datacenter chiplet: 4096 PEs, 10 MB L2, 500 MHz (§V-A).
+    pub fn datacenter(dataflow: Dataflow) -> Self {
+        Self {
+            dataflow,
+            num_pes: 4096,
+            freq_hz: 500e6,
+            noc_bytes_per_cycle: 256.0,
+            l2_bytes: 10 * 1024 * 1024,
+            dtype: DataType::Int8,
+            energy: EnergyModel::default(),
+        }
+    }
+
+    /// The paper's AR/VR chiplet: 256 PEs, 10 MB L2, 500 MHz (§V-A).
+    pub fn arvr(dataflow: Dataflow) -> Self {
+        Self {
+            dataflow,
+            num_pes: 256,
+            freq_hz: 500e6,
+            noc_bytes_per_cycle: 64.0,
+            l2_bytes: 10 * 1024 * 1024,
+            dtype: DataType::Int8,
+            energy: EnergyModel::default(),
+        }
+    }
+
+    /// Estimates the latency and energy of one layer at `batch` samples on
+    /// this chiplet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    ///
+    /// ```
+    /// # use scar_maestro::{ChipletConfig, Dataflow};
+    /// # use scar_workloads::LayerKind;
+    /// let c = ChipletConfig::datacenter(Dataflow::NvdlaLike);
+    /// let cost = c.evaluate(&LayerKind::Gemm { m: 1024, k: 1024, n: 128 }, 1);
+    /// assert!(cost.time_s > 0.0 && cost.energy_j > 0.0);
+    /// ```
+    pub fn evaluate(&self, kind: &LayerKind, batch: u64) -> LayerCost {
+        cost::evaluate(kind, batch, self)
+    }
+
+    /// Peak compute throughput in MACs per second.
+    pub fn peak_macs_per_s(&self) -> f64 {
+        self.num_pes as f64 * self.freq_hz
+    }
+
+    /// A stable identity key for caching: chiplets that agree on this key
+    /// produce identical [`LayerCost`]s for any layer.
+    pub(crate) fn cache_key(&self) -> ChipletClassKey {
+        ChipletClassKey {
+            dataflow: self.dataflow,
+            num_pes: self.num_pes,
+            freq_mhz_x1000: (self.freq_hz / 1e3) as u64,
+            noc_mbps: (self.noc_bytes_per_cycle * 1e3) as u64,
+            l2_bytes: self.l2_bytes,
+            dtype: self.dtype,
+        }
+    }
+}
+
+impl std::fmt::Display for ChipletConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} chiplet ({} PEs, {:.0} MB L2)",
+            self.dataflow,
+            self.num_pes,
+            self.l2_bytes as f64 / (1024.0 * 1024.0)
+        )
+    }
+}
+
+/// Hashable identity of a chiplet class (see [`ChipletConfig::cache_key`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct ChipletClassKey {
+    dataflow: Dataflow,
+    num_pes: u64,
+    freq_mhz_x1000: u64,
+    noc_mbps: u64,
+    l2_bytes: u64,
+    dtype: DataType,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_section_v() {
+        let dc = ChipletConfig::datacenter(Dataflow::NvdlaLike);
+        assert_eq!(dc.num_pes, 4096);
+        assert_eq!(dc.l2_bytes, 10 * 1024 * 1024);
+        assert_eq!(dc.freq_hz, 500e6);
+        let xr = ChipletConfig::arvr(Dataflow::ShidiannaoLike);
+        assert_eq!(xr.num_pes, 256);
+    }
+
+    #[test]
+    fn peak_macs() {
+        let dc = ChipletConfig::datacenter(Dataflow::NvdlaLike);
+        assert_eq!(dc.peak_macs_per_s(), 4096.0 * 500e6);
+    }
+
+    #[test]
+    fn cache_key_distinguishes_dataflow() {
+        let a = ChipletConfig::datacenter(Dataflow::NvdlaLike).cache_key();
+        let b = ChipletConfig::datacenter(Dataflow::ShidiannaoLike).cache_key();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_mentions_pes() {
+        let dc = ChipletConfig::datacenter(Dataflow::NvdlaLike);
+        assert!(dc.to_string().contains("4096 PEs"));
+    }
+}

@@ -1,0 +1,197 @@
+//! The intra-layer cost database (Figure 1/4 of the paper).
+//!
+//! SCAR's top-level engines never invoke the cost model directly — they
+//! query a per-(layer, chiplet-class) database that is populated offline
+//! (the paper: "expected latency and energy of each layer on each chiplet
+//! class offline-analyzed by MAESTRO"). [`CostDatabase`] provides exactly
+//! that: memoized [`LayerCost`] entries keyed by chiplet class, layer and
+//! batch, with a parallel warm-up pass.
+
+use crate::chiplet::ChipletClassKey;
+use crate::{ChipletConfig, LayerCost};
+use parking_lot::RwLock;
+use scar_workloads::{LayerKind, Scenario};
+use std::collections::HashMap;
+
+/// A single database entry: the paper's `Layer L1: dfA: 0.8ms / 0.5mJ` rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEntry {
+    /// Latency in seconds.
+    pub time_s: f64,
+    /// Energy in joules.
+    pub energy_j: f64,
+}
+
+impl From<LayerCost> for CostEntry {
+    fn from(c: LayerCost) -> Self {
+        Self {
+            time_s: c.time_s,
+            energy_j: c.energy_j,
+        }
+    }
+}
+
+type Key = (ChipletClassKey, LayerKind, u64);
+
+/// Memoizing per-layer cost database over a set of chiplet classes.
+///
+/// Thread-safe: lookups take a read lock, misses compute outside the lock
+/// and then upgrade. Construction is cheap; use [`CostDatabase::warm_up`]
+/// to pre-populate for a scenario in parallel.
+#[derive(Debug)]
+pub struct CostDatabase {
+    cache: RwLock<HashMap<Key, LayerCost>>,
+}
+
+impl Default for CostDatabase {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CostDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self {
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the cost of `kind` at `batch` on `chiplet`, computing and
+    /// memoizing it on first use.
+    pub fn get(&self, chiplet: &ChipletConfig, kind: &LayerKind, batch: u64) -> LayerCost {
+        let key = (chiplet.cache_key(), kind.clone(), batch);
+        if let Some(hit) = self.cache.read().get(&key) {
+            return *hit;
+        }
+        let cost = chiplet.evaluate(kind, batch);
+        self.cache.write().insert(key, cost);
+        cost
+    }
+
+    /// Convenience accessor returning only the (latency, energy) pair.
+    pub fn entry(&self, chiplet: &ChipletConfig, kind: &LayerKind, batch: u64) -> CostEntry {
+        self.get(chiplet, kind, batch).into()
+    }
+
+    /// Pre-populates the database for every layer of `scenario` (at each
+    /// model's full batch size) on every chiplet class in `classes`,
+    /// evaluating layers in parallel.
+    pub fn warm_up(&self, scenario: &Scenario, classes: &[ChipletConfig]) {
+        let work: Vec<(&ChipletConfig, LayerKind, u64)> = classes
+            .iter()
+            .flat_map(|ch| {
+                scenario.models().iter().flat_map(move |sm| {
+                    sm.model
+                        .layers()
+                        .iter()
+                        .map(move |l| (ch, l.kind.clone(), sm.batch))
+                })
+            })
+            .collect();
+
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(work.len().max(1));
+        let results: Vec<(Key, LayerCost)> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = work
+                .chunks(work.len().div_ceil(shards))
+                .map(|chunk| {
+                    s.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(|(ch, kind, batch)| {
+                                let cost = ch.evaluate(kind, *batch);
+                                ((ch.cache_key(), kind.clone(), *batch), cost)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("warm-up shard panicked"))
+                .collect()
+        })
+        .expect("warm-up scope panicked");
+
+        let mut cache = self.cache.write();
+        for (k, v) in results {
+            cache.insert(k, v);
+        }
+    }
+
+    /// Number of memoized entries.
+    pub fn len(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// True if no entries are memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dataflow;
+
+    #[test]
+    fn get_memoizes() {
+        let db = CostDatabase::new();
+        let ch = ChipletConfig::datacenter(Dataflow::NvdlaLike);
+        let g = LayerKind::Gemm { m: 64, k: 64, n: 8 };
+        assert!(db.is_empty());
+        let a = db.get(&ch, &g, 1);
+        assert_eq!(db.len(), 1);
+        let b = db.get(&ch, &g, 1);
+        assert_eq!(db.len(), 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn entries_match_direct_evaluation() {
+        let db = CostDatabase::new();
+        let ch = ChipletConfig::arvr(Dataflow::ShidiannaoLike);
+        let g = LayerKind::Gemm { m: 32, k: 16, n: 4 };
+        let via_db = db.get(&ch, &g, 2);
+        let direct = ch.evaluate(&g, 2);
+        assert_eq!(via_db, direct);
+    }
+
+    #[test]
+    fn warm_up_covers_scenario() {
+        let db = CostDatabase::new();
+        let sc = Scenario::datacenter(1);
+        let classes = [
+            ChipletConfig::datacenter(Dataflow::NvdlaLike),
+            ChipletConfig::datacenter(Dataflow::ShidiannaoLike),
+        ];
+        db.warm_up(&sc, &classes);
+        // distinct (layer kind, batch) pairs × 2 classes, minus shape
+        // collisions (identical blocks share entries)
+        assert!(!db.is_empty());
+        // every lookup after warm-up should be a hit (len stays put)
+        let before = db.len();
+        for sm in sc.models() {
+            for l in sm.model.layers() {
+                for ch in &classes {
+                    let _ = db.get(ch, &l.kind, sm.batch);
+                }
+            }
+        }
+        assert_eq!(db.len(), before);
+    }
+
+    #[test]
+    fn batch_is_part_of_the_key() {
+        let db = CostDatabase::new();
+        let ch = ChipletConfig::datacenter(Dataflow::NvdlaLike);
+        let g = LayerKind::Gemm { m: 64, k: 64, n: 8 };
+        let _ = db.get(&ch, &g, 1);
+        let _ = db.get(&ch, &g, 2);
+        assert_eq!(db.len(), 2);
+    }
+}

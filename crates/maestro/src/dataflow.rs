@@ -1,0 +1,71 @@
+//! Accelerator dataflow styles.
+
+use serde::{Deserialize, Serialize};
+
+/// The dataflow style of an accelerator chiplet (the `df` of Definition 2).
+///
+/// The paper builds its heterogeneous MCMs from the two styles shown to be
+/// complementary by Herald [37]:
+///
+/// * [`Dataflow::NvdlaLike`] — weight-stationary, NVDLA [52] style. The PE
+///   array parallelizes **output × input channels**; weights stay pinned in
+///   PE registers while activations stream. Excellent for channel-rich
+///   convolutions and GEMM/attention layers (LLMs), poor for layers with
+///   few channels (early convolutions, depthwise).
+/// * [`Dataflow::ShidiannaoLike`] — output-stationary, Shi-diannao [16]
+///   style. The PE array parallelizes **output spatial positions** (and
+///   batch); partial sums never leave the PEs. Excellent for large-spatial
+///   feature maps, poor for spatial-less GEMMs at low batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Weight-stationary (NVDLA-style).
+    NvdlaLike,
+    /// Output-stationary (Shi-diannao-style).
+    ShidiannaoLike,
+}
+
+impl Dataflow {
+    /// The two dataflow classes used throughout the paper's evaluation.
+    pub const ALL: [Dataflow; 2] = [Dataflow::NvdlaLike, Dataflow::ShidiannaoLike];
+
+    /// Paper-style short name (`NVD` / `Shi`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Dataflow::NvdlaLike => "NVD",
+            Dataflow::ShidiannaoLike => "Shi",
+        }
+    }
+}
+
+impl std::fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Dataflow::NvdlaLike => write!(f, "NVDLA-like"),
+            Dataflow::ShidiannaoLike => write!(f, "Shidiannao-like"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_names() {
+        assert_eq!(Dataflow::NvdlaLike.short_name(), "NVD");
+        assert_eq!(Dataflow::ShidiannaoLike.short_name(), "Shi");
+    }
+
+    #[test]
+    fn all_contains_both() {
+        assert_eq!(Dataflow::ALL.len(), 2);
+        assert_ne!(Dataflow::ALL[0], Dataflow::ALL[1]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for df in Dataflow::ALL {
+            assert!(!df.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The MCM package description (Definition 3).
+
+use crate::topology::{ChipletId, NopTopology};
+use scar_maestro::{ChipletConfig, Dataflow};
+use serde::{Deserialize, Serialize};
+
+/// Off-chip DRAM interface parameters (Table II, 28 nm scaled).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OffchipConfig {
+    /// DRAM bandwidth in bytes/s (Table II: 64 GB/s).
+    pub bw_bytes_per_s: f64,
+    /// DRAM access latency in seconds (Table II: 200 ns).
+    pub latency_s: f64,
+    /// DRAM access energy in pJ/byte (Table II: 14.8 pJ/bit).
+    pub energy_pj_per_byte: f64,
+}
+
+impl Default for OffchipConfig {
+    fn default() -> Self {
+        Self {
+            bw_bytes_per_s: 64e9,
+            latency_s: 200e-9,
+            energy_pj_per_byte: 14.8 * 8.0,
+        }
+    }
+}
+
+/// Network-on-package link parameters (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NopConfig {
+    /// Per-chiplet NoP bandwidth in bytes/s (Table II: 100 GB/s/chiplet).
+    pub bw_bytes_per_s: f64,
+    /// Per-hop propagation latency in seconds (Table II: 35 ns/hop).
+    pub hop_latency_s: f64,
+    /// Per-hop transmission energy in pJ/byte (Table II: 2.04 pJ/bit).
+    pub energy_pj_per_byte_hop: f64,
+}
+
+impl Default for NopConfig {
+    fn default() -> Self {
+        Self {
+            bw_bytes_per_s: 100e9,
+            hop_latency_s: 35e-9,
+            energy_pj_per_byte_hop: 2.04 * 8.0,
+        }
+    }
+}
+
+/// An MCM AI accelerator: Definition 3's `H = {C, BW_offchip, BW_nop}`.
+///
+/// Build one with the [`crate::templates`] constructors (the Figure 6
+/// organizations) or assemble a custom package with [`McmConfig::new`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McmConfig {
+    name: String,
+    chiplets: Vec<ChipletConfig>,
+    topology: NopTopology,
+    offchip_interfaces: Vec<ChipletId>,
+    /// Off-chip DRAM parameters.
+    pub offchip: OffchipConfig,
+    /// NoP link parameters.
+    pub nop: NopConfig,
+}
+
+impl McmConfig {
+    /// Assembles an MCM from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chiplet count does not match the topology size, if no
+    /// chiplets are given, or if any off-chip interface id is out of range.
+    pub fn new(
+        name: impl Into<String>,
+        chiplets: Vec<ChipletConfig>,
+        topology: NopTopology,
+        offchip_interfaces: Vec<ChipletId>,
+    ) -> Self {
+        assert!(!chiplets.is_empty(), "an MCM needs at least one chiplet");
+        assert_eq!(
+            chiplets.len(),
+            topology.num_nodes(),
+            "chiplet count must match topology size"
+        );
+        assert!(
+            !offchip_interfaces.is_empty(),
+            "an MCM needs at least one off-chip interface"
+        );
+        assert!(
+            offchip_interfaces.iter().all(|&i| i < chiplets.len()),
+            "off-chip interface id out of range"
+        );
+        Self {
+            name: name.into(),
+            chiplets,
+            topology,
+            offchip_interfaces,
+            offchip: OffchipConfig::default(),
+            nop: NopConfig::default(),
+        }
+    }
+
+    /// The template/organization name (e.g. `"Het-Sides"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of chiplets on the package (`|C|`).
+    pub fn num_chiplets(&self) -> usize {
+        self.chiplets.len()
+    }
+
+    /// The chiplet at position `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn chiplet(&self, id: ChipletId) -> &ChipletConfig {
+        &self.chiplets[id]
+    }
+
+    /// All chiplets, indexed by [`ChipletId`].
+    pub fn chiplets(&self) -> &[ChipletConfig] {
+        &self.chiplets
+    }
+
+    /// The NoP connectivity.
+    pub fn topology(&self) -> &NopTopology {
+        &self.topology
+    }
+
+    /// Chiplet positions with direct off-chip DRAM interfaces.
+    pub fn offchip_interfaces(&self) -> &[ChipletId] {
+        &self.offchip_interfaces
+    }
+
+    /// Count of chiplets per dataflow class (`n_df_i` of Equation 1).
+    pub fn dataflow_counts(&self) -> Vec<(Dataflow, usize)> {
+        Dataflow::ALL
+            .iter()
+            .map(|&df| (df, self.chiplets.iter().filter(|c| c.dataflow == df).count()))
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    }
+
+    /// One representative chiplet per distinct dataflow class present on
+    /// the package, in [`Dataflow::ALL`] order.
+    pub fn chiplet_classes(&self) -> Vec<ChipletConfig> {
+        Dataflow::ALL
+            .iter()
+            .filter_map(|&df| self.chiplets.iter().find(|c| c.dataflow == df).cloned())
+            .collect()
+    }
+
+    /// The nearest off-chip interface to `id` and its hop distance.
+    pub fn nearest_interface(&self, id: ChipletId) -> (ChipletId, u32) {
+        self.offchip_interfaces
+            .iter()
+            .map(|&itf| (itf, self.topology.hops(id, itf)))
+            .min_by_key(|&(_, h)| h)
+            .expect("at least one interface exists")
+    }
+
+    /// True if every chiplet uses the same dataflow.
+    pub fn is_homogeneous(&self) -> bool {
+        self.dataflow_counts().len() <= 1
+    }
+
+    /// Renames the MCM (used by templates and experiment harnesses).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Restores internal topology caches after deserialization.
+    pub fn rebuild_caches(&mut self) {
+        self.topology.rebuild_cache();
+    }
+}
+
+impl std::fmt::Display for McmConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let counts: Vec<String> = self
+            .dataflow_counts()
+            .iter()
+            .map(|(df, n)| format!("{}×{}", n, df.short_name()))
+            .collect();
+        write!(f, "{} [{}]", self.name, counts.join(" + "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mcm_3x3() -> McmConfig {
+        let chiplets = (0..9)
+            .map(|i| {
+                ChipletConfig::datacenter(if i % 2 == 0 {
+                    Dataflow::NvdlaLike
+                } else {
+                    Dataflow::ShidiannaoLike
+                })
+            })
+            .collect();
+        McmConfig::new("test", chiplets, NopTopology::mesh(3, 3), vec![0, 3, 6, 2, 5, 8])
+    }
+
+    #[test]
+    fn dataflow_counts_sum_to_total() {
+        let m = mcm_3x3();
+        let total: usize = m.dataflow_counts().iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 9);
+        assert!(!m.is_homogeneous());
+    }
+
+    #[test]
+    fn nearest_interface_prefers_sides() {
+        let m = mcm_3x3();
+        let (itf, hops) = m.nearest_interface(4); // center
+        assert_eq!(hops, 1);
+        assert!(m.offchip_interfaces().contains(&itf));
+        let (_, h0) = m.nearest_interface(0);
+        assert_eq!(h0, 0); // interfaces reach DRAM directly
+    }
+
+    #[test]
+    fn chiplet_classes_are_unique_by_dataflow() {
+        let m = mcm_3x3();
+        let classes = m.chiplet_classes();
+        assert_eq!(classes.len(), 2);
+        assert_ne!(classes[0].dataflow, classes[1].dataflow);
+    }
+
+    #[test]
+    #[should_panic(expected = "match topology size")]
+    fn size_mismatch_panics() {
+        let _ = McmConfig::new(
+            "bad",
+            vec![ChipletConfig::datacenter(Dataflow::NvdlaLike)],
+            NopTopology::mesh(2, 2),
+            vec![0],
+        );
+    }
+
+    #[test]
+    fn table_ii_defaults() {
+        let m = mcm_3x3();
+        assert_eq!(m.offchip.bw_bytes_per_s, 64e9);
+        assert_eq!(m.offchip.latency_s, 200e-9);
+        assert_eq!(m.nop.hop_latency_s, 35e-9);
+        assert!((m.nop.energy_pj_per_byte_hop - 16.32).abs() < 1e-9);
+        assert!((m.offchip.energy_pj_per_byte - 118.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_shows_composition() {
+        let s = mcm_3x3().to_string();
+        assert!(s.contains("5×NVD") && s.contains("4×Shi"), "{s}");
+    }
+}

@@ -1,0 +1,289 @@
+//! The MCM chiplet organizations evaluated in the paper (Figure 6).
+//!
+//! All constructors take a [`Profile`] selecting the §V-A chiplet class
+//! (datacenter: 4096 PEs; AR/VR: 256 PEs). Off-chip interfaces sit on the
+//! left and right package columns (§III-A, following Tangram [19]).
+
+use crate::config::McmConfig;
+use crate::topology::NopTopology;
+use scar_maestro::{ChipletConfig, Dataflow};
+
+/// Deployment profile selecting the chiplet microarchitecture (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Profile {
+    /// 4096 PEs / chiplet, 10 MB L2 (MLPerf datacenter scenarios).
+    Datacenter,
+    /// 256 PEs / chiplet, 10 MB L2 (XRBench AR/VR scenarios).
+    ArVr,
+}
+
+impl Profile {
+    /// The chiplet configuration of this profile with dataflow `df`.
+    pub fn chiplet(self, df: Dataflow) -> ChipletConfig {
+        match self {
+            Profile::Datacenter => ChipletConfig::datacenter(df),
+            Profile::ArVr => ChipletConfig::arvr(df),
+        }
+    }
+}
+
+/// Side-column off-chip interfaces for a `rows × cols` mesh grid.
+fn side_interfaces(rows: usize, cols: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    for r in 0..rows {
+        v.push(r * cols); // left column
+        if cols > 1 {
+            v.push(r * cols + cols - 1); // right column
+        }
+    }
+    v
+}
+
+/// Builds a grid MCM whose dataflow at `(row, col)` is chosen by `pick`.
+fn grid(
+    name: &str,
+    profile: Profile,
+    topology: NopTopology,
+    pick: impl Fn(usize, usize) -> Dataflow,
+) -> McmConfig {
+    let (rows, cols) = topology
+        .mesh_dims()
+        .expect("grid templates require mesh-like topologies");
+    let chiplets = (0..rows * cols)
+        .map(|i| profile.chiplet(pick(i / cols, i % cols)))
+        .collect();
+    McmConfig::new(name, chiplets, topology, side_interfaces(rows, cols))
+}
+
+/// Homogeneous `rows × cols` mesh MCM of dataflow `df` (generic helper).
+pub fn homogeneous(profile: Profile, df: Dataflow, rows: usize, cols: usize) -> McmConfig {
+    grid(
+        &format!("Simba{}x{} ({})", rows, cols, df.short_name()),
+        profile,
+        NopTopology::mesh(rows, cols),
+        |_, _| df,
+    )
+}
+
+/// Simba-style homogeneous 3×3 MCM: `Simba (Shi)` / `Simba (NVD)`.
+pub fn simba_3x3(profile: Profile, df: Dataflow) -> McmConfig {
+    grid(
+        &format!("Simba ({})", df.short_name()),
+        profile,
+        NopTopology::mesh(3, 3),
+        |_, _| df,
+    )
+}
+
+/// Heterogeneous checkerboard 3×3 (`Het-CB`): alternating dataflows, so
+/// every interposer link joins chiplets of different dataflow (only
+/// heterogeneous pipelining is possible).
+pub fn het_cb_3x3(profile: Profile) -> McmConfig {
+    grid("Het-CB", profile, NopTopology::mesh(3, 3), |r, c| {
+        if (r + c) % 2 == 0 {
+            Dataflow::NvdlaLike
+        } else {
+            Dataflow::ShidiannaoLike
+        }
+    })
+}
+
+/// Heterogeneous sides 3×3 (`Het-Sides`): NVDLA-like columns on the
+/// (off-chip-interfaced) sides, a Shidiannao-like column in the middle.
+/// Same-dataflow vertical neighbors allow homogeneous *and* heterogeneous
+/// inter-chiplet pipelining — the property §V-B credits for its wins.
+pub fn het_sides_3x3(profile: Profile) -> McmConfig {
+    grid("Het-Sides", profile, NopTopology::mesh(3, 3), |_, c| {
+        if c == 1 {
+            Dataflow::ShidiannaoLike
+        } else {
+            Dataflow::NvdlaLike
+        }
+    })
+}
+
+/// Homogeneous 3×3 on the triangular NoP (`Simba-T`).
+pub fn simba_t_3x3(profile: Profile, df: Dataflow) -> McmConfig {
+    grid(
+        &format!("Simba-T ({})", df.short_name()),
+        profile,
+        NopTopology::triangular(3, 3),
+        |_, _| df,
+    )
+}
+
+/// Heterogeneous 3×3 on the triangular NoP (`Het-T`): the Het-Sides
+/// dataflow pattern over the diagonal-linked mesh.
+pub fn het_t_3x3(profile: Profile) -> McmConfig {
+    grid("Het-T", profile, NopTopology::triangular(3, 3), |_, c| {
+        if c == 1 {
+            Dataflow::ShidiannaoLike
+        } else {
+            Dataflow::NvdlaLike
+        }
+    })
+}
+
+/// Homogeneous full-Simba 6×6 MCM (`Simba-6 (Shi)` / `Simba-6 (NVD)`).
+pub fn simba_6x6(profile: Profile, df: Dataflow) -> McmConfig {
+    grid(
+        &format!("Simba-6 ({})", df.short_name()),
+        profile,
+        NopTopology::mesh(6, 6),
+        |_, _| df,
+    )
+}
+
+/// Heterogeneous cross 6×6 (`Het-Cross`): NVDLA-like chiplets on the
+/// central rows/columns (a plus-shaped cross, 20 chiplets), Shidiannao-like
+/// in the four corners (16 chiplets). Chosen in §V-D for enabling both
+/// homogeneous and heterogeneous pipelining at scale.
+pub fn het_cross_6x6(profile: Profile) -> McmConfig {
+    grid("Het-Cross", profile, NopTopology::mesh(6, 6), |r, c| {
+        if (2..=3).contains(&r) || (2..=3).contains(&c) {
+            Dataflow::NvdlaLike
+        } else {
+            Dataflow::ShidiannaoLike
+        }
+    })
+}
+
+/// The 2×2 motivational MCM of Figure 2: three NVDLA-like chiplets and one
+/// Shidiannao-like chiplet.
+pub fn het_2x2(profile: Profile) -> McmConfig {
+    grid("Het-2x2", profile, NopTopology::mesh(2, 2), |r, c| {
+        if (r, c) == (1, 1) {
+            Dataflow::ShidiannaoLike
+        } else {
+            Dataflow::NvdlaLike
+        }
+    })
+}
+
+/// Homogeneous 2×2 MCM (Figure 2 baselines).
+pub fn homo_2x2(profile: Profile, df: Dataflow) -> McmConfig {
+    grid(
+        &format!("Homo-2x2 ({})", df.short_name()),
+        profile,
+        NopTopology::mesh(2, 2),
+        |_, _| df,
+    )
+}
+
+/// All six 3×3 mesh strategies compared in Table IV / Figure 7, in paper
+/// order: `Simba (Shi)`, `Simba (NVD)`, `Het-CB`, `Het-Sides`.
+/// (The two Standalone baselines reuse the homogeneous MCMs with the
+/// standalone scheduling policy — see `scar-core`.)
+pub fn all_3x3(profile: Profile) -> Vec<McmConfig> {
+    vec![
+        simba_3x3(profile, Dataflow::ShidiannaoLike),
+        simba_3x3(profile, Dataflow::NvdlaLike),
+        het_cb_3x3(profile),
+        het_sides_3x3(profile),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simba_is_homogeneous() {
+        for df in Dataflow::ALL {
+            let m = simba_3x3(Profile::Datacenter, df);
+            assert!(m.is_homogeneous());
+            assert_eq!(m.num_chiplets(), 9);
+        }
+    }
+
+    #[test]
+    fn het_cb_alternates() {
+        let m = het_cb_3x3(Profile::Datacenter);
+        // every mesh link joins different dataflows
+        for a in 0..9 {
+            for b in 0..9 {
+                if m.topology().is_adjacent(a, b) {
+                    assert_ne!(m.chiplet(a).dataflow, m.chiplet(b).dataflow);
+                }
+            }
+        }
+        let counts = m.dataflow_counts();
+        assert_eq!(counts.iter().map(|&(_, n)| n).sum::<usize>(), 9);
+    }
+
+    #[test]
+    fn het_sides_has_homogeneous_columns() {
+        let m = het_sides_3x3(Profile::Datacenter);
+        // vertical neighbors in each column share a dataflow
+        for col in 0..3 {
+            for row in 0..2 {
+                let a = row * 3 + col;
+                let b = (row + 1) * 3 + col;
+                assert_eq!(m.chiplet(a).dataflow, m.chiplet(b).dataflow);
+            }
+        }
+        // 6 NVD + 3 Shi
+        let nvd = m
+            .chiplets()
+            .iter()
+            .filter(|c| c.dataflow == Dataflow::NvdlaLike)
+            .count();
+        assert_eq!(nvd, 6);
+    }
+
+    #[test]
+    fn offchip_interfaces_are_side_columns() {
+        let m = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
+        let mut itf = m.offchip_interfaces().to_vec();
+        itf.sort_unstable();
+        assert_eq!(itf, vec![0, 2, 3, 5, 6, 8]);
+    }
+
+    #[test]
+    fn het_cross_composition() {
+        let m = het_cross_6x6(Profile::Datacenter);
+        assert_eq!(m.num_chiplets(), 36);
+        let nvd = m
+            .chiplets()
+            .iter()
+            .filter(|c| c.dataflow == Dataflow::NvdlaLike)
+            .count();
+        assert_eq!(nvd, 20);
+    }
+
+    #[test]
+    fn het_2x2_matches_figure_2() {
+        let m = het_2x2(Profile::Datacenter);
+        let shi = m
+            .chiplets()
+            .iter()
+            .filter(|c| c.dataflow == Dataflow::ShidiannaoLike)
+            .count();
+        assert_eq!(shi, 1);
+        assert_eq!(m.num_chiplets(), 4);
+    }
+
+    #[test]
+    fn triangular_templates_have_diagonals() {
+        let m = het_t_3x3(Profile::ArVr);
+        assert!(m.topology().is_adjacent(0, 4));
+        assert_eq!(m.chiplet(0).num_pes, 256);
+    }
+
+    #[test]
+    fn profile_selects_pe_count() {
+        assert_eq!(
+            het_sides_3x3(Profile::Datacenter).chiplet(0).num_pes,
+            4096
+        );
+        assert_eq!(het_sides_3x3(Profile::ArVr).chiplet(0).num_pes, 256);
+    }
+
+    #[test]
+    fn all_3x3_returns_four_strategies() {
+        let v = all_3x3(Profile::Datacenter);
+        assert_eq!(v.len(), 4);
+        let names: Vec<_> = v.iter().map(|m| m.name().to_string()).collect();
+        assert!(names.contains(&"Het-Sides".to_string()));
+    }
+}

@@ -1,0 +1,407 @@
+//! Network-on-package connectivity.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Index of a chiplet on the package (`c_i` in Definition 3).
+pub type ChipletId = usize;
+
+/// Errors constructing a topology from user-supplied adjacency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The adjacency matrix is not square.
+    NotSquare,
+    /// The adjacency matrix is not symmetric (links are bidirectional).
+    NotSymmetric,
+    /// A node links to itself.
+    SelfLoop(ChipletId),
+    /// Some chiplet is unreachable from chiplet 0.
+    Disconnected(ChipletId),
+    /// The topology has no nodes.
+    Empty,
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::NotSquare => write!(f, "adjacency matrix is not square"),
+            TopologyError::NotSymmetric => write!(f, "adjacency matrix is not symmetric"),
+            TopologyError::SelfLoop(i) => write!(f, "chiplet {i} links to itself"),
+            TopologyError::Disconnected(i) => write!(f, "chiplet {i} is unreachable"),
+            TopologyError::Empty => write!(f, "topology has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// How the topology was constructed; meshes additionally support
+/// coordinate queries and deterministic XY routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum TopologyKind {
+    /// `rows × cols` 2-D mesh (Simba's NoP); XY (column-then-row) routing.
+    Mesh { rows: usize, cols: usize },
+    /// Mesh plus one diagonal per cell (the Figure 6 triangular NoP).
+    Triangular { rows: usize, cols: usize },
+    /// Arbitrary adjacency; BFS shortest-path routing.
+    Custom,
+}
+
+/// The network-on-package: an undirected connectivity graph over chiplets.
+///
+/// §V-E: "SCAR can generalize to other NoP topologies as it relies on
+/// adjacency matrix connectivity" — this type is that abstraction. Meshes
+/// route deterministically in XY order (§V-A); other topologies use BFS
+/// shortest paths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NopTopology {
+    kind: TopologyKind,
+    adjacency: Vec<Vec<bool>>,
+    #[serde(skip)]
+    cache: TopologyCache,
+}
+
+/// Precomputed neighbor lists and all-pairs hop counts (rebuilt on
+/// deserialization).
+#[derive(Debug, Clone, Default, PartialEq)]
+struct TopologyCache {
+    neighbors: Vec<Vec<ChipletId>>,
+    hops: Vec<Vec<u32>>,
+}
+
+impl NopTopology {
+    /// A `rows × cols` 2-D mesh, nodes numbered row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn mesh(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
+        let n = rows * cols;
+        let mut adj = vec![vec![false; n]; n];
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                if c + 1 < cols {
+                    adj[i][i + 1] = true;
+                    adj[i + 1][i] = true;
+                }
+                if r + 1 < rows {
+                    adj[i][i + cols] = true;
+                    adj[i + cols][i] = true;
+                }
+            }
+        }
+        Self::with_kind(TopologyKind::Mesh { rows, cols }, adj)
+    }
+
+    /// A `rows × cols` mesh with an additional diagonal link per cell
+    /// (`(r,c) ↔ (r+1,c+1)`): the triangular NoP of Figure 6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn triangular(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
+        let base = Self::mesh(rows, cols);
+        let mut adj = base.adjacency;
+        for r in 0..rows.saturating_sub(1) {
+            for c in 0..cols.saturating_sub(1) {
+                let i = r * cols + c;
+                let j = (r + 1) * cols + (c + 1);
+                adj[i][j] = true;
+                adj[j][i] = true;
+            }
+        }
+        Self::with_kind(TopologyKind::Triangular { rows, cols }, adj)
+    }
+
+    /// A topology from a raw adjacency matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] if the matrix is empty, non-square,
+    /// asymmetric, has self-loops, or describes a disconnected graph.
+    pub fn from_adjacency(adjacency: Vec<Vec<bool>>) -> Result<Self, TopologyError> {
+        let n = adjacency.len();
+        if n == 0 {
+            return Err(TopologyError::Empty);
+        }
+        if adjacency.iter().any(|row| row.len() != n) {
+            return Err(TopologyError::NotSquare);
+        }
+        for i in 0..n {
+            if adjacency[i][i] {
+                return Err(TopologyError::SelfLoop(i));
+            }
+            for j in 0..n {
+                if adjacency[i][j] != adjacency[j][i] {
+                    return Err(TopologyError::NotSymmetric);
+                }
+            }
+        }
+        let t = Self::with_kind(TopologyKind::Custom, adjacency);
+        for (i, row) in t.cache.hops.iter().enumerate() {
+            if row[0] == u32::MAX {
+                return Err(TopologyError::Disconnected(i));
+            }
+        }
+        Ok(t)
+    }
+
+    fn with_kind(kind: TopologyKind, adjacency: Vec<Vec<bool>>) -> Self {
+        let cache = Self::build_cache(&adjacency);
+        Self {
+            kind,
+            adjacency,
+            cache,
+        }
+    }
+
+    fn build_cache(adjacency: &[Vec<bool>]) -> TopologyCache {
+        let n = adjacency.len();
+        let neighbors: Vec<Vec<ChipletId>> = (0..n)
+            .map(|i| (0..n).filter(|&j| adjacency[i][j]).collect())
+            .collect();
+        let mut hops = vec![vec![u32::MAX; n]; n];
+        for (src, row) in hops.iter_mut().enumerate() {
+            row[src] = 0;
+            let mut q = VecDeque::from([src]);
+            while let Some(u) = q.pop_front() {
+                for &v in &neighbors[u] {
+                    if row[v] == u32::MAX {
+                        row[v] = row[u] + 1;
+                        q.push_back(v);
+                    }
+                }
+            }
+        }
+        TopologyCache { neighbors, hops }
+    }
+
+    /// Rebuilds the hop/neighbor cache (after deserialization).
+    pub(crate) fn rebuild_cache(&mut self) {
+        self.cache = Self::build_cache(&self.adjacency);
+    }
+
+    /// Number of chiplet positions.
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Direct NoP neighbors of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn neighbors(&self, id: ChipletId) -> &[ChipletId] {
+        &self.cache.neighbors[id]
+    }
+
+    /// True if `a` and `b` share an interposer link.
+    pub fn is_adjacent(&self, a: ChipletId, b: ChipletId) -> bool {
+        self.adjacency[a][b]
+    }
+
+    /// Minimum hop count between `a` and `b` (0 when `a == b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range.
+    pub fn hops(&self, a: ChipletId, b: ChipletId) -> u32 {
+        self.cache.hops[a][b]
+    }
+
+    /// Mesh dimensions, when this is a (triangular) mesh.
+    pub fn mesh_dims(&self) -> Option<(usize, usize)> {
+        match self.kind {
+            TopologyKind::Mesh { rows, cols } | TopologyKind::Triangular { rows, cols } => {
+                Some((rows, cols))
+            }
+            TopologyKind::Custom => None,
+        }
+    }
+
+    /// `(row, col)` coordinates of `id` on a mesh; `None` for custom
+    /// topologies.
+    pub fn coords(&self, id: ChipletId) -> Option<(usize, usize)> {
+        self.mesh_dims().map(|(_, cols)| (id / cols, id % cols))
+    }
+
+    /// The routed node sequence from `a` to `b`, inclusive of endpoints.
+    ///
+    /// Meshes use XY routing (traverse columns first, then rows — §V-A);
+    /// triangular meshes and custom topologies use BFS shortest paths with
+    /// deterministic (lowest-index-first) tie-breaking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range.
+    pub fn route(&self, a: ChipletId, b: ChipletId) -> Vec<ChipletId> {
+        if a == b {
+            return vec![a];
+        }
+        if let TopologyKind::Mesh { cols, .. } = self.kind {
+            // XY: move along the row (column index) first, then the column
+            let (ar, ac) = (a / cols, a % cols);
+            let (br, bc) = (b / cols, b % cols);
+            let mut path = vec![a];
+            let (mut r, mut c) = (ar, ac);
+            while c != bc {
+                c = if bc > c { c + 1 } else { c - 1 };
+                path.push(r * cols + c);
+            }
+            while r != br {
+                r = if br > r { r + 1 } else { r - 1 };
+                path.push(r * cols + c);
+            }
+            return path;
+        }
+        // BFS with lowest-index predecessor preference
+        let n = self.num_nodes();
+        let mut prev = vec![usize::MAX; n];
+        let mut seen = vec![false; n];
+        seen[a] = true;
+        let mut q = VecDeque::from([a]);
+        while let Some(u) = q.pop_front() {
+            if u == b {
+                break;
+            }
+            for &v in self.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    prev[v] = u;
+                    q.push_back(v);
+                }
+            }
+        }
+        let mut path = vec![b];
+        let mut cur = b;
+        while cur != a {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Directed links `(from, to)` traversed by the route from `a` to `b`.
+    pub fn route_links(&self, a: ChipletId, b: ChipletId) -> Vec<(ChipletId, ChipletId)> {
+        let path = self.route(a, b);
+        path.windows(2).map(|w| (w[0], w[1])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_adjacency_is_four_connected() {
+        let t = NopTopology::mesh(3, 3);
+        assert_eq!(t.num_nodes(), 9);
+        assert_eq!(t.neighbors(4), &[1, 3, 5, 7]); // center
+        assert_eq!(t.neighbors(0), &[1, 3]); // corner
+    }
+
+    #[test]
+    fn mesh_hops_are_manhattan() {
+        let t = NopTopology::mesh(3, 3);
+        assert_eq!(t.hops(0, 8), 4);
+        assert_eq!(t.hops(0, 0), 0);
+        assert_eq!(t.hops(2, 6), 4);
+        assert_eq!(t.hops(1, 7), 2);
+    }
+
+    #[test]
+    fn xy_route_goes_column_first() {
+        let t = NopTopology::mesh(3, 3);
+        // 0=(0,0) -> 8=(2,2): X first: 0,1,2 then down 5,8
+        assert_eq!(t.route(0, 8), vec![0, 1, 2, 5, 8]);
+        assert_eq!(t.route(8, 0), vec![8, 7, 6, 3, 0]);
+    }
+
+    #[test]
+    fn triangular_adds_diagonals() {
+        let t = NopTopology::triangular(3, 3);
+        assert!(t.is_adjacent(0, 4));
+        assert!(t.is_adjacent(4, 8));
+        assert!(!t.is_adjacent(2, 4)); // anti-diagonal not added
+        assert_eq!(t.hops(0, 8), 2);
+    }
+
+    #[test]
+    fn route_is_connected_and_shortest() {
+        for t in [NopTopology::mesh(4, 4), NopTopology::triangular(4, 4)] {
+            for a in 0..t.num_nodes() {
+                for b in 0..t.num_nodes() {
+                    let p = t.route(a, b);
+                    assert_eq!(p[0], a);
+                    assert_eq!(*p.last().unwrap(), b);
+                    assert_eq!(p.len() as u32 - 1, t.hops(a, b));
+                    for w in p.windows(2) {
+                        assert!(t.is_adjacent(w[0], w[1]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn custom_topology_validation() {
+        assert_eq!(
+            NopTopology::from_adjacency(vec![]).unwrap_err(),
+            TopologyError::Empty
+        );
+        assert_eq!(
+            NopTopology::from_adjacency(vec![vec![false, true], vec![false]]).unwrap_err(),
+            TopologyError::NotSquare
+        );
+        assert_eq!(
+            NopTopology::from_adjacency(vec![vec![false, true], vec![false, false]]).unwrap_err(),
+            TopologyError::NotSymmetric
+        );
+        assert_eq!(
+            NopTopology::from_adjacency(vec![vec![true]]).unwrap_err(),
+            TopologyError::SelfLoop(0)
+        );
+        let disconnected = vec![
+            vec![false, true, false],
+            vec![true, false, false],
+            vec![false, false, false],
+        ];
+        assert_eq!(
+            NopTopology::from_adjacency(disconnected).unwrap_err(),
+            TopologyError::Disconnected(2)
+        );
+    }
+
+    #[test]
+    fn custom_ring_routes() {
+        // 4-node ring
+        let mut adj = vec![vec![false; 4]; 4];
+        for i in 0..4 {
+            adj[i][(i + 1) % 4] = true;
+            adj[(i + 1) % 4][i] = true;
+        }
+        let t = NopTopology::from_adjacency(adj).unwrap();
+        assert_eq!(t.hops(0, 2), 2);
+        assert_eq!(t.mesh_dims(), None);
+        let p = t.route(0, 2);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = NopTopology::mesh(2, 3);
+        assert_eq!(t.coords(4), Some((1, 1)));
+        assert_eq!(t.coords(0), Some((0, 0)));
+    }
+
+    #[test]
+    fn route_links_counts_hops() {
+        let t = NopTopology::mesh(3, 3);
+        assert_eq!(t.route_links(0, 8).len(), 4);
+        assert!(t.route_links(3, 3).is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! Multi-model AI workload representation for the SCAR reproduction.
+//!
+//! This crate models AI inference workloads at the granularity SCAR schedules
+//! them: *layers* (Definition 1 in the paper), grouped into *models*, grouped
+//! into multi-model *scenarios* (Table III).
+//!
+//! It provides:
+//!
+//! * [`Layer`] / [`LayerKind`] — shape-accurate operator descriptions with
+//!   exact MAC and operand-size accounting,
+//! * [`Model`] — a topologically sorted layer sequence with a batch size,
+//! * [`Scenario`] — a named collection of concurrent models,
+//! * [`zoo`] — the architectures used by the paper's ten scenarios
+//!   (GPT-L, BERT-L/base, ResNet-50, U-Net, GoogleNet and the XRBench suite),
+//! * [`parse`] — JSON description-file loading/saving (the "input configs"
+//!   of the paper's Figure 4).
+//!
+//! # Example
+//!
+//! ```
+//! use scar_workloads::{zoo, Scenario};
+//!
+//! let resnet = zoo::resnet50();
+//! assert_eq!(resnet.num_layers(), 66); // Table VI scheduling units
+//! let sc = Scenario::datacenter(4);    // "LMs + Segmentation + Image"
+//! assert_eq!(sc.models().len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod layer;
+mod model;
+pub mod parse;
+mod scenario;
+pub mod zoo;
+
+pub use layer::{DataType, Layer, LayerKind};
+pub use model::{Model, ModelBuilder, ModelStats};
+pub use scenario::{Scenario, ScenarioModel, UseCase};
+
+/// Identifies a layer inside a [`Scenario`]: `(model index, layer index)`.
+///
+/// This is the `layer_{i,j}` notation of Definition 1 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct LayerId {
+    /// Index of the model within the scenario.
+    pub model: usize,
+    /// Index of the layer within the model (topological order).
+    pub layer: usize,
+}
+
+impl LayerId {
+    /// Creates a new layer identifier.
+    pub fn new(model: usize, layer: usize) -> Self {
+        Self { model, layer }
+    }
+}
+
+impl std::fmt::Display for LayerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}.l{}", self.model, self.layer)
+    }
+}

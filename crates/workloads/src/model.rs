@@ -1,0 +1,274 @@
+//! Models as topologically sorted layer sequences.
+
+use crate::{DataType, Layer, LayerKind};
+use serde::{Deserialize, Serialize};
+
+/// A neural network model: an ordered (topologically sorted) layer sequence.
+///
+/// SCAR schedules models as dependent layer chains (Definition 1): layer `j`
+/// may only execute after layer `j-1` of the same model. Branchy graphs
+/// (residual blocks, inception modules) are folded into a valid topological
+/// order, which is exactly what the paper's SEG engine consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl Model {
+    /// Creates a model from a name and its layer sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty — a model must contain at least one layer
+    /// (Definition 1 indexes layers from 1).
+    pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "a model must contain at least one layer");
+        Self {
+            name: name.into(),
+            layers,
+        }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layers in topological order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of layers (`|m|` in the paper's notation).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Aggregate statistics (per sample) over all layers.
+    pub fn stats(&self, dt: DataType) -> ModelStats {
+        let mut s = ModelStats::default();
+        for l in &self.layers {
+            s.macs += l.macs();
+            s.weight_bytes += l.weight_bytes(dt);
+            s.input_bytes += l.input_bytes(dt);
+            s.output_bytes += l.output_bytes(dt);
+        }
+        s.layers = self.layers.len();
+        s
+    }
+}
+
+impl std::fmt::Display for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({} layers)", self.name, self.layers.len())
+    }
+}
+
+/// Aggregate per-sample statistics of a [`Model`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelStats {
+    /// Number of layers.
+    pub layers: usize,
+    /// Total multiply-accumulates per sample.
+    pub macs: u64,
+    /// Total parameter bytes.
+    pub weight_bytes: u64,
+    /// Total input-activation bytes read per sample.
+    pub input_bytes: u64,
+    /// Total output-activation bytes written per sample.
+    pub output_bytes: u64,
+}
+
+/// Incremental builder for [`Model`]s; used throughout the [`crate::zoo`].
+///
+/// ```
+/// use scar_workloads::{ModelBuilder, LayerKind};
+///
+/// let m = ModelBuilder::new("tiny")
+///     .gemm("fc1", 128, 64, 1)
+///     .activation("relu1", 128)
+///     .gemm("fc2", 10, 128, 1)
+///     .build();
+/// assert_eq!(m.num_layers(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelBuilder {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl ModelBuilder {
+    /// Starts building a model with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends an arbitrary layer.
+    pub fn layer(mut self, layer: Layer) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Appends a square-kernel convolution with `same`-style padding
+    /// (`padding = kernel / 2`).
+    pub fn conv(
+        mut self,
+        name: impl Into<String>,
+        in_hw: u64,
+        in_ch: u64,
+        out_ch: u64,
+        kernel: u64,
+        stride: u64,
+    ) -> Self {
+        self.layers.push(crate::layer::conv(name, in_hw, in_ch, out_ch, kernel, stride));
+        self
+    }
+
+    /// Appends a depthwise convolution (`groups == channels`).
+    pub fn dwconv(
+        mut self,
+        name: impl Into<String>,
+        in_hw: u64,
+        channels: u64,
+        kernel: u64,
+        stride: u64,
+    ) -> Self {
+        self.layers.push(Layer::new(
+            name,
+            LayerKind::Conv2d {
+                in_h: in_hw,
+                in_w: in_hw,
+                in_ch: channels,
+                out_ch: channels,
+                kernel_h: kernel,
+                kernel_w: kernel,
+                stride,
+                padding: kernel / 2,
+                groups: channels,
+            },
+        ));
+        self
+    }
+
+    /// Appends a GEMM layer (`out[M,N] = W[M,K] · in[K,N]`).
+    pub fn gemm(mut self, name: impl Into<String>, m: u64, k: u64, n: u64) -> Self {
+        self.layers.push(Layer::new(name, LayerKind::Gemm { m, k, n }));
+        self
+    }
+
+    /// Appends a weight-less batched matmul (attention score/context).
+    pub fn matmul(mut self, name: impl Into<String>, m: u64, k: u64, n: u64, heads: u64) -> Self {
+        self.layers
+            .push(Layer::new(name, LayerKind::MatMul { m, k, n, heads }));
+        self
+    }
+
+    /// Appends a pooling layer.
+    pub fn pool(
+        mut self,
+        name: impl Into<String>,
+        in_hw: u64,
+        channels: u64,
+        kernel: u64,
+        stride: u64,
+    ) -> Self {
+        self.layers.push(Layer::new(
+            name,
+            LayerKind::Pool2d {
+                in_h: in_hw,
+                in_w: in_hw,
+                channels,
+                kernel,
+                stride,
+            },
+        ));
+        self
+    }
+
+    /// Appends a residual/element-wise addition over `elements` scalars.
+    pub fn eltwise(mut self, name: impl Into<String>, elements: u64) -> Self {
+        self.layers.push(Layer::new(name, LayerKind::Eltwise { elements }));
+        self
+    }
+
+    /// Appends a normalization layer.
+    pub fn norm(mut self, name: impl Into<String>, elements: u64) -> Self {
+        self.layers.push(Layer::new(name, LayerKind::Norm { elements }));
+        self
+    }
+
+    /// Appends a softmax layer.
+    pub fn softmax(mut self, name: impl Into<String>, rows: u64, cols: u64) -> Self {
+        self.layers.push(Layer::new(name, LayerKind::Softmax { rows, cols }));
+        self
+    }
+
+    /// Appends a stand-alone activation layer.
+    pub fn activation(mut self, name: impl Into<String>, elements: u64) -> Self {
+        self.layers.push(Layer::new(name, LayerKind::Activation { elements }));
+        self
+    }
+
+    /// Number of layers appended so far.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if no layers have been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Finalizes the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no layers were added.
+    pub fn build(self) -> Model {
+        Model::new(self.name, self.layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_preserves_order() {
+        let m = ModelBuilder::new("t")
+            .gemm("a", 1, 1, 1)
+            .gemm("b", 2, 2, 2)
+            .build();
+        assert_eq!(m.layers()[0].name, "a");
+        assert_eq!(m.layers()[1].name, "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_model_panics() {
+        let _ = Model::new("empty", vec![]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let m = ModelBuilder::new("t")
+            .gemm("a", 10, 20, 1)
+            .gemm("b", 5, 10, 1)
+            .build();
+        let s = m.stats(DataType::Int8);
+        assert_eq!(s.layers, 2);
+        assert_eq!(s.macs, 10 * 20 + 5 * 10);
+        assert_eq!(s.weight_bytes, 10 * 20 + 5 * 10);
+        assert_eq!(s.output_bytes, 10 + 5);
+    }
+
+    #[test]
+    fn display_mentions_layer_count() {
+        let m = ModelBuilder::new("net").gemm("a", 1, 1, 1).build();
+        assert_eq!(m.to_string(), "net (1 layers)");
+    }
+}

@@ -1,0 +1,192 @@
+//! JSON description files for workloads (the "input configs" of Figure 4).
+//!
+//! The paper's framework receives *description files of the multi-model
+//! workloads (layer parameters, topology, dependencies, etc.)*. This module
+//! provides that interface: [`Model`]s and [`Scenario`]s serialize to and
+//! from JSON, so scenarios can be authored outside the built-in
+//! [`crate::zoo`].
+//!
+//! ```
+//! use scar_workloads::{parse, ModelBuilder};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = ModelBuilder::new("toy").gemm("fc", 16, 8, 1).build();
+//! let json = parse::model_to_json(&model)?;
+//! let back = parse::model_from_json(&json)?;
+//! assert_eq!(model, back);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{Model, Scenario};
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Errors produced when reading or writing workload description files.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The JSON was malformed or did not match the schema.
+    Json(serde_json::Error),
+    /// The description violated a structural invariant (e.g. empty model).
+    Invalid(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error reading description file: {e}"),
+            ParseError::Json(e) => write!(f, "malformed workload description: {e}"),
+            ParseError::Invalid(msg) => write!(f, "invalid workload description: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            ParseError::Json(e) => Some(e),
+            ParseError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ParseError {
+    fn from(e: serde_json::Error) -> Self {
+        ParseError::Json(e)
+    }
+}
+
+/// Serializes a model to pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns [`ParseError::Json`] if serialization fails (cannot happen for
+/// well-formed models; kept fallible for API symmetry).
+pub fn model_to_json(model: &Model) -> Result<String, ParseError> {
+    Ok(serde_json::to_string_pretty(model)?)
+}
+
+/// Parses a model from JSON.
+///
+/// # Errors
+///
+/// Returns [`ParseError::Json`] on malformed JSON and
+/// [`ParseError::Invalid`] if the model has no layers.
+pub fn model_from_json(json: &str) -> Result<Model, ParseError> {
+    let model: Model = serde_json::from_str(json)?;
+    if model.num_layers() == 0 {
+        return Err(ParseError::Invalid("model has no layers".into()));
+    }
+    Ok(model)
+}
+
+/// Serializes a scenario to pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns [`ParseError::Json`] if serialization fails.
+pub fn scenario_to_json(scenario: &Scenario) -> Result<String, ParseError> {
+    Ok(serde_json::to_string_pretty(scenario)?)
+}
+
+/// Parses a scenario from JSON.
+///
+/// # Errors
+///
+/// Returns [`ParseError::Json`] on malformed JSON and
+/// [`ParseError::Invalid`] on structural violations (no models, zero batch).
+pub fn scenario_from_json(json: &str) -> Result<Scenario, ParseError> {
+    let sc: Scenario = serde_json::from_str(json)?;
+    if sc.models().is_empty() {
+        return Err(ParseError::Invalid("scenario has no models".into()));
+    }
+    if sc.models().iter().any(|m| m.batch == 0) {
+        return Err(ParseError::Invalid("zero batch size".into()));
+    }
+    Ok(sc)
+}
+
+/// Loads a scenario description file.
+///
+/// # Errors
+///
+/// See [`scenario_from_json`]; additionally returns [`ParseError::Io`] if
+/// the file cannot be read.
+pub fn load_scenario(path: impl AsRef<Path>) -> Result<Scenario, ParseError> {
+    scenario_from_json(&fs::read_to_string(path)?)
+}
+
+/// Writes a scenario description file.
+///
+/// # Errors
+///
+/// Returns [`ParseError::Io`] if the file cannot be written.
+pub fn save_scenario(scenario: &Scenario, path: impl AsRef<Path>) -> Result<(), ParseError> {
+    Ok(fs::write(path, scenario_to_json(scenario)?)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{zoo, ModelBuilder, Scenario};
+
+    #[test]
+    fn model_roundtrip() {
+        let m = zoo::eyecod();
+        let j = model_to_json(&m).unwrap();
+        assert_eq!(model_from_json(&j).unwrap(), m);
+    }
+
+    #[test]
+    fn scenario_roundtrip() {
+        let sc = Scenario::datacenter(2);
+        let j = scenario_to_json(&sc).unwrap();
+        assert_eq!(scenario_from_json(&j).unwrap(), sc);
+    }
+
+    #[test]
+    fn malformed_json_is_reported() {
+        let err = model_from_json("{not json").unwrap_err();
+        assert!(matches!(err, ParseError::Json(_)));
+        assert!(err.to_string().contains("malformed"));
+    }
+
+    #[test]
+    fn zero_batch_rejected() {
+        let sc = Scenario::datacenter(1);
+        let mut v: serde_json::Value = serde_json::from_str(&scenario_to_json(&sc).unwrap()).unwrap();
+        v["models"][0]["batch"] = serde_json::json!(0);
+        let err = scenario_from_json(&v.to_string()).unwrap_err();
+        assert!(matches!(err, ParseError::Invalid(_)));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("scar_workloads_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sc1.json");
+        let sc = Scenario::datacenter(1);
+        save_scenario(&sc, &path).unwrap();
+        assert_eq!(load_scenario(&path).unwrap(), sc);
+    }
+
+    #[test]
+    fn custom_model_roundtrip_via_builder() {
+        let m = ModelBuilder::new("custom")
+            .conv("c1", 32, 3, 8, 3, 1)
+            .gemm("fc", 10, 8 * 32 * 32, 1)
+            .build();
+        let j = model_to_json(&m).unwrap();
+        assert_eq!(model_from_json(&j).unwrap().num_layers(), 2);
+    }
+}

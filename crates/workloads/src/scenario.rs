@@ -1,0 +1,307 @@
+//! Multi-model workload scenarios (paper Table III).
+
+use crate::{zoo, DataType, Layer, LayerId, Model};
+use serde::{Deserialize, Serialize};
+
+/// The deployment domain a scenario is curated for (paper §V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UseCase {
+    /// MLPerf-inspired datacenter multi-tenancy (scenarios 1–5).
+    Datacenter,
+    /// XRBench-inspired AR/VR (scenarios 6–10).
+    ArVr,
+}
+
+impl std::fmt::Display for UseCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UseCase::Datacenter => write!(f, "datacenter"),
+            UseCase::ArVr => write!(f, "AR/VR"),
+        }
+    }
+}
+
+/// One model instance inside a scenario, with its batch size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioModel {
+    /// The model architecture.
+    pub model: Model,
+    /// Inference batch size (Table III).
+    pub batch: u64,
+}
+
+/// A multi-model workload scenario: Definition 1's `Sc`, the set of all
+/// layers of all constituent models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    name: String,
+    use_case: UseCase,
+    models: Vec<ScenarioModel>,
+}
+
+impl Scenario {
+    /// Creates a scenario from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty or any batch size is zero.
+    pub fn new(name: impl Into<String>, use_case: UseCase, models: Vec<ScenarioModel>) -> Self {
+        assert!(!models.is_empty(), "a scenario needs at least one model");
+        assert!(
+            models.iter().all(|m| m.batch > 0),
+            "batch sizes must be positive"
+        );
+        Self {
+            name: name.into(),
+            use_case,
+            models,
+        }
+    }
+
+    /// Scenario name (e.g. `"Sc4: LMs + Segmentation + Image"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Deployment domain.
+    pub fn use_case(&self) -> UseCase {
+        self.use_case
+    }
+
+    /// The constituent models with their batch sizes.
+    pub fn models(&self) -> &[ScenarioModel] {
+        &self.models
+    }
+
+    /// Total layer count `L = Σ |m_i|`.
+    pub fn num_layers(&self) -> usize {
+        self.models.iter().map(|m| m.model.num_layers()).sum()
+    }
+
+    /// Looks up a layer by its [`LayerId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this scenario.
+    pub fn layer(&self, id: LayerId) -> &Layer {
+        &self.models[id.model].model.layers()[id.layer]
+    }
+
+    /// Batch size of the model owning `id`.
+    pub fn batch_of(&self, id: LayerId) -> u64 {
+        self.models[id.model].batch
+    }
+
+    /// All layer ids in (model, layer) order.
+    pub fn layer_ids(&self) -> Vec<LayerId> {
+        let mut out = Vec::with_capacity(self.num_layers());
+        for (mi, m) in self.models.iter().enumerate() {
+            for li in 0..m.model.num_layers() {
+                out.push(LayerId::new(mi, li));
+            }
+        }
+        out
+    }
+
+    /// Total batched MACs across all models (workload "weight" used in
+    /// reports).
+    pub fn total_macs(&self) -> u64 {
+        self.models
+            .iter()
+            .map(|m| m.model.stats(DataType::Int8).macs * m.batch)
+            .sum()
+    }
+
+    /// Builds datacenter scenario `n` (1–5) from Table III.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not in `1..=5`.
+    pub fn datacenter(n: usize) -> Self {
+        let m = |model: Model, batch: u64| ScenarioModel { model, batch };
+        match n {
+            1 => Self::new(
+                "Sc1: LMs",
+                UseCase::Datacenter,
+                vec![m(zoo::gpt_l(), 1), m(zoo::bert_large(), 3)],
+            ),
+            2 => Self::new(
+                "Sc2: LMs + Image",
+                UseCase::Datacenter,
+                vec![m(zoo::gpt_l(), 1), m(zoo::bert_large(), 3), m(zoo::resnet50(), 1)],
+            ),
+            3 => Self::new(
+                "Sc3: LMs + Image",
+                UseCase::Datacenter,
+                vec![m(zoo::gpt_l(), 1), m(zoo::bert_large(), 3), m(zoo::resnet50(), 32)],
+            ),
+            4 => Self::new(
+                "Sc4: LMs + Segmentation + Image",
+                UseCase::Datacenter,
+                vec![
+                    m(zoo::gpt_l(), 8),
+                    m(zoo::bert_large(), 24),
+                    m(zoo::unet(), 1),
+                    m(zoo::resnet50(), 32),
+                ],
+            ),
+            5 => Self::new(
+                "Sc5: LMs + Segmentation + Image",
+                UseCase::Datacenter,
+                vec![
+                    m(zoo::gpt_l(), 8),
+                    m(zoo::bert_large(), 24),
+                    m(zoo::bert_base(), 24),
+                    m(zoo::unet(), 1),
+                    m(zoo::resnet50(), 32),
+                    m(zoo::googlenet(), 32),
+                ],
+            ),
+            _ => panic!("datacenter scenarios are numbered 1..=5, got {n}"),
+        }
+    }
+
+    /// Builds AR/VR scenario `n` (6–10) from Table III.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not in `6..=10`.
+    pub fn arvr(n: usize) -> Self {
+        let m = |model: Model, batch: u64| ScenarioModel { model, batch };
+        match n {
+            6 => Self::new(
+                "Sc6: AR Assistant",
+                UseCase::ArVr,
+                vec![
+                    m(zoo::d2go(), 10),
+                    m(zoo::plane_rcnn(), 15),
+                    m(zoo::midas(), 30),
+                    m(zoo::emformer(), 3),
+                    m(zoo::hrvit(), 10),
+                ],
+            ),
+            7 => Self::new(
+                "Sc7: AR Gaming",
+                UseCase::ArVr,
+                vec![m(zoo::plane_rcnn(), 15), m(zoo::hand_sp(), 45), m(zoo::midas(), 30)],
+            ),
+            8 => Self::new(
+                "Sc8: Outdoors",
+                UseCase::ArVr,
+                vec![m(zoo::d2go(), 30), m(zoo::emformer(), 3)],
+            ),
+            9 => Self::new(
+                "Sc9: Social",
+                UseCase::ArVr,
+                vec![m(zoo::eyecod(), 60), m(zoo::hand_sp(), 30), m(zoo::sp2dense(), 30)],
+            ),
+            10 => Self::new(
+                "Sc10: VR Gaming",
+                UseCase::ArVr,
+                vec![m(zoo::eyecod(), 60), m(zoo::hand_sp(), 45)],
+            ),
+            _ => panic!("AR/VR scenarios are numbered 6..=10, got {n}"),
+        }
+    }
+
+    /// Builds any Table III scenario by its number (1–10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not in `1..=10`.
+    pub fn by_id(n: usize) -> Self {
+        match n {
+            1..=5 => Self::datacenter(n),
+            6..=10 => Self::arvr(n),
+            _ => panic!("scenarios are numbered 1..=10, got {n}"),
+        }
+    }
+
+    /// All five datacenter scenarios.
+    pub fn all_datacenter() -> Vec<Self> {
+        (1..=5).map(Self::datacenter).collect()
+    }
+
+    /// All five AR/VR scenarios.
+    pub fn all_arvr() -> Vec<Self> {
+        (6..=10).map(Self::arvr).collect()
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}]:", self.name, self.use_case)?;
+        for m in &self.models {
+            write!(f, " {}(b{})", m.model.name(), m.batch)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ten_scenarios_build() {
+        for n in 1..=10 {
+            let sc = Scenario::by_id(n);
+            assert!(!sc.models().is_empty());
+            assert!(sc.num_layers() > 20, "{} too small", sc.name());
+        }
+    }
+
+    #[test]
+    fn scenario_counts_match_table_iii() {
+        assert_eq!(Scenario::datacenter(1).models().len(), 2);
+        assert_eq!(Scenario::datacenter(2).models().len(), 3);
+        assert_eq!(Scenario::datacenter(3).models().len(), 3);
+        assert_eq!(Scenario::datacenter(4).models().len(), 4);
+        assert_eq!(Scenario::datacenter(5).models().len(), 6);
+        assert_eq!(Scenario::arvr(6).models().len(), 5);
+        assert_eq!(Scenario::arvr(7).models().len(), 3);
+        assert_eq!(Scenario::arvr(8).models().len(), 2);
+        assert_eq!(Scenario::arvr(9).models().len(), 3);
+        assert_eq!(Scenario::arvr(10).models().len(), 2);
+    }
+
+    #[test]
+    fn sc4_layer_totals_match_table_vi() {
+        // Table VI: GPT-L 120 + BERT-L 60 + U-Net 23 + ResNet 66 = 269 layers
+        let sc = Scenario::datacenter(4);
+        assert_eq!(sc.num_layers(), 269);
+    }
+
+    #[test]
+    fn sc3_resnet_batch_is_32() {
+        let sc = Scenario::datacenter(3);
+        let rn = sc
+            .models()
+            .iter()
+            .find(|m| m.model.name() == "ResNet-50")
+            .unwrap();
+        assert_eq!(rn.batch, 32);
+    }
+
+    #[test]
+    fn layer_ids_cover_all_layers_in_order() {
+        let sc = Scenario::datacenter(1);
+        let ids = sc.layer_ids();
+        assert_eq!(ids.len(), sc.num_layers());
+        assert_eq!(ids[0], LayerId::new(0, 0));
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered")]
+    fn out_of_range_scenario_panics() {
+        let _ = Scenario::by_id(11);
+    }
+
+    #[test]
+    fn batch_of_matches_model() {
+        let sc = Scenario::datacenter(3);
+        let last_model = sc.models().len() - 1;
+        assert_eq!(sc.batch_of(LayerId::new(last_model, 0)), 32);
+    }
+}

@@ -1,0 +1,201 @@
+//! Convolutional classifiers: ResNet-50 and GoogleNet.
+
+use crate::{Model, ModelBuilder};
+
+/// Appends one ResNet bottleneck block (`1×1 → 3×3 → 1×1` + residual).
+///
+/// The first block of a stage uses `stride` on the 3×3 and replaces the
+/// residual addition with the 1×1 projection shortcut (projection + add are
+/// fused, the standard accelerator fusion), so every block contributes
+/// exactly 4 scheduling units.
+fn bottleneck(
+    mut b: ModelBuilder,
+    tag: &str,
+    in_hw: u64,
+    in_ch: u64,
+    mid_ch: u64,
+    out_ch: u64,
+    stride: u64,
+    project: bool,
+) -> ModelBuilder {
+    let out_hw = in_hw / stride;
+    b = b
+        .conv(format!("{tag}.conv1"), in_hw, in_ch, mid_ch, 1, 1)
+        .conv(format!("{tag}.conv2"), in_hw, mid_ch, mid_ch, 3, stride)
+        .conv(format!("{tag}.conv3"), out_hw, mid_ch, out_ch, 1, 1);
+    if project {
+        b.conv(format!("{tag}.proj"), in_hw, in_ch, out_ch, 1, stride)
+    } else {
+        b.eltwise(format!("{tag}.add"), out_hw * out_hw * out_ch)
+    }
+}
+
+/// Appends the ResNet-50 convolutional trunk for a square input of
+/// `input_hw` pixels and `in_ch` channels, returning the builder and the
+/// final feature-map edge (input_hw / 32).
+///
+/// Used directly by ResNet-50 and reused (at other resolutions) by the
+/// XRBench backbones (PlaneRCNN, MiDaS).
+pub fn resnet_trunk(mut b: ModelBuilder, input_hw: u64, in_ch: u64) -> (ModelBuilder, u64) {
+    // conv1 7×7/2; the following 3×3/2 max-pool is folded into conv1.
+    b = b.conv("conv1", input_hw, in_ch, 64, 7, 2);
+    let mut hw = input_hw / 4; // conv1 stride 2 + folded pool stride 2
+    let stages: [(u64, u64, u64, usize); 4] = [
+        (64, 256, 1, 3),
+        (128, 512, 2, 4),
+        (256, 1024, 2, 6),
+        (512, 2048, 2, 3),
+    ];
+    let mut in_ch = 64;
+    for (si, &(mid, out, stride, blocks)) in stages.iter().enumerate() {
+        for bi in 0..blocks {
+            let (s, project) = if bi == 0 { (stride, true) } else { (1, false) };
+            b = bottleneck(
+                b,
+                &format!("stage{}.block{}", si + 1, bi),
+                hw,
+                in_ch,
+                mid,
+                out,
+                s,
+                project,
+            );
+            if bi == 0 {
+                hw /= stride;
+                in_ch = out;
+            }
+        }
+    }
+    (b, hw)
+}
+
+/// A ResNet-50 backbone (no classifier head) at a custom input resolution.
+pub fn resnet_backbone(name: &str, input_hw: u64, in_ch: u64) -> Model {
+    let (b, _) = resnet_trunk(ModelBuilder::new(name), input_hw, in_ch);
+    b.build()
+}
+
+/// ResNet-50 for 224×224×3 ImageNet classification (He et al. [24]).
+///
+/// 66 scheduling units, matching Table VI: `conv1` + 16 bottleneck blocks ×
+/// 4 units (three convolutions plus either the projection shortcut or the
+/// fused residual add) + the classifier GEMM. Pooling layers are folded into
+/// their adjacent tensor ops.
+pub fn resnet50() -> Model {
+    let (b, _) = resnet_trunk(ModelBuilder::new("ResNet-50"), 224, 3);
+    // global average pool folded into the classifier
+    b.gemm("fc", 1000, 2048, 1).build()
+}
+
+/// Appends one GoogleNet inception module (6 convolutions; the pool branch's
+/// 3×3 max-pool is folded into its 1×1 projection).
+#[allow(clippy::too_many_arguments)]
+fn inception(
+    b: ModelBuilder,
+    tag: &str,
+    hw: u64,
+    in_ch: u64,
+    c1: u64,
+    c3r: u64,
+    c3: u64,
+    c5r: u64,
+    c5: u64,
+    pp: u64,
+) -> ModelBuilder {
+    b.conv(format!("{tag}.1x1"), hw, in_ch, c1, 1, 1)
+        .conv(format!("{tag}.3x3_reduce"), hw, in_ch, c3r, 1, 1)
+        .conv(format!("{tag}.3x3"), hw, c3r, c3, 3, 1)
+        .conv(format!("{tag}.5x5_reduce"), hw, in_ch, c5r, 1, 1)
+        .conv(format!("{tag}.5x5"), hw, c5r, c5, 5, 1)
+        .conv(format!("{tag}.pool_proj"), hw, in_ch, pp, 1, 1)
+}
+
+/// GoogleNet (Inception v1) for 224×224×3 classification (Szegedy et al. [67]).
+///
+/// 3 stem convolutions, 9 inception modules (6 convs each), 3 inter-stage
+/// pools, and the classifier GEMM: 61 scheduling units.
+pub fn googlenet() -> Model {
+    let mut b = ModelBuilder::new("GoogleNet")
+        .conv("conv1", 224, 3, 64, 7, 2) // -> 112, pool folded -> 56
+        .conv("conv2_reduce", 56, 64, 64, 1, 1)
+        .conv("conv2", 56, 64, 192, 3, 1)
+        .pool("pool2", 56, 192, 2, 2); // -> 28
+
+    // (in_ch, 1x1, 3x3r, 3x3, 5x5r, 5x5, pool_proj) at 28×28
+    b = inception(b, "3a", 28, 192, 64, 96, 128, 16, 32, 32);
+    b = inception(b, "3b", 28, 256, 128, 128, 192, 32, 96, 64);
+    b = b.pool("pool3", 28, 480, 2, 2); // -> 14
+    b = inception(b, "4a", 14, 480, 192, 96, 208, 16, 48, 64);
+    b = inception(b, "4b", 14, 512, 160, 112, 224, 24, 64, 64);
+    b = inception(b, "4c", 14, 512, 128, 128, 256, 24, 64, 64);
+    b = inception(b, "4d", 14, 512, 112, 144, 288, 32, 64, 64);
+    b = inception(b, "4e", 14, 528, 256, 160, 320, 32, 128, 128);
+    b = b.pool("pool4", 14, 832, 2, 2); // -> 7
+    b = inception(b, "5a", 7, 832, 256, 160, 320, 32, 128, 128);
+    b = inception(b, "5b", 7, 832, 384, 192, 384, 48, 128, 128);
+    // global average pool folded into the classifier
+    b.gemm("fc", 1000, 1024, 1).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataType, LayerKind};
+
+    #[test]
+    fn resnet50_has_66_units() {
+        assert_eq!(resnet50().num_layers(), 66);
+    }
+
+    #[test]
+    fn resnet50_macs_in_expected_range() {
+        // ResNet-50 is ~4.1 GMACs; fused pooling shifts this slightly.
+        let macs = resnet50().stats(DataType::Int8).macs;
+        assert!(
+            (3_500_000_000..5_000_000_000).contains(&macs),
+            "unexpected ResNet-50 MACs: {macs}"
+        );
+    }
+
+    #[test]
+    fn resnet50_params_near_25m() {
+        let w = resnet50().stats(DataType::Int8).weight_bytes;
+        assert!((20_000_000..30_000_000).contains(&w), "params: {w}");
+    }
+
+    #[test]
+    fn resnet50_spatial_dims_telescope() {
+        // final stage operates on 7×7 maps: last bottleneck conv3 outputs 7*7*2048
+        let m = resnet50();
+        let last_conv = m
+            .layers()
+            .iter()
+            .rev()
+            .find(|l| matches!(l.kind, LayerKind::Conv2d { .. }))
+            .unwrap();
+        assert_eq!(last_conv.kind.output_elems(), 7 * 7 * 2048);
+    }
+
+    #[test]
+    fn googlenet_unit_count() {
+        assert_eq!(googlenet().num_layers(), 61);
+    }
+
+    #[test]
+    fn googlenet_macs_in_expected_range() {
+        // GoogleNet is ~1.5 GMACs
+        let macs = googlenet().stats(DataType::Int8).macs;
+        assert!(
+            (1_000_000_000..2_500_000_000).contains(&macs),
+            "unexpected GoogleNet MACs: {macs}"
+        );
+    }
+
+    #[test]
+    fn backbone_scales_with_resolution() {
+        let small = resnet_backbone("r", 224, 3).stats(DataType::Int8).macs;
+        let big = resnet_backbone("r", 448, 3).stats(DataType::Int8).macs;
+        // 2x resolution => ~4x MACs
+        assert!(big > 3 * small && big < 5 * small);
+    }
+}

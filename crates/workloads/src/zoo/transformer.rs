@@ -1,0 +1,136 @@
+//! Transformer language/speech models: GPT-L, BERT-L, BERT-base, Emformer.
+
+use crate::{Model, ModelBuilder};
+
+/// Appends one transformer block as 6 scheduling units:
+/// fused QKV projection, attention scores (QKᵀ), attention context (softmax·V
+/// — softmax folded), output projection, FFN up, FFN down.
+/// LayerNorms are folded into the adjacent GEMMs.
+fn block(mut b: ModelBuilder, tag: &str, d: u64, heads: u64, d_ff: u64, seq: u64) -> ModelBuilder {
+    let dh = d / heads;
+    b = b
+        .gemm(format!("{tag}.qkv"), 3 * d, d, seq)
+        .matmul(format!("{tag}.scores"), seq, dh, seq, heads)
+        .matmul(format!("{tag}.context"), seq, seq, dh, heads)
+        .gemm(format!("{tag}.proj"), d, d, seq)
+        .gemm(format!("{tag}.ffn_up"), d_ff, d, seq)
+        .gemm(format!("{tag}.ffn_down"), d, d_ff, seq);
+    b
+}
+
+/// A generic transformer encoder/decoder stack (6 units per block).
+///
+/// SCAR schedules encoders and decoders identically (causal masking does not
+/// change operator shapes at a fixed sequence length), so one constructor
+/// serves both.
+pub fn transformer_encoder(
+    name: &str,
+    blocks: u64,
+    d_model: u64,
+    heads: u64,
+    d_ff: u64,
+    seq: u64,
+) -> Model {
+    assert!(d_model % heads == 0, "d_model must be divisible by heads");
+    let mut b = ModelBuilder::new(name);
+    for i in 0..blocks {
+        b = block(b, &format!("block{i}"), d_model, heads, d_ff, seq);
+    }
+    b.build()
+}
+
+/// GPT-L: a GPT-2-style decoder (Radford et al. [60]) at sequence length 128.
+///
+/// 20 blocks × 6 units = 120 scheduling units, matching Table VI.
+/// d_model = 1280 and d_ff = 4·d follow the GPT-2-Large configuration; the
+/// block count is chosen so the scheduling-problem size equals the paper's.
+pub fn gpt_l() -> Model {
+    transformer_encoder("GPT-L", 20, 1280, 20, 5120, 128)
+}
+
+/// BERT-L: a BERT-Large-style encoder (Devlin et al. [15]) at sequence
+/// length 128.
+///
+/// 10 blocks × 6 units = 60 scheduling units, matching Table VI; d_model =
+/// 1024, d_ff = 4096 follow BERT-Large.
+pub fn bert_large() -> Model {
+    transformer_encoder("BERT-L", 10, 1024, 16, 4096, 128)
+}
+
+/// BERT-base encoder (Devlin et al. [15]): 12 blocks, d_model = 768,
+/// sequence length 128 → 72 scheduling units.
+pub fn bert_base() -> Model {
+    transformer_encoder("BERT-base", 12, 768, 12, 3072, 128)
+}
+
+/// Emformer streaming speech-recognition transformer (Shi et al. [66]).
+///
+/// Streaming segment of 64 frames, 12 blocks, d_model = 512: the
+/// low-sequence-length, GEMM-dominated profile of XRBench's audio pipeline.
+pub fn emformer() -> Model {
+    transformer_encoder("Emformer", 12, 512, 8, 2048, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataType, LayerKind};
+
+    #[test]
+    fn gpt_l_has_120_units() {
+        assert_eq!(gpt_l().num_layers(), 120);
+    }
+
+    #[test]
+    fn bert_l_has_60_units() {
+        assert_eq!(bert_large().num_layers(), 60);
+    }
+
+    #[test]
+    fn bert_base_unit_count() {
+        assert_eq!(bert_base().num_layers(), 72);
+    }
+
+    #[test]
+    fn emformer_unit_count() {
+        assert_eq!(emformer().num_layers(), 72);
+    }
+
+    #[test]
+    fn blocks_are_six_units() {
+        let m = transformer_encoder("t", 3, 64, 4, 256, 16);
+        assert_eq!(m.num_layers(), 18);
+    }
+
+    #[test]
+    fn attention_matmuls_have_no_weights() {
+        let m = gpt_l();
+        let scores = m
+            .layers()
+            .iter()
+            .find(|l| l.name.ends_with("scores"))
+            .unwrap();
+        assert_eq!(scores.weight_bytes(DataType::Int8), 0);
+        assert!(matches!(scores.kind, LayerKind::MatMul { heads: 20, .. }));
+    }
+
+    #[test]
+    fn gpt_l_weights_dominated_by_ffn() {
+        // per block: qkv 3d², proj d², ffn 8d² → ffn is the majority
+        let m = gpt_l();
+        let total: u64 = m.layers().iter().map(|l| l.weight_bytes(DataType::Int8)).sum();
+        let ffn: u64 = m
+            .layers()
+            .iter()
+            .filter(|l| l.name.contains("ffn"))
+            .map(|l| l.weight_bytes(DataType::Int8))
+            .sum();
+        assert!(ffn * 2 > total, "FFN weights should be the majority");
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_heads_panic() {
+        let _ = transformer_encoder("bad", 1, 100, 3, 400, 8);
+    }
+}

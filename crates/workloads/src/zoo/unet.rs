@@ -1,0 +1,72 @@
+//! U-Net medical image segmentation (Ronneberger et al. [63]).
+
+use crate::{Model, ModelBuilder};
+
+/// U-Net for 512×512×1 segmentation: 23 scheduling units, matching Table VI.
+///
+/// Encoder: 4 levels × 2 convs (8), bottleneck: 2 convs, decoder: 4 levels ×
+/// (1×1 up-projection on the upsampled grid + 2 convs) (12), final 1×1
+/// classifier (1). Max-pools are folded into the following convolution;
+/// the 2×2 transposed convolutions are cost-equivalent to a 1×1 convolution
+/// on the upsampled grid (each output pixel receives exactly one tap when
+/// stride equals the kernel), which is how they are modeled.
+pub fn unet() -> Model {
+    let mut b = ModelBuilder::new("U-Net");
+    // encoder: 512 -> 256 -> 128 -> 64 at channels 64,128,256,512
+    let mut hw = 512u64;
+    let mut in_ch = 1u64;
+    let mut skip_ch = Vec::new();
+    for (i, ch) in [64u64, 128, 256, 512].into_iter().enumerate() {
+        b = b
+            .conv(format!("enc{i}.conv1"), hw, in_ch, ch, 3, 1)
+            .conv(format!("enc{i}.conv2"), hw, ch, ch, 3, 1);
+        skip_ch.push((hw, ch));
+        hw /= 2; // folded max-pool
+        in_ch = ch;
+    }
+    // bottleneck at 32×32×1024
+    b = b
+        .conv("mid.conv1", hw, 512, 1024, 3, 1)
+        .conv("mid.conv2", hw, 1024, 1024, 3, 1);
+    let mut ch = 1024u64;
+    // decoder: mirror the encoder
+    for (i, (skip_hw, skip)) in skip_ch.into_iter().enumerate().rev() {
+        // transposed conv 2×2/2 == 1×1 conv on the upsampled grid
+        b = b.conv(format!("dec{i}.up"), skip_hw, ch, skip, 1, 1);
+        // concat(skip, up) -> skip channels
+        b = b
+            .conv(format!("dec{i}.conv1"), skip_hw, 2 * skip, skip, 3, 1)
+            .conv(format!("dec{i}.conv2"), skip_hw, skip, skip, 3, 1);
+        ch = skip;
+    }
+    b.conv("head", 512, 64, 2, 1, 1).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataType;
+
+    #[test]
+    fn unet_has_23_units() {
+        assert_eq!(unet().num_layers(), 23);
+    }
+
+    #[test]
+    fn unet_is_heavy() {
+        // 512×512 U-Net is in the hundreds of GMACs — the paper's heaviest
+        // single-sample workload.
+        let macs = unet().stats(DataType::Int8).macs;
+        assert!(macs > 100_000_000_000, "U-Net MACs too small: {macs}");
+    }
+
+    #[test]
+    fn decoder_mirrors_encoder_resolution() {
+        let m = unet();
+        let first = &m.layers()[0];
+        let head = m.layers().last().unwrap();
+        // both the first conv and the head operate on 512×512 grids
+        assert_eq!(first.kind.output_elems() / 64, 512 * 512);
+        assert_eq!(head.kind.output_elems() / 2, 512 * 512);
+    }
+}

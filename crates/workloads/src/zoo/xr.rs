@@ -1,0 +1,288 @@
+//! XRBench AR/VR model suite (Kwon et al. [38]).
+//!
+//! XRBench distributes task definitions, not exact layer lists; these
+//! architectures follow the cited backbone families (FBNet-style detector,
+//! ResNet-FPN, ResNet encoder-decoders, hybrid ViT) at XR-typical input
+//! resolutions, giving each task the operator mix and compute footprint the
+//! paper's scheduling study depends on (see DESIGN.md §3).
+
+use super::cnn::resnet_trunk;
+use crate::{Model, ModelBuilder};
+
+/// Appends an inverted-residual block (1×1 expand → 3×3 depthwise → 1×1
+/// project, plus a fused residual when shapes match).
+fn inverted_residual(
+    mut b: ModelBuilder,
+    tag: &str,
+    hw: u64,
+    in_ch: u64,
+    out_ch: u64,
+    expand: u64,
+    stride: u64,
+) -> ModelBuilder {
+    let mid = in_ch * expand;
+    let out_hw = hw / stride;
+    b = b
+        .conv(format!("{tag}.expand"), hw, in_ch, mid, 1, 1)
+        .dwconv(format!("{tag}.dw"), hw, mid, 3, stride)
+        .conv(format!("{tag}.project"), out_hw, mid, out_ch, 1, 1);
+    if stride == 1 && in_ch == out_ch {
+        b = b.eltwise(format!("{tag}.add"), out_hw * out_hw * out_ch);
+    }
+    b
+}
+
+/// D2GO mobile object detector (Meta [46]) at 320×320×3.
+///
+/// FBNet-style inverted-residual backbone plus an SSD-like detection head.
+pub fn d2go() -> Model {
+    let mut b = ModelBuilder::new("D2GO").conv("stem", 320, 3, 16, 3, 2); // -> 160
+    let stages: &[(u64, u64, u64, u64, usize)] = &[
+        // (hw_in, out_ch, expand, first_stride, blocks)
+        (160, 24, 4, 2, 2),
+        (80, 32, 4, 2, 3),
+        (40, 64, 4, 2, 3),
+        (20, 96, 4, 1, 2),
+        (20, 160, 6, 2, 2),
+    ];
+    let mut in_ch = 16;
+    for (si, &(hw_in, out_ch, expand, first_stride, blocks)) in stages.iter().enumerate() {
+        let mut hw = hw_in;
+        for bi in 0..blocks {
+            let stride = if bi == 0 { first_stride } else { 1 };
+            b = inverted_residual(
+                b,
+                &format!("s{si}.b{bi}"),
+                hw,
+                if bi == 0 { in_ch } else { out_ch },
+                out_ch,
+                expand,
+                stride,
+            );
+            hw /= stride;
+        }
+        in_ch = out_ch;
+    }
+    // detection head over the final 10×10 map and the 20×20 intermediate map
+    b.conv("head.cls10", 10, 160, 486, 3, 1)
+        .conv("head.reg10", 10, 160, 24, 3, 1)
+        .conv("head.cls20", 20, 96, 486, 3, 1)
+        .conv("head.reg20", 20, 96, 24, 3, 1)
+        .build()
+}
+
+/// PlaneRCNN plane detection (Liu et al. [41]): ResNet-50-FPN backbone at
+/// 512×512 plus RPN and mask/plane heads.
+pub fn plane_rcnn() -> Model {
+    let (mut b, hw) = resnet_trunk(ModelBuilder::new("PlaneRCNN"), 512, 3);
+    // FPN: lateral 1×1 + output 3×3 at each pyramid level
+    let levels: &[(u64, u64)] = &[(hw, 2048), (hw * 2, 1024), (hw * 4, 512), (hw * 8, 256)];
+    for (i, &(lhw, ch)) in levels.iter().enumerate() {
+        b = b
+            .conv(format!("fpn.lat{i}"), lhw, ch, 256, 1, 1)
+            .conv(format!("fpn.out{i}"), lhw, 256, 256, 3, 1);
+    }
+    // RPN + plane/mask heads
+    b.conv("rpn.conv", hw * 4, 256, 256, 3, 1)
+        .conv("rpn.cls", hw * 4, 256, 6, 1, 1)
+        .conv("rpn.reg", hw * 4, 256, 24, 1, 1)
+        .conv("mask.conv1", 28, 256, 256, 3, 1)
+        .conv("mask.conv2", 28, 256, 256, 3, 1)
+        .conv("mask.out", 28, 256, 1, 1, 1)
+        .gemm("plane.params", 3 * 64, 256 * 49, 1)
+        .build()
+}
+
+/// MiDaS monocular depth estimation (Ranftl et al. [61]): ResNet-50 encoder
+/// at 256×256 with a 4-level refinement decoder.
+pub fn midas() -> Model {
+    let (mut b, hw) = resnet_trunk(ModelBuilder::new("MiDaS"), 256, 3);
+    let mut ch = 2048u64;
+    let mut cur = hw;
+    for i in 0..4 {
+        cur *= 2;
+        let out = (ch / 2).max(64);
+        b = b
+            .conv(format!("dec{i}.up"), cur, ch, out, 1, 1)
+            .conv(format!("dec{i}.fuse"), cur, out, out, 3, 1);
+        ch = out;
+    }
+    b.conv("head.conv", cur, ch, 32, 3, 1)
+        .conv("head.out", cur, 32, 1, 1, 1)
+        .build()
+}
+
+/// HRViT hybrid vision transformer for semantic segmentation
+/// (Facebook Research [17]) at 512×512: convolutional stem and patch
+/// embeddings interleaved with windowed-attention transformer blocks —
+/// the most operator-heterogeneous XR workload.
+pub fn hrvit() -> Model {
+    let mut b = ModelBuilder::new("HRViT")
+        .conv("stem.conv1", 512, 3, 32, 3, 2)
+        .conv("stem.conv2", 256, 32, 64, 3, 2); // -> 128
+    // three stages; tokens = (128/2^i)² after each patch-merging conv
+    let stages: &[(u64, u64, u64, usize)] = &[
+        // (grid, dim, heads, blocks)
+        (64, 128, 4, 2),
+        (32, 256, 8, 4),
+        (16, 512, 16, 2),
+    ];
+    let mut in_ch = 64;
+    for (si, &(grid, dim, heads, blocks)) in stages.iter().enumerate() {
+        // patch merging: strided conv halving the grid
+        b = b.conv(format!("s{si}.merge"), grid * 2, in_ch, dim, 3, 2);
+        let seq = grid * grid;
+        let dh = dim / heads;
+        for bi in 0..blocks {
+            let tag = format!("s{si}.b{bi}");
+            b = b
+                .dwconv(format!("{tag}.conv_mix"), grid, dim, 3, 1)
+                .gemm(format!("{tag}.qkv"), 3 * dim, dim, seq)
+                .matmul(format!("{tag}.scores"), seq, dh, seq, heads)
+                .matmul(format!("{tag}.context"), seq, seq, dh, heads)
+                .gemm(format!("{tag}.proj"), dim, dim, seq)
+                .gemm(format!("{tag}.ffn_up"), 4 * dim, dim, seq)
+                .gemm(format!("{tag}.ffn_down"), dim, 4 * dim, seq);
+        }
+        in_ch = dim;
+    }
+    // segmentation head on the stage-1 grid
+    b.conv("head.fuse", 64, 512, 256, 3, 1)
+        .conv("head.out", 64, 256, 19, 1, 1)
+        .build()
+}
+
+/// 3-D hand shape/pose estimation (Ge et al. [20]) at 224×224×3:
+/// ResNet-18-style encoder with pose and shape regression heads.
+pub fn hand_sp() -> Model {
+    let mut b = ModelBuilder::new("Hand-S/P").conv("conv1", 224, 3, 64, 7, 2); // -> 56 (pool folded)
+    let stages: &[(u64, u64, u64, usize)] = &[
+        (56, 64, 1, 2),
+        (56, 128, 2, 2),
+        (28, 256, 2, 2),
+        (14, 512, 2, 2),
+    ];
+    let mut in_ch = 64;
+    for (si, &(hw_in, ch, first_stride, blocks)) in stages.iter().enumerate() {
+        let mut hw = hw_in;
+        for bi in 0..blocks {
+            let stride = if bi == 0 { first_stride } else { 1 };
+            let tag = format!("s{si}.b{bi}");
+            b = b
+                .conv(format!("{tag}.conv1"), hw, if bi == 0 { in_ch } else { ch }, ch, 3, stride)
+                .conv(format!("{tag}.conv2"), hw / stride, ch, ch, 3, 1);
+            if stride == 1 && (bi > 0 || in_ch == ch) {
+                b = b.eltwise(format!("{tag}.add"), (hw / stride) * (hw / stride) * ch);
+            }
+            hw /= stride;
+        }
+        in_ch = ch;
+    }
+    // regression heads: 21×3 joint positions and the 61 MANO shape/pose
+    // coefficients (the mesh itself is decoded analytically from MANO)
+    b.gemm("head.pose", 21 * 3, 512 * 49, 1)
+        .gemm("head.shape", 61, 512 * 49, 1)
+        .build()
+}
+
+/// EyeCod gaze estimation (You et al. [75]) at 128×128×1: compact CNN with
+/// a regression head — the lightest XR workload.
+pub fn eyecod() -> Model {
+    ModelBuilder::new("EyeCod")
+        .conv("conv1", 128, 1, 32, 3, 2)
+        .conv("conv2", 64, 32, 64, 3, 2)
+        .conv("conv3", 32, 64, 128, 3, 2)
+        .conv("conv4", 16, 128, 128, 3, 1)
+        .conv("conv5", 16, 128, 256, 3, 2)
+        .conv("conv6", 8, 256, 256, 3, 1)
+        .gemm("fc1", 256, 256 * 64, 1)
+        .gemm("fc2", 3, 256, 1)
+        .build()
+}
+
+/// Sparse-to-dense depth refinement (Ma & Karaman [44]) at 224×224:
+/// encoder-decoder over RGB + sparse-depth input.
+pub fn sp2dense() -> Model {
+    let mut b = ModelBuilder::new("Sp2Dense").conv("conv1", 224, 4, 64, 7, 2); // -> 56 (pool folded)
+    let enc: &[(u64, u64, u64)] = &[(56, 128, 2), (28, 256, 2), (14, 512, 2)];
+    let mut in_ch = 64;
+    for (i, &(hw, ch, stride)) in enc.iter().enumerate() {
+        b = b
+            .conv(format!("enc{i}.conv1"), hw, in_ch, ch, 3, stride)
+            .conv(format!("enc{i}.conv2"), hw / stride, ch, ch, 3, 1);
+        in_ch = ch;
+    }
+    // decoder back to 56×56 then 224 head
+    let dec: &[(u64, u64)] = &[(14, 256), (28, 128), (56, 64)];
+    let mut ch = 512u64;
+    for (i, &(hw, out)) in dec.iter().enumerate() {
+        b = b
+            .conv(format!("dec{i}.up"), hw, ch, out, 1, 1)
+            .conv(format!("dec{i}.conv"), hw, out, out, 3, 1);
+        ch = out;
+    }
+    b.conv("head.up", 224, 64, 32, 1, 1)
+        .conv("head.out", 224, 32, 1, 3, 1)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataType, LayerKind};
+
+    #[test]
+    fn all_xr_models_build() {
+        for m in [d2go(), plane_rcnn(), midas(), hrvit(), hand_sp(), eyecod(), sp2dense()] {
+            assert!(m.num_layers() > 5, "{} too small", m.name());
+        }
+    }
+
+    #[test]
+    fn eyecod_is_lightest() {
+        let eye = eyecod().stats(DataType::Int8).macs;
+        for m in [d2go(), plane_rcnn(), midas(), hrvit(), hand_sp()] {
+            assert!(
+                m.stats(DataType::Int8).macs > eye,
+                "{} lighter than EyeCod",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn plane_rcnn_is_heaviest_xr_model() {
+        let pr = plane_rcnn().stats(DataType::Int8).macs;
+        for m in [d2go(), hand_sp(), eyecod(), sp2dense(), emformer_stub()] {
+            assert!(pr > m.stats(DataType::Int8).macs);
+        }
+    }
+
+    fn emformer_stub() -> crate::Model {
+        super::super::transformer::emformer()
+    }
+
+    #[test]
+    fn hrvit_mixes_convs_and_gemms() {
+        let m = hrvit();
+        let convs = m
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv2d { .. }))
+            .count();
+        let gemms = m
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Gemm { .. } | LayerKind::MatMul { .. }))
+            .count();
+        assert!(convs >= 8 && gemms >= 16, "convs={convs} gemms={gemms}");
+    }
+
+    #[test]
+    fn d2go_uses_depthwise_convs() {
+        assert!(d2go()
+            .layers()
+            .iter()
+            .any(|l| matches!(l.kind, LayerKind::Conv2d { groups, .. } if groups > 1)));
+    }
+}

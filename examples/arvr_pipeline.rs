@@ -1,0 +1,72 @@
+//! AR/VR pipeline: build a *custom* XR scenario from zoo models (a social
+//! application adding speech recognition to XRBench's "Social" mix) and
+//! schedule it on the 256-PE AR/VR package with different optimization
+//! targets.
+//!
+//! ```sh
+//! cargo run --release --example arvr_pipeline
+//! ```
+
+use scar::core::{OptMetric, Scar};
+use scar::mcm::templates::{het_sides_3x3, Profile};
+use scar::workloads::{zoo, Scenario, ScenarioModel, UseCase};
+
+fn main() {
+    // XRBench-style custom scenario: gaze + hands + depth + speech
+    let scenario = Scenario::new(
+        "Social+Voice",
+        UseCase::ArVr,
+        vec![
+            ScenarioModel { model: zoo::eyecod(), batch: 60 },
+            ScenarioModel { model: zoo::hand_sp(), batch: 30 },
+            ScenarioModel { model: zoo::sp2dense(), batch: 30 },
+            ScenarioModel { model: zoo::emformer(), batch: 3 },
+        ],
+    );
+    let mcm = het_sides_3x3(Profile::ArVr);
+    println!("workload: {scenario}");
+    println!("hardware: {mcm}\n");
+
+    for metric in [OptMetric::Latency, OptMetric::Energy, OptMetric::Edp] {
+        let r = Scar::builder()
+            .metric(metric.clone())
+            .build()
+            .schedule(&scenario, &mcm)
+            .expect("fits");
+        let t = r.total();
+        println!(
+            "{:>7} search: latency {:>8.4} s | energy {:>8.4} J | EDP {:>9.5} J*s | {} windows",
+            metric.label(),
+            t.latency_s,
+            t.energy_j,
+            t.edp(),
+            r.windows().len()
+        );
+    }
+
+    println!("\nper-window anatomy of the EDP schedule:");
+    let r = Scar::builder()
+        .metric(OptMetric::Edp)
+        .build()
+        .schedule(&scenario, &mcm)
+        .expect("fits");
+    for w in r.windows() {
+        let models: Vec<String> = w
+            .models
+            .iter()
+            .map(|m| {
+                format!(
+                    "{}({} segs)",
+                    m.model_name,
+                    m.assignments.len()
+                )
+            })
+            .collect();
+        println!(
+            "    W{} lat {:>7.2} ms: {}",
+            w.index,
+            w.latency_s * 1e3,
+            models.join(", ")
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Custom hardware and workload description files: assemble an MCM with a
+//! user-defined NoP topology (a ring), author a custom two-model workload,
+//! round-trip both through the JSON description-file interface (the paper's
+//! Figure 4 inputs), and schedule.
+//!
+//! ```sh
+//! cargo run --release --example custom_topology
+//! ```
+
+use scar::core::{OptMetric, Scar};
+use scar::maestro::{ChipletConfig, Dataflow};
+use scar::mcm::parse as mcm_parse;
+use scar::mcm::{McmConfig, NopTopology};
+use scar::workloads::parse as wl_parse;
+use scar::workloads::{ModelBuilder, Scenario, ScenarioModel, UseCase};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- hardware: a 6-chiplet ring, alternating dataflows ---
+    let n = 6usize;
+    let mut adj = vec![vec![false; n]; n];
+    for i in 0..n {
+        adj[i][(i + 1) % n] = true;
+        adj[(i + 1) % n][i] = true;
+    }
+    let topology = NopTopology::from_adjacency(adj)?;
+    let chiplets = (0..n)
+        .map(|i| {
+            ChipletConfig::datacenter(if i % 2 == 0 {
+                Dataflow::NvdlaLike
+            } else {
+                Dataflow::ShidiannaoLike
+            })
+        })
+        .collect();
+    let mcm = McmConfig::new("Het-Ring", chiplets, topology, vec![0, 3]);
+
+    // description-file round trip (what a deployment would version-control)
+    let mcm_json = mcm_parse::mcm_to_json(&mcm)?;
+    let mcm = mcm_parse::mcm_from_json(&mcm_json)?;
+    println!("hardware description ({} bytes of JSON): {mcm}", mcm_json.len());
+
+    // --- workload: a detector + a tiny LM, defined from scratch ---
+    let detector = ModelBuilder::new("TinyDet")
+        .conv("stem", 128, 3, 32, 3, 2)
+        .conv("c2", 64, 32, 64, 3, 2)
+        .conv("c3", 32, 64, 128, 3, 2)
+        .conv("head", 16, 128, 32, 1, 1)
+        .build();
+    let lm = ModelBuilder::new("TinyLM")
+        .gemm("qkv", 768, 256, 64)
+        .matmul("attn", 64, 64, 64, 4)
+        .gemm("proj", 256, 256, 64)
+        .gemm("ffn_up", 1024, 256, 64)
+        .gemm("ffn_down", 256, 1024, 64)
+        .build();
+    let scenario = Scenario::new(
+        "custom-edge",
+        UseCase::Datacenter,
+        vec![
+            ScenarioModel { model: detector, batch: 8 },
+            ScenarioModel { model: lm, batch: 2 },
+        ],
+    );
+    let sc_json = wl_parse::scenario_to_json(&scenario)?;
+    let scenario = wl_parse::scenario_from_json(&sc_json)?;
+    println!("workload description ({} bytes of JSON): {scenario}\n", sc_json.len());
+
+    // --- schedule ---
+    let r = Scar::builder()
+        .metric(OptMetric::Edp)
+        .nsplits(2)
+        .build()
+        .schedule(&scenario, &mcm)?;
+    let t = r.total();
+    println!("EDP schedule: latency {:.3} ms, energy {:.3} mJ, EDP {:.3e} J*s", t.latency_s * 1e3, t.energy_j * 1e3, t.edp());
+    for w in r.windows() {
+        for m in &w.models {
+            let hops: Vec<String> = m
+                .assignments
+                .iter()
+                .map(|(_, c)| format!("{}:{}", c, mcm.chiplet(*c).dataflow.short_name()))
+                .collect();
+            println!("    W{} {:8} -> {}", w.index, m.model_name, hops.join(" -> "));
+        }
+    }
+    println!("\nSCAR generalizes to any adjacency-matrix topology (paper §V-E).");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: schedule a two-model workload on a heterogeneous 3×3 MCM
+//! and print what SCAR decided.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use scar::core::{OptMetric, Scar};
+use scar::mcm::templates::{het_sides_3x3, Profile};
+use scar::workloads::Scenario;
+
+fn main() {
+    // Table III scenario 1: GPT-L (batch 1) + BERT-L (batch 3).
+    let scenario = Scenario::datacenter(1);
+    // A 3×3 package: NVDLA-like side columns, Shidiannao-like middle.
+    let mcm = het_sides_3x3(Profile::Datacenter);
+
+    println!("scheduling {scenario}\n        on {mcm}\n");
+
+    let result = Scar::builder()
+        .metric(OptMetric::Edp) // the paper's default target
+        .nsplits(4)             // up to 5 time windows
+        .build()
+        .schedule(&scenario, &mcm)
+        .expect("scenario fits the package");
+
+    let totals = result.total();
+    println!("end-to-end latency : {:.3} ms", totals.latency_s * 1e3);
+    println!("total energy       : {:.3} mJ", totals.energy_j * 1e3);
+    println!("energy-delay prod. : {:.3e} J*s", totals.edp());
+    println!();
+
+    for w in result.windows() {
+        println!("window {} (latency {:.3} ms):", w.index, w.latency_s * 1e3);
+        for m in &w.models {
+            let path: Vec<String> = m
+                .assignments
+                .iter()
+                .map(|(seg, chiplet)| {
+                    format!(
+                        "chiplet {} ({}) layers {}..{}",
+                        chiplet,
+                        mcm.chiplet(*chiplet).dataflow.short_name(),
+                        seg.start,
+                        seg.end
+                    )
+                })
+                .collect();
+            println!(
+                "    {:8} mini-batch {:>2} : {}",
+                m.model_name,
+                m.mini_batch,
+                path.join(" -> ")
+            );
+        }
+    }
+    println!(
+        "\nthe search evaluated {} candidate schedules; Pareto front has {} points",
+        result.candidates().len(),
+        result.pareto_front().len()
+    );
+}

@@ -1,0 +1,42 @@
+//! # SCAR — Scheduling Multi-Model AI Workloads on Heterogeneous Multi-Chiplet Module Accelerators
+//!
+//! A from-scratch Rust reproduction of the SCAR system (MICRO 2024): a
+//! scheduler for multi-model AI inference workloads on heterogeneous-dataflow
+//! multi-chip-module (MCM) accelerators, together with every substrate it
+//! depends on — the workload model, the MAESTRO-style intra-chiplet cost
+//! model, and the MCM hardware/communication model.
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! module names.
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`workloads`] | `scar-workloads` | layers, models, scenarios, JSON parsing |
+//! | [`maestro`] | `scar-maestro` | intra-chiplet analytical cost model |
+//! | [`mcm`] | `scar-mcm` | NoP topologies, MCM templates, communication model |
+//! | [`core`] | `scar-core` | the SCAR scheduler and baseline schedulers |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use scar::core::{OptMetric, Scar};
+//! use scar::mcm::templates;
+//! use scar::workloads::Scenario;
+//!
+//! // Schedule the paper's Scenario 1 on a 3×3 heterogeneous Het-Sides MCM.
+//! let scenario = Scenario::datacenter(1);
+//! let mcm = templates::het_sides_3x3(templates::Profile::Datacenter);
+//! let result = Scar::builder()
+//!     .metric(OptMetric::Edp)
+//!     .build()
+//!     .schedule(&scenario, &mcm)
+//!     .expect("scheduling succeeds");
+//! assert!(result.total().latency_s > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use scar_core as core;
+pub use scar_maestro as maestro;
+pub use scar_mcm as mcm;
+pub use scar_workloads as workloads;

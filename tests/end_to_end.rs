@@ -1,0 +1,226 @@
+//! End-to-end integration tests: full SCAR runs across templates and
+//! scenarios, baseline orderings, determinism, and schedule validity.
+
+use scar::core::baselines;
+use scar::core::{EvoParams, OptMetric, Scar, SearchBudget, SearchKind};
+use scar::maestro::Dataflow;
+use scar::mcm::templates::{self, Profile};
+use scar::workloads::Scenario;
+
+fn quick() -> SearchBudget {
+    SearchBudget {
+        max_root_perms: 12,
+        max_paths_per_model: 6,
+        max_placements_per_window: 150,
+        max_candidates_per_window: 300,
+        ..SearchBudget::default()
+    }
+}
+
+#[test]
+fn every_3x3_template_schedules_scenario_1() {
+    let sc = Scenario::datacenter(1);
+    for mcm in [
+        templates::simba_3x3(Profile::Datacenter, Dataflow::ShidiannaoLike),
+        templates::simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike),
+        templates::het_cb_3x3(Profile::Datacenter),
+        templates::het_sides_3x3(Profile::Datacenter),
+        templates::simba_t_3x3(Profile::Datacenter, Dataflow::NvdlaLike),
+        templates::het_t_3x3(Profile::Datacenter),
+    ] {
+        let r = Scar::builder()
+            .budget(quick())
+            .build()
+            .schedule(&sc, &mcm)
+            .unwrap_or_else(|e| panic!("{}: {e}", mcm.name()));
+        r.schedule()
+            .validate(&sc, mcm.num_chiplets())
+            .unwrap_or_else(|e| panic!("{}: invalid schedule: {e}", mcm.name()));
+        assert!(r.total().latency_s > 0.0);
+        assert!(r.total().energy_j > 0.0);
+    }
+}
+
+#[test]
+fn every_arvr_scenario_schedules_on_het_sides() {
+    for n in 6..=10 {
+        let sc = Scenario::arvr(n);
+        let mcm = templates::het_sides_3x3(Profile::ArVr);
+        let r = Scar::builder()
+            .budget(quick())
+            .build()
+            .schedule(&sc, &mcm)
+            .unwrap_or_else(|e| panic!("Sc{n}: {e}"));
+        r.schedule().validate(&sc, 9).unwrap();
+    }
+}
+
+#[test]
+fn six_by_six_evolutionary_schedules_scenario_4() {
+    let sc = Scenario::datacenter(4);
+    let mcm = templates::het_cross_6x6(Profile::Datacenter);
+    let r = Scar::builder()
+        .nsplits(2)
+        .search(SearchKind::Evolutionary(EvoParams::default()))
+        .budget(quick())
+        .build()
+        .schedule(&sc, &mcm)
+        .expect("6x6 feasible");
+    r.schedule().validate(&sc, 36).unwrap();
+}
+
+#[test]
+fn scar_beats_nn_baton_on_multi_model_workloads() {
+    // the headline motivation (Figure 2): a multi-model-aware scheduler
+    // beats sequential single-model scheduling
+    let sc = Scenario::datacenter(1);
+    let mcm = templates::het_sides_3x3(Profile::Datacenter);
+    let scar = Scar::builder()
+        .budget(quick())
+        .build()
+        .schedule(&sc, &mcm)
+        .unwrap();
+    let baton = baselines::nn_baton(&sc, &mcm, OptMetric::Edp).unwrap();
+    assert!(
+        scar.total().edp() < baton.total().edp(),
+        "SCAR {} !< NN-baton {}",
+        scar.total().edp(),
+        baton.total().edp()
+    );
+}
+
+#[test]
+fn nvdla_standalone_wins_lm_scenarios() {
+    // Table IV shape: Sc1 (LM-only) strongly favors the NVDLA dataflow
+    let sc = Scenario::datacenter(1);
+    let shi = baselines::standalone(
+        &sc,
+        &templates::simba_3x3(Profile::Datacenter, Dataflow::ShidiannaoLike),
+        OptMetric::Edp,
+    )
+    .unwrap();
+    let nvd = baselines::standalone(
+        &sc,
+        &templates::simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike),
+        OptMetric::Edp,
+    )
+    .unwrap();
+    assert!(nvd.total().edp() * 4.0 < shi.total().edp());
+}
+
+#[test]
+fn shi_based_schedules_win_the_social_arvr_scenario() {
+    // Table V shape: Sc9 (EyeCod + Hand S/P + Sp2Dense) favors Shi/het
+    let sc = Scenario::arvr(9);
+    let shi = baselines::standalone(
+        &sc,
+        &templates::simba_3x3(Profile::ArVr, Dataflow::ShidiannaoLike),
+        OptMetric::Edp,
+    )
+    .unwrap();
+    let nvd = baselines::standalone(
+        &sc,
+        &templates::simba_3x3(Profile::ArVr, Dataflow::NvdlaLike),
+        OptMetric::Edp,
+    )
+    .unwrap();
+    assert!(shi.total().edp() < nvd.total().edp());
+}
+
+#[test]
+fn results_are_deterministic_across_runs() {
+    let sc = Scenario::arvr(10);
+    let mcm = templates::het_cb_3x3(Profile::ArVr);
+    let scar = Scar::builder().budget(quick()).build();
+    let a = scar.schedule(&sc, &mcm).unwrap();
+    let b = scar.schedule(&sc, &mcm).unwrap();
+    assert_eq!(a.schedule(), b.schedule());
+    assert_eq!(a.total(), b.total());
+}
+
+#[test]
+fn different_seeds_explore_different_candidates() {
+    let sc = Scenario::datacenter(2);
+    let mcm = templates::het_sides_3x3(Profile::Datacenter);
+    let run = |seed: u64| {
+        Scar::builder()
+            .budget(SearchBudget { seed, ..quick() })
+            .build()
+            .schedule(&sc, &mcm)
+            .unwrap()
+            .candidates()
+            .len()
+    };
+    // both succeed; candidate clouds need not be identical, but are nonempty
+    assert!(run(1) > 0);
+    assert!(run(2) > 0);
+}
+
+#[test]
+fn custom_metric_is_honored() {
+    // a latency-only custom metric must match the built-in latency search
+    let sc = Scenario::datacenter(1);
+    let mcm = templates::simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
+    let custom = OptMetric::Custom(std::sync::Arc::new(|t| t.latency_s));
+    let a = Scar::builder()
+        .metric(custom)
+        .budget(quick())
+        .build()
+        .schedule(&sc, &mcm)
+        .unwrap();
+    let b = Scar::builder()
+        .metric(OptMetric::Latency)
+        .budget(quick())
+        .build()
+        .schedule(&sc, &mcm)
+        .unwrap();
+    assert!((a.total().latency_s - b.total().latency_s).abs() < 1e-12);
+}
+
+#[test]
+fn infeasible_scenarios_error_cleanly() {
+    let sc = Scenario::datacenter(5); // 6 models
+    let mcm = templates::het_2x2(Profile::Datacenter); // 4 chiplets
+    let err = Scar::builder()
+        .nsplits(0)
+        .budget(quick())
+        .build()
+        .schedule(&sc, &mcm)
+        .unwrap_err();
+    assert!(err.to_string().contains("chiplets"));
+}
+
+#[test]
+fn constrained_edp_search_respects_the_latency_bound() {
+    // §VI extension: an EDP search lower-bounded by a latency constraint
+    let sc = Scenario::datacenter(3);
+    let mcm = templates::het_sides_3x3(Profile::Datacenter);
+    // single window: the bound applies exactly end-to-end
+    let run = |metric: OptMetric| {
+        Scar::builder()
+            .metric(metric)
+            .nsplits(0)
+            .budget(quick())
+            .build()
+            .schedule(&sc, &mcm)
+            .unwrap()
+            .total()
+    };
+    let fastest = run(OptMetric::Latency);
+    let edp_opt = run(OptMetric::Edp);
+    if fastest.latency_s >= edp_opt.latency_s * 0.999 {
+        // EDP optimum already latency-optimal: any bound ≥ it is trivially
+        // satisfiable; nothing further to exercise on this seed
+        return;
+    }
+    // an achievable bound strictly tighter than the EDP optimum's latency
+    let bound = (fastest.latency_s + edp_opt.latency_s) / 2.0;
+    let constrained = run(OptMetric::ConstrainedEdp { max_latency_s: bound });
+    assert!(
+        constrained.latency_s <= bound * 1.0001,
+        "bound {bound} violated: {}",
+        constrained.latency_s
+    );
+    // the constraint can only cost EDP relative to the unconstrained search
+    assert!(constrained.edp() >= edp_opt.edp() * 0.999);
+}
