@@ -11,13 +11,22 @@ fn bench_comm(c: &mut Criterion) {
     let m6 = het_cross_6x6(Profile::Datacenter);
 
     g.bench_function("transfer_3x3", |b| {
-        b.iter(|| m3.transfer(Loc::Chiplet(0), Loc::Chiplet(8), std::hint::black_box(1 << 20)))
+        b.iter(|| {
+            m3.transfer(
+                Loc::Chiplet(0),
+                Loc::Chiplet(8),
+                std::hint::black_box(1 << 20),
+            )
+        })
     });
     g.bench_function("transfer_offchip", |b| {
         b.iter(|| m3.transfer(Loc::Offchip, Loc::Chiplet(4), std::hint::black_box(1 << 20)))
     });
     g.bench_function("route_6x6", |b| {
-        b.iter(|| m6.topology().route(std::hint::black_box(0), std::hint::black_box(35)))
+        b.iter(|| {
+            m6.topology()
+                .route(std::hint::black_box(0), std::hint::black_box(35))
+        })
     });
     g.bench_function("link_loads_window_6x6", |b| {
         b.iter(|| {

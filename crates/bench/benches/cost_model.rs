@@ -20,13 +20,21 @@ fn bench_cost_model(c: &mut Criterion) {
         padding: 1,
         groups: 1,
     };
-    let gemm = LayerKind::Gemm { m: 4096, k: 1024, n: 128 };
+    let gemm = LayerKind::Gemm {
+        m: 4096,
+        k: 1024,
+        n: 128,
+    };
 
-    g.bench_function("conv_nvdla", |b| b.iter(|| dc_nvd.evaluate(std::hint::black_box(&conv), 8)));
+    g.bench_function("conv_nvdla", |b| {
+        b.iter(|| dc_nvd.evaluate(std::hint::black_box(&conv), 8))
+    });
     g.bench_function("conv_shidiannao", |b| {
         b.iter(|| dc_shi.evaluate(std::hint::black_box(&conv), 8))
     });
-    g.bench_function("gemm_nvdla", |b| b.iter(|| dc_nvd.evaluate(std::hint::black_box(&gemm), 8)));
+    g.bench_function("gemm_nvdla", |b| {
+        b.iter(|| dc_nvd.evaluate(std::hint::black_box(&gemm), 8))
+    });
 
     // full-model sweep: every ResNet-50 layer on both classes
     let resnet = zoo::resnet50();

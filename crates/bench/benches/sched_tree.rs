@@ -15,7 +15,15 @@ fn bench_tree(c: &mut Criterion) {
     g.bench_function("3x3_three_models", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(3);
-            enumerate_placements(&m3, &[3, 2, 2], &identity_prefs(9, 3), 48, 16, 1500, &mut rng)
+            enumerate_placements(
+                &m3,
+                &[3, 2, 2],
+                &identity_prefs(9, 3),
+                48,
+                16,
+                1500,
+                &mut rng,
+            )
         })
     });
     g.bench_function("6x6_four_models", |b| {

@@ -16,7 +16,10 @@ fn main() {
     let budget = default_budget();
     println!("== Ablation: packing rule (Sc4, Het-Sides, EDP search) ==\n");
     let mut results = Vec::new();
-    for (name, rule) in [("Greedy (Alg. 1)", PackingRule::Greedy), ("Uniform", PackingRule::Uniform)] {
+    for (name, rule) in [
+        ("Greedy (Alg. 1)", PackingRule::Greedy),
+        ("Uniform", PackingRule::Uniform),
+    ] {
         let r = Scar::builder()
             .metric(OptMetric::Edp)
             .packing(rule)

@@ -5,8 +5,8 @@
 use scar_bench::strategy::quick_budget;
 use scar_bench::table::Table;
 use scar_core::{OptMetric, ProvisionRule, Scar};
-use scar_mcm::templates::{het_sides_3x3, simba_3x3, Profile};
 use scar_maestro::Dataflow;
+use scar_mcm::templates::{het_sides_3x3, simba_3x3, Profile};
 use scar_workloads::Scenario;
 
 fn main() {
@@ -22,7 +22,10 @@ fn main() {
     for scn in 3..=5usize {
         let sc = Scenario::datacenter(scn);
         for (name, mcm) in [
-            ("Simba (NVD)", simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike)),
+            (
+                "Simba (NVD)",
+                simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike),
+            ),
             ("Het-Sides", het_sides_3x3(Profile::Datacenter)),
         ] {
             let run = |rule: ProvisionRule| {

@@ -22,7 +22,9 @@ fn resnet_block() -> scar_workloads::Model {
 
 /// One GPT feed-forward (FFN-up) layer.
 fn gpt_layer() -> scar_workloads::Model {
-    ModelBuilder::new("GPT-FFN").gemm("ffn_up", 5120, 1280, 128).build()
+    ModelBuilder::new("GPT-FFN")
+        .gemm("ffn_up", 5120, 1280, 128)
+        .build()
 }
 
 fn single(model: scar_workloads::Model) -> Scenario {
@@ -63,10 +65,18 @@ fn main() {
 
     // --- single-model case (A1-A3): the ResNet block ---
     let rn = single(resnet_block());
-    let a1 = baselines::nn_baton(&rn, &homo_2x2(Profile::Datacenter, Dataflow::ShidiannaoLike), OptMetric::Edp)
-        .expect("A1");
-    let a2 = baselines::nn_baton(&rn, &homo_2x2(Profile::Datacenter, Dataflow::NvdlaLike), OptMetric::Edp)
-        .expect("A2");
+    let a1 = baselines::nn_baton(
+        &rn,
+        &homo_2x2(Profile::Datacenter, Dataflow::ShidiannaoLike),
+        OptMetric::Edp,
+    )
+    .expect("A1");
+    let a2 = baselines::nn_baton(
+        &rn,
+        &homo_2x2(Profile::Datacenter, Dataflow::NvdlaLike),
+        OptMetric::Edp,
+    )
+    .expect("A2");
     let a3 = scar(0)
         .schedule(&rn, &het_2x2(Profile::Datacenter))
         .expect("A3");

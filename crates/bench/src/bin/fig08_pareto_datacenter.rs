@@ -34,7 +34,12 @@ fn main() {
                 let front = pareto_front(pts);
                 println!("{name}: {} candidates, Pareto front:", pts.len());
                 for p in front.iter().take(8) {
-                    println!("    lat={:.4}s energy={:.4}J edp={:.4}", p.latency_s, p.energy_j, p.edp());
+                    println!(
+                        "    lat={:.4}s energy={:.4}J edp={:.4}",
+                        p.latency_s,
+                        p.energy_j,
+                        p.edp()
+                    );
                 }
             }
             println!();

@@ -11,10 +11,19 @@ use scar_workloads::Scenario;
 fn main() {
     let sc = Scenario::datacenter(4);
     let r = Strategy::HetSides
-        .run(&sc, Profile::Datacenter, OptMetric::Edp, 4, &default_budget())
+        .run(
+            &sc,
+            Profile::Datacenter,
+            OptMetric::Edp,
+            4,
+            &default_budget(),
+        )
         .expect("Sc4 on Het-Sides is feasible");
 
-    println!("== Figure 9: top-scoring Het-Sides schedule for {} ==\n", sc.name());
+    println!(
+        "== Figure 9: top-scoring Het-Sides schedule for {} ==\n",
+        sc.name()
+    );
     let mcm = Strategy::HetSides.mcm(Profile::Datacenter);
     println!("chiplet dataflows (row-major 3x3):");
     for row in 0..3 {
@@ -38,11 +47,23 @@ fn main() {
             let chiplets: Vec<String> = m
                 .assignments
                 .iter()
-                .map(|(seg, c)| format!("chpl{}:{}[{}..{}]", c, mcm.chiplet(*c).dataflow.short_name(), seg.start, seg.end))
+                .map(|(seg, c)| {
+                    format!(
+                        "chpl{}:{}[{}..{}]",
+                        c,
+                        mcm.chiplet(*c).dataflow.short_name(),
+                        seg.start,
+                        seg.end
+                    )
+                })
                 .collect();
             println!(
                 "    {:10} layers {:>3}..{:<3} b'={:<2} -> {}",
-                m.model_name, m.layers.start, m.layers.end, m.mini_batch, chiplets.join(" -> ")
+                m.model_name,
+                m.layers.start,
+                m.layers.end,
+                m.mini_batch,
+                chiplets.join(" -> ")
             );
         }
     }

@@ -31,10 +31,7 @@ fn main() {
         println!("{}", ascii_scatter(&series, 72, 14));
         for (name, pts) in &clouds {
             let front = pareto_front(pts);
-            let best = front
-                .iter()
-                .map(|p| p.edp())
-                .fold(f64::INFINITY, f64::min);
+            let best = front.iter().map(|p| p.edp()).fold(f64::INFINITY, f64::min);
             println!("{name}: {} candidates, best EDP {:.4} J*s", pts.len(), best);
         }
         println!();

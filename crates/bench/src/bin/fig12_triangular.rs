@@ -27,16 +27,24 @@ fn main() {
     for scn in [3usize, 4] {
         let sc = Scenario::datacenter(scn);
         cols.push(
-            run_strategies(&strategies, &sc, Profile::Datacenter, &OptMetric::Edp, 4, &budget)
-                .into_iter()
-                .map(|r| (r.name, r.result.total()))
-                .collect(),
+            run_strategies(
+                &strategies,
+                &sc,
+                Profile::Datacenter,
+                &OptMetric::Edp,
+                4,
+                &budget,
+            )
+            .into_iter()
+            .map(|r| (r.name, r.result.total()))
+            .collect(),
         );
     }
     for strat in &strategies {
         let mut row = vec![strat.name().to_string()];
         for f in [
-            Box::new(|t: &scar_core::EvalTotals| t.edp()) as Box<dyn Fn(&scar_core::EvalTotals) -> f64>,
+            Box::new(|t: &scar_core::EvalTotals| t.edp())
+                as Box<dyn Fn(&scar_core::EvalTotals) -> f64>,
             Box::new(|t: &scar_core::EvalTotals| t.latency_s),
         ] {
             for col in &cols {
@@ -44,7 +52,10 @@ fn main() {
                     .iter()
                     .find(|(n, _)| n == "Stand.(NVD)")
                     .map(|(_, t)| f(t));
-                let mine = col.iter().find(|(n, _)| n == strat.name()).map(|(_, t)| f(t));
+                let mine = col
+                    .iter()
+                    .find(|(n, _)| n == strat.name())
+                    .map(|(_, t)| f(t));
                 row.push(match (mine, base) {
                     (Some(m), Some(b)) if b > 0.0 => format!("{:.2}", m / b),
                     _ => "-".into(),

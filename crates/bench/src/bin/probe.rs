@@ -7,7 +7,13 @@ use scar_mcm::templates::Profile;
 use scar_workloads::Scenario;
 
 fn main() {
-    for (n, profile) in [(1usize, Profile::Datacenter), (3, Profile::Datacenter), (4, Profile::Datacenter), (8, Profile::ArVr), (9, Profile::ArVr)] {
+    for (n, profile) in [
+        (1usize, Profile::Datacenter),
+        (3, Profile::Datacenter),
+        (4, Profile::Datacenter),
+        (8, Profile::ArVr),
+        (9, Profile::ArVr),
+    ] {
         let sc = Scenario::by_id(n);
         println!("=== {} ===", sc.name());
         let t0 = std::time::Instant::now();

@@ -1,0 +1,76 @@
+//! Dynamic serving simulation: both paper use cases under live traffic on
+//! a 3×3 heterogeneous MCM (the serving-side view the offline tables miss).
+//!
+//! Simulates (a) a datacenter Poisson query mix and (b) an XRBench-style
+//! AR/VR frame mix on Het-Sides, reporting sustained throughput, p50/p95/p99
+//! request latency, deadline-miss rate, energy, and schedule-cache hit rate.
+//! Each mix is then replayed on the warm cache (recurring traffic is the
+//! serving steady state), and SCAR is compared against the Standalone
+//! baseline policy under identical traffic.
+//!
+//! ```sh
+//! cargo run --release -p scar-bench --bin serve_sim
+//! ```
+
+use scar_mcm::templates::{het_sides_3x3, Profile};
+use scar_serve::{ServeConfig, ServePolicy, ServeSim, TrafficMix};
+
+fn main() {
+    let horizon_s = 2.0;
+
+    for (profile, mix) in [
+        (Profile::Datacenter, TrafficMix::datacenter(0x5CA2)),
+        (Profile::ArVr, TrafficMix::arvr(0x5CA2)),
+    ] {
+        let mcm = het_sides_3x3(profile);
+        println!(
+            "┌── {} traffic on {} ({:.0} req/s offered, {horizon_s} s horizon)",
+            mix.use_case,
+            mcm,
+            mix.offered_rps()
+        );
+
+        // cold start, then the same traffic replayed on the warm cache
+        let mut sim = ServeSim::with_defaults(&mcm);
+        let t0 = std::time::Instant::now();
+        let cold = sim.run(&mix, horizon_s).expect("mix fits the 3x3 package");
+        let cold_wall = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let warm = sim.run(&mix, horizon_s).expect("identical mix still fits");
+        let warm_wall = t1.elapsed();
+
+        println!("{cold}");
+        println!(
+            "replay on warm cache: {} hits / {} misses ({:.1}% hit rate), wall {:.1?} → {:.1?}",
+            warm.cache.hits,
+            warm.cache.misses,
+            warm.cache.hit_rate() * 100.0,
+            cold_wall,
+            warm_wall
+        );
+        assert!(
+            warm.cache.hits > 0,
+            "recurring traffic must produce cache hits"
+        );
+
+        // the Standalone baseline under the same traffic
+        let mut base = ServeSim::new(
+            &mcm,
+            ServeConfig {
+                policy: ServePolicy::Standalone,
+                ..ServeConfig::default()
+            },
+        );
+        let b = base.run(&mix, horizon_s).expect("standalone fits too");
+        println!(
+            "vs Standalone: throughput {:.1} → {:.1} req/s | p99 {:.2} → {:.2} ms | energy {:.3} → {:.3} J",
+            b.throughput_rps,
+            cold.throughput_rps,
+            b.latency.p99_s * 1e3,
+            cold.latency.p99_s * 1e3,
+            b.energy_j,
+            cold.energy_j,
+        );
+        println!();
+    }
+}

@@ -15,7 +15,10 @@ fn main() {
     let strategies = Strategy::table_iv();
     let scenarios: Vec<Scenario> = Scenario::all_datacenter();
 
-    for (label, metric) in [("Latency Search", OptMetric::Latency), ("EDP Search", OptMetric::Edp)] {
+    for (label, metric) in [
+        ("Latency Search", OptMetric::Latency),
+        ("EDP Search", OptMetric::Edp),
+    ] {
         println!("== Table IV ({label}) ==");
         let mut lat_table = Table::new(
             std::iter::once("Strategy".to_string())

@@ -28,7 +28,10 @@ fn main() {
 
     println!("== Table V / Figure 10: AR/VR EDP search (normalized by Stand.(NVD)) ==\n");
     for (title, f) in [
-        ("Relative Latency", Box::new(|t: &EvalTotals| t.latency_s) as Box<dyn Fn(&EvalTotals) -> f64>),
+        (
+            "Relative Latency",
+            Box::new(|t: &EvalTotals| t.latency_s) as Box<dyn Fn(&EvalTotals) -> f64>,
+        ),
         ("Relative EDP", Box::new(|t: &EvalTotals| t.edp())),
     ] {
         let mut table = Table::new(

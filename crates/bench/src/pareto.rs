@@ -31,8 +31,12 @@ pub fn ascii_scatter(series: &[(&str, &[CandidatePoint])], width: usize, height:
     if all.is_empty() {
         return String::from("(no candidates)\n");
     }
-    let (mut lmin, mut lmax, mut emin, mut emax) =
-        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    let (mut lmin, mut lmax, mut emin, mut emax) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
     for p in &all {
         lmin = lmin.min(p.latency_s);
         lmax = lmax.max(p.latency_s);
@@ -83,7 +87,13 @@ mod tests {
 
     #[test]
     fn front_is_nondominated_and_sorted() {
-        let pts = vec![p(1.0, 5.0), p(2.0, 3.0), p(3.0, 4.0), p(4.0, 1.0), p(1.5, 6.0)];
+        let pts = vec![
+            p(1.0, 5.0),
+            p(2.0, 3.0),
+            p(3.0, 4.0),
+            p(4.0, 1.0),
+            p(1.5, 6.0),
+        ];
         let f = pareto_front(&pts);
         assert_eq!(f.len(), 3);
         assert_eq!(f[0].latency_s, 1.0);

@@ -10,7 +10,9 @@
 //! The Simba-like pipelining baseline needs no code of its own: it is the
 //! SCAR search restricted to a homogeneous MCM template.
 
-use crate::problem::{OptMetric, ScheduleError, ScheduleInstance, Segment, TimeWindow, WindowSchedule};
+use crate::problem::{
+    OptMetric, ScheduleError, ScheduleInstance, Segment, TimeWindow, WindowSchedule,
+};
 use crate::scar::ScheduleResult;
 use crate::tree;
 use scar_maestro::CostDatabase;
@@ -49,7 +51,13 @@ pub fn standalone(
         .map(|sm| 0..sm.model.num_layers())
         .collect();
     let segments = (0..m)
-        .map(|mi| vec![Segment::new(mi, 0, scenario.models()[mi].model.num_layers())])
+        .map(|mi| {
+            vec![Segment::new(
+                mi,
+                0,
+                scenario.models()[mi].model.num_layers(),
+            )]
+        })
         .collect();
     let placement = (0..m).map(|mi| vec![order[mi]]).collect();
     let schedule = ScheduleInstance {
@@ -62,10 +70,7 @@ pub fn standalone(
     schedule.validate(scenario, c)?;
 
     let db = CostDatabase::new();
-    let name = format!(
-        "Standalone ({})",
-        mcm.chiplet(0).dataflow.short_name()
-    );
+    let name = format!("Standalone ({})", mcm.chiplet(0).dataflow.short_name());
     Ok(ScheduleResult::from_instance(
         name,
         scenario,
@@ -152,10 +157,7 @@ pub fn nn_baton_from(
         let mut placement = vec![Vec::new(); num_models];
         placement[mi] = path;
         windows.push(WindowSchedule {
-            window: TimeWindow {
-                index: mi,
-                layers,
-            },
+            window: TimeWindow { index: mi, layers },
             segments,
             placement,
         });
@@ -201,11 +203,7 @@ mod tests {
         let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
         let r = standalone(&sc, &mcm, OptMetric::Edp).unwrap();
         let w = &r.windows()[0];
-        let max_model = w
-            .models
-            .iter()
-            .map(|m| m.latency_s)
-            .fold(0.0f64, f64::max);
+        let max_model = w.models.iter().map(|m| m.latency_s).fold(0.0f64, f64::max);
         assert!((r.total().latency_s - max_model).abs() < 1e-12);
     }
 
@@ -253,7 +251,10 @@ mod tests {
     fn baselines_validate() {
         let sc = Scenario::datacenter(2);
         let mcm = simba_3x3(Profile::Datacenter, Dataflow::ShidiannaoLike);
-        for r in [standalone(&sc, &mcm, OptMetric::Edp).unwrap(), nn_baton(&sc, &mcm, OptMetric::Edp).unwrap()] {
+        for r in [
+            standalone(&sc, &mcm, OptMetric::Edp).unwrap(),
+            nn_baton(&sc, &mcm, OptMetric::Edp).unwrap(),
+        ] {
             r.schedule().validate(&sc, mcm.num_chiplets()).unwrap();
         }
     }

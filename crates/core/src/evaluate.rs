@@ -156,7 +156,11 @@ impl<'a> Evaluator<'a> {
                     loads.record(Loc::Chiplet(sp.chiplet), dst, sp.out_bytes * passes);
                 }
                 let w_flows = if sp.restream_weights { *passes } else { 1 };
-                loads.record(Loc::Offchip, Loc::Chiplet(sp.chiplet), sp.weight_bytes * w_flows);
+                loads.record(
+                    Loc::Offchip,
+                    Loc::Chiplet(sp.chiplet),
+                    sp.weight_bytes * w_flows,
+                );
             }
         }
 
@@ -250,8 +254,8 @@ impl<'a> Evaluator<'a> {
                 comp_time += cost.time_s;
                 comp_energy += cost.energy_j;
                 weight_bytes += layers[l].weight_bytes(dt);
-                act_peak = act_peak
-                    .max(layers[l].input_bytes(dt) * bp + layers[l].output_bytes(dt) * bp);
+                act_peak =
+                    act_peak.max(layers[l].input_bytes(dt) * bp + layers[l].output_bytes(dt) * bp);
             }
             // residency rule: all segment weights + one activation tile
             let restream_weights = weight_bytes + act_peak / ACT_TILES > class.l2_bytes;
@@ -311,9 +315,7 @@ impl<'a> Evaluator<'a> {
                 }
                 None => (0.0, 0.0),
             };
-            let w_cost = self
-                .mcm
-                .transfer(Loc::Offchip, dst, sp.weight_bytes);
+            let w_cost = self.mcm.transfer(Loc::Offchip, dst, sp.weight_bytes);
             let mut lat = sp.comp_time_s + in_cost.time_s + out_time;
             let w_energy = if sp.restream_weights {
                 // weights cross the DRAM interface on every pass
@@ -325,8 +327,7 @@ impl<'a> Evaluator<'a> {
                 w_cost.energy_j
             };
             seg_lat.push(lat);
-            energy += (sp.comp_energy_j + in_cost.energy_j + out_energy) * passes as f64
-                + w_energy;
+            energy += (sp.comp_energy_j + in_cost.energy_j + out_energy) * passes as f64 + w_energy;
         }
         let latency = pipeline_latency_from(&seg_lat, passes) + weight_time;
         ModelWindowEval {
@@ -349,7 +350,7 @@ fn pipeline_latency_from(seg_lat: &[f64], passes: u64) -> f64 {
 
 /// All divisors of `n` in descending order (`n` itself first, 1 last).
 fn divisors_desc(n: u64) -> Vec<u64> {
-    let mut v: Vec<u64> = (1..=n).filter(|d| n % d == 0).collect();
+    let mut v: Vec<u64> = (1..=n).filter(|d| n.is_multiple_of(*d)).collect();
     v.reverse();
     v
 }
@@ -358,8 +359,8 @@ fn divisors_desc(n: u64) -> Vec<u64> {
 mod tests {
     use super::*;
     use crate::problem::{Segment, TimeWindow};
-    use scar_mcm::templates::{het_sides_3x3, simba_3x3, Profile};
     use scar_maestro::Dataflow;
+    use scar_mcm::templates::{het_sides_3x3, simba_3x3, Profile};
 
     fn single_window(sc: &Scenario, placement: Vec<Vec<usize>>) -> WindowSchedule {
         let layers: Vec<_> = sc
@@ -381,10 +382,7 @@ mod tests {
             })
             .collect();
         WindowSchedule {
-            window: TimeWindow {
-                index: 0,
-                layers,
-            },
+            window: TimeWindow { index: 0, layers },
             segments,
             placement,
         }
@@ -533,8 +531,14 @@ mod tests {
         let ev3 = Evaluator::new(&sc3, &mcm, &db);
         let ws2 = single_window(&sc2, vec![vec![3], vec![4], vec![0]]);
         let ws3 = single_window(&sc3, vec![vec![3], vec![4], vec![0]]);
-        let r2 = ev2.evaluate_window(&ws2).per_model[2].as_ref().unwrap().energy_j;
-        let r3 = ev3.evaluate_window(&ws3).per_model[2].as_ref().unwrap().energy_j;
+        let r2 = ev2.evaluate_window(&ws2).per_model[2]
+            .as_ref()
+            .unwrap()
+            .energy_j;
+        let r3 = ev3.evaluate_window(&ws3).per_model[2]
+            .as_ref()
+            .unwrap()
+            .energy_j;
         assert!(r3 > r2 * 10.0);
     }
 }

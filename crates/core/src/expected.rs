@@ -125,8 +125,8 @@ impl ExpectedCosts {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scar_mcm::templates::{het_sides_3x3, simba_3x3, Profile};
     use scar_maestro::Dataflow;
+    use scar_mcm::templates::{het_sides_3x3, simba_3x3, Profile};
 
     fn setup(sc: &Scenario, mcm: &McmConfig) -> ExpectedCosts {
         let db = CostDatabase::new();

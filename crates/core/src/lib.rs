@@ -59,5 +59,7 @@ pub use problem::{
 };
 pub use provision::ProvisionRule;
 pub use reconfig::PackingRule;
-pub use scar::{CandidatePoint, ModelWindowReport, Scar, ScarBuilder, ScheduleResult, WindowReport};
+pub use scar::{
+    CandidatePoint, ModelWindowReport, Scar, ScarBuilder, ScheduleResult, WindowReport,
+};
 pub use search::{EvoParams, SearchBudget, SearchKind};

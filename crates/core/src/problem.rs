@@ -124,20 +124,20 @@ impl WindowPartition {
         for (mi, sm) in scenario.models().iter().enumerate() {
             let mut next = 0usize;
             for w in &self.windows {
-                let r = w
-                    .layers
-                    .get(mi)
-                    .ok_or(ScheduleError::ModelCountMismatch {
-                        expected: scenario.models().len(),
-                        found: w.layers.len(),
-                    })?;
+                let r = w.layers.get(mi).ok_or(ScheduleError::ModelCountMismatch {
+                    expected: scenario.models().len(),
+                    found: w.layers.len(),
+                })?;
                 if r.is_empty() {
                     continue;
                 }
                 if r.start != next {
                     return Err(ScheduleError::InvalidPartition {
                         model: mi,
-                        detail: format!("window {} starts at {} but expected {}", w.index, r.start, next),
+                        detail: format!(
+                            "window {} starts at {} but expected {}",
+                            w.index, r.start, next
+                        ),
                     });
                 }
                 next = r.end;
@@ -145,10 +145,7 @@ impl WindowPartition {
             if next != sm.model.num_layers() {
                 return Err(ScheduleError::InvalidPartition {
                     model: mi,
-                    detail: format!(
-                        "covers {next} of {} layers",
-                        sm.model.num_layers()
-                    ),
+                    detail: format!("covers {next} of {} layers", sm.model.num_layers()),
                 });
             }
         }
@@ -239,7 +236,8 @@ impl ScheduleInstance {
     /// Validates partition coverage (Theorem 2) and every window's
     /// segmentation/mapping (Theorem 1).
     pub fn validate(&self, scenario: &Scenario, num_chiplets: usize) -> Result<(), ScheduleError> {
-        let partition = WindowPartition::new(self.windows.iter().map(|w| w.window.clone()).collect());
+        let partition =
+            WindowPartition::new(self.windows.iter().map(|w| w.window.clone()).collect());
         partition.validate(scenario)?;
         for w in &self.windows {
             w.validate(num_chiplets)?;
@@ -494,10 +492,7 @@ mod tests {
                 index: 0,
                 layers: vec![0..2, 0..2],
             },
-            segments: vec![
-                vec![Segment::new(0, 0, 2)],
-                vec![Segment::new(1, 0, 2)],
-            ],
+            segments: vec![vec![Segment::new(0, 0, 2)], vec![Segment::new(1, 0, 2)]],
             placement: vec![vec![3], vec![3]],
         };
         let err = w.validate(9).unwrap_err();
@@ -509,7 +504,7 @@ mod tests {
         let w = WindowSchedule {
             window: TimeWindow {
                 index: 0,
-                layers: vec![0..4],
+                layers: std::iter::once(0..4).collect(),
             },
             segments: vec![vec![Segment::new(0, 0, 2), Segment::new(0, 3, 4)]],
             placement: vec![vec![0, 1]],

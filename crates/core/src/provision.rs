@@ -51,7 +51,15 @@ pub fn allocations(
     };
     match rule {
         ProvisionRule::Uniform => {
-            vec![uniform(window, scenario, expected, metric, num_chiplets, &active, &cap_for)]
+            vec![uniform(
+                window,
+                scenario,
+                expected,
+                metric,
+                num_chiplets,
+                &active,
+                &cap_for,
+            )]
         }
         ProvisionRule::Exhaustive { max } => {
             exhaustive(window, num_chiplets, &active, &cap_for, max)
@@ -71,7 +79,11 @@ fn uniform(
     let num_models = scenario.models().len();
     let weights: Vec<f64> = active
         .iter()
-        .map(|&m| expected.expected_metric(m, &window.layers[m], metric).max(1e-30))
+        .map(|&m| {
+            expected
+                .expected_metric(m, &window.layers[m], metric)
+                .max(1e-30)
+        })
         .collect();
     let total: f64 = weights.iter().sum();
 
@@ -153,7 +165,15 @@ mod tests {
     #[test]
     fn uniform_gives_every_active_model_a_node() {
         let (sc, e, w) = setup(4);
-        let allocs = allocations(&w, &sc, &e, &OptMetric::Edp, 9, ProvisionRule::Uniform, None);
+        let allocs = allocations(
+            &w,
+            &sc,
+            &e,
+            &OptMetric::Edp,
+            9,
+            ProvisionRule::Uniform,
+            None,
+        );
         assert_eq!(allocs.len(), 1);
         let a = &allocs[0];
         assert!(a.iter().all(|&n| n >= 1));
@@ -163,7 +183,15 @@ mod tests {
     #[test]
     fn uniform_weights_by_expected_cost() {
         let (sc, e, w) = setup(4);
-        let a = &allocations(&w, &sc, &e, &OptMetric::Latency, 9, ProvisionRule::Uniform, None)[0];
+        let a = &allocations(
+            &w,
+            &sc,
+            &e,
+            &OptMetric::Latency,
+            9,
+            ProvisionRule::Uniform,
+            None,
+        )[0];
         // the heaviest model should receive at least as many nodes as the
         // lightest
         let heaviest = (0..sc.models().len())
@@ -179,7 +207,15 @@ mod tests {
     fn idle_models_get_zero_nodes() {
         let (sc, e, mut w) = setup(2);
         w.layers[1] = 0..0; // BERT idle in this window
-        let a = &allocations(&w, &sc, &e, &OptMetric::Edp, 9, ProvisionRule::Uniform, None)[0];
+        let a = &allocations(
+            &w,
+            &sc,
+            &e,
+            &OptMetric::Edp,
+            9,
+            ProvisionRule::Uniform,
+            None,
+        )[0];
         assert_eq!(a[1], 0);
         assert!(a[0] >= 1 && a[2] >= 1);
     }
@@ -187,7 +223,15 @@ mod tests {
     #[test]
     fn node_constraint_caps_allocations() {
         let (sc, e, w) = setup(4);
-        let a = &allocations(&w, &sc, &e, &OptMetric::Edp, 9, ProvisionRule::Uniform, Some(2))[0];
+        let a = &allocations(
+            &w,
+            &sc,
+            &e,
+            &OptMetric::Edp,
+            9,
+            ProvisionRule::Uniform,
+            Some(2),
+        )[0];
         assert!(a.iter().all(|&n| n <= 2));
     }
 
@@ -195,7 +239,16 @@ mod tests {
     fn infeasible_window_returns_empty() {
         let (sc, e, w) = setup(4);
         // 4 active models, 3 chiplets
-        assert!(allocations(&w, &sc, &e, &OptMetric::Edp, 3, ProvisionRule::Uniform, None).is_empty());
+        assert!(allocations(
+            &w,
+            &sc,
+            &e,
+            &OptMetric::Edp,
+            3,
+            ProvisionRule::Uniform,
+            None
+        )
+        .is_empty());
     }
 
     #[test]
@@ -239,7 +292,15 @@ mod tests {
     fn allocation_never_exceeds_layer_count() {
         let (sc, e, mut w) = setup(1);
         w.layers[0] = 0..2; // GPT-L gets only 2 layers in this window
-        let a = &allocations(&w, &sc, &e, &OptMetric::Latency, 9, ProvisionRule::Uniform, None)[0];
+        let a = &allocations(
+            &w,
+            &sc,
+            &e,
+            &OptMetric::Latency,
+            9,
+            ProvisionRule::Uniform,
+            None,
+        )[0];
         assert!(a[0] <= 2);
     }
 }

@@ -2,9 +2,7 @@
 
 use crate::evaluate::{Evaluator, WindowEval};
 use crate::expected::ExpectedCosts;
-use crate::problem::{
-    EvalTotals, OptMetric, ScheduleError, ScheduleInstance, Segment,
-};
+use crate::problem::{EvalTotals, OptMetric, ScheduleError, ScheduleInstance, Segment};
 use crate::provision::{self, ProvisionRule};
 use crate::reconfig::{self, PackingRule};
 use crate::search::{self, SearchBudget, SearchCtx, SearchKind};
@@ -90,6 +88,39 @@ impl ScheduleResult {
     /// Per-window breakdown of the winning schedule.
     pub fn windows(&self) -> &[WindowReport] {
         &self.windows
+    }
+
+    /// The latency of each time window, in execution order (the terms of
+    /// `Lat(Sc) = Σ_w Lat(tw)`).
+    ///
+    /// This is the breakdown a serving loop needs to advance virtual time:
+    /// window `w` ends at `window_latencies()[..=w].sum()` after the
+    /// schedule starts executing.
+    pub fn window_latencies(&self) -> Vec<f64> {
+        self.windows.iter().map(|w| w.latency_s).collect()
+    }
+
+    /// Seconds from schedule start until model `model` has finished its
+    /// last layer: the cumulative latency through the last window in which
+    /// the model is active.
+    ///
+    /// Models finishing in an early window are *done* then — later windows
+    /// run other tenants — so a serving simulator must complete their
+    /// requests at this offset, not at the full schedule latency.
+    ///
+    /// Returns `None` if the model never executes (out of range or idle in
+    /// every window).
+    pub fn model_completion_s(&self, model: usize) -> Option<f64> {
+        let last_active = self
+            .windows
+            .iter()
+            .rposition(|w| w.models.iter().any(|m| m.model == model))?;
+        Some(
+            self.windows[..=last_active]
+                .iter()
+                .map(|w| w.latency_s)
+                .sum(),
+        )
     }
 
     /// Every candidate evaluated during the search, expressed as
@@ -355,8 +386,8 @@ impl Scar {
             }
             let result = search::search_window(&ctx, window, &allocations, &cfg.search, &mut rng)
                 .ok_or(ScheduleError::NoFeasibleSchedule {
-                    window: window.index,
-                })?;
+                window: window.index,
+            })?;
             window_schedules.push(result.best);
             window_evals.push(result.eval);
             per_window_candidates.push(result.candidates);
@@ -402,8 +433,8 @@ impl Scar {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scar_mcm::templates::{het_sides_3x3, simba_3x3, Profile};
     use scar_maestro::Dataflow;
+    use scar_mcm::templates::{het_sides_3x3, simba_3x3, Profile};
 
     fn quick_budget() -> SearchBudget {
         SearchBudget {
@@ -524,6 +555,32 @@ mod tests {
             .schedule(&sc, &mcm)
             .unwrap_err();
         assert!(matches!(err, ScheduleError::InsufficientChiplets { .. }));
+    }
+
+    #[test]
+    fn window_latency_breakdown_sums_to_total() {
+        let sc = Scenario::datacenter(1);
+        let mcm = het_sides_3x3(Profile::Datacenter);
+        let r = Scar::builder()
+            .budget(quick_budget())
+            .build()
+            .schedule(&sc, &mcm)
+            .unwrap();
+        let lats = r.window_latencies();
+        assert_eq!(lats.len(), r.windows().len());
+        let sum: f64 = lats.iter().sum();
+        assert!((sum - r.total().latency_s).abs() < 1e-9 * r.total().latency_s.max(1.0));
+        // every model finishes at or before the end of the schedule, and the
+        // latest finisher defines the schedule's end
+        let completions: Vec<f64> = (0..sc.models().len())
+            .map(|m| r.model_completion_s(m).expect("both models execute"))
+            .collect();
+        for &c in &completions {
+            assert!(c > 0.0 && c <= sum * (1.0 + 1e-12));
+        }
+        let latest = completions.iter().cloned().fold(0.0f64, f64::max);
+        assert!((latest - sum).abs() < 1e-9 * sum.max(1.0));
+        assert_eq!(r.model_completion_s(99), None);
     }
 
     #[test]

@@ -153,11 +153,7 @@ pub(super) fn search(
 /// heterogeneity-aware chiplet assignment of Figure 1). Under an EDP
 /// search this sends, e.g., batched encoder GEMMs to Shidiannao chiplets
 /// when the energy saving outweighs the utilization loss.
-fn affinity_prefs(
-    ctx: &SearchCtx<'_>,
-    window: &TimeWindow,
-    active: &[usize],
-) -> Vec<Vec<usize>> {
+fn affinity_prefs(ctx: &SearchCtx<'_>, window: &TimeWindow, active: &[usize]) -> Vec<Vec<usize>> {
     let classes = ctx.mcm.chiplet_classes();
     active
         .iter()
@@ -189,7 +185,12 @@ fn affinity_prefs(
                 let lb = cost_of(ctx.mcm.chiplet(b).dataflow);
                 la.partial_cmp(&lb)
                     .unwrap()
-                    .then_with(|| ctx.mcm.nearest_interface(a).1.cmp(&ctx.mcm.nearest_interface(b).1))
+                    .then_with(|| {
+                        ctx.mcm
+                            .nearest_interface(a)
+                            .1
+                            .cmp(&ctx.mcm.nearest_interface(b).1)
+                    })
                     .then(a.cmp(&b))
             });
             ids

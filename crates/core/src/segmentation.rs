@@ -66,7 +66,7 @@ pub fn top_k_for_model(
         } else {
             // sampled: balanced quantile cuts + uniform random draws
             candidates.push(balanced_cuts(expected, model, range, k));
-            let draws = budget.min(512).max(1);
+            let draws = budget.clamp(1, 512);
             let mut seen = BTreeSet::new();
             let mut positions: Vec<usize> = (1..len).collect();
             for _ in 0..draws * 4 {
@@ -107,7 +107,9 @@ pub fn top_k_for_model(
     let mut best_per_k: std::collections::BTreeMap<usize, SegCandidate> =
         std::collections::BTreeMap::new();
     for c in &scored {
-        best_per_k.entry(c.segments.len()).or_insert_with(|| c.clone());
+        best_per_k
+            .entry(c.segments.len())
+            .or_insert_with(|| c.clone());
     }
     let mut picked: Vec<SegCandidate> = best_per_k.into_values().collect();
     let cap = picked.len() + top_k.saturating_sub(1);
@@ -336,11 +338,25 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let (sc, mcm, e) = setup();
         let a = top_k_for_model(
-            &sc, &mcm, &e, 0, &(0..120), 5, 5, 1_000,
+            &sc,
+            &mcm,
+            &e,
+            0,
+            &(0..120),
+            5,
+            5,
+            1_000,
             &mut StdRng::seed_from_u64(42),
         );
         let b = top_k_for_model(
-            &sc, &mcm, &e, 0, &(0..120), 5, 5, 1_000,
+            &sc,
+            &mcm,
+            &e,
+            0,
+            &(0..120),
+            5,
+            5,
+            1_000,
             &mut StdRng::seed_from_u64(42),
         );
         assert_eq!(a.len(), b.len());

@@ -51,7 +51,11 @@ pub fn enumerate_placements(
     max_placements: usize,
     rng: &mut StdRng,
 ) -> Vec<Placement> {
-    assert_eq!(prefs.len(), seg_counts.len(), "one preference list per model");
+    assert_eq!(
+        prefs.len(),
+        seg_counts.len(),
+        "one preference list per model"
+    );
     let c = mcm.num_chiplets();
     let m = seg_counts.len();
     if m == 0 || seg_counts.iter().sum::<usize>() > c || seg_counts.contains(&0) {
@@ -150,7 +154,9 @@ fn root_tuples(
     // random padding for diversity
     let mut ids: Vec<usize> = (0..c).collect();
     let mut attempts = 0;
-    while out.len() < max_root_perms && (seen.len() as u128) < space && attempts < max_root_perms * 20
+    while out.len() < max_root_perms
+        && (seen.len() as u128) < space
+        && attempts < max_root_perms * 20
     {
         ids.shuffle(rng);
         let tuple: Vec<usize> = ids[..m].to_vec();
@@ -252,7 +258,16 @@ pub fn dfs_paths_ranked(
     let mut path = vec![root];
     let mut on_path = vec![false; mcm.num_chiplets()];
     on_path[root] = true;
-    dfs(mcm, depth, used, cap, rank, &mut path, &mut on_path, &mut out);
+    dfs(
+        mcm,
+        depth,
+        used,
+        cap,
+        rank,
+        &mut path,
+        &mut on_path,
+        &mut out,
+    );
     out
 }
 
@@ -301,8 +316,8 @@ fn dfs(
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use scar_mcm::templates::{het_sides_3x3, simba_6x6, Profile};
     use scar_maestro::Dataflow;
+    use scar_mcm::templates::{het_sides_3x3, simba_6x6, Profile};
 
     fn mcm() -> McmConfig {
         het_sides_3x3(Profile::Datacenter)
@@ -319,8 +334,7 @@ mod tests {
     #[test]
     fn placements_are_disjoint_and_adjacent() {
         let m = mcm();
-        let placements =
-            enumerate_placements(&m, &[3, 2, 2], &id_prefs(3), 32, 8, 500, &mut rng());
+        let placements = enumerate_placements(&m, &[3, 2, 2], &id_prefs(3), 32, 8, 500, &mut rng());
         assert!(!placements.is_empty());
         for p in &placements {
             let mut seen = std::collections::HashSet::new();
@@ -366,8 +380,15 @@ mod tests {
     #[test]
     fn caps_are_respected() {
         let m = simba_6x6(Profile::Datacenter, Dataflow::NvdlaLike);
-        let placements =
-            enumerate_placements(&m, &[4, 4, 4], &identity_prefs(36, 3), 16, 4, 200, &mut rng());
+        let placements = enumerate_placements(
+            &m,
+            &[4, 4, 4],
+            &identity_prefs(36, 3),
+            16,
+            4,
+            200,
+            &mut rng(),
+        );
         assert!(placements.len() <= 200);
         assert!(!placements.is_empty());
     }

@@ -78,8 +78,9 @@ impl ChipletConfig {
     }
 
     /// A stable identity key for caching: chiplets that agree on this key
-    /// produce identical [`LayerCost`]s for any layer.
-    pub(crate) fn cache_key(&self) -> ChipletClassKey {
+    /// produce identical [`LayerCost`] latencies/cycle counts for any layer
+    /// (energy constants are tracked separately; see [`ChipletConfig::energy`]).
+    pub fn cache_key(&self) -> ChipletClassKey {
         ChipletClassKey {
             dataflow: self.dataflow,
             num_pes: self.num_pes,
@@ -105,7 +106,7 @@ impl std::fmt::Display for ChipletConfig {
 
 /// Hashable identity of a chiplet class (see [`ChipletConfig::cache_key`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) struct ChipletClassKey {
+pub struct ChipletClassKey {
     dataflow: Dataflow,
     num_pes: u64,
     freq_mhz_x1000: u64,

@@ -241,9 +241,7 @@ pub(crate) fn evaluate(kind: &LayerKind, batch: u64, chiplet: &ChipletConfig) ->
                 // outputs never leave the PEs until done; inputs stream once
                 // (receptive fields cached in-array across K); weights are
                 // re-broadcast for every spatial pass
-                let traffic = nest.in_bytes
-                    + nest.w_bytes * steps_xy as f64
-                    + nest.out_bytes;
+                let traffic = nest.in_bytes + nest.w_bytes * steps_xy as f64 + nest.out_bytes;
                 (cycles, traffic)
             }
         }
@@ -307,7 +305,11 @@ mod tests {
     #[test]
     fn gemm_prefers_weight_stationary_at_low_batch() {
         // GPT-style FFN: tall GEMM, tiny spatial footprint
-        let g = LayerKind::Gemm { m: 5120, k: 1280, n: 128 };
+        let g = LayerKind::Gemm {
+            m: 5120,
+            k: 1280,
+            n: 128,
+        };
         let ws = evaluate(&g, 1, &dc(Dataflow::NvdlaLike));
         let os = evaluate(&g, 1, &dc(Dataflow::ShidiannaoLike));
         assert!(
@@ -361,7 +363,11 @@ mod tests {
 
     #[test]
     fn batching_shrinks_the_os_gemm_penalty() {
-        let g = LayerKind::Gemm { m: 4096, k: 1024, n: 128 };
+        let g = LayerKind::Gemm {
+            m: 4096,
+            k: 1024,
+            n: 128,
+        };
         let os1 = evaluate(&g, 1, &dc(Dataflow::ShidiannaoLike));
         let os24 = evaluate(&g, 24, &dc(Dataflow::ShidiannaoLike));
         // per-sample latency falls with batch (spatial dim fills the array)
@@ -413,7 +419,11 @@ mod tests {
 
     #[test]
     fn edp_is_product() {
-        let g = LayerKind::Gemm { m: 128, k: 128, n: 16 };
+        let g = LayerKind::Gemm {
+            m: 128,
+            k: 128,
+            n: 16,
+        };
         let c = evaluate(&g, 1, &dc(Dataflow::NvdlaLike));
         assert!((c.edp() - c.energy_j * c.time_s).abs() < 1e-20);
     }
@@ -428,7 +438,9 @@ mod tests {
     #[test]
     fn memory_bound_layers_hit_bandwidth_roof() {
         // an eltwise over a big tensor moves bytes but does ~no math
-        let e = LayerKind::Eltwise { elements: 50_000_000 };
+        let e = LayerKind::Eltwise {
+            elements: 50_000_000,
+        };
         let c = evaluate(&e, 1, &dc(Dataflow::NvdlaLike));
         assert!(c.memory_cycles > c.compute_cycles);
         assert!(c.cycles >= c.memory_cycles);

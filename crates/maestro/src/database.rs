@@ -9,9 +9,9 @@
 
 use crate::chiplet::ChipletClassKey;
 use crate::{ChipletConfig, LayerCost};
-use parking_lot::RwLock;
 use scar_workloads::{LayerKind, Scenario};
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// A single database entry: the paper's `Layer L1: dfA: 0.8ms / 0.5mJ` rows.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,11 +61,14 @@ impl CostDatabase {
     /// memoizing it on first use.
     pub fn get(&self, chiplet: &ChipletConfig, kind: &LayerKind, batch: u64) -> LayerCost {
         let key = (chiplet.cache_key(), kind.clone(), batch);
-        if let Some(hit) = self.cache.read().get(&key) {
+        if let Some(hit) = self.cache.read().expect("cost cache poisoned").get(&key) {
             return *hit;
         }
         let cost = chiplet.evaluate(kind, batch);
-        self.cache.write().insert(key, cost);
+        self.cache
+            .write()
+            .expect("cost cache poisoned")
+            .insert(key, cost);
         cost
     }
 
@@ -94,11 +97,11 @@ impl CostDatabase {
             .map(|n| n.get())
             .unwrap_or(4)
             .min(work.len().max(1));
-        let results: Vec<(Key, LayerCost)> = crossbeam::thread::scope(|s| {
+        let results: Vec<(Key, LayerCost)> = std::thread::scope(|s| {
             let handles: Vec<_> = work
                 .chunks(work.len().div_ceil(shards))
                 .map(|chunk| {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         chunk
                             .iter()
                             .map(|(ch, kind, batch)| {
@@ -113,10 +116,9 @@ impl CostDatabase {
                 .into_iter()
                 .flat_map(|h| h.join().expect("warm-up shard panicked"))
                 .collect()
-        })
-        .expect("warm-up scope panicked");
+        });
 
-        let mut cache = self.cache.write();
+        let mut cache = self.cache.write().expect("cost cache poisoned");
         for (k, v) in results {
             cache.insert(k, v);
         }
@@ -124,7 +126,7 @@ impl CostDatabase {
 
     /// Number of memoized entries.
     pub fn len(&self) -> usize {
-        self.cache.read().len()
+        self.cache.read().expect("cost cache poisoned").len()
     }
 
     /// True if no entries are memoized yet.

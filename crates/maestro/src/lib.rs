@@ -43,7 +43,7 @@ mod cost;
 mod database;
 mod dataflow;
 
-pub use chiplet::ChipletConfig;
+pub use chiplet::{ChipletClassKey, ChipletConfig};
 pub use cost::{EnergyModel, LayerCost};
 pub use database::{CostDatabase, CostEntry};
 pub use dataflow::Dataflow;

@@ -170,8 +170,14 @@ mod tests {
     #[test]
     fn same_chiplet_is_free() {
         let m = mcm();
-        assert_eq!(m.transfer(Loc::Chiplet(4), Loc::Chiplet(4), 1 << 20), CommCost::ZERO);
-        assert_eq!(m.transfer(Loc::Offchip, Loc::Offchip, 1 << 20), CommCost::ZERO);
+        assert_eq!(
+            m.transfer(Loc::Chiplet(4), Loc::Chiplet(4), 1 << 20),
+            CommCost::ZERO
+        );
+        assert_eq!(
+            m.transfer(Loc::Offchip, Loc::Offchip, 1 << 20),
+            CommCost::ZERO
+        );
     }
 
     #[test]
@@ -192,7 +198,11 @@ mod tests {
         // chiplet 4 (center) is 1 hop from a side interface
         let c = m.transfer(Loc::Offchip, Loc::Chiplet(4), bytes);
         let expect = bytes as f64 / 64e9 + 1.0 * 35e-9 + 200e-9;
-        assert!((c.time_s - expect).abs() < 1e-12, "{} vs {expect}", c.time_s);
+        assert!(
+            (c.time_s - expect).abs() < 1e-12,
+            "{} vs {expect}",
+            c.time_s
+        );
     }
 
     #[test]
@@ -222,7 +232,7 @@ mod tests {
         loads.record(Loc::Chiplet(0), Loc::Chiplet(2), b);
         let before = loads.delta_for(Loc::Chiplet(0), Loc::Chiplet(2), b);
         assert_eq!(before, 0.0); // alone on its route
-        // a second flow sharing link (1,2)
+                                 // a second flow sharing link (1,2)
         loads.record(Loc::Chiplet(1), Loc::Chiplet(2), b);
         let after = loads.delta_for(Loc::Chiplet(0), Loc::Chiplet(2), b);
         assert!(after > 0.0);

@@ -137,7 +137,12 @@ impl McmConfig {
     pub fn dataflow_counts(&self) -> Vec<(Dataflow, usize)> {
         Dataflow::ALL
             .iter()
-            .map(|&df| (df, self.chiplets.iter().filter(|c| c.dataflow == df).count()))
+            .map(|&df| {
+                (
+                    df,
+                    self.chiplets.iter().filter(|c| c.dataflow == df).count(),
+                )
+            })
             .filter(|&(_, n)| n > 0)
             .collect()
     }
@@ -202,7 +207,12 @@ mod tests {
                 })
             })
             .collect();
-        McmConfig::new("test", chiplets, NopTopology::mesh(3, 3), vec![0, 3, 6, 2, 5, 8])
+        McmConfig::new(
+            "test",
+            chiplets,
+            NopTopology::mesh(3, 3),
+            vec![0, 3, 6, 2, 5, 8],
+        )
     }
 
     #[test]

@@ -272,10 +272,7 @@ mod tests {
 
     #[test]
     fn profile_selects_pe_count() {
-        assert_eq!(
-            het_sides_3x3(Profile::Datacenter).chiplet(0).num_pes,
-            4096
-        );
+        assert_eq!(het_sides_3x3(Profile::Datacenter).chiplet(0).num_pes, 4096);
         assert_eq!(het_sides_3x3(Profile::ArVr).chiplet(0).num_pes, 256);
     }
 

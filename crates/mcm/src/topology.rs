@@ -130,14 +130,12 @@ impl NopTopology {
         if adjacency.iter().any(|row| row.len() != n) {
             return Err(TopologyError::NotSquare);
         }
-        for i in 0..n {
-            if adjacency[i][i] {
+        for (i, row) in adjacency.iter().enumerate() {
+            if row[i] {
                 return Err(TopologyError::SelfLoop(i));
             }
-            for j in 0..n {
-                if adjacency[i][j] != adjacency[j][i] {
-                    return Err(TopologyError::NotSymmetric);
-                }
+            if (0..n).any(|j| row[j] != adjacency[j][i]) {
+                return Err(TopologyError::NotSymmetric);
             }
         }
         let t = Self::with_kind(TopologyKind::Custom, adjacency);

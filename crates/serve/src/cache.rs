@@ -1,0 +1,273 @@
+//! Schedule caching: recurring traffic mixes skip the tree search.
+//!
+//! A serving loop repeatedly schedules *live scenarios* that recur whenever
+//! the same tenants have the same queue depths — a 60 FPS eye tracker
+//! produces the same one-frame batch shape sixty times a second. The full
+//! SCAR search is orders of magnitude more expensive than a cache probe, so
+//! [`ScheduleCache`] memoizes complete [`ScheduleResult`]s keyed by a
+//! [`fingerprint`] of everything the scheduler's outcome depends on:
+//! scenario content (model names, layer shapes, batch vector), the MCM
+//! configuration (chiplet capabilities, topology, NoP/DRAM parameters),
+//! the optimization metric, and the full search configuration.
+//!
+//! Hit/miss counters are surfaced in serving reports via [`CacheStats`].
+
+use scar_core::{OptMetric, ScheduleResult, SearchBudget, SearchKind};
+use scar_mcm::McmConfig;
+use scar_workloads::Scenario;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+/// Cache hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the scheduler.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when the cache is untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Everything a schedule's identity depends on, hashed into one key:
+/// the scenario's full layer content and batch vector, the MCM's chiplet
+/// capabilities ([`ChipletConfig::cache_key`] + energy constants), its
+/// NoP/off-chip parameters and topology adjacency, the metric, and the
+/// complete search configuration.
+///
+/// Hashing layer *shapes* (not just model names) keeps custom
+/// [`ModelBuilder`](scar_workloads::ModelBuilder)-built models with
+/// coincidentally equal names/layer counts from colliding; hashing chiplet
+/// capability keeps the two paper profiles (which share template names and
+/// dataflow layouts but differ 16× in PE count) apart.
+///
+/// [`ChipletConfig::cache_key`]: scar_maestro::ChipletConfig::cache_key
+pub fn fingerprint(
+    scenario: &Scenario,
+    mcm: &McmConfig,
+    metric: &OptMetric,
+    nsplits: usize,
+    search: &SearchKind,
+    budget: &SearchBudget,
+) -> u64 {
+    let mut h = DefaultHasher::new();
+    scenario.use_case().to_string().hash(&mut h);
+    for sm in scenario.models() {
+        sm.model.name().hash(&mut h);
+        sm.batch.hash(&mut h);
+        for layer in sm.model.layers() {
+            layer.hash(&mut h);
+        }
+    }
+    mcm.name().hash(&mut h);
+    mcm.num_chiplets().hash(&mut h);
+    for ch in mcm.chiplets() {
+        ch.cache_key().hash(&mut h);
+        ch.energy.mac_pj.to_bits().hash(&mut h);
+        ch.energy.l1_pj_per_byte.to_bits().hash(&mut h);
+        ch.energy.l2_pj_per_byte.to_bits().hash(&mut h);
+    }
+    let topo = mcm.topology();
+    for a in 0..topo.num_nodes() {
+        for b in (a + 1)..topo.num_nodes() {
+            topo.is_adjacent(a, b).hash(&mut h);
+        }
+    }
+    mcm.offchip_interfaces().hash(&mut h);
+    for v in [
+        mcm.offchip.bw_bytes_per_s,
+        mcm.offchip.latency_s,
+        mcm.offchip.energy_pj_per_byte,
+        mcm.nop.bw_bytes_per_s,
+        mcm.nop.hop_latency_s,
+        mcm.nop.energy_pj_per_byte_hop,
+    ] {
+        v.to_bits().hash(&mut h);
+    }
+    metric.label().hash(&mut h);
+    match metric {
+        OptMetric::ConstrainedEdp { max_latency_s } => max_latency_s.to_bits().hash(&mut h),
+        // closures have no stable identity across processes, but the cache
+        // lives within one process: the Arc address distinguishes them
+        OptMetric::Custom(f) => (std::sync::Arc::as_ptr(f) as *const () as usize).hash(&mut h),
+        _ => {}
+    }
+    nsplits.hash(&mut h);
+    match search {
+        SearchKind::BruteForce => 0u8.hash(&mut h),
+        SearchKind::Evolutionary(p) => {
+            1u8.hash(&mut h);
+            p.population.hash(&mut h);
+            p.generations.hash(&mut h);
+            p.mutation_rate.to_bits().hash(&mut h);
+        }
+    }
+    budget.seed.hash(&mut h);
+    budget.top_k_segmentations.hash(&mut h);
+    budget.max_segmentations_enumerated.hash(&mut h);
+    budget.max_root_perms.hash(&mut h);
+    budget.max_paths_per_model.hash(&mut h);
+    budget.max_placements_per_window.hash(&mut h);
+    budget.max_candidates_per_window.hash(&mut h);
+    budget.node_constraint.hash(&mut h);
+    h.finish()
+}
+
+/// A `fingerprint → ScheduleResult` memo with hit/miss accounting.
+///
+/// Entries are shared via [`Rc`]: a hit hands back a reference-counted
+/// pointer rather than deep-cloning the schedule (whose candidate cloud
+/// can run to thousands of points) on the very path the cache exists to
+/// make cheap.
+#[derive(Debug, Default)]
+pub struct ScheduleCache {
+    map: HashMap<u64, Rc<ScheduleResult>>,
+    stats: CacheStats,
+}
+
+impl ScheduleCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a fingerprint, recording a hit or miss.
+    pub fn get(&mut self, key: u64) -> Option<Rc<ScheduleResult>> {
+        match self.map.get(&key) {
+            Some(r) => {
+                self.stats.hits += 1;
+                Some(Rc::clone(r))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores the schedule for a fingerprint.
+    pub fn insert(&mut self, key: u64, result: Rc<ScheduleResult>) {
+        self.map.insert(key, result);
+    }
+
+    /// Number of cached schedules.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The accumulated hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears entries and counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scar_maestro::Dataflow;
+    use scar_mcm::templates::{het_sides_3x3, simba_3x3, Profile};
+    use scar_workloads::scenario::generate;
+    use scar_workloads::UseCase;
+
+    fn key_of(sc: &Scenario, mcm: &McmConfig) -> u64 {
+        fingerprint(
+            sc,
+            mcm,
+            &OptMetric::Edp,
+            4,
+            &SearchKind::BruteForce,
+            &SearchBudget::default(),
+        )
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let mcm = het_sides_3x3(Profile::Datacenter);
+        let a = generate(1, UseCase::Datacenter, 2);
+        assert_eq!(key_of(&a, &mcm), key_of(&a.clone(), &mcm));
+        // batch change → different key
+        let mut b = a.clone();
+        let mut models = b.models().to_vec();
+        models[0].batch += 1;
+        b = Scenario::new("x", b.use_case(), models);
+        assert_ne!(key_of(&a, &mcm), key_of(&b, &mcm));
+        // MCM change → different key
+        let simba = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
+        assert_ne!(key_of(&a, &mcm), key_of(&a, &simba));
+        // same template name + dataflow layout but 16×-different chiplet
+        // capability (the two paper profiles) → different key
+        let arvr_mcm = het_sides_3x3(Profile::ArVr);
+        assert_ne!(key_of(&a, &mcm), key_of(&a, &arvr_mcm));
+        // same name + layer count but different layer shapes → different key
+        use scar_workloads::{ModelBuilder, ScenarioModel};
+        let model_of = |k: u64| ScenarioModel {
+            model: ModelBuilder::new("custom").gemm("g", 64, k, 8).build(),
+            batch: 1,
+        };
+        let sc_x = Scenario::new("x", UseCase::Datacenter, vec![model_of(32)]);
+        let sc_y = Scenario::new("x", UseCase::Datacenter, vec![model_of(64)]);
+        assert_ne!(key_of(&sc_x, &mcm), key_of(&sc_y, &mcm));
+        // metric change → different key
+        let k_lat = fingerprint(
+            &a,
+            &mcm,
+            &OptMetric::Latency,
+            4,
+            &SearchKind::BruteForce,
+            &SearchBudget::default(),
+        );
+        assert_ne!(key_of(&a, &mcm), k_lat);
+        // budget seed change → different key
+        let seeded = SearchBudget {
+            seed: 999,
+            ..SearchBudget::default()
+        };
+        let k_seed = fingerprint(
+            &a,
+            &mcm,
+            &OptMetric::Edp,
+            4,
+            &SearchKind::BruteForce,
+            &seeded,
+        );
+        assert_ne!(key_of(&a, &mcm), k_seed);
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let mut cache = ScheduleCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.get(42).is_none());
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        // a real result requires scheduling; store-and-hit is covered by the
+        // integration tests — here we only exercise the counter state machine
+        assert!(cache.get(42).is_none());
+        assert_eq!(cache.stats().misses, 2);
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

@@ -1,0 +1,237 @@
+//! Serving metrics: per-request latency percentiles, deadline accounting,
+//! throughput, energy, and cache effectiveness.
+
+use crate::cache::CacheStats;
+use std::fmt;
+
+/// Latency summary of a set of completed requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of requests summarized.
+    pub count: usize,
+    /// Mean latency, seconds.
+    pub mean_s: f64,
+    /// Median (p50) latency, seconds.
+    pub p50_s: f64,
+    /// 95th-percentile latency, seconds.
+    pub p95_s: f64,
+    /// 99th-percentile latency, seconds.
+    pub p99_s: f64,
+    /// Worst latency, seconds.
+    pub max_s: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes latencies (need not be sorted). Empty input → zeros.
+    pub fn of(latencies: &[f64]) -> Self {
+        if latencies.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let count = sorted.len();
+        Self {
+            count,
+            mean_s: sorted.iter().sum::<f64>() / count as f64,
+            p50_s: percentile(&sorted, 50.0),
+            p95_s: percentile(&sorted, 95.0),
+            p99_s: percentile(&sorted, 99.0),
+            max_s: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 100]`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty set");
+    assert!((0.0..=100.0).contains(&q), "percentile out of range");
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+/// Per-stream serving statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStats {
+    /// The stream's model name.
+    pub model_name: String,
+    /// Requests completed.
+    pub completed: usize,
+    /// Latency summary over completed requests.
+    pub latency: LatencySummary,
+    /// Requests that missed their deadline (0 for deadline-free streams).
+    pub deadline_misses: usize,
+    /// Whether the stream carries deadlines at all.
+    pub has_deadlines: bool,
+}
+
+impl StreamStats {
+    /// Deadline misses as a fraction of completed requests.
+    pub fn miss_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.completed as f64
+        }
+    }
+}
+
+/// The outcome of one serving simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// The traffic mix's name.
+    pub mix_name: String,
+    /// The serving policy's name (scheduler + MCM).
+    pub policy_name: String,
+    /// Virtual time at which the last request completed, seconds.
+    pub makespan_s: f64,
+    /// Requests completed (equals requests offered: the queue drains).
+    pub completed: usize,
+    /// Scheduling rounds executed (live scenarios formed).
+    pub windows_scheduled: usize,
+    /// Sustained throughput: completed requests / makespan.
+    pub throughput_rps: f64,
+    /// Total energy over all scheduled windows, joules.
+    pub energy_j: f64,
+    /// Overall latency summary.
+    pub latency: LatencySummary,
+    /// Deadline misses across deadline-bound streams.
+    pub deadline_misses: usize,
+    /// Requests that carried a deadline.
+    pub deadline_bound: usize,
+    /// Schedule-cache counters for the run.
+    pub cache: CacheStats,
+    /// Per-stream breakdowns, in mix stream order.
+    pub per_stream: Vec<StreamStats>,
+}
+
+impl ServeReport {
+    /// Deadline misses as a fraction of deadline-bound requests
+    /// (0 when the mix has no deadlines).
+    pub fn deadline_miss_rate(&self) -> f64 {
+        if self.deadline_bound == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.deadline_bound as f64
+        }
+    }
+}
+
+fn ms(s: f64) -> String {
+    format!("{:.2}", s * 1e3)
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} on {} ===", self.mix_name, self.policy_name)?;
+        writeln!(
+            f,
+            "completed {} requests in {:.3} s virtual ({} scheduling rounds)",
+            self.completed, self.makespan_s, self.windows_scheduled
+        )?;
+        writeln!(
+            f,
+            "throughput {:.1} req/s | energy {:.3} J | deadline misses {}/{} ({:.1}%)",
+            self.throughput_rps,
+            self.energy_j,
+            self.deadline_misses,
+            self.deadline_bound,
+            self.deadline_miss_rate() * 100.0
+        )?;
+        writeln!(
+            f,
+            "latency ms: p50 {} | p95 {} | p99 {} | max {}",
+            ms(self.latency.p50_s),
+            ms(self.latency.p95_s),
+            ms(self.latency.p99_s),
+            ms(self.latency.max_s)
+        )?;
+        writeln!(
+            f,
+            "schedule cache: {} hits / {} misses ({:.1}% hit rate)",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0
+        )?;
+        writeln!(
+            f,
+            "  {:<12} {:>6} {:>9} {:>9} {:>9} {:>10}",
+            "stream", "reqs", "p50 ms", "p95 ms", "p99 ms", "miss rate"
+        )?;
+        for s in &self.per_stream {
+            writeln!(
+                f,
+                "  {:<12} {:>6} {:>9} {:>9} {:>9} {:>10}",
+                s.model_name,
+                s.completed,
+                ms(s.latency.p50_s),
+                ms(s.latency.p95_s),
+                ms(s.latency.p99_s),
+                if s.has_deadlines {
+                    format!("{:.1}%", s.miss_rate() * 100.0)
+                } else {
+                    "-".to_string()
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn summary_of_known_set() {
+        let s = LatencySummary::of(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean_s, 2.5);
+        assert_eq!(s.p50_s, 2.0);
+        assert_eq!(s.max_s, 4.0);
+        assert_eq!(LatencySummary::of(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let report = ServeReport {
+            mix_name: "test mix".into(),
+            policy_name: "SCAR on Het-Sides".into(),
+            makespan_s: 1.5,
+            completed: 10,
+            windows_scheduled: 4,
+            throughput_rps: 10.0 / 1.5,
+            energy_j: 0.25,
+            latency: LatencySummary::of(&[0.01, 0.02, 0.03]),
+            deadline_misses: 1,
+            deadline_bound: 5,
+            cache: CacheStats { hits: 3, misses: 1 },
+            per_stream: vec![StreamStats {
+                model_name: "EyeCod".into(),
+                completed: 10,
+                latency: LatencySummary::of(&[0.01]),
+                deadline_misses: 1,
+                has_deadlines: true,
+            }],
+        };
+        let text = report.to_string();
+        for needle in ["test mix", "p50", "p99", "hit rate", "EyeCod", "75.0% hit"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert!((report.deadline_miss_rate() - 0.2).abs() < 1e-12);
+    }
+}

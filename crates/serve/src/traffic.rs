@@ -1,0 +1,364 @@
+//! Multi-tenant request-stream models.
+//!
+//! A [`TrafficMix`] is a set of per-model [`RequestStream`]s, each emitting
+//! timestamped [`Request`]s under one of two arrival processes:
+//!
+//! * [`ArrivalProcess::Periodic`] — fixed-rate arrivals (AR/VR frame
+//!   clocks: a 60 FPS eye tracker emits exactly every 1/60 s),
+//! * [`ArrivalProcess::Poisson`] — seeded-pseudorandom exponential
+//!   inter-arrival gaps (datacenter query traffic), using the same
+//!   `StdRng::seed_from_u64` idiom as the evolutionary search driver so a
+//!   mix is a reproducible object, not a one-off sample.
+//!
+//! Streams carry optional relative deadlines; AR/VR defaults take both the
+//! rate and the one-frame-period deadline from
+//! [`scar_workloads::scenario::nominal_rate_hz`]/[`nominal_deadline_s`].
+//!
+//! [`nominal_deadline_s`]: scar_workloads::scenario::nominal_deadline_s
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scar_workloads::scenario::{model_pool, nominal_deadline_s, nominal_rate_hz};
+use scar_workloads::{Model, UseCase};
+
+/// When requests of a stream arrive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Deterministic fixed-rate arrivals at `rate_hz`, starting at
+    /// `phase_s` (frame clocks; phases stagger tenant frame boundaries).
+    Periodic {
+        /// Requests per second.
+        rate_hz: f64,
+        /// Offset of the first arrival, in seconds.
+        phase_s: f64,
+    },
+    /// Poisson arrivals: exponential inter-arrival gaps with mean
+    /// `1 / rate_hz`, drawn from the mix's seeded generator.
+    Poisson {
+        /// Mean requests per second.
+        rate_hz: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The process's mean rate in requests per second.
+    pub fn rate_hz(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Periodic { rate_hz, .. } | ArrivalProcess::Poisson { rate_hz } => {
+                rate_hz
+            }
+        }
+    }
+}
+
+/// One tenant: a model queried at some rate.
+#[derive(Debug, Clone)]
+pub struct RequestStream {
+    /// The model every request of this stream runs.
+    pub model: Model,
+    /// Samples contributed to the live batch by one request (1 for an AR/VR
+    /// frame; >1 for datacenter queries that arrive pre-batched).
+    pub samples_per_request: u64,
+    /// The arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Relative deadline per request, if the tenant is latency-critical.
+    pub deadline_s: Option<f64>,
+}
+
+impl RequestStream {
+    /// A stream with the zoo model's nominal rate and deadline for
+    /// `use_case` (frame-periodic for AR/VR, Poisson for datacenter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase_s` is negative.
+    pub fn nominal(model: Model, use_case: UseCase, phase_s: f64) -> Self {
+        assert!(phase_s >= 0.0, "phase must be non-negative");
+        let rate_hz = nominal_rate_hz(model.name(), use_case);
+        let deadline_s = nominal_deadline_s(model.name(), use_case);
+        let arrivals = match use_case {
+            UseCase::ArVr => ArrivalProcess::Periodic { rate_hz, phase_s },
+            UseCase::Datacenter => ArrivalProcess::Poisson { rate_hz },
+        };
+        Self {
+            model,
+            samples_per_request: 1,
+            arrivals,
+            deadline_s,
+        }
+    }
+}
+
+/// One timestamped inference request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Global arrival-order id (ties broken by stream index).
+    pub id: u64,
+    /// Index of the emitting stream within the mix.
+    pub stream: usize,
+    /// Arrival time, in seconds from simulation start.
+    pub arrival_s: f64,
+    /// Absolute completion deadline, if the stream has one.
+    pub deadline_s: Option<f64>,
+}
+
+/// A named set of request streams: the serving workload.
+#[derive(Debug, Clone)]
+pub struct TrafficMix {
+    /// Human-readable mix name (appears in reports).
+    pub name: String,
+    /// The deployment domain of the live scenarios this mix produces.
+    pub use_case: UseCase,
+    /// The tenant streams.
+    pub streams: Vec<RequestStream>,
+    /// Seed for every pseudorandom arrival draw in the mix.
+    pub seed: u64,
+}
+
+impl TrafficMix {
+    /// A mix from explicit streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is empty.
+    pub fn new(
+        name: impl Into<String>,
+        use_case: UseCase,
+        streams: Vec<RequestStream>,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            !streams.is_empty(),
+            "a traffic mix needs at least one stream"
+        );
+        Self {
+            name: name.into(),
+            use_case,
+            streams,
+            seed,
+        }
+    }
+
+    /// The paper-flavored datacenter mix: GPT-L + BERT-L + ResNet-50
+    /// tenants (Sc2's composition) with Poisson query arrivals at their
+    /// nominal rates.
+    pub fn datacenter(seed: u64) -> Self {
+        let pool = model_pool(UseCase::Datacenter);
+        let streams = pool
+            .into_iter()
+            .filter(|m| matches!(m.name(), "GPT-L" | "BERT-L" | "ResNet-50"))
+            .map(|m| RequestStream::nominal(m, UseCase::Datacenter, 0.0))
+            .collect();
+        Self::new("datacenter Poisson mix", UseCase::Datacenter, streams, seed)
+    }
+
+    /// The XRBench-flavored AR/VR mix: Sc9's social pipeline
+    /// (EyeCod + Hand-S/P + Sp2Dense) on their frame clocks (60/45/30 FPS),
+    /// with one-frame-period deadlines and staggered phases.
+    ///
+    /// (Sc7's AR-gaming trio is expressible the same way, but its
+    /// PlaneRCNN/MiDaS backbones overload the paper's AR/VR chiplet profile
+    /// at full frame rates — a sustained-overload mix, not a serving one.)
+    pub fn arvr(seed: u64) -> Self {
+        let pool = model_pool(UseCase::ArVr);
+        let streams = pool
+            .into_iter()
+            .filter(|m| matches!(m.name(), "EyeCod" | "Hand-S/P" | "Sp2Dense"))
+            .enumerate()
+            .map(|(i, m)| RequestStream::nominal(m, UseCase::ArVr, i as f64 * 1e-3))
+            .collect();
+        Self::new("AR/VR frame mix", UseCase::ArVr, streams, seed)
+    }
+
+    /// This mix with every stream's rate multiplied by `factor` (periodic
+    /// deadlines rescale with the slower/faster frame period). Lets one
+    /// composition sweep from idle to overload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn throttled(mut self, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "rate factor must be positive and finite"
+        );
+        for s in &mut self.streams {
+            s.arrivals = match s.arrivals {
+                ArrivalProcess::Periodic { rate_hz, phase_s } => ArrivalProcess::Periodic {
+                    rate_hz: rate_hz * factor,
+                    phase_s,
+                },
+                ArrivalProcess::Poisson { rate_hz } => ArrivalProcess::Poisson {
+                    rate_hz: rate_hz * factor,
+                },
+            };
+            s.deadline_s = s.deadline_s.map(|d| d / factor);
+        }
+        self.name = format!("{} ×{factor:.2}", self.name);
+        self
+    }
+
+    /// Every request arriving in `[0, horizon_s)`, sorted by arrival time
+    /// (ties by stream index), with ids in that order. Deterministic given
+    /// the mix (including its seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon_s` is not positive and finite.
+    pub fn arrivals(&self, horizon_s: f64) -> Vec<Request> {
+        assert!(
+            horizon_s > 0.0 && horizon_s.is_finite(),
+            "horizon must be positive and finite"
+        );
+        let mut out: Vec<Request> = Vec::new();
+        for (si, stream) in self.streams.iter().enumerate() {
+            match stream.arrivals {
+                ArrivalProcess::Periodic { rate_hz, phase_s } => {
+                    if rate_hz <= 0.0 {
+                        continue;
+                    }
+                    let period = 1.0 / rate_hz;
+                    let mut t = phase_s;
+                    while t < horizon_s {
+                        out.push(self.request_at(si, t, stream.deadline_s));
+                        t += period;
+                    }
+                }
+                ArrivalProcess::Poisson { rate_hz } => {
+                    if rate_hz <= 0.0 {
+                        continue;
+                    }
+                    // one independent, stream-keyed generator per stream so
+                    // adding a stream never perturbs the others
+                    let mut rng =
+                        StdRng::seed_from_u64(self.seed ^ (si as u64).wrapping_mul(0x9E37_79B9));
+                    let mut t = 0.0f64;
+                    loop {
+                        // exponential gap via inverse transform; (1 - u) keeps
+                        // ln's argument in (0, 1]
+                        let u: f64 = rng.gen();
+                        t += -(1.0 - u).ln() / rate_hz;
+                        if t >= horizon_s {
+                            break;
+                        }
+                        out.push(self.request_at(si, t, stream.deadline_s));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            a.arrival_s
+                .partial_cmp(&b.arrival_s)
+                .expect("arrival times are finite")
+                .then(a.stream.cmp(&b.stream))
+        });
+        for (id, r) in out.iter_mut().enumerate() {
+            r.id = id as u64;
+        }
+        out
+    }
+
+    fn request_at(&self, stream: usize, arrival_s: f64, deadline_s: Option<f64>) -> Request {
+        Request {
+            id: 0, // assigned after the global sort
+            stream,
+            arrival_s,
+            deadline_s: deadline_s.map(|d| arrival_s + d),
+        }
+    }
+
+    /// The aggregate offered load in requests per second.
+    pub fn offered_rps(&self) -> f64 {
+        self.streams.iter().map(|s| s.arrivals.rate_hz()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_arrivals_are_a_frame_clock() {
+        let mix = TrafficMix::arvr(1);
+        let reqs = mix.arrivals(0.5);
+        // 60 + 45 + 30 Hz over 0.5 s ≈ 67 arrivals (phases shift a few)
+        let n = reqs.len();
+        assert!((60..=72).contains(&n), "{n}");
+        // per-stream gaps equal the period
+        for (si, s) in mix.streams.iter().enumerate() {
+            let times: Vec<f64> = reqs
+                .iter()
+                .filter(|r| r.stream == si)
+                .map(|r| r.arrival_s)
+                .collect();
+            let period = 1.0 / s.arrivals.rate_hz();
+            for w in times.windows(2) {
+                assert!((w[1] - w[0] - period).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_are_reproducible_and_rate_plausible() {
+        let a = TrafficMix::datacenter(9).arrivals(10.0);
+        let b = TrafficMix::datacenter(9).arrivals(10.0);
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.arrival_s == y.arrival_s && x.stream == y.stream));
+        // 2 + 8 + 32 Hz over 10 s → ~420 expected; allow wide slack
+        assert!((250..=600).contains(&a.len()), "{}", a.len());
+        let c = TrafficMix::datacenter(10).arrivals(10.0);
+        assert!(a.len() != c.len() || a[0].arrival_s != c[0].arrival_s);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_with_sequential_ids() {
+        let reqs = TrafficMix::datacenter(3).arrivals(5.0);
+        for w in reqs.windows(2) {
+            assert!(w[0].arrival_s <= w[1].arrival_s);
+        }
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert!(r.arrival_s >= 0.0 && r.arrival_s < 5.0);
+        }
+    }
+
+    #[test]
+    fn arvr_requests_carry_frame_deadlines() {
+        let mix = TrafficMix::arvr(2);
+        let reqs = mix.arrivals(0.2);
+        assert!(!reqs.is_empty());
+        for r in reqs {
+            let d = r.deadline_s.expect("AR/VR streams are deadline-bound");
+            let s = &mix.streams[r.stream];
+            assert!((d - r.arrival_s - s.deadline_s.unwrap()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn datacenter_requests_have_no_deadline() {
+        assert!(TrafficMix::datacenter(1)
+            .arrivals(2.0)
+            .iter()
+            .all(|r| r.deadline_s.is_none()));
+    }
+
+    #[test]
+    fn offered_load_sums_streams() {
+        let mix = TrafficMix::arvr(0);
+        assert!((mix.offered_rps() - (60.0 + 45.0 + 30.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throttling_scales_rates_and_deadlines() {
+        let mix = TrafficMix::arvr(0).throttled(0.5);
+        assert!((mix.offered_rps() - 135.0 * 0.5).abs() < 1e-9);
+        for s in &mix.streams {
+            // a halved frame clock doubles the frame period and deadline
+            assert!((s.deadline_s.unwrap() - 1.0 / s.arrivals.rate_hz()).abs() < 1e-12);
+        }
+        assert!(mix.name.contains("×0.50"));
+    }
+}

@@ -124,7 +124,14 @@ pub enum LayerKind {
 
 impl LayerKind {
     /// Output spatial height/width for convolution-like kinds.
-    fn conv_out_hw(in_h: u64, in_w: u64, k_h: u64, k_w: u64, stride: u64, padding: u64) -> (u64, u64) {
+    fn conv_out_hw(
+        in_h: u64,
+        in_w: u64,
+        k_h: u64,
+        k_w: u64,
+        stride: u64,
+        padding: u64,
+    ) -> (u64, u64) {
         let oh = (in_h + 2 * padding).saturating_sub(k_h) / stride + 1;
         let ow = (in_w + 2 * padding).saturating_sub(k_w) / stride + 1;
         (oh, ow)
@@ -406,7 +413,11 @@ mod tests {
 
     #[test]
     fn gemm_accounting() {
-        let g = LayerKind::Gemm { m: 1024, k: 768, n: 128 };
+        let g = LayerKind::Gemm {
+            m: 1024,
+            k: 768,
+            n: 128,
+        };
         assert_eq!(g.macs(), 1024 * 768 * 128);
         assert_eq!(g.weight_elems(), 1024 * 768);
         assert_eq!(g.input_elems(), 768 * 128);
@@ -415,7 +426,12 @@ mod tests {
 
     #[test]
     fn matmul_has_no_weights_and_counts_heads() {
-        let a = LayerKind::MatMul { m: 128, k: 64, n: 128, heads: 16 };
+        let a = LayerKind::MatMul {
+            m: 128,
+            k: 64,
+            n: 128,
+            heads: 16,
+        };
         assert_eq!(a.weight_elems(), 0);
         assert_eq!(a.macs(), 16 * 128 * 64 * 128);
         assert_eq!(a.input_elems(), 16 * (128 * 64 + 64 * 128));

@@ -12,6 +12,9 @@
 //! * [`Scenario`] — a named collection of concurrent models,
 //! * [`zoo`] — the architectures used by the paper's ten scenarios
 //!   (GPT-L, BERT-L/base, ResNet-50, U-Net, GoogleNet and the XRBench suite),
+//! * [`scenario::generate`] — a seeded generator sampling unboundedly many
+//!   synthetic scenarios from the zoo, with nominal service rates/deadlines
+//!   ([`scenario::nominal_rate_hz`]) for serving-oriented consumers,
 //! * [`parse`] — JSON description-file loading/saving (the "input configs"
 //!   of the paper's Figure 4).
 //!
@@ -32,7 +35,7 @@
 mod layer;
 mod model;
 pub mod parse;
-mod scenario;
+pub mod scenario;
 pub mod zoo;
 
 pub use layer::{DataType, Layer, LayerKind};
@@ -42,7 +45,9 @@ pub use scenario::{Scenario, ScenarioModel, UseCase};
 /// Identifies a layer inside a [`Scenario`]: `(model index, layer index)`.
 ///
 /// This is the `layer_{i,j}` notation of Definition 1 in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct LayerId {
     /// Index of the model within the scenario.
     pub model: usize,

@@ -23,7 +23,10 @@ impl Model {
     /// Panics if `layers` is empty — a model must contain at least one layer
     /// (Definition 1 indexes layers from 1).
     pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Self {
-        assert!(!layers.is_empty(), "a model must contain at least one layer");
+        assert!(
+            !layers.is_empty(),
+            "a model must contain at least one layer"
+        );
         Self {
             name: name.into(),
             layers,
@@ -124,7 +127,9 @@ impl ModelBuilder {
         kernel: u64,
         stride: u64,
     ) -> Self {
-        self.layers.push(crate::layer::conv(name, in_hw, in_ch, out_ch, kernel, stride));
+        self.layers.push(crate::layer::conv(
+            name, in_hw, in_ch, out_ch, kernel, stride,
+        ));
         self
     }
 
@@ -156,7 +161,8 @@ impl ModelBuilder {
 
     /// Appends a GEMM layer (`out[M,N] = W[M,K] · in[K,N]`).
     pub fn gemm(mut self, name: impl Into<String>, m: u64, k: u64, n: u64) -> Self {
-        self.layers.push(Layer::new(name, LayerKind::Gemm { m, k, n }));
+        self.layers
+            .push(Layer::new(name, LayerKind::Gemm { m, k, n }));
         self
     }
 
@@ -191,25 +197,29 @@ impl ModelBuilder {
 
     /// Appends a residual/element-wise addition over `elements` scalars.
     pub fn eltwise(mut self, name: impl Into<String>, elements: u64) -> Self {
-        self.layers.push(Layer::new(name, LayerKind::Eltwise { elements }));
+        self.layers
+            .push(Layer::new(name, LayerKind::Eltwise { elements }));
         self
     }
 
     /// Appends a normalization layer.
     pub fn norm(mut self, name: impl Into<String>, elements: u64) -> Self {
-        self.layers.push(Layer::new(name, LayerKind::Norm { elements }));
+        self.layers
+            .push(Layer::new(name, LayerKind::Norm { elements }));
         self
     }
 
     /// Appends a softmax layer.
     pub fn softmax(mut self, name: impl Into<String>, rows: u64, cols: u64) -> Self {
-        self.layers.push(Layer::new(name, LayerKind::Softmax { rows, cols }));
+        self.layers
+            .push(Layer::new(name, LayerKind::Softmax { rows, cols }));
         self
     }
 
     /// Appends a stand-alone activation layer.
     pub fn activation(mut self, name: impl Into<String>, elements: u64) -> Self {
-        self.layers.push(Layer::new(name, LayerKind::Activation { elements }));
+        self.layers
+            .push(Layer::new(name, LayerKind::Activation { elements }));
         self
     }
 

@@ -164,7 +164,8 @@ mod tests {
     #[test]
     fn zero_batch_rejected() {
         let sc = Scenario::datacenter(1);
-        let mut v: serde_json::Value = serde_json::from_str(&scenario_to_json(&sc).unwrap()).unwrap();
+        let mut v: serde_json::Value =
+            serde_json::from_str(&scenario_to_json(&sc).unwrap()).unwrap();
         v["models"][0]["batch"] = serde_json::json!(0);
         let err = scenario_from_json(&v.to_string()).unwrap_err();
         assert!(matches!(err, ParseError::Invalid(_)));

@@ -1,6 +1,13 @@
-//! Multi-model workload scenarios (paper Table III).
+//! Multi-model workload scenarios: the ten curated Table III scenarios,
+//! plus a seeded [`generate`]or sampling unboundedly many synthetic
+//! scenarios from the [`zoo`], and the nominal service rates/deadlines
+//! (XRBench-style frame rates for AR/VR, query-rate conventions for
+//! datacenter) that serving-oriented consumers attach to each model.
 
 use crate::{zoo, DataType, Layer, LayerId, Model};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// The deployment domain a scenario is curated for (paper §V-A).
@@ -128,12 +135,20 @@ impl Scenario {
             2 => Self::new(
                 "Sc2: LMs + Image",
                 UseCase::Datacenter,
-                vec![m(zoo::gpt_l(), 1), m(zoo::bert_large(), 3), m(zoo::resnet50(), 1)],
+                vec![
+                    m(zoo::gpt_l(), 1),
+                    m(zoo::bert_large(), 3),
+                    m(zoo::resnet50(), 1),
+                ],
             ),
             3 => Self::new(
                 "Sc3: LMs + Image",
                 UseCase::Datacenter,
-                vec![m(zoo::gpt_l(), 1), m(zoo::bert_large(), 3), m(zoo::resnet50(), 32)],
+                vec![
+                    m(zoo::gpt_l(), 1),
+                    m(zoo::bert_large(), 3),
+                    m(zoo::resnet50(), 32),
+                ],
             ),
             4 => Self::new(
                 "Sc4: LMs + Segmentation + Image",
@@ -183,7 +198,11 @@ impl Scenario {
             7 => Self::new(
                 "Sc7: AR Gaming",
                 UseCase::ArVr,
-                vec![m(zoo::plane_rcnn(), 15), m(zoo::hand_sp(), 45), m(zoo::midas(), 30)],
+                vec![
+                    m(zoo::plane_rcnn(), 15),
+                    m(zoo::hand_sp(), 45),
+                    m(zoo::midas(), 30),
+                ],
             ),
             8 => Self::new(
                 "Sc8: Outdoors",
@@ -193,7 +212,11 @@ impl Scenario {
             9 => Self::new(
                 "Sc9: Social",
                 UseCase::ArVr,
-                vec![m(zoo::eyecod(), 60), m(zoo::hand_sp(), 30), m(zoo::sp2dense(), 30)],
+                vec![
+                    m(zoo::eyecod(), 60),
+                    m(zoo::hand_sp(), 30),
+                    m(zoo::sp2dense(), 30),
+                ],
             ),
             10 => Self::new(
                 "Sc10: VR Gaming",
@@ -225,6 +248,157 @@ impl Scenario {
     /// All five AR/VR scenarios.
     pub fn all_arvr() -> Vec<Self> {
         (6..=10).map(Self::arvr).collect()
+    }
+}
+
+/// The nominal request rate of a zoo model under a use case, in requests
+/// (AR/VR: frames) per second.
+///
+/// For the AR/VR suite these are the XRBench-style frame rates — the same
+/// numbers Table III uses as per-scenario batch sizes (e.g. EyeCod tracks
+/// gaze at 60 FPS, Emformer transcribes at 3 segments/s). Datacenter
+/// tenants have no intrinsic frame clock; the convention here is an
+/// MLPerf-server-style load inversely proportional to model weight (heavy
+/// LMs are queried less often than light CNNs).
+///
+/// Unknown names fall back to 1 request/s.
+pub fn nominal_rate_hz(model_name: &str, use_case: UseCase) -> f64 {
+    let n = model_name.to_ascii_lowercase();
+    match use_case {
+        UseCase::ArVr => match n.as_str() {
+            "eyecod" => 60.0,
+            "hand-s/p" | "hand_sp" | "handsp" => 45.0,
+            "midas" | "sp2dense" => 30.0,
+            "d2go" => 30.0,
+            "planercnn" | "plane-rcnn" => 15.0,
+            "hrvit" => 10.0,
+            "emformer" => 3.0,
+            _ => 1.0,
+        },
+        UseCase::Datacenter => match n.as_str() {
+            "gpt-l" | "gpt_l" | "gptl" => 2.0,
+            "bert-l" | "bert-large" | "bert_large" => 8.0,
+            "bert-base" | "bert_base" => 16.0,
+            "u-net" | "unet" => 4.0,
+            "resnet-50" | "resnet50" => 32.0,
+            "googlenet" => 32.0,
+            _ => 1.0,
+        },
+    }
+}
+
+/// The nominal per-request deadline of a zoo model under a use case, in
+/// seconds — `None` when the domain convention is throughput-oriented
+/// (datacenter batch tenants) rather than deadline-oriented.
+///
+/// AR/VR requests are real-time: a frame is useful only if it completes
+/// within its frame period, so the deadline is `1 / rate`.
+pub fn nominal_deadline_s(model_name: &str, use_case: UseCase) -> Option<f64> {
+    match use_case {
+        UseCase::ArVr => Some(1.0 / nominal_rate_hz(model_name, use_case)),
+        UseCase::Datacenter => None,
+    }
+}
+
+/// The zoo models a use case draws from (Table III's two halves).
+pub fn model_pool(use_case: UseCase) -> Vec<Model> {
+    match use_case {
+        UseCase::Datacenter => vec![
+            zoo::gpt_l(),
+            zoo::bert_large(),
+            zoo::bert_base(),
+            zoo::resnet50(),
+            zoo::unet(),
+            zoo::googlenet(),
+        ],
+        UseCase::ArVr => vec![
+            zoo::d2go(),
+            zoo::plane_rcnn(),
+            zoo::midas(),
+            zoo::emformer(),
+            zoo::hrvit(),
+            zoo::hand_sp(),
+            zoo::eyecod(),
+            zoo::sp2dense(),
+        ],
+    }
+}
+
+/// Generates a synthetic multi-model scenario: `n_models` tenants sampled
+/// from the use case's [`model_pool`] with paper-plausible batch sizes.
+///
+/// Deterministic given `(seed, use_case, n_models)` — the same `StdRng`
+/// seeding idiom as the evolutionary search driver — so generated
+/// scenarios are reproducible identifiers, not one-off random objects.
+/// The first `min(n_models, pool)` tenants are drawn without replacement
+/// (a scenario of *distinct* models, like Table III); beyond that, models
+/// repeat with independently drawn batches (multi-tenant duplicates).
+///
+/// Every generated scenario upholds the [`Scenario`] invariants: at least
+/// one model, all batches positive.
+///
+/// # Panics
+///
+/// Panics if `n_models` is zero.
+///
+/// ```
+/// use scar_workloads::scenario::generate;
+/// use scar_workloads::UseCase;
+///
+/// let sc = generate(7, UseCase::Datacenter, 3);
+/// assert_eq!(sc.models().len(), 3);
+/// assert_eq!(sc, generate(7, UseCase::Datacenter, 3)); // reproducible
+/// ```
+pub fn generate(seed: u64, use_case: UseCase, n_models: usize) -> Scenario {
+    assert!(n_models > 0, "a scenario needs at least one model");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5CA2_5EED);
+    let pool = model_pool(use_case);
+
+    // distinct models first (shuffled pool prefix), then repeats
+    let mut order: Vec<usize> = (0..pool.len()).collect();
+    order.shuffle(&mut rng);
+    let mut picks: Vec<usize> = order.iter().copied().take(n_models).collect();
+    while picks.len() < n_models {
+        picks.push(rng.gen_range(0..pool.len()));
+    }
+
+    let models = picks
+        .into_iter()
+        .map(|i| {
+            let model = pool[i].clone();
+            let batch = sample_batch(&mut rng, &model, use_case);
+            ScenarioModel { model, batch }
+        })
+        .collect();
+    Scenario::new(
+        format!("Gen-{seed:#x}: {n_models} tenants"),
+        use_case,
+        models,
+    )
+}
+
+/// Draws a Table III-plausible batch size for `model` under `use_case`.
+fn sample_batch(rng: &mut StdRng, model: &Model, use_case: UseCase) -> u64 {
+    match use_case {
+        // AR/VR batches are frame buckets: the per-second frame count, or a
+        // divisor of it for lower-latency pipelines
+        UseCase::ArVr => {
+            let rate = nominal_rate_hz(model.name(), use_case).round() as u64;
+            let choices = [rate, rate, (rate / 2).max(1), (rate / 3).max(1)];
+            *choices.choose(rng).expect("non-empty")
+        }
+        // datacenter batches follow Table III: LMs small-to-moderate,
+        // vision models either interactive (1) or thoughput-batched (24/32)
+        UseCase::Datacenter => {
+            let stats = model.stats(DataType::Int8);
+            let heavy = stats.macs > 10_000_000_000; // ≳10 GMAC/sample: LM-class
+            let choices: &[u64] = if heavy {
+                &[1, 2, 3, 8]
+            } else {
+                &[1, 8, 24, 32]
+            };
+            *choices.choose(rng).expect("non-empty")
+        }
     }
 }
 
@@ -303,5 +477,76 @@ mod tests {
         let sc = Scenario::datacenter(3);
         let last_model = sc.models().len() - 1;
         assert_eq!(sc.batch_of(LayerId::new(last_model, 0)), 32);
+    }
+
+    #[test]
+    fn generated_scenarios_are_valid_for_many_seeds() {
+        // acceptance sweep: ≥100 distinct seeds, all invariants hold
+        for seed in 0..120u64 {
+            for (use_case, n) in [
+                (UseCase::Datacenter, 1 + (seed as usize % 6)),
+                (UseCase::ArVr, 1 + (seed as usize % 8)),
+            ] {
+                let sc = generate(seed, use_case, n);
+                assert_eq!(sc.models().len(), n, "seed {seed}");
+                assert_eq!(sc.use_case(), use_case);
+                assert!(sc.models().iter().all(|m| m.batch > 0), "seed {seed}");
+                assert!(sc.num_layers() > 0, "seed {seed}");
+                assert_eq!(sc.layer_ids().len(), sc.num_layers());
+                // every constituent model resolves back to the zoo
+                for m in sc.models() {
+                    assert!(zoo::by_name(m.model.name()).is_some(), "{}", m.model.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let a = generate(11, UseCase::ArVr, 4);
+        let b = generate(11, UseCase::ArVr, 4);
+        assert_eq!(a, b);
+        let c = generate(12, UseCase::ArVr, 4);
+        assert_ne!(a, c, "different seeds should (a.s.) differ");
+    }
+
+    #[test]
+    fn generated_prefix_has_distinct_models() {
+        // up to the pool size, tenants are distinct models
+        let sc = generate(3, UseCase::Datacenter, 6);
+        let mut names: Vec<&str> = sc.models().iter().map(|m| m.model.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+        // beyond the pool size, repeats appear but the scenario stays valid
+        let big = generate(3, UseCase::Datacenter, 9);
+        assert_eq!(big.models().len(), 9);
+    }
+
+    #[test]
+    fn nominal_rates_match_xrbench_conventions() {
+        assert_eq!(nominal_rate_hz("EyeCod", UseCase::ArVr), 60.0);
+        assert_eq!(nominal_rate_hz("Hand-S/P", UseCase::ArVr), 45.0);
+        assert_eq!(nominal_rate_hz("Emformer", UseCase::ArVr), 3.0);
+        assert_eq!(
+            nominal_deadline_s("EyeCod", UseCase::ArVr),
+            Some(1.0 / 60.0)
+        );
+        assert_eq!(nominal_deadline_s("GPT-L", UseCase::Datacenter), None);
+        assert!(nominal_rate_hz("GPT-L", UseCase::Datacenter) > 0.0);
+        assert_eq!(nominal_rate_hz("unknown-model", UseCase::ArVr), 1.0);
+    }
+
+    #[test]
+    fn generated_scenarios_roundtrip_through_json() {
+        let sc = generate(42, UseCase::ArVr, 3);
+        let json = crate::parse::scenario_to_json(&sc).unwrap();
+        assert_eq!(crate::parse::scenario_from_json(&json).unwrap(), sc);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn zero_tenant_generation_panics() {
+        let _ = generate(1, UseCase::Datacenter, 0);
     }
 }

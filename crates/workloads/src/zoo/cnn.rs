@@ -8,6 +8,7 @@ use crate::{Model, ModelBuilder};
 /// residual addition with the 1×1 projection shortcut (projection + add are
 /// fused, the standard accelerator fusion), so every block contributes
 /// exactly 4 scheduling units.
+#[allow(clippy::too_many_arguments)] // mirrors the block's 7 shape knobs
 fn bottleneck(
     mut b: ModelBuilder,
     tag: &str,

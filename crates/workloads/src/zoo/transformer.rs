@@ -31,7 +31,10 @@ pub fn transformer_encoder(
     d_ff: u64,
     seq: u64,
 ) -> Model {
-    assert!(d_model % heads == 0, "d_model must be divisible by heads");
+    assert!(
+        d_model.is_multiple_of(heads),
+        "d_model must be divisible by heads"
+    );
     let mut b = ModelBuilder::new(name);
     for i in 0..blocks {
         b = block(b, &format!("block{i}"), d_model, heads, d_ff, seq);
@@ -118,7 +121,11 @@ mod tests {
     fn gpt_l_weights_dominated_by_ffn() {
         // per block: qkv 3d², proj d², ffn 8d² → ffn is the majority
         let m = gpt_l();
-        let total: u64 = m.layers().iter().map(|l| l.weight_bytes(DataType::Int8)).sum();
+        let total: u64 = m
+            .layers()
+            .iter()
+            .map(|l| l.weight_bytes(DataType::Int8))
+            .sum();
         let ffn: u64 = m
             .layers()
             .iter()

@@ -17,9 +17,14 @@ pub fn unet() -> Model {
     let mut in_ch = 1u64;
     let mut skip_ch = Vec::new();
     for (i, ch) in [64u64, 128, 256, 512].into_iter().enumerate() {
-        b = b
-            .conv(format!("enc{i}.conv1"), hw, in_ch, ch, 3, 1)
-            .conv(format!("enc{i}.conv2"), hw, ch, ch, 3, 1);
+        b = b.conv(format!("enc{i}.conv1"), hw, in_ch, ch, 3, 1).conv(
+            format!("enc{i}.conv2"),
+            hw,
+            ch,
+            ch,
+            3,
+            1,
+        );
         skip_ch.push((hw, ch));
         hw /= 2; // folded max-pool
         in_ch = ch;

@@ -78,9 +78,14 @@ pub fn plane_rcnn() -> Model {
     // FPN: lateral 1×1 + output 3×3 at each pyramid level
     let levels: &[(u64, u64)] = &[(hw, 2048), (hw * 2, 1024), (hw * 4, 512), (hw * 8, 256)];
     for (i, &(lhw, ch)) in levels.iter().enumerate() {
-        b = b
-            .conv(format!("fpn.lat{i}"), lhw, ch, 256, 1, 1)
-            .conv(format!("fpn.out{i}"), lhw, 256, 256, 3, 1);
+        b = b.conv(format!("fpn.lat{i}"), lhw, ch, 256, 1, 1).conv(
+            format!("fpn.out{i}"),
+            lhw,
+            256,
+            256,
+            3,
+            1,
+        );
     }
     // RPN + plane/mask heads
     b.conv("rpn.conv", hw * 4, 256, 256, 3, 1)
@@ -102,9 +107,14 @@ pub fn midas() -> Model {
     for i in 0..4 {
         cur *= 2;
         let out = (ch / 2).max(64);
-        b = b
-            .conv(format!("dec{i}.up"), cur, ch, out, 1, 1)
-            .conv(format!("dec{i}.fuse"), cur, out, out, 3, 1);
+        b = b.conv(format!("dec{i}.up"), cur, ch, out, 1, 1).conv(
+            format!("dec{i}.fuse"),
+            cur,
+            out,
+            out,
+            3,
+            1,
+        );
         ch = out;
     }
     b.conv("head.conv", cur, ch, 32, 3, 1)
@@ -120,7 +130,7 @@ pub fn hrvit() -> Model {
     let mut b = ModelBuilder::new("HRViT")
         .conv("stem.conv1", 512, 3, 32, 3, 2)
         .conv("stem.conv2", 256, 32, 64, 3, 2); // -> 128
-    // three stages; tokens = (128/2^i)² after each patch-merging conv
+                                                // three stages; tokens = (128/2^i)² after each patch-merging conv
     let stages: &[(u64, u64, u64, usize)] = &[
         // (grid, dim, heads, blocks)
         (64, 128, 4, 2),
@@ -169,7 +179,14 @@ pub fn hand_sp() -> Model {
             let stride = if bi == 0 { first_stride } else { 1 };
             let tag = format!("s{si}.b{bi}");
             b = b
-                .conv(format!("{tag}.conv1"), hw, if bi == 0 { in_ch } else { ch }, ch, 3, stride)
+                .conv(
+                    format!("{tag}.conv1"),
+                    hw,
+                    if bi == 0 { in_ch } else { ch },
+                    ch,
+                    3,
+                    stride,
+                )
                 .conv(format!("{tag}.conv2"), hw / stride, ch, ch, 3, 1);
             if stride == 1 && (bi > 0 || in_ch == ch) {
                 b = b.eltwise(format!("{tag}.add"), (hw / stride) * (hw / stride) * ch);
@@ -216,9 +233,14 @@ pub fn sp2dense() -> Model {
     let dec: &[(u64, u64)] = &[(14, 256), (28, 128), (56, 64)];
     let mut ch = 512u64;
     for (i, &(hw, out)) in dec.iter().enumerate() {
-        b = b
-            .conv(format!("dec{i}.up"), hw, ch, out, 1, 1)
-            .conv(format!("dec{i}.conv"), hw, out, out, 3, 1);
+        b = b.conv(format!("dec{i}.up"), hw, ch, out, 1, 1).conv(
+            format!("dec{i}.conv"),
+            hw,
+            out,
+            out,
+            3,
+            1,
+        );
         ch = out;
     }
     b.conv("head.up", 224, 64, 32, 1, 1)
@@ -233,7 +255,15 @@ mod tests {
 
     #[test]
     fn all_xr_models_build() {
-        for m in [d2go(), plane_rcnn(), midas(), hrvit(), hand_sp(), eyecod(), sp2dense()] {
+        for m in [
+            d2go(),
+            plane_rcnn(),
+            midas(),
+            hrvit(),
+            hand_sp(),
+            eyecod(),
+            sp2dense(),
+        ] {
             assert!(m.num_layers() > 5, "{} too small", m.name());
         }
     }

@@ -17,10 +17,22 @@ fn main() {
         "Social+Voice",
         UseCase::ArVr,
         vec![
-            ScenarioModel { model: zoo::eyecod(), batch: 60 },
-            ScenarioModel { model: zoo::hand_sp(), batch: 30 },
-            ScenarioModel { model: zoo::sp2dense(), batch: 30 },
-            ScenarioModel { model: zoo::emformer(), batch: 3 },
+            ScenarioModel {
+                model: zoo::eyecod(),
+                batch: 60,
+            },
+            ScenarioModel {
+                model: zoo::hand_sp(),
+                batch: 30,
+            },
+            ScenarioModel {
+                model: zoo::sp2dense(),
+                batch: 30,
+            },
+            ScenarioModel {
+                model: zoo::emformer(),
+                batch: 3,
+            },
         ],
     );
     let mcm = het_sides_3x3(Profile::ArVr);
@@ -54,13 +66,7 @@ fn main() {
         let models: Vec<String> = w
             .models
             .iter()
-            .map(|m| {
-                format!(
-                    "{}({} segs)",
-                    m.model_name,
-                    m.assignments.len()
-                )
-            })
+            .map(|m| format!("{}({} segs)", m.model_name, m.assignments.len()))
             .collect();
         println!(
             "    W{} lat {:>7.2} ms: {}",

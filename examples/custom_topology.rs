@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // description-file round trip (what a deployment would version-control)
     let mcm_json = mcm_parse::mcm_to_json(&mcm)?;
     let mcm = mcm_parse::mcm_from_json(&mcm_json)?;
-    println!("hardware description ({} bytes of JSON): {mcm}", mcm_json.len());
+    println!(
+        "hardware description ({} bytes of JSON): {mcm}",
+        mcm_json.len()
+    );
 
     // --- workload: a detector + a tiny LM, defined from scratch ---
     let detector = ModelBuilder::new("TinyDet")
@@ -57,13 +60,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "custom-edge",
         UseCase::Datacenter,
         vec![
-            ScenarioModel { model: detector, batch: 8 },
-            ScenarioModel { model: lm, batch: 2 },
+            ScenarioModel {
+                model: detector,
+                batch: 8,
+            },
+            ScenarioModel {
+                model: lm,
+                batch: 2,
+            },
         ],
     );
     let sc_json = wl_parse::scenario_to_json(&scenario)?;
     let scenario = wl_parse::scenario_from_json(&sc_json)?;
-    println!("workload description ({} bytes of JSON): {scenario}\n", sc_json.len());
+    println!(
+        "workload description ({} bytes of JSON): {scenario}\n",
+        sc_json.len()
+    );
 
     // --- schedule ---
     let r = Scar::builder()
@@ -72,7 +84,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()
         .schedule(&scenario, &mcm)?;
     let t = r.total();
-    println!("EDP schedule: latency {:.3} ms, energy {:.3} mJ, EDP {:.3e} J*s", t.latency_s * 1e3, t.energy_j * 1e3, t.edp());
+    println!(
+        "EDP schedule: latency {:.3} ms, energy {:.3} mJ, EDP {:.3e} J*s",
+        t.latency_s * 1e3,
+        t.energy_j * 1e3,
+        t.edp()
+    );
     for w in r.windows() {
         for m in &w.models {
             let hops: Vec<String> = m
@@ -80,7 +97,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .iter()
                 .map(|(_, c)| format!("{}:{}", c, mcm.chiplet(*c).dataflow.short_name()))
                 .collect();
-            println!("    W{} {:8} -> {}", w.index, m.model_name, hops.join(" -> "));
+            println!(
+                "    W{} {:8} -> {}",
+                w.index,
+                m.model_name,
+                hops.join(" -> ")
+            );
         }
     }
     println!("\nSCAR generalizes to any adjacency-matrix topology (paper §V-E).");

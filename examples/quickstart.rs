@@ -19,7 +19,7 @@ fn main() {
 
     let result = Scar::builder()
         .metric(OptMetric::Edp) // the paper's default target
-        .nsplits(4)             // up to 5 time windows
+        .nsplits(4) // up to 5 time windows
         .build()
         .schedule(&scenario, &mcm)
         .expect("scenario fits the package");

@@ -4,19 +4,21 @@
 //! scheduler for multi-model AI inference workloads on heterogeneous-dataflow
 //! multi-chip-module (MCM) accelerators, together with every substrate it
 //! depends on — the workload model, the MAESTRO-style intra-chiplet cost
-//! model, and the MCM hardware/communication model.
+//! model, and the MCM hardware/communication model — plus the layer the
+//! paper motivates but never builds: a dynamic serving simulator.
 //!
 //! This crate is a facade: it re-exports the workspace crates under stable
 //! module names.
 //!
 //! | Module | Crate | Contents |
 //! |--------|-------|----------|
-//! | [`workloads`] | `scar-workloads` | layers, models, scenarios, JSON parsing |
+//! | [`workloads`] | `scar-workloads` | layers, models, scenarios, the scenario generator, JSON parsing |
 //! | [`maestro`] | `scar-maestro` | intra-chiplet analytical cost model |
 //! | [`mcm`] | `scar-mcm` | NoP topologies, MCM templates, communication model |
 //! | [`core`] | `scar-core` | the SCAR scheduler and baseline schedulers |
+//! | [`serve`] | `scar-serve` | traffic models, the serving loop, schedule caching, latency/deadline reports |
 //!
-//! # Quickstart
+//! # Quickstart: one offline schedule
 //!
 //! ```
 //! use scar::core::{OptMetric, Scar};
@@ -33,10 +35,34 @@
 //!     .expect("scheduling succeeds");
 //! assert!(result.total().latency_s > 0.0);
 //! ```
+//!
+//! # Serving: dynamic traffic instead of fixed scenarios
+//!
+//! The ten Table III scenarios are snapshots. [`serve`] turns them into
+//! workloads: request streams with rates and deadlines, batched into live
+//! scenarios, scheduled (with caching) as virtual time advances:
+//!
+//! ```
+//! use scar::mcm::templates::{het_sides_3x3, Profile};
+//! use scar::serve::{ServeSim, TrafficMix};
+//!
+//! let mcm = het_sides_3x3(Profile::ArVr);
+//! let mut sim = ServeSim::with_defaults(&mcm);
+//! let report = sim
+//!     .run(&TrafficMix::arvr(7), 0.05)
+//!     .expect("three tenants fit a 3x3");
+//! assert!(report.cache.misses > 0); // cold start pays the search once
+//! println!("{report}");
+//! ```
+//!
+//! Beyond the built-in mixes, [`workloads::scenario::generate`] samples
+//! unboundedly many synthetic scenarios from the zoo, so load tests are not
+//! limited to the paper's ten.
 
 #![forbid(unsafe_code)]
 
 pub use scar_core as core;
 pub use scar_maestro as maestro;
 pub use scar_mcm as mcm;
+pub use scar_serve as serve;
 pub use scar_workloads as workloads;

@@ -215,7 +215,9 @@ fn constrained_edp_search_respects_the_latency_bound() {
     }
     // an achievable bound strictly tighter than the EDP optimum's latency
     let bound = (fastest.latency_s + edp_opt.latency_s) / 2.0;
-    let constrained = run(OptMetric::ConstrainedEdp { max_latency_s: bound });
+    let constrained = run(OptMetric::ConstrainedEdp {
+        max_latency_s: bound,
+    });
     assert!(
         constrained.latency_s <= bound * 1.0001,
         "bound {bound} violated: {}",

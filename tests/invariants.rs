@@ -1,8 +1,14 @@
-//! Property-based tests over the public API: the paper's structural
+//! Property-style tests over the public API: the paper's structural
 //! theorems (1 and 2), cost-model monotonicity, Pareto correctness, and
 //! communication-model laws.
+//!
+//! Originally written with `proptest`; this environment has no crates.io
+//! access, so the same properties are exercised by deterministic sweeps
+//! over seeded pseudo-random samples (the vendored `rand` stub), which
+//! keeps failures reproducible by construction.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use scar::core::{OptMetric, Scar, SearchBudget};
 use scar::maestro::{ChipletConfig, Dataflow};
 use scar::mcm::templates::{het_sides_3x3, Profile};
@@ -20,67 +26,87 @@ fn tiny_budget(seed: u64) -> SearchBudget {
     }
 }
 
-/// A small random two-model scenario.
-fn scenario_strategy() -> impl Strategy<Value = Scenario> {
-    (
-        2u64..32,   // conv channels base
-        1u64..9,    // conv layer count
-        1u64..7,    // gemm layer count
-        1u64..9,    // batch a
-        1u64..17,   // batch b
+/// A small random two-model scenario (conv net + GEMM net), drawn from the
+/// same parameter space the original proptest strategy used.
+fn random_scenario(rng: &mut StdRng) -> Scenario {
+    let ch = rng.gen_range(2u64..32);
+    let convs = rng.gen_range(1u64..9);
+    let gemms = rng.gen_range(1u64..7);
+    let ba = rng.gen_range(1u64..9);
+    let bb = rng.gen_range(1u64..17);
+
+    let mut a = ModelBuilder::new("conv-net");
+    let mut hw = 64u64;
+    let mut c = 3u64;
+    for i in 0..convs {
+        let out = ch * (i + 1);
+        a = a.conv(
+            format!("c{i}"),
+            hw,
+            c,
+            out,
+            3,
+            if i % 2 == 1 { 2 } else { 1 },
+        );
+        if i % 2 == 1 {
+            hw /= 2;
+        }
+        c = out;
+    }
+    let mut b = ModelBuilder::new("gemm-net");
+    for i in 0..gemms {
+        b = b.gemm(format!("g{i}"), 64 * (i + 1), 32 * (i + 1), 16);
+    }
+    Scenario::new(
+        "prop",
+        UseCase::Datacenter,
+        vec![
+            ScenarioModel {
+                model: a.build(),
+                batch: ba,
+            },
+            ScenarioModel {
+                model: b.build(),
+                batch: bb,
+            },
+        ],
     )
-        .prop_map(|(ch, convs, gemms, ba, bb)| {
-            let mut a = ModelBuilder::new("conv-net");
-            let mut hw = 64u64;
-            let mut c = 3u64;
-            for i in 0..convs {
-                let out = ch * (i + 1);
-                a = a.conv(format!("c{i}"), hw, c, out, 3, if i % 2 == 1 { 2 } else { 1 });
-                if i % 2 == 1 {
-                    hw /= 2;
-                }
-                c = out;
-            }
-            let mut b = ModelBuilder::new("gemm-net");
-            for i in 0..gemms {
-                b = b.gemm(format!("g{i}"), 64 * (i + 1), 32 * (i + 1), 16);
-            }
-            Scenario::new(
-                "prop",
-                UseCase::Datacenter,
-                vec![
-                    ScenarioModel { model: a.build(), batch: ba },
-                    ScenarioModel { model: b.build(), batch: bb },
-                ],
-            )
-        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Theorems 1 & 2 end-to-end: any schedule SCAR emits for any random
-    /// scenario passes full structural validation (window partition covers
-    /// every model's layers in order; segments tile windows; no chiplet is
-    /// claimed twice in one window).
-    #[test]
-    fn emitted_schedules_are_always_valid(sc in scenario_strategy(), nsplits in 0usize..5, seed in 0u64..1000) {
-        let mcm = het_sides_3x3(Profile::Datacenter);
+/// Theorems 1 & 2 end-to-end: any schedule SCAR emits for any random
+/// scenario passes full structural validation (window partition covers
+/// every model's layers in order; segments tile windows; no chiplet is
+/// claimed twice in one window).
+#[test]
+fn emitted_schedules_are_always_valid() {
+    let mut rng = StdRng::seed_from_u64(0xA11D);
+    let mcm = het_sides_3x3(Profile::Datacenter);
+    for case in 0..12 {
+        let sc = random_scenario(&mut rng);
+        let nsplits = rng.gen_range(0usize..5);
+        let seed = rng.gen_range(0u64..1000);
         let r = Scar::builder()
             .nsplits(nsplits)
             .budget(tiny_budget(seed))
             .build()
             .schedule(&sc, &mcm)
             .expect("two models on nine chiplets is always feasible");
-        r.schedule().validate(&sc, mcm.num_chiplets()).expect("valid by construction");
-        prop_assert!(r.total().latency_s.is_finite() && r.total().latency_s > 0.0);
-        prop_assert!(r.total().energy_j.is_finite() && r.total().energy_j > 0.0);
+        r.schedule()
+            .validate(&sc, mcm.num_chiplets())
+            .unwrap_or_else(|e| panic!("case {case}: invalid schedule: {e}"));
+        assert!(r.total().latency_s.is_finite() && r.total().latency_s > 0.0);
+        assert!(r.total().energy_j.is_finite() && r.total().energy_j > 0.0);
     }
+}
 
-    /// The winner minimizes its own metric over the candidate cloud.
-    #[test]
-    fn winner_is_optimal_within_candidates(sc in scenario_strategy(), seed in 0u64..1000) {
-        let mcm = het_sides_3x3(Profile::Datacenter);
+/// The winner minimizes its own metric over the candidate cloud.
+#[test]
+fn winner_is_optimal_within_candidates() {
+    let mut rng = StdRng::seed_from_u64(0x0B7);
+    let mcm = het_sides_3x3(Profile::Datacenter);
+    for _ in 0..4 {
+        let sc = random_scenario(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
         for metric in [OptMetric::Latency, OptMetric::Energy, OptMetric::Edp] {
             let r = Scar::builder()
                 .metric(metric.clone())
@@ -90,74 +116,114 @@ proptest! {
                 .unwrap();
             let best = metric.score(&r.total());
             for c in r.candidates() {
-                let t = scar::core::EvalTotals { latency_s: c.latency_s, energy_j: c.energy_j };
-                prop_assert!(best <= metric.score(&t) * (1.0 + 1e-9));
+                let t = scar::core::EvalTotals {
+                    latency_s: c.latency_s,
+                    energy_j: c.energy_j,
+                };
+                assert!(
+                    best <= metric.score(&t) * (1.0 + 1e-9),
+                    "{}: best {best} beaten by {}",
+                    metric.label(),
+                    metric.score(&t)
+                );
             }
         }
     }
+}
 
-    /// The reported Pareto front is sorted, non-dominated, and a subset of
-    /// the candidate cloud.
-    #[test]
-    fn pareto_front_is_sound(sc in scenario_strategy(), seed in 0u64..1000) {
-        let mcm = het_sides_3x3(Profile::Datacenter);
-        let r = Scar::builder().budget(tiny_budget(seed)).build().schedule(&sc, &mcm).unwrap();
+/// The reported Pareto front is sorted, non-dominated, and a subset of
+/// the candidate cloud.
+#[test]
+fn pareto_front_is_sound() {
+    let mut rng = StdRng::seed_from_u64(0x9A6E);
+    let mcm = het_sides_3x3(Profile::Datacenter);
+    for _ in 0..8 {
+        let sc = random_scenario(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
+        let r = Scar::builder()
+            .budget(tiny_budget(seed))
+            .build()
+            .schedule(&sc, &mcm)
+            .unwrap();
         let front = r.pareto_front();
-        prop_assert!(!front.is_empty());
+        assert!(!front.is_empty());
         for w in front.windows(2) {
-            prop_assert!(w[1].latency_s >= w[0].latency_s);
-            prop_assert!(w[1].energy_j < w[0].energy_j);
+            assert!(w[1].latency_s >= w[0].latency_s);
+            assert!(w[1].energy_j < w[0].energy_j);
         }
         for p in &front {
-            prop_assert!(r.candidates().iter().any(|c|
-                (c.latency_s - p.latency_s).abs() < 1e-15 && (c.energy_j - p.energy_j).abs() < 1e-15));
+            assert!(r
+                .candidates()
+                .iter()
+                .any(|c| (c.latency_s - p.latency_s).abs() < 1e-15
+                    && (c.energy_j - p.energy_j).abs() < 1e-15));
         }
     }
+}
 
-    /// Cost-model law: latency and energy grow monotonically with batch.
-    #[test]
-    fn layer_cost_monotone_in_batch(m in 1u64..512, k in 1u64..512, n in 1u64..64, b in 1u64..16) {
-        let g = LayerKind::Gemm { m, k, n };
+/// Cost-model law: latency and energy grow monotonically with batch.
+#[test]
+fn layer_cost_monotone_in_batch() {
+    let mut rng = StdRng::seed_from_u64(0xC057);
+    for _ in 0..64 {
+        let g = LayerKind::Gemm {
+            m: rng.gen_range(1u64..512),
+            k: rng.gen_range(1u64..512),
+            n: rng.gen_range(1u64..64),
+        };
+        let b = rng.gen_range(1u64..16);
         for df in Dataflow::ALL {
             let ch = ChipletConfig::datacenter(df);
             let small = ch.evaluate(&g, b);
             let big = ch.evaluate(&g, b + 1);
-            prop_assert!(big.time_s >= small.time_s * 0.999);
-            prop_assert!(big.energy_j > small.energy_j * 0.999);
+            assert!(big.time_s >= small.time_s * 0.999);
+            assert!(big.energy_j > small.energy_j * 0.999);
         }
     }
+}
 
-    /// Communication law: cost is monotone in payload size and hop count
-    /// on arbitrary meshes.
-    #[test]
-    fn comm_cost_monotone(rows in 2usize..5, cols in 2usize..5, bytes in 1u64..10_000_000) {
+/// Communication law: cost is monotone in payload size and hop count
+/// on arbitrary meshes.
+#[test]
+fn comm_cost_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xC033);
+    for _ in 0..32 {
+        let rows = rng.gen_range(2usize..5);
+        let cols = rng.gen_range(2usize..5);
+        let bytes = rng.gen_range(1u64..10_000_000);
         let mcm = scar::mcm::McmConfig::new(
             "prop-mesh",
-            (0..rows * cols).map(|_| ChipletConfig::datacenter(Dataflow::NvdlaLike)).collect(),
+            (0..rows * cols)
+                .map(|_| ChipletConfig::datacenter(Dataflow::NvdlaLike))
+                .collect(),
             NopTopology::mesh(rows, cols),
             vec![0],
         );
         let far = mcm.transfer(Loc::Chiplet(0), Loc::Chiplet(rows * cols - 1), bytes);
         let near = mcm.transfer(Loc::Chiplet(0), Loc::Chiplet(1), bytes);
-        prop_assert!(far.time_s >= near.time_s);
-        prop_assert!(far.energy_j >= near.energy_j);
+        assert!(far.time_s >= near.time_s);
+        assert!(far.energy_j >= near.energy_j);
         let double = mcm.transfer(Loc::Chiplet(0), Loc::Chiplet(1), bytes * 2);
-        prop_assert!(double.time_s >= near.time_s);
-        prop_assert!(double.energy_j >= near.energy_j * 1.999);
+        assert!(double.time_s >= near.time_s);
+        assert!(double.energy_j >= near.energy_j * 1.999);
     }
+}
 
-    /// Topology law: hop counts are a metric (symmetric, triangle
-    /// inequality) on random connected meshes and their routes realize them.
-    #[test]
-    fn hops_form_a_metric(rows in 1usize..5, cols in 1usize..5) {
-        let t = NopTopology::mesh(rows, cols);
-        let n = t.num_nodes();
-        for a in 0..n {
-            for b in 0..n {
-                prop_assert_eq!(t.hops(a, b), t.hops(b, a));
-                prop_assert_eq!(t.route(a, b).len() as u32, t.hops(a, b) + 1);
-                for c in 0..n {
-                    prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+/// Topology law: hop counts are a metric (symmetric, triangle inequality)
+/// on meshes, and routes realize them.
+#[test]
+fn hops_form_a_metric() {
+    for rows in 1usize..5 {
+        for cols in 1usize..5 {
+            let t = NopTopology::mesh(rows, cols);
+            let n = t.num_nodes();
+            for a in 0..n {
+                for b in 0..n {
+                    assert_eq!(t.hops(a, b), t.hops(b, a));
+                    assert_eq!(t.route(a, b).len() as u32, t.hops(a, b) + 1);
+                    for c in 0..n {
+                        assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+                    }
                 }
             }
         }

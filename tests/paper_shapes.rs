@@ -24,7 +24,11 @@ fn dataflow_affinities_match_the_papers_motivation() {
     let shi = ChipletConfig::datacenter(Dataflow::ShidiannaoLike);
 
     // transformer FFN at batch 1: NVDLA wins decisively
-    let ffn = LayerKind::Gemm { m: 5120, k: 1280, n: 128 };
+    let ffn = LayerKind::Gemm {
+        m: 5120,
+        k: 1280,
+        n: 128,
+    };
     assert!(nvd.evaluate(&ffn, 1).time_s * 4.0 < shi.evaluate(&ffn, 1).time_s);
 
     // U-Net's giant-feature-map convolution: Shidiannao wins
@@ -63,12 +67,18 @@ fn homogeneous_nvd_wins_light_datacenter_scenarios() {
     let nvd = Scar::builder()
         .budget(quick())
         .build()
-        .schedule(&sc, &templates::simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike))
+        .schedule(
+            &sc,
+            &templates::simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike),
+        )
         .unwrap();
     let shi = Scar::builder()
         .budget(quick())
         .build()
-        .schedule(&sc, &templates::simba_3x3(Profile::Datacenter, Dataflow::ShidiannaoLike))
+        .schedule(
+            &sc,
+            &templates::simba_3x3(Profile::Datacenter, Dataflow::ShidiannaoLike),
+        )
         .unwrap();
     assert!(nvd.total().edp() * 5.0 < shi.total().edp());
 }
@@ -86,7 +96,10 @@ fn heterogeneous_wins_diverse_arvr_scenario() {
     let nvd = Scar::builder()
         .budget(quick())
         .build()
-        .schedule(&sc, &templates::simba_3x3(Profile::ArVr, Dataflow::NvdlaLike))
+        .schedule(
+            &sc,
+            &templates::simba_3x3(Profile::ArVr, Dataflow::NvdlaLike),
+        )
         .unwrap();
     assert!(
         het.total().edp() < nvd.total().edp(),
@@ -104,7 +117,10 @@ fn pipelining_beats_standalone_for_batched_vision_models() {
     let sc = Scenario::new(
         "resnet-only",
         UseCase::Datacenter,
-        vec![ScenarioModel { model: zoo::resnet50(), batch: 32 }],
+        vec![ScenarioModel {
+            model: zoo::resnet50(),
+            batch: 32,
+        }],
     );
     let mcm = templates::simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
     let stand = baselines::standalone(&sc, &mcm, OptMetric::Latency).unwrap();

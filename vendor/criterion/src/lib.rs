@@ -1,0 +1,242 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Provides the API surface SCAR's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`BatchSize`], [`black_box`], [`criterion_group!`]/[`criterion_main!`] —
+//! with a deliberately small measurement loop: warm up briefly, time a
+//! handful of samples, report the median. No statistics, plots, or saved
+//! baselines. When invoked by `cargo test` (any `--test`-style extra arg),
+//! each benchmark runs a single iteration as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup between measurements. The stand-in
+/// treats every variant as per-iteration setup (excluded from timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// The measurement driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Median sample duration and iteration count, filled by `iter*`.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            measured: None,
+        }
+    }
+
+    /// Calibrated timing of `routine`: picks an iteration count that brings
+    /// one sample above ~2 ms, then reports the median of `samples` runs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // smoke mode: run once, skip calibration entirely
+        if self.samples == 0 {
+            black_box(routine());
+            self.measured = Some((Duration::ZERO, 1));
+            return;
+        }
+        let mut iters: u64 = 1;
+        let per_sample_floor = Duration::from_millis(2);
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= per_sample_floor || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                t0.elapsed()
+            })
+            .collect();
+        times.sort();
+        self.measured = Some((times[times.len() / 2], iters));
+    }
+
+    /// Timing with untimed per-iteration setup.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.samples == 0 {
+            black_box(routine(setup()));
+            self.measured = Some((Duration::ZERO, 1));
+            return;
+        }
+        let samples = self.samples.max(1) * 8;
+        let mut times: Vec<Duration> = (0..samples)
+            .map(|_| {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                t0.elapsed()
+            })
+            .collect();
+        times.sort();
+        self.measured = Some((times[times.len() / 2], 1));
+    }
+}
+
+/// The top-level benchmark harness.
+pub struct Criterion {
+    sample_size: usize,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // under `cargo test` (which passes --test), degrade to smoke runs
+        let smoke = std::env::args().skip(1).any(|a| a == "--test");
+        Self {
+            sample_size: 10,
+            smoke,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&id, self.sample_size, self.smoke, f);
+        self
+    }
+
+    /// Sets the sample count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.criterion.sample_size, self.criterion.smoke, f);
+        self
+    }
+
+    /// Ends the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, smoke: bool, mut f: F) {
+    let mut b = Bencher::new(if smoke { 0 } else { samples });
+    f(&mut b);
+    match b.measured {
+        Some((_, _)) if smoke => println!("  {id:<40} ok (smoke)"),
+        Some((median, iters)) => {
+            let per_iter = median.as_secs_f64() / iters as f64;
+            println!("  {id:<40} {:>12.3} µs/iter", per_iter * 1e6);
+        }
+        None => println!("  {id:<40} (no measurement recorded)"),
+    }
+}
+
+/// Binds benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine() {
+        let mut b = Bencher::new(2);
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert!(count > 0);
+        assert!(b.measured.is_some());
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_and_routine() {
+        let mut b = Bencher::new(1);
+        b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput);
+        assert!(b.measured.is_some());
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut b = Bencher::new(0);
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,335 @@
+//! Vendored offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the small slice of the `rand 0.8` API that SCAR uses:
+//! [`rngs::StdRng`] (a deterministic xoshiro256\*\* generator seeded via
+//! SplitMix64), the [`SeedableRng`]/[`RngCore`]/[`Rng`] traits, uniform
+//! range sampling, and [`seq::SliceRandom`] (Fisher–Yates shuffle and
+//! `choose`).
+//!
+//! Determinism is the only contract SCAR relies on (every search is
+//! "deterministic given this seed"); the exact stream does not need to
+//! match upstream `rand`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Low-level generator interface: a source of `u64`s (and narrower words).
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed;
+
+    /// Builds a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds a generator from a `u64` (the idiom used throughout SCAR).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable uniformly from a half-open range.
+pub trait UniformSample: Copy + PartialOrd {
+    /// Draws a uniform sample from `[low, high)`.
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range called with an empty range");
+                let span = (high as u128).wrapping_sub(low as u128) as u64;
+                // multiply-shift uniform mapping (Lemire); bias is < 2^-64
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                low.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u64, u32, u16, u8, i64, i32);
+
+impl UniformSample for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range called with an empty range");
+        low + (high - low) * f64_from_bits(rng.next_u64())
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformSample> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end)
+    }
+}
+
+/// The `Standard` distribution: types producible by plain `rng.gen()`.
+pub trait StandardSample: Sized {
+    /// Draws a sample.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        f64_from_bits(rng.next_u64())
+    }
+}
+
+/// Maps 64 random bits onto `[0, 1)` with 53-bit precision.
+fn f64_from_bits(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// High-level sampling interface, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// A sample from the standard distribution of `T`.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// A uniform sample from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64_from_bits(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256\*\* with SplitMix64
+    /// seed expansion. Not cryptographic; statistically solid and fast.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            if s == [0, 0, 0, 0] {
+                s = [1, 2, 3, 4]; // xoshiro must not start all-zero
+            }
+            Self { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related sampling: shuffling and random element choice.
+
+    use super::{RngCore, UniformSample};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle, in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_uniform(rng, 0, i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[usize::sample_uniform(rng, 0, self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let av: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let bv: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(0.0..2.5);
+            assert!((0.0..2.5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "a 50-element shuffle staying sorted is ~impossible"
+        );
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut r = StdRng::seed_from_u64(11);
+        let v = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[*v.choose(&mut r).unwrap() as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_extremes() {
+        let mut r = StdRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+}

@@ -1,0 +1,452 @@
+//! JSON text ⇄ [`Value`] conversion: a recursive-descent parser and
+//! compact/pretty printers. Lives here (rather than in the `serde_json`
+//! facade) so `Value`'s `Display` impl can render compact JSON without an
+//! orphan-rule violation.
+
+use crate::Value;
+use std::fmt::Write as _;
+
+/// A JSON syntax error with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonParseError> {
+        Err(JsonParseError {
+            message: message.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, JsonParseError> {
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => self.err(format!("unexpected character '{}'", c as char)),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, v: Value) -> Result<Value, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            self.err(format!("expected '{kw}'"))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, JsonParseError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'b') => s.push('\u{0008}'),
+                        Some(b'f') => s.push('\u{000C}'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = hex else {
+                                return self.err("invalid \\u escape");
+                            };
+                            // note: surrogate pairs are not recombined; SCAR's
+                            // description files are plain ASCII identifiers
+                            s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 3; // the final +1 below covers the 4th digit
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // consume one UTF-8 code point
+                    let rest = &self.bytes[self.pos..];
+                    let ch_len = match std::str::from_utf8(rest) {
+                        Ok(t) => t.chars().next().map(char::len_utf8).unwrap_or(1),
+                        Err(e) if e.valid_up_to() > 0 => {
+                            let t = std::str::from_utf8(&rest[..e.valid_up_to()])
+                                .expect("valid prefix");
+                            t.chars().next().map(char::len_utf8).unwrap_or(1)
+                        }
+                        Err(_) => return self.err("invalid UTF-8 in string"),
+                    };
+                    let chunk = std::str::from_utf8(&rest[..ch_len]).expect("checked");
+                    s.push_str(chunk);
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) => Ok(Value::Float(f)),
+            Err(_) => self.err(format!("invalid number '{text}'")),
+        }
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+pub fn parse_value(input: &str) -> Result<Value, JsonParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters after JSON document");
+    }
+    Ok(v)
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, v: &Value) {
+    match *v {
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    // keep integral floats re-parsable as floats
+                    let _ = write!(out, "{f:.1}");
+                } else {
+                    let _ = write!(out, "{f}");
+                }
+            } else {
+                // JSON has no Inf/NaN; null matches serde_json's behavior
+                out.push_str("null");
+            }
+        }
+        _ => unreachable!("write_number called on non-number"),
+    }
+}
+
+fn compact_into(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(_) | Value::UInt(_) | Value::Float(_) => write_number(out, v),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                compact_into(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                compact_into(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Renders compact (single-line) JSON.
+pub fn write_compact(v: &Value) -> String {
+    let mut out = String::new();
+    compact_into(&mut out, v);
+    out
+}
+
+fn pretty_into(out: &mut String, v: &Value, indent: usize) {
+    const STEP: &str = "  ";
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..=indent {
+                    out.push_str(STEP);
+                }
+                pretty_into(out, item, indent + 1);
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push_str(STEP);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..=indent {
+                    out.push_str(STEP);
+                }
+                write_escaped(out, k);
+                out.push_str(": ");
+                pretty_into(out, item, indent + 1);
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push_str(STEP);
+            }
+            out.push('}');
+        }
+        other => compact_into(out, other),
+    }
+}
+
+/// Renders pretty (2-space-indented) JSON.
+pub fn write_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    pretty_into(&mut out, v, 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        for s in ["null", "true", "false", "0", "42", "-17", "3.25", "1e3"] {
+            let v = parse_value(s).unwrap();
+            let back = parse_value(&write_compact(&v)).unwrap();
+            assert_eq!(v, back, "{s}");
+        }
+    }
+
+    #[test]
+    fn integers_stay_exact() {
+        assert_eq!(
+            parse_value("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        assert_eq!(
+            parse_value("-9223372036854775808").unwrap(),
+            Value::Int(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn nested_roundtrip() {
+        let src = r#"{"name":"sc1","models":[{"batch":3,"f":1.5},{"batch":1}],"tags":[]}"#;
+        let v = parse_value(src).unwrap();
+        assert_eq!(write_compact(&v), src);
+        let pretty = write_pretty(&v);
+        assert_eq!(parse_value(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Value::Str("a\"b\\c\nd\te".to_string());
+        let text = write_compact(&v);
+        assert_eq!(parse_value(&text).unwrap(), v);
+        assert_eq!(
+            parse_value(r#""Aé""#).unwrap(),
+            Value::Str("Aé".to_string())
+        );
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = parse_value("{not json").unwrap_err();
+        assert!(e.offset <= 2);
+        assert!(parse_value("[1, 2").is_err());
+        assert!(parse_value("12 34").is_err());
+        assert!(parse_value("").is_err());
+    }
+
+    #[test]
+    fn float_preserves_floatness() {
+        // 2.0 must print as "2.0", not "2", so a float field stays a float
+        let v = Value::Float(2.0);
+        assert_eq!(write_compact(&v), "2.0");
+        assert_eq!(parse_value("2.0").unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let v = parse_value(r#""héllo → wörld""#).unwrap();
+        assert_eq!(v, Value::Str("héllo → wörld".to_string()));
+        assert_eq!(parse_value(&write_compact(&v)).unwrap(), v);
+    }
+}

@@ -1,0 +1,437 @@
+//! Vendored offline `#[derive(Serialize, Deserialize)]` macros for the
+//! stand-in `serde` crate.
+//!
+//! No `syn`/`quote` (crates.io is unreachable in this environment): the
+//! macros walk the raw [`proc_macro::TokenStream`] by hand and emit impls as
+//! formatted source strings. Supported shapes — exactly what SCAR derives:
+//!
+//! * structs with named fields (optionally `#[serde(skip)]`, which omits the
+//!   field on serialize and `Default`-fills it on deserialize),
+//! * enums with unit and/or struct (named-field) variants, serialized in
+//!   upstream serde's externally tagged form (`"Variant"` for unit variants,
+//!   `{"Variant": {…fields…}}` for struct variants).
+//!
+//! Generics, tuple structs, and tuple variants are rejected with a
+//! `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: name plus whether `#[serde(skip)]` was present.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// The shape of one parsed enum variant.
+enum VariantKind {
+    /// `Variant` — serialized as the string `"Variant"`.
+    Unit,
+    /// `Variant(T)` — serialized as `{"Variant": <T>}`.
+    Newtype,
+    /// `Variant { … }` — serialized as `{"Variant": {…fields…}}`.
+    Struct(Vec<Field>),
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// The parsed derive input.
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+/// True if the attribute group tokens are `serde ( … skip … )`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) if inner.delimiter() == Delimiter::Parenthesis => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consumes leading `#[…]` attributes; returns whether any was
+/// `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], idx: &mut usize) -> bool {
+    let mut skip = false;
+    while *idx + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*idx] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*idx + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        if attr_is_serde_skip(g) {
+            skip = true;
+        }
+        *idx += 2;
+    }
+    skip
+}
+
+/// Consumes a leading visibility (`pub`, `pub(crate)`, …) if present.
+fn skip_visibility(tokens: &[TokenTree], idx: &mut usize) {
+    if let Some(TokenTree::Ident(i)) = tokens.get(*idx) {
+        if i.to_string() == "pub" {
+            *idx += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*idx) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *idx += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parses `name: Type,` fields from the tokens of a brace group.
+fn parse_named_fields(body: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        let skip = skip_attrs(&tokens, &mut idx);
+        if idx >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut idx);
+        let name = match tokens.get(idx) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected a field name, found {other:?}")),
+        };
+        idx += 1;
+        match tokens.get(idx) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => idx += 1,
+            _ => {
+                return Err(format!(
+                    "expected ':' after field `{name}` (tuple structs are unsupported)"
+                ))
+            }
+        }
+        // consume the type: everything until a comma at angle-bracket depth 0
+        let mut angle_depth = 0i32;
+        while let Some(t) = tokens.get(idx) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            idx += 1;
+        }
+        if idx < tokens.len() {
+            idx += 1; // the comma
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(body: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        skip_attrs(&tokens, &mut idx);
+        if idx >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(idx) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected a variant name, found {other:?}")),
+        };
+        idx += 1;
+        let kind = match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g)?;
+                idx += 1;
+                VariantKind::Struct(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // newtype (single field) is supported; wider tuples are not
+                let mut angle_depth = 0i32;
+                let mut top_level_commas = 0usize;
+                for t in g.stream() {
+                    if let TokenTree::Punct(p) = &t {
+                        match p.as_char() {
+                            '<' => angle_depth += 1,
+                            '>' => angle_depth -= 1,
+                            ',' if angle_depth == 0 => top_level_commas += 1,
+                            _ => {}
+                        }
+                    }
+                }
+                if top_level_commas > 0 {
+                    return Err(format!(
+                        "multi-field tuple variant `{name}` is unsupported by the vendored serde derive"
+                    ));
+                }
+                idx += 1;
+                VariantKind::Newtype
+            }
+            _ => VariantKind::Unit,
+        };
+        match tokens.get(idx) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => idx += 1,
+            other => {
+                return Err(format!(
+                    "expected ',' after variant `{name}`, found {other:?}"
+                ))
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Parses the whole derive input item.
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = 0;
+    skip_attrs(&tokens, &mut idx);
+    skip_visibility(&tokens, &mut idx);
+    let kind = match tokens.get(idx) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    idx += 1;
+    let name = match tokens.get(idx) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected a type name, found {other:?}")),
+    };
+    idx += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(idx) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is unsupported by the vendored serde derive"
+            ));
+        }
+    }
+    let body = match tokens.get(idx) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        _ => {
+            return Err(format!(
+                "`{name}` must have a braced body (unit/tuple structs are unsupported)"
+            ))
+        }
+    };
+    match kind.as_str() {
+        "struct" => Ok(Input::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        }),
+        "enum" => Ok(Input::Enum {
+            name,
+            variants: parse_variants(body)?,
+        }),
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Emits `__obj.push(("name", to_value(&EXPR)))` lines for fields.
+fn push_fields(out: &mut String, fields: &[Field], accessor: impl Fn(&str) -> String) {
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "__obj.push((::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({a})));\n",
+            n = f.name,
+            a = accessor(&f.name),
+        ));
+    }
+}
+
+/// Emits the `name: __field(...)?,` / `name: Default::default(),` list.
+fn build_fields(out: &mut String, fields: &[Field], context: &str) {
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{n}: ::serde::__field(__obj, \"{n}\", \"{c}\")?,\n",
+                n = f.name,
+                c = context,
+            ));
+        }
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let mut out = String::new();
+    match input {
+        Input::Struct { name, fields } => {
+            out.push_str(&format!(
+                "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n"
+            ));
+            push_fields(&mut out, fields, |n| format!("&self.{n}"));
+            out.push_str("::serde::Value::Object(__obj)\n}\n}\n");
+        }
+        Input::Enum { name, variants } => {
+            out.push_str(&format!(
+                "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n"
+            ));
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => out.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Newtype => out.push_str(&format!(
+                        "{name}::{v}(__x) => ::serde::Value::Object(vec![(::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(__x))]),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let bindings: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        out.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                            v = v.name,
+                            binds = bindings.join(", "),
+                        ));
+                        push_fields(&mut out, fields, |n| n.to_string());
+                        out.push_str(&format!(
+                            "::serde::Value::Object(vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Object(__obj))])\n}}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let mut out = String::new();
+    match input {
+        Input::Struct { name, fields } => {
+            out.push_str(&format!(
+                "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let __obj = match __v.as_object() {{\n\
+                 ::std::option::Option::Some(o) => o,\n\
+                 ::std::option::Option::None => return ::std::result::Result::Err(::serde::DeError::expected(\"object\", \"{name}\", __v)),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            ));
+            build_fields(&mut out, fields, name);
+            out.push_str("})\n}\n}\n");
+        }
+        Input::Enum { name, variants } => {
+            out.push_str(&format!(
+                "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n"
+            ));
+            for v in variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+            {
+                out.push_str(&format!(
+                    "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                    v = v.name
+                ));
+            }
+            out.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                 }},\n\
+                 ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__o[0];\n\
+                 match __tag.as_str() {{\n"
+            ));
+            for v in variants.iter() {
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Newtype => out.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Struct(fields) => {
+                        out.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let __obj = match __inner.as_object() {{\n\
+                             ::std::option::Option::Some(o) => o,\n\
+                             ::std::option::Option::None => return ::std::result::Result::Err(::serde::DeError::expected(\"object\", \"{name}::{v}\", __inner)),\n\
+                             }};\n\
+                             ::std::result::Result::Ok({name}::{v} {{\n",
+                            v = v.name
+                        ));
+                        build_fields(&mut out, fields, &format!("{name}::{}", v.name));
+                        out.push_str("})\n}\n");
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::expected(\"string or single-key object\", \"{name}\", __v)),\n\
+                 }}\n\
+                 }}\n\
+                 }}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Derives the stand-in `serde::Serialize` (value-tree serialization).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed).parse().unwrap_or_else(|e| {
+            compile_error(&format!("serde derive generated invalid code: {e}"))
+        }),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives the stand-in `serde::Deserialize` (value-tree deserialization).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed).parse().unwrap_or_else(|e| {
+            compile_error(&format!("serde derive generated invalid code: {e}"))
+        }),
+        Err(e) => compile_error(&e),
+    }
+}

@@ -1,0 +1,130 @@
+//! Vendored offline stand-in for `serde_json`, backed by the stand-in
+//! `serde`'s [`Value`] data model (which also hosts the JSON parser and
+//! printers, so `Value: Display` needs no orphan impl).
+//!
+//! Provides the surface SCAR uses: [`to_string`], [`to_string_pretty`],
+//! [`from_str`], [`Value`] (with `Index`/`IndexMut`), [`Error`], and a
+//! literal-only [`json!`] macro.
+
+#![forbid(unsafe_code)]
+
+pub use serde::Value;
+
+use serde::{parse_value, write_compact, write_pretty, Deserialize, Serialize};
+
+/// A serialization or deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Wraps a message into an error (used by the `json!` macro and tests).
+    pub fn msg(m: impl Into<String>) -> Self {
+        Self(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Self(e.to_string())
+    }
+}
+
+impl From<serde::JsonParseError> for Error {
+    fn from(e: serde::JsonParseError) -> Self {
+        Self(e.to_string())
+    }
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Infallible for the value model (kept `Result` for API compatibility).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write_compact(&value.to_value()))
+}
+
+/// Serializes `value` as pretty-printed (2-space-indented) JSON.
+///
+/// # Errors
+///
+/// Infallible for the value model (kept `Result` for API compatibility).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write_pretty(&value.to_value()))
+}
+
+/// Deserializes a `T` from JSON text.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or on a schema mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse_value(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Builds a [`Value`] from a literal expression (`json!(0)`, `json!("x")`).
+///
+/// Only the expression form is supported — enough for the description-file
+/// tests; use [`Value`] constructors directly for arrays/objects.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ($e:expr) => {
+        $crate::Value::from($e)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_roundtrip() {
+        let v: Value = from_str(r#"{"a": [1, 2.5, "x", null, true]}"#).unwrap();
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back2);
+    }
+
+    #[test]
+    fn json_macro_literals() {
+        assert_eq!(json!(0), Value::UInt(0));
+        assert_eq!(json!(-3), Value::Int(-3));
+        assert_eq!(json!(1.5), Value::Float(1.5));
+        assert_eq!(json!("hi"), Value::Str("hi".to_string()));
+        assert_eq!(json!(null), Value::Null);
+    }
+
+    #[test]
+    fn malformed_is_error() {
+        assert!(from_str::<Value>("{oops").is_err());
+        assert!(from_str::<u64>("\"text\"").is_err());
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let v = vec![1u64, 5, 9];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,5,9]");
+        assert_eq!(from_str::<Vec<u64>>(&s).unwrap(), v);
+    }
+}
