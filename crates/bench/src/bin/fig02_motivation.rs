@@ -6,7 +6,7 @@
 //! spatial and spatio-temporal schedules, reporting EDP ratios.
 
 use scar_bench::table::{fmt_joules, fmt_seconds, ratio, Table};
-use scar_core::{baselines, OptMetric, Scar, SearchBudget};
+use scar_core::{baselines, OptMetric, Parallelism, Scar, SearchBudget};
 use scar_maestro::Dataflow;
 use scar_mcm::templates::{het_2x2, homo_2x2, Profile};
 use scar_workloads::{ModelBuilder, Scenario, ScenarioModel, UseCase};
@@ -69,12 +69,14 @@ fn main() {
         &rn,
         &homo_2x2(Profile::Datacenter, Dataflow::ShidiannaoLike),
         OptMetric::Edp,
+        Parallelism::Auto,
     )
     .expect("A1");
     let a2 = baselines::nn_baton(
         &rn,
         &homo_2x2(Profile::Datacenter, Dataflow::NvdlaLike),
         OptMetric::Edp,
+        Parallelism::Auto,
     )
     .expect("A2");
     let a3 = scar(0)
@@ -112,8 +114,14 @@ fn main() {
     // chiplet on the 2×2 package happens to be the Shidiannao-like one
     // (id 3), which is catastrophic for the GPT feed-forward layer.
     let mm = multi();
-    let b1 = baselines::nn_baton_from(&mm, &het_2x2(Profile::Datacenter), OptMetric::Edp, 3)
-        .expect("B1");
+    let b1 = baselines::nn_baton_from(
+        &mm,
+        &het_2x2(Profile::Datacenter),
+        OptMetric::Edp,
+        Parallelism::Auto,
+        3,
+    )
+    .expect("B1");
     let b2 = scar(0)
         .schedule(&mm, &het_2x2(Profile::Datacenter))
         .expect("B2");

@@ -4,7 +4,7 @@
 
 use scar_bench::strategy::{default_budget, Strategy};
 use scar_bench::table::Table;
-use scar_core::{baselines, OptMetric};
+use scar_core::{baselines, OptMetric, Parallelism};
 use scar_mcm::templates::Profile;
 use scar_workloads::Scenario;
 
@@ -70,7 +70,8 @@ fn main() {
 
     // Table VI: per-model per-window latency + ideal (standalone) latency
     println!("\n== Table VI: end-to-end latency breakdown (seconds) ==");
-    let ideal = baselines::standalone(&sc, &mcm, OptMetric::Edp).expect("standalone fits");
+    let ideal = baselines::standalone(&sc, &mcm, OptMetric::Edp, Parallelism::Auto)
+        .expect("standalone fits");
     let mut header = vec!["Model".to_string()];
     header.extend(r.windows().iter().map(|w| format!("W{}", w.index)));
     header.push("ideal".into());

@@ -11,12 +11,45 @@
 //! ```sh
 //! cargo run --release -p scar-bench --bin serve_sim
 //! ```
+//!
+//! `SCAR_THREADS` sizes the candidate-evaluation worker pool: unset →
+//! `Auto` (all hardware threads), `serial` → no pool, `N` → `Fixed(N)`.
+//! The knob changes wall-clock only; reports are bit-identical across
+//! settings.
 
+use scar_core::Parallelism;
 use scar_mcm::templates::{het_sides_3x3, Profile};
 use scar_serve::{ServeConfig, ServePolicy, ServeSim, TrafficMix};
 
+/// Parses `SCAR_THREADS` into a [`Parallelism`]; unset → `Auto`, an
+/// unparsable value aborts rather than silently unpinning the run.
+fn parallelism_from_env() -> Parallelism {
+    let Ok(v) = std::env::var("SCAR_THREADS") else {
+        return Parallelism::Auto;
+    };
+    let v = v.trim();
+    if v.eq_ignore_ascii_case("serial") {
+        return Parallelism::Serial;
+    }
+    if v.eq_ignore_ascii_case("auto") || v.is_empty() {
+        return Parallelism::Auto;
+    }
+    match v.parse() {
+        Ok(n) => Parallelism::Fixed(n),
+        Err(_) => {
+            eprintln!("SCAR_THREADS={v:?} is not `serial`, `auto`, or a thread count");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let horizon_s = 2.0;
+    let parallelism = parallelism_from_env();
+    println!(
+        "candidate evaluation: {parallelism:?} ({} worker threads)\n",
+        parallelism.threads()
+    );
 
     for (profile, mix) in [
         (Profile::Datacenter, TrafficMix::datacenter(0x5CA2)),
@@ -31,7 +64,13 @@ fn main() {
         );
 
         // cold start, then the same traffic replayed on the warm cache
-        let mut sim = ServeSim::with_defaults(&mcm);
+        let mut sim = ServeSim::new(
+            &mcm,
+            ServeConfig {
+                parallelism,
+                ..ServeConfig::default()
+            },
+        );
         let t0 = std::time::Instant::now();
         let cold = sim.run(&mix, horizon_s).expect("mix fits the 3x3 package");
         let cold_wall = t0.elapsed();
@@ -58,6 +97,7 @@ fn main() {
             &mcm,
             ServeConfig {
                 policy: ServePolicy::Standalone,
+                parallelism,
                 ..ServeConfig::default()
             },
         );

@@ -111,7 +111,7 @@ impl Strategy {
         let mcm = self.mcm(profile);
         match self {
             Strategy::StandaloneShi | Strategy::StandaloneNvd => {
-                baselines::standalone(scenario, &mcm, metric)
+                baselines::standalone(scenario, &mcm, metric, budget.parallelism)
             }
             Strategy::Simba6Shi | Strategy::Simba6Nvd | Strategy::HetCross => Scar::builder()
                 .metric(metric)

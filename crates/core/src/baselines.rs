@@ -10,6 +10,7 @@
 //! The Simba-like pipelining baseline needs no code of its own: it is the
 //! SCAR search restricted to a homogeneous MCM template.
 
+use crate::parallel::Parallelism;
 use crate::problem::{
     OptMetric, ScheduleError, ScheduleInstance, Segment, TimeWindow, WindowSchedule,
 };
@@ -32,6 +33,7 @@ pub fn standalone(
     scenario: &Scenario,
     mcm: &McmConfig,
     metric: OptMetric,
+    parallelism: Parallelism,
 ) -> Result<ScheduleResult, ScheduleError> {
     let m = scenario.models().len();
     let c = mcm.num_chiplets();
@@ -79,6 +81,7 @@ pub fn standalone(
         metric,
         schedule,
         Vec::new(),
+        parallelism,
     ))
 }
 
@@ -97,8 +100,9 @@ pub fn nn_baton(
     scenario: &Scenario,
     mcm: &McmConfig,
     metric: OptMetric,
+    parallelism: Parallelism,
 ) -> Result<ScheduleResult, ScheduleError> {
-    nn_baton_from(scenario, mcm, metric, 0)
+    nn_baton_from(scenario, mcm, metric, parallelism, 0)
 }
 
 /// [`nn_baton`] with an explicit starting chiplet — NN-baton is agnostic to
@@ -116,6 +120,7 @@ pub fn nn_baton_from(
     scenario: &Scenario,
     mcm: &McmConfig,
     metric: OptMetric,
+    parallelism: Parallelism,
     start: usize,
 ) -> Result<ScheduleResult, ScheduleError> {
     let num_models = scenario.models().len();
@@ -174,6 +179,7 @@ pub fn nn_baton_from(
         metric,
         schedule,
         Vec::new(),
+        parallelism,
     ))
 }
 
@@ -187,7 +193,7 @@ mod tests {
     fn standalone_uses_one_chiplet_per_model() {
         let sc = Scenario::datacenter(2);
         let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
-        let r = standalone(&sc, &mcm, OptMetric::Edp).unwrap();
+        let r = standalone(&sc, &mcm, OptMetric::Edp, Parallelism::Serial).unwrap();
         let w = &r.schedule().windows[0];
         let mut used = std::collections::HashSet::new();
         for p in &w.placement {
@@ -201,7 +207,7 @@ mod tests {
     fn standalone_latency_is_max_of_models() {
         let sc = Scenario::datacenter(1);
         let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
-        let r = standalone(&sc, &mcm, OptMetric::Edp).unwrap();
+        let r = standalone(&sc, &mcm, OptMetric::Edp, Parallelism::Serial).unwrap();
         let w = &r.windows()[0];
         let max_model = w.models.iter().map(|m| m.latency_s).fold(0.0f64, f64::max);
         assert!((r.total().latency_s - max_model).abs() < 1e-12);
@@ -211,10 +217,10 @@ mod tests {
     fn nn_baton_runs_models_sequentially() {
         let sc = Scenario::datacenter(1);
         let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
-        let r = nn_baton(&sc, &mcm, OptMetric::Edp).unwrap();
+        let r = nn_baton(&sc, &mcm, OptMetric::Edp, Parallelism::Serial).unwrap();
         assert_eq!(r.schedule().windows.len(), sc.models().len());
         // sequential latency = sum of window latencies > standalone's max
-        let st = standalone(&sc, &mcm, OptMetric::Edp).unwrap();
+        let st = standalone(&sc, &mcm, OptMetric::Edp, Parallelism::Serial).unwrap();
         assert!(r.total().latency_s > st.total().latency_s);
     }
 
@@ -223,7 +229,7 @@ mod tests {
         // U-Net's early 512×512 activations exceed a 10 MB L2 at batch 1
         let sc = Scenario::datacenter(4);
         let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
-        let r = nn_baton(&sc, &mcm, OptMetric::Edp).unwrap();
+        let r = nn_baton(&sc, &mcm, OptMetric::Edp, Parallelism::Serial).unwrap();
         let unet = sc
             .models()
             .iter()
@@ -242,7 +248,7 @@ mod tests {
         let sc = Scenario::datacenter(5); // 6 models
         let mcm = het_2x2(Profile::Datacenter); // 4 chiplets
         assert!(matches!(
-            standalone(&sc, &mcm, OptMetric::Edp),
+            standalone(&sc, &mcm, OptMetric::Edp, Parallelism::Serial),
             Err(ScheduleError::InsufficientChiplets { .. })
         ));
     }
@@ -252,8 +258,8 @@ mod tests {
         let sc = Scenario::datacenter(2);
         let mcm = simba_3x3(Profile::Datacenter, Dataflow::ShidiannaoLike);
         for r in [
-            standalone(&sc, &mcm, OptMetric::Edp).unwrap(),
-            nn_baton(&sc, &mcm, OptMetric::Edp).unwrap(),
+            standalone(&sc, &mcm, OptMetric::Edp, Parallelism::Serial).unwrap(),
+            nn_baton(&sc, &mcm, OptMetric::Edp, Parallelism::Serial).unwrap(),
         ] {
             r.schedule().validate(&sc, mcm.num_chiplets()).unwrap();
         }

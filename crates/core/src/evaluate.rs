@@ -18,6 +18,7 @@
 //! The NoP conflict term δ is computed from all of a window's flows with
 //! [`LinkLoads`] and folded back into segment latencies.
 
+use crate::parallel::{self, Parallelism};
 use crate::problem::{EvalTotals, OptMetric, ScheduleInstance, WindowSchedule};
 use scar_maestro::CostDatabase;
 use scar_mcm::{LinkLoads, Loc, McmConfig};
@@ -120,12 +121,23 @@ impl<'a> Evaluator<'a> {
     /// Evaluates a complete schedule: per-window evaluations plus scenario
     /// totals (`Lat(Sc) = Σ_w Lat(tw)`, energy aggregated).
     pub fn evaluate_schedule(&self, s: &ScheduleInstance) -> (EvalTotals, Vec<WindowEval>) {
+        self.evaluate_schedule_par(s, Parallelism::Serial)
+    }
+
+    /// [`Evaluator::evaluate_schedule`] with windows evaluated across a
+    /// worker pool. Windows are independent and totals are accumulated in
+    /// window order, so the result is bit-identical for any thread count.
+    pub fn evaluate_schedule_par(
+        &self,
+        s: &ScheduleInstance,
+        parallelism: Parallelism,
+    ) -> (EvalTotals, Vec<WindowEval>) {
+        let evals = parallel::par_map(&s.windows, parallelism.threads(), |w| {
+            self.evaluate_window(w)
+        });
         let mut totals = EvalTotals::default();
-        let mut evals = Vec::with_capacity(s.windows.len());
-        for w in &s.windows {
-            let e = self.evaluate_window(w);
+        for e in &evals {
             totals.accumulate(e.totals());
-            evals.push(e);
         }
         (totals, evals)
     }

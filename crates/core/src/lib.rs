@@ -17,8 +17,11 @@
 //!
 //! Search drivers live in [`search`]: exhaustive brute force (the paper's
 //! 3×3 experiments) and an evolutionary algorithm (the 6×6 experiments).
-//! The paper's comparison schedulers live in [`baselines`]: Standalone and
-//! an NN-baton-like single-model scheduler.
+//! Both are pure candidate *generators*; a shared engine evaluates their
+//! candidate batches across a worker pool sized by [`Parallelism`]
+//! (results are merged in generation order, so schedules are bit-identical
+//! for any thread count). The paper's comparison schedulers live in
+//! [`baselines`]: Standalone and an NN-baton-like single-model scheduler.
 //!
 //! The entry point is [`Scar`]:
 //!
@@ -43,6 +46,7 @@
 pub mod baselines;
 pub mod evaluate;
 mod expected;
+mod parallel;
 pub mod problem;
 pub mod provision;
 pub mod reconfig;
@@ -53,6 +57,7 @@ pub mod tree;
 
 pub use evaluate::{ModelWindowEval, WindowEval};
 pub use expected::ExpectedCosts;
+pub use parallel::Parallelism;
 pub use problem::{
     EvalTotals, OptMetric, ScheduleError, ScheduleInstance, Segment, TimeWindow, WindowPartition,
     WindowSchedule,

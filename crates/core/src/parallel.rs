@@ -1,0 +1,109 @@
+//! Deterministic order-preserving parallel evaluation primitives.
+//!
+//! The search engine and the schedule evaluator both need the same shape of
+//! parallelism: map a pure function over an ordered batch of items and get
+//! the results back *in batch order*, bit-identical to a serial run. That
+//! determinism is the contract everything downstream relies on — the same
+//! scenario scheduled with [`Parallelism::Serial`] or `Fixed(8)` must pick
+//! the same schedule, report the same totals, and emit the same candidate
+//! cloud (see `tests/determinism.rs`).
+//!
+//! [`par_map`] delivers it with `std::thread::scope`: the input is split
+//! into contiguous chunks, each worker writes results only into its own
+//! disjoint slice of the output, and the caller reads the output in input
+//! order. No work stealing, no locks, no nondeterministic reduction order.
+
+/// Worker-pool sizing for candidate evaluation (threaded through
+/// [`SearchBudget`](crate::SearchBudget), the serving loop, and the bench
+/// binaries).
+///
+/// The knob only controls *wall-clock*: results are merged in generation
+/// order, so every setting produces bit-identical schedules. Because of
+/// that, it is deliberately excluded from schedule-cache fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One worker per available hardware thread.
+    #[default]
+    Auto,
+    /// Exactly `n` workers (values below 1 are clamped to 1).
+    Fixed(usize),
+    /// Single-threaded: evaluate inline, never spawn a pool.
+    Serial,
+}
+
+impl Parallelism {
+    /// The number of worker threads this setting resolves to (≥ 1).
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` scoped workers, returning the
+/// results in input order.
+///
+/// Each worker owns a contiguous chunk of the output, so the result is
+/// identical to `items.iter().map(f).collect()` for every thread count;
+/// with `threads <= 1` (or a single item) it *is* that serial loop.
+pub(crate) fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let f = &f;
+    std::thread::scope(|s| {
+        for (xs, slots) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (x, slot) in xs.iter().zip(slots) {
+                    *slot = Some(f(x));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("chunks cover every output slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_resolve_sanely() {
+        assert_eq!(Parallelism::Serial.threads(), 1);
+        assert_eq!(Parallelism::Fixed(0).threads(), 1);
+        assert_eq!(Parallelism::Fixed(5).threads(), 5);
+        assert!(Parallelism::Auto.threads() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::Auto);
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_every_thread_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 64, 1000] {
+            assert_eq!(par_map(&items, threads, |x| x * x + 1), expect);
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(par_map(&empty, 8, |x| *x), empty);
+        assert_eq!(par_map(&[7u32], 8, |x| x + 1), vec![8]);
+    }
+}

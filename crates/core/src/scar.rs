@@ -2,6 +2,7 @@
 
 use crate::evaluate::{Evaluator, WindowEval};
 use crate::expected::ExpectedCosts;
+use crate::parallel::Parallelism;
 use crate::problem::{EvalTotals, OptMetric, ScheduleError, ScheduleInstance, Segment};
 use crate::provision::{self, ProvisionRule};
 use crate::reconfig::{self, PackingRule};
@@ -153,6 +154,7 @@ impl ScheduleResult {
 
     /// Assembles a result from a schedule instance by evaluating it under
     /// `metric` (used by SCAR itself and by the baseline schedulers).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_instance(
         strategy: impl Into<String>,
         scenario: &Scenario,
@@ -161,9 +163,10 @@ impl ScheduleResult {
         metric: OptMetric,
         schedule: ScheduleInstance,
         candidates: Vec<CandidatePoint>,
+        parallelism: Parallelism,
     ) -> Self {
         let evaluator = Evaluator::with_metric(scenario, mcm, db, metric);
-        let (totals, evals) = evaluator.evaluate_schedule(&schedule);
+        let (totals, evals) = evaluator.evaluate_schedule_par(&schedule, parallelism);
         let windows = build_reports(scenario, &schedule, &evals);
         Self {
             strategy: strategy.into(),
@@ -269,6 +272,14 @@ impl ScarBuilder {
     /// Search budgets (enumeration caps, Heuristic 2 constraint, RNG seed).
     pub fn budget(mut self, budget: SearchBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Worker-pool sizing for candidate evaluation (shorthand for setting
+    /// [`SearchBudget::parallelism`]; call after [`ScarBuilder::budget`]).
+    /// Wall-clock only — schedules are bit-identical across settings.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.budget.parallelism = parallelism;
         self
     }
 
@@ -426,6 +437,42 @@ impl Scar {
             cfg.metric.clone(),
             schedule,
             candidates,
+            cfg.budget.parallelism,
+        ))
+    }
+
+    /// Re-evaluates an existing schedule instance against `scenario` as a
+    /// *seeded candidate*, skipping the window search entirely.
+    ///
+    /// This is the incremental-rescheduling fast path for serving loops:
+    /// when consecutive live scenarios differ only in batch sizes, the
+    /// previous window's segmentation and placement remain structurally
+    /// valid — only the costs (and the evaluator's mini-batch choices)
+    /// change. Re-evaluating the prior placement costs one cost-model pass
+    /// instead of a full (allocation × segmentation × placement) search.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error if `seed` does not fit `scenario`
+    /// (different layer counts, bad chiplet ids, …); callers fall back to
+    /// [`Scar::schedule_with_db`].
+    pub fn evaluate_seeded(
+        &self,
+        scenario: &Scenario,
+        mcm: &McmConfig,
+        db: &CostDatabase,
+        seed: &ScheduleInstance,
+    ) -> Result<ScheduleResult, ScheduleError> {
+        seed.validate(scenario, mcm.num_chiplets())?;
+        Ok(ScheduleResult::from_instance(
+            mcm.name(),
+            scenario,
+            mcm,
+            db,
+            self.config.metric.clone(),
+            seed.clone(),
+            Vec::new(),
+            self.config.budget.parallelism,
         ))
     }
 }

@@ -1,42 +1,82 @@
-//! Budgeted exhaustive enumeration (the paper's 3×3 search).
+//! Budgeted exhaustive candidate *generation* (the paper's 3×3 search).
+//!
+//! [`BruteSource`] enumerates (allocation × segmentation-combo × placement)
+//! candidates for one window and hands them to the shared evaluation
+//! [`engine`](super::engine) one allocation-sized batch at a time. It never
+//! evaluates anything itself: all RNG draws happen here, in a fixed order,
+//! which is what lets the engine evaluate batches on any number of threads
+//! without perturbing the stream.
+//!
+//! Budget shaping: segmentation combos are visited best-score-first; the
+//! best combo receives the largest placement share and later combos rotate
+//! through different regions of the placement list, so the candidate cloud
+//! covers both decision dimensions even under tight caps. The per-window
+//! candidate budget is divided across allocations *adaptively*: budget an
+//! allocation could not consume (no feasible segmentations, or a sparse
+//! placement space) is redistributed to the allocations after it instead of
+//! being silently lost.
 
-use super::{SearchCtx, WindowSearchResult};
+use super::engine::{CandidateSource, WindowCandidate};
+use super::SearchCtx;
 use crate::problem::{EvalTotals, Segment, TimeWindow, WindowSchedule};
 use crate::tree;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
 
-/// Enumerates (allocation × segmentation-combo × placement) candidates for
-/// one window, evaluates each, and returns the best under the metric.
-///
-/// Budget shaping: segmentation combos are visited best-score-first; the
-/// best combo receives the largest placement share and later combos rotate
-/// through different regions of the placement list, so the candidate cloud
-/// covers both decision dimensions even under tight caps.
-pub(super) fn search(
-    ctx: &SearchCtx<'_>,
-    window: &TimeWindow,
-    allocations: &[Vec<usize>],
-    rng: &mut StdRng,
-) -> Option<WindowSearchResult> {
-    let active = window.active_models();
-    let num_models = ctx.scenario.models().len();
-    let evaluator = ctx.evaluator();
-    let prefs = affinity_prefs(ctx, window, &active);
+/// Floor on the candidate share granted to any single allocation: even
+/// under a tight global budget every allocation gets a few evaluations, so
+/// the PROV alternatives are never starved outright.
+const MIN_PER_ALLOC: usize = 8;
 
-    let mut best: Option<(f64, WindowSchedule, crate::evaluate::WindowEval)> = None;
-    let mut candidates: Vec<EvalTotals> = Vec::new();
-    let mut evaluated = 0usize;
+/// Cap on segmentation combos ranked per allocation.
+const MAX_COMBOS: usize = 128;
 
-    let per_alloc_budget = (ctx.budget.max_candidates_per_window / allocations.len().max(1)).max(8);
+/// The brute-force candidate stream: one batch per allocation.
+pub(super) struct BruteSource<'c, 'r> {
+    ctx: &'c SearchCtx<'c>,
+    window: &'c TimeWindow,
+    allocations: &'c [Vec<usize>],
+    rng: &'r mut StdRng,
+    active: Vec<usize>,
+    prefs: Vec<Vec<usize>>,
+    next_alloc: usize,
+    /// Window-wide candidate budget still unspent.
+    remaining: usize,
+    /// Running candidate id (generation order across all batches).
+    next_id: u64,
+}
 
-    for alloc in allocations {
-        let Some(seg_lists) = ctx.seg_lists(window, alloc, rng) else {
-            continue;
+impl<'c, 'r> BruteSource<'c, 'r> {
+    pub(super) fn new(
+        ctx: &'c SearchCtx<'c>,
+        window: &'c TimeWindow,
+        allocations: &'c [Vec<usize>],
+        rng: &'r mut StdRng,
+    ) -> Self {
+        let active = window.active_models();
+        let prefs = affinity_prefs(ctx, window, &active);
+        Self {
+            ctx,
+            window,
+            allocations,
+            rng,
+            active,
+            prefs,
+            next_alloc: 0,
+            remaining: ctx.budget.max_candidates_per_window,
+            next_id: 0,
+        }
+    }
+
+    /// Generates up to `budget` candidates under one allocation (the old
+    /// interleaved search loop, minus every evaluation).
+    fn generate_alloc(&mut self, alloc: &[usize], budget: usize) -> Vec<WindowCandidate> {
+        let num_models = self.ctx.scenario.models().len();
+        let Some(seg_lists) = self.ctx.seg_lists(self.window, alloc, self.rng) else {
+            return Vec::new();
         };
 
         // all segmentation combos, best combined score first, capped
-        const MAX_COMBOS: usize = 128;
         let mut combos: Vec<(f64, Vec<usize>)> = Vec::new();
         let mut idx = vec![0usize; seg_lists.len()];
         'enumerate: loop {
@@ -68,7 +108,7 @@ pub(super) fn search(
         // placements depend only on segment counts: cache by signature
         let mut placement_cache: HashMap<Vec<usize>, Vec<tree::Placement>> = HashMap::new();
         let mut rotate = 0usize;
-        let mut alloc_evaluated = 0usize;
+        let mut out: Vec<WindowCandidate> = Vec::new();
 
         for (rank, (_, combo)) in combos.iter().enumerate() {
             let seg_choice: Vec<&Vec<Segment>> = combo
@@ -79,20 +119,20 @@ pub(super) fn search(
             let counts: Vec<usize> = seg_choice.iter().map(|s| s.len()).collect();
             let placements = placement_cache.entry(counts.clone()).or_insert_with(|| {
                 tree::enumerate_placements(
-                    ctx.mcm,
+                    self.ctx.mcm,
                     &counts,
-                    &prefs,
-                    ctx.budget.max_root_perms,
-                    ctx.budget.max_paths_per_model,
-                    ctx.budget.max_placements_per_window,
-                    rng,
+                    &self.prefs,
+                    self.ctx.budget.max_root_perms,
+                    self.ctx.budget.max_paths_per_model,
+                    self.ctx.budget.max_placements_per_window,
+                    self.rng,
                 )
             });
             if placements.is_empty() {
                 continue;
             }
 
-            let remaining = per_alloc_budget.saturating_sub(alloc_evaluated);
+            let remaining = budget.saturating_sub(out.len());
             if remaining == 0 {
                 break;
             }
@@ -114,37 +154,43 @@ pub(super) fn search(
                 };
                 let mut segments = vec![Vec::new(); num_models];
                 let mut place = vec![Vec::new(); num_models];
-                for ((&m, segs), path) in active.iter().zip(&seg_choice).zip(placement) {
+                for ((&m, segs), path) in self.active.iter().zip(&seg_choice).zip(placement) {
                     segments[m] = (*segs).clone();
                     place[m] = path.clone();
                 }
-                let ws = WindowSchedule {
-                    window: window.clone(),
-                    segments,
-                    placement: place,
-                };
-                let eval = evaluator.evaluate_window(&ws);
-                let totals = eval.totals();
-                let score = ctx.metric.score(&totals);
-                candidates.push(totals);
-                evaluated += 1;
-                alloc_evaluated += 1;
-                if best.as_ref().map(|(s, _, _)| score < *s).unwrap_or(true) {
-                    best = Some((score, ws, eval));
-                }
+                out.push(WindowCandidate {
+                    id: self.next_id + out.len() as u64,
+                    schedule: WindowSchedule {
+                        window: self.window.clone(),
+                        segments,
+                        placement: place,
+                    },
+                });
             }
             rotate = rotate.wrapping_add(share);
         }
-        if evaluated >= ctx.budget.max_candidates_per_window {
-            break;
-        }
+        self.next_id += out.len() as u64;
+        out
     }
+}
 
-    best.map(|(_, ws, eval)| WindowSearchResult {
-        best: ws,
-        eval,
-        candidates,
-    })
+impl CandidateSource for BruteSource<'_, '_> {
+    fn next_batch(&mut self) -> Vec<WindowCandidate> {
+        while self.remaining > 0 && self.next_alloc < self.allocations.len() {
+            let alloc = &self.allocations[self.next_alloc];
+            let remaining_allocs = self.allocations.len() - self.next_alloc;
+            self.next_alloc += 1;
+            // adaptive split: whatever earlier allocations left unspent is
+            // shared evenly among the allocations still to come
+            let share = (self.remaining / remaining_allocs).max(MIN_PER_ALLOC);
+            let batch = self.generate_alloc(alloc, share);
+            self.remaining = self.remaining.saturating_sub(batch.len());
+            if !batch.is_empty() {
+                return batch;
+            }
+        }
+        Vec::new()
+    }
 }
 
 /// Per-model chiplet preference orders: chiplets sorted by the model's
@@ -196,4 +242,121 @@ fn affinity_prefs(ctx: &SearchCtx<'_>, window: &TimeWindow, active: &[usize]) ->
             ids
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expected::ExpectedCosts;
+    use crate::search::SearchBudget;
+    use rand::SeedableRng;
+    use scar_maestro::CostDatabase;
+    use scar_mcm::templates::{het_sides_3x3, Profile};
+    use scar_workloads::Scenario;
+
+    /// Drains the source, returning per-batch candidate counts.
+    fn drain(source: &mut BruteSource<'_, '_>) -> Vec<usize> {
+        let mut sizes = Vec::new();
+        loop {
+            let batch = source.next_batch();
+            if batch.is_empty() {
+                break;
+            }
+            sizes.push(batch.len());
+        }
+        sizes
+    }
+
+    #[test]
+    fn infeasible_allocation_budget_is_redistributed() {
+        // an allocation granting 0 nodes to an active model has no feasible
+        // segmentation; its candidate share must flow to later allocations
+        // instead of being silently lost
+        let sc = Scenario::datacenter(1);
+        let mcm = het_sides_3x3(Profile::Datacenter);
+        let db = CostDatabase::new();
+        let expected = ExpectedCosts::compute(&sc, &mcm, &db);
+        let metric = crate::problem::OptMetric::Edp;
+        let budget = SearchBudget {
+            max_candidates_per_window: 200,
+            ..SearchBudget::default()
+        };
+        let ctx = SearchCtx {
+            scenario: &sc,
+            mcm: &mcm,
+            db: &db,
+            expected: &expected,
+            metric: &metric,
+            budget: &budget,
+        };
+        let n0 = sc.models()[0].model.num_layers();
+        let n1 = sc.models()[1].model.num_layers();
+        let window = TimeWindow {
+            index: 0,
+            layers: vec![0..n0, 0..n1],
+        };
+
+        let infeasible = vec![0usize, 0]; // no nodes → no segmentations
+        let feasible = vec![4usize, 4];
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let allocations = vec![infeasible.clone(), feasible.clone()];
+        let mut src = BruteSource::new(&ctx, &window, &allocations, &mut rng);
+        let with_dead_alloc: usize = drain(&mut src).iter().sum();
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let only_feasible = vec![feasible];
+        let mut src = BruteSource::new(&ctx, &window, &only_feasible, &mut rng);
+        let baseline: usize = drain(&mut src).iter().sum();
+
+        // the dead allocation consumed nothing, so the feasible allocation
+        // must receive the full window budget — same as being alone
+        assert_eq!(
+            with_dead_alloc, baseline,
+            "unconsumed budget must be redistributed, not dropped"
+        );
+        assert!(baseline > budget.max_candidates_per_window / 2);
+    }
+
+    #[test]
+    fn candidate_ids_increase_in_generation_order() {
+        let sc = Scenario::datacenter(1);
+        let mcm = het_sides_3x3(Profile::Datacenter);
+        let db = CostDatabase::new();
+        let expected = ExpectedCosts::compute(&sc, &mcm, &db);
+        let metric = crate::problem::OptMetric::Edp;
+        let budget = SearchBudget {
+            max_candidates_per_window: 64,
+            ..SearchBudget::default()
+        };
+        let ctx = SearchCtx {
+            scenario: &sc,
+            mcm: &mcm,
+            db: &db,
+            expected: &expected,
+            metric: &metric,
+            budget: &budget,
+        };
+        let n0 = sc.models()[0].model.num_layers();
+        let n1 = sc.models()[1].model.num_layers();
+        let window = TimeWindow {
+            index: 0,
+            layers: vec![0..n0, 0..n1],
+        };
+        let allocations = vec![vec![4usize, 4], vec![5, 3]];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut src = BruteSource::new(&ctx, &window, &allocations, &mut rng);
+        let mut last: Option<u64> = None;
+        loop {
+            let batch = src.next_batch();
+            if batch.is_empty() {
+                break;
+            }
+            for c in &batch {
+                assert!(last.map(|l| c.id > l).unwrap_or(c.id == 0));
+                last = Some(c.id);
+            }
+        }
+        assert!(last.is_some(), "source generated candidates");
+    }
 }

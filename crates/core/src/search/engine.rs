@@ -1,0 +1,114 @@
+//! The shared window-search engine: parallel batch evaluation of candidate
+//! streams.
+//!
+//! The per-window search is generate-then-score over
+//! (allocation × segmentation × placement) candidates. Generation is cheap,
+//! sequential, and RNG-driven; evaluation (the §III-E cost model) dominates
+//! wall-clock and is embarrassingly parallel. The engine exploits that
+//! split:
+//!
+//! * a [`CandidateSource`] (brute-force or evolutionary) produces ordered
+//!   batches of [`WindowCandidate`]s, drawing all of its randomness on the
+//!   generation side;
+//! * the engine scores each batch across a [`par_map`] worker pool sized by
+//!   [`SearchBudget::parallelism`](crate::SearchBudget), then merges the
+//!   results **in generation order** — best-candidate selection, the
+//!   candidate cloud, and the feedback handed back to the source are all
+//!   identical to a serial run, for any thread count;
+//! * scored batches are fed back to the source via
+//!   [`CandidateSource::observe`], which is how the evolutionary driver
+//!   closes its selection loop without ever touching evaluation itself.
+
+use super::{SearchCtx, WindowSearchResult};
+use crate::evaluate::{Evaluator, WindowEval};
+use crate::parallel::par_map;
+use crate::problem::{EvalTotals, OptMetric, WindowSchedule};
+
+/// One fully specified window schedule awaiting evaluation.
+pub(crate) struct WindowCandidate {
+    /// Deterministic identity within the source's stream: candidates are
+    /// numbered in generation order (the order the source's seeded RNG
+    /// produced them), which is the order results are merged in.
+    pub id: u64,
+    /// The candidate window schedule.
+    pub schedule: WindowSchedule,
+}
+
+/// An ordered, possibly feedback-driven stream of window candidates.
+///
+/// Contract: `next_batch` is called repeatedly until it returns an empty
+/// batch; after every non-empty batch the engine calls `observe` exactly
+/// once with the metric scores of that batch, in batch order. Sources must
+/// confine all randomness to generation so that evaluation order (which is
+/// parallel) cannot influence the stream.
+pub(crate) trait CandidateSource {
+    /// The next ordered batch of candidates; empty means exhausted.
+    fn next_batch(&mut self) -> Vec<WindowCandidate>;
+
+    /// Feedback: the scores of the batch just returned, in batch order.
+    fn observe(&mut self, _scores: &[f64]) {}
+}
+
+/// A candidate's evaluation plus its scalar score under the search metric.
+struct Scored {
+    eval: WindowEval,
+    score: f64,
+}
+
+/// Drains `source`, evaluating every batch in parallel, and returns the
+/// best window schedule with the full candidate cloud (in generation
+/// order). `None` when the source produced no candidates at all.
+pub(crate) fn run(
+    ctx: &SearchCtx<'_>,
+    mut source: impl CandidateSource,
+) -> Option<WindowSearchResult> {
+    let evaluator = ctx.evaluator();
+    let threads = ctx.budget.parallelism.threads();
+
+    let mut best: Option<(f64, WindowSchedule, WindowEval)> = None;
+    let mut candidates: Vec<EvalTotals> = Vec::new();
+
+    loop {
+        let batch = source.next_batch();
+        if batch.is_empty() {
+            break;
+        }
+        debug_assert!(
+            batch.windows(2).all(|w| w[0].id < w[1].id),
+            "candidate ids must be strictly increasing in generation order"
+        );
+        let scored = evaluate_batch(&evaluator, ctx.metric, &batch, threads);
+
+        // in-order merge: identical to a serial evaluation loop — strict
+        // `<` keeps the earliest-generated candidate on ties
+        let mut scores = Vec::with_capacity(scored.len());
+        for (cand, sc) in batch.iter().zip(scored) {
+            candidates.push(sc.eval.totals());
+            scores.push(sc.score);
+            if best.as_ref().map(|(b, _, _)| sc.score < *b).unwrap_or(true) {
+                best = Some((sc.score, cand.schedule.clone(), sc.eval));
+            }
+        }
+        source.observe(&scores);
+    }
+
+    best.map(|(_, ws, eval)| WindowSearchResult {
+        best: ws,
+        eval,
+        candidates,
+    })
+}
+
+/// Scores one batch on up to `threads` workers, results in batch order.
+fn evaluate_batch(
+    evaluator: &Evaluator<'_>,
+    metric: &OptMetric,
+    batch: &[WindowCandidate],
+    threads: usize,
+) -> Vec<Scored> {
+    par_map(batch, threads, |cand| {
+        let eval = evaluator.evaluate_window(&cand.schedule);
+        let score = metric.score(&eval.totals());
+        Scored { eval, score }
+    })
+}

@@ -1,13 +1,22 @@
-//! Evolutionary per-window search (the paper's 6×6 scaling driver, §V-D).
+//! Evolutionary per-window candidate generation (the paper's 6×6 scaling
+//! driver, §V-D).
 //!
 //! A genome holds, per active model, three genes mirroring the Figure 5
 //! schedule encoding: a segmentation choice (index into the SEG engine's
 //! top-k list), a subtree-root selector, and a path-shape selector that
 //! steers the constrained DFS. Decoding reconstructs a full window
 //! schedule; infeasible genomes (no disjoint paths) score `+∞`.
+//!
+//! [`EvoSource`] is the feedback-driven [`CandidateSource`]: each
+//! generation's decoded population is one batch, the shared engine scores
+//! it (in parallel, merged in population order), and
+//! [`CandidateSource::observe`] closes the selection loop — elitism,
+//! tournament, crossover, mutation. All RNG draws stay on the generation
+//! side, so the stream is independent of how evaluation is threaded.
 
-use super::{EvoParams, SearchCtx, WindowSearchResult};
-use crate::problem::{EvalTotals, TimeWindow, WindowSchedule};
+use super::engine::{CandidateSource, WindowCandidate};
+use super::{EvoParams, SearchCtx};
+use crate::problem::{TimeWindow, WindowSchedule};
 use crate::segmentation::SegCandidate;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -15,76 +24,157 @@ use scar_mcm::{ChipletId, McmConfig};
 
 const GENES_PER_MODEL: usize = 3;
 
-pub(super) fn search(
-    ctx: &SearchCtx<'_>,
-    window: &TimeWindow,
-    allocations: &[Vec<usize>],
-    params: &EvoParams,
-    rng: &mut StdRng,
-) -> Option<WindowSearchResult> {
-    // the EA explores segmentation × placement under the first allocation
-    // (PROV's rule-based output); extra allocations extend the pool
-    let active = window.active_models();
-    let evaluator = ctx.evaluator();
+/// The evolutionary candidate stream: one batch per generation, advancing
+/// through the allocation list (PROV's rule-based output first; extra
+/// allocations extend the pool).
+pub(super) struct EvoSource<'c, 'r> {
+    ctx: &'c SearchCtx<'c>,
+    window: &'c TimeWindow,
+    allocations: &'c [Vec<usize>],
+    params: EvoParams,
+    rng: &'r mut StdRng,
+    active: Vec<usize>,
+    /// Top-k segmentation lists for the current allocation.
+    seg_lists: Vec<Vec<SegCandidate>>,
+    /// Current population; empty ⇒ the next allocation must be started.
+    population: Vec<Vec<u64>>,
+    /// Generation number within the current allocation (0-based; the run
+    /// evaluates generations `0..=params.generations`).
+    generation: usize,
+    /// Genome index of each candidate in the batch last returned (decoding
+    /// drops infeasible genomes, so the batch can be shorter than the
+    /// population).
+    pending: Vec<usize>,
+    next_alloc: usize,
+    next_id: u64,
+}
 
-    let mut best: Option<(f64, WindowSchedule, crate::evaluate::WindowEval)> = None;
-    let mut candidates: Vec<EvalTotals> = Vec::new();
-
-    for alloc in allocations {
-        let Some(seg_lists) = ctx.seg_lists(window, alloc, rng) else {
-            continue;
-        };
-        let genome_len = active.len() * GENES_PER_MODEL;
-
-        let mut population: Vec<Vec<u64>> = (0..params.population)
-            .map(|_| (0..genome_len).map(|_| rng.gen()).collect())
-            .collect();
-
-        for _gen in 0..=params.generations {
-            // evaluate
-            let mut scored: Vec<(f64, Vec<u64>)> = Vec::with_capacity(population.len());
-            for genome in &population {
-                let decoded = decode(ctx.mcm, window, &active, &seg_lists, genome);
-                let score = match decoded {
-                    Some(ws) => {
-                        let eval = evaluator.evaluate_window(&ws);
-                        let totals = eval.totals();
-                        let s = ctx.metric.score(&totals);
-                        candidates.push(totals);
-                        if best.as_ref().map(|(b, _, _)| s < *b).unwrap_or(true) {
-                            best = Some((s, ws, eval));
-                        }
-                        s
-                    }
-                    None => f64::INFINITY,
-                };
-                scored.push((score, genome.clone()));
-            }
-            scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-
-            // next generation: elitism + tournament + crossover + mutation
-            let mut next: Vec<Vec<u64>> = scored.iter().take(2).map(|(_, g)| g.clone()).collect();
-            while next.len() < params.population {
-                let a = tournament(&scored, rng);
-                let b = tournament(&scored, rng);
-                let cut = rng.gen_range(0..genome_len);
-                let mut child: Vec<u64> = a[..cut].iter().chain(&b[cut..]).copied().collect();
-                for gene in child.iter_mut() {
-                    if rng.gen::<f64>() < params.mutation_rate {
-                        *gene = rng.gen();
-                    }
-                }
-                next.push(child);
-            }
-            population = next;
+impl<'c, 'r> EvoSource<'c, 'r> {
+    pub(super) fn new(
+        ctx: &'c SearchCtx<'c>,
+        window: &'c TimeWindow,
+        allocations: &'c [Vec<usize>],
+        params: EvoParams,
+        rng: &'r mut StdRng,
+    ) -> Self {
+        let active = window.active_models();
+        Self {
+            ctx,
+            window,
+            allocations,
+            params,
+            rng,
+            active,
+            seg_lists: Vec::new(),
+            population: Vec::new(),
+            generation: 0,
+            pending: Vec::new(),
+            next_alloc: 0,
+            next_id: 0,
         }
     }
 
-    best.map(|(_, ws, eval)| WindowSearchResult {
-        best: ws,
-        eval,
-        candidates,
-    })
+    /// Seeds the population for the next allocation with feasible
+    /// segmentations; false when the allocation list is exhausted.
+    fn start_next_alloc(&mut self) -> bool {
+        let genome_len = self.active.len() * GENES_PER_MODEL;
+        while self.next_alloc < self.allocations.len() {
+            let alloc = &self.allocations[self.next_alloc];
+            self.next_alloc += 1;
+            if let Some(lists) = self.ctx.seg_lists(self.window, alloc, self.rng) {
+                self.seg_lists = lists;
+                self.population = (0..self.params.population)
+                    .map(|_| (0..genome_len).map(|_| self.rng.gen()).collect())
+                    .collect();
+                self.generation = 0;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Advances the evolutionary state with the current generation's
+    /// fitness: either breeds the next generation or, after the final one,
+    /// retires the population so the next allocation can start.
+    ///
+    /// `scores` is parallel to `pending` (feasible genomes only);
+    /// undecodable genomes score `+∞`.
+    fn step(&mut self, scores: &[f64]) {
+        let mut fitness = vec![f64::INFINITY; self.population.len()];
+        for (&gi, &s) in self.pending.iter().zip(scores) {
+            fitness[gi] = s;
+        }
+        self.pending.clear();
+
+        if self.generation >= self.params.generations {
+            // final generation evaluated: this allocation is done
+            self.population.clear();
+            return;
+        }
+        self.generation += 1;
+
+        let mut scored: Vec<(f64, Vec<u64>)> = fitness
+            .into_iter()
+            .zip(std::mem::take(&mut self.population))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+        // next generation: elitism + tournament + crossover + mutation
+        let genome_len = self.active.len() * GENES_PER_MODEL;
+        let mut next: Vec<Vec<u64>> = scored.iter().take(2).map(|(_, g)| g.clone()).collect();
+        while next.len() < self.params.population {
+            let a = tournament(&scored, self.rng);
+            let b = tournament(&scored, self.rng);
+            let cut = self.rng.gen_range(0..genome_len);
+            let mut child: Vec<u64> = a[..cut].iter().chain(&b[cut..]).copied().collect();
+            for gene in child.iter_mut() {
+                if self.rng.gen::<f64>() < self.params.mutation_rate {
+                    *gene = self.rng.gen();
+                }
+            }
+            next.push(child);
+        }
+        self.population = next;
+    }
+}
+
+impl CandidateSource for EvoSource<'_, '_> {
+    fn next_batch(&mut self) -> Vec<WindowCandidate> {
+        loop {
+            if self.population.is_empty() && !self.start_next_alloc() {
+                return Vec::new();
+            }
+            // decode the current generation in population order
+            let mut batch = Vec::new();
+            self.pending.clear();
+            for (gi, genome) in self.population.iter().enumerate() {
+                if let Some(ws) = decode(
+                    self.ctx.mcm,
+                    self.window,
+                    &self.active,
+                    &self.seg_lists,
+                    genome,
+                ) {
+                    self.pending.push(gi);
+                    batch.push(WindowCandidate {
+                        id: self.next_id,
+                        schedule: ws,
+                    });
+                    self.next_id += 1;
+                }
+            }
+            if !batch.is_empty() {
+                return batch;
+            }
+            // a wholly infeasible generation: no scores to wait for —
+            // advance the EA directly (all genomes at +∞) and try again
+            self.step(&[]);
+        }
+    }
+
+    fn observe(&mut self, scores: &[f64]) {
+        self.step(scores);
+    }
 }
 
 fn tournament<'p>(scored: &'p [(f64, Vec<u64>)], rng: &mut StdRng) -> &'p [u64] {

@@ -5,12 +5,19 @@
 //! share the per-model top-k segmentation lists of the SEG engine and the
 //! scheduling-tree placement generator of the SCHED engine, and both
 //! return every evaluated candidate (for the paper's Pareto figures).
+//!
+//! Drivers are pure candidate *generators* ([`engine::CandidateSource`]):
+//! the shared [`engine`] evaluates their batches across a worker pool sized
+//! by [`SearchBudget::parallelism`] and merges results in generation order,
+//! so the chosen schedule is bit-identical for any thread count.
 
 mod brute;
+pub(crate) mod engine;
 mod evolutionary;
 
 use crate::evaluate::{Evaluator, WindowEval};
 use crate::expected::ExpectedCosts;
+use crate::parallel::Parallelism;
 use crate::problem::{EvalTotals, OptMetric, TimeWindow, WindowSchedule};
 use crate::segmentation::SegCandidate;
 use rand::rngs::StdRng;
@@ -40,6 +47,11 @@ pub struct SearchBudget {
     pub node_constraint: Option<usize>,
     /// RNG seed: all sampling is deterministic given this seed.
     pub seed: u64,
+    /// Worker-pool sizing for candidate evaluation. Affects wall-clock
+    /// only — results are merged in generation order, so every setting
+    /// yields the same schedule (and the knob is excluded from schedule
+    /// cache fingerprints).
+    pub parallelism: Parallelism,
 }
 
 impl Default for SearchBudget {
@@ -53,6 +65,7 @@ impl Default for SearchBudget {
             max_candidates_per_window: 3_000,
             node_constraint: None,
             seed: seed_default(),
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -143,7 +156,8 @@ impl<'a> SearchCtx<'a> {
     }
 }
 
-/// Searches one window with the chosen driver.
+/// Searches one window with the chosen driver: builds the driver's
+/// candidate source and drains it through the parallel evaluation engine.
 pub(crate) fn search_window(
     ctx: &SearchCtx<'_>,
     window: &TimeWindow,
@@ -152,8 +166,13 @@ pub(crate) fn search_window(
     rng: &mut StdRng,
 ) -> Option<WindowSearchResult> {
     match kind {
-        SearchKind::BruteForce => brute::search(ctx, window, allocations, rng),
-        SearchKind::Evolutionary(p) => evolutionary::search(ctx, window, allocations, p, rng),
+        SearchKind::BruteForce => {
+            engine::run(ctx, brute::BruteSource::new(ctx, window, allocations, rng))
+        }
+        SearchKind::Evolutionary(p) => engine::run(
+            ctx,
+            evolutionary::EvoSource::new(ctx, window, allocations, *p, rng),
+        ),
     }
 }
 

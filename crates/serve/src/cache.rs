@@ -5,12 +5,25 @@
 //! produces the same one-frame batch shape sixty times a second. The full
 //! SCAR search is orders of magnitude more expensive than a cache probe, so
 //! [`ScheduleCache`] memoizes complete [`ScheduleResult`]s keyed by a
-//! [`fingerprint`] of everything the scheduler's outcome depends on:
+//! [`fingerprint`] of everything the scheduling round's outcome depends on:
 //! scenario content (model names, layer shapes, batch vector), the MCM
 //! configuration (chiplet capabilities, topology, NoP/DRAM parameters),
-//! the optimization metric, and the full search configuration.
+//! the optimization metric, and the full search configuration. The
+//! evaluation worker-pool size ([`SearchBudget::parallelism`]) is
+//! deliberately *not* keyed: the search engine merges results in generation
+//! order, so thread count never changes a schedule.
 //!
-//! Hit/miss counters are surfaced in serving reports via [`CacheStats`].
+//! An entry memoizes the serving loop's *round outcome* for that
+//! fingerprint — a full search, or the incremental fast path's seeded
+//! re-evaluation of the previous round's placement (see
+//! [`shape_fingerprint`]). Either way the loop stays deterministic: given
+//! the same mix and configuration, the same rounds produce the same
+//! entries in the same order.
+//!
+//! Long-running servers see unboundedly many distinct live scenarios, so
+//! the cache is bounded: at [`ScheduleCache::capacity`] entries the
+//! least-recently-used schedule is evicted. Hit/miss/eviction counters are
+//! surfaced in serving reports via [`CacheStats`].
 
 use scar_core::{OptMetric, ScheduleResult, SearchBudget, SearchKind};
 use scar_mcm::McmConfig;
@@ -20,13 +33,15 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 
-/// Cache hit/miss counters.
+/// Cache hit/miss/eviction counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that fell through to the scheduler.
     pub misses: u64,
+    /// Entries evicted by the LRU capacity bound.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -62,11 +77,46 @@ pub fn fingerprint(
     search: &SearchKind,
     budget: &SearchBudget,
 ) -> u64 {
+    fingerprints(scenario, mcm, metric, nsplits, search, budget).0
+}
+
+/// [`fingerprint`] with the scenario's batch vector left out: two live
+/// scenarios share a shape fingerprint exactly when they run the same
+/// models (same names, layer shapes, order, use case) on the same MCM under
+/// the same scheduler configuration and differ **only in batch sizes**.
+///
+/// That equivalence is the trigger for the serving loop's incremental
+/// rescheduling: a cache miss whose shape matches the previously scheduled
+/// scenario can re-evaluate the prior segmentation/placement as a seeded
+/// candidate instead of paying a full window search.
+pub fn shape_fingerprint(
+    scenario: &Scenario,
+    mcm: &McmConfig,
+    metric: &OptMetric,
+    nsplits: usize,
+    search: &SearchKind,
+    budget: &SearchBudget,
+) -> u64 {
+    fingerprints(scenario, mcm, metric, nsplits, search, budget).1
+}
+
+/// Computes `(`[`fingerprint`]`, `[`shape_fingerprint`]`)` in a single
+/// traversal: the batch-insensitive content is hashed once, the shape key
+/// is snapshotted, and the batch vector is folded in on top for the full
+/// key. The serving loop needs both on every round, and hashing the
+/// scenario + chiplet set + topology adjacency dominates a cache probe.
+pub fn fingerprints(
+    scenario: &Scenario,
+    mcm: &McmConfig,
+    metric: &OptMetric,
+    nsplits: usize,
+    search: &SearchKind,
+    budget: &SearchBudget,
+) -> (u64, u64) {
     let mut h = DefaultHasher::new();
     scenario.use_case().to_string().hash(&mut h);
     for sm in scenario.models() {
         sm.model.name().hash(&mut h);
-        sm.batch.hash(&mut h);
         for layer in sm.model.layers() {
             layer.hash(&mut h);
         }
@@ -122,33 +172,80 @@ pub fn fingerprint(
     budget.max_placements_per_window.hash(&mut h);
     budget.max_candidates_per_window.hash(&mut h);
     budget.node_constraint.hash(&mut h);
-    h.finish()
+    let shape = h.clone().finish();
+    for sm in scenario.models() {
+        sm.batch.hash(&mut h);
+    }
+    (h.finish(), shape)
 }
 
-/// A `fingerprint → ScheduleResult` memo with hit/miss accounting.
+/// One cached schedule with its recency stamp.
+#[derive(Debug)]
+struct Entry {
+    result: Rc<ScheduleResult>,
+    last_used: u64,
+}
+
+/// A bounded `fingerprint → ScheduleResult` memo with LRU eviction and
+/// hit/miss/eviction accounting.
 ///
 /// Entries are shared via [`Rc`]: a hit hands back a reference-counted
 /// pointer rather than deep-cloning the schedule (whose candidate cloud
 /// can run to thousands of points) on the very path the cache exists to
 /// make cheap.
-#[derive(Debug, Default)]
+///
+/// Recency is a monotonic tick stamped on every hit and insert; eviction
+/// scans for the minimum stamp. The scan is `O(capacity)` but only runs
+/// when a full cache takes an insert — a few microseconds at the default
+/// capacity, against a schedule search in the milliseconds.
+#[derive(Debug)]
 pub struct ScheduleCache {
-    map: HashMap<u64, Rc<ScheduleResult>>,
+    map: HashMap<u64, Entry>,
+    capacity: usize,
+    tick: u64,
     stats: CacheStats,
 }
 
+impl Default for ScheduleCache {
+    fn default() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+}
+
 impl ScheduleCache {
-    /// An empty cache.
+    /// Default entry bound: plenty for recurring mixes (which need tens of
+    /// entries) while bounding a long-running server's footprint.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// An empty cache with the default capacity.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Looks up a fingerprint, recording a hit or miss.
+    /// An empty cache bounded to `capacity` entries (clamped to ≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up a fingerprint, recording a hit or miss; a hit refreshes
+    /// the entry's recency.
     pub fn get(&mut self, key: u64) -> Option<Rc<ScheduleResult>> {
-        match self.map.get(&key) {
-            Some(r) => {
+        self.tick += 1;
+        match self.map.get_mut(&key) {
+            Some(e) => {
+                e.last_used = self.tick;
                 self.stats.hits += 1;
-                Some(Rc::clone(r))
+                Some(Rc::clone(&e.result))
             }
             None => {
                 self.stats.misses += 1;
@@ -157,9 +254,23 @@ impl ScheduleCache {
         }
     }
 
-    /// Stores the schedule for a fingerprint.
+    /// Stores the schedule for a fingerprint, evicting the least-recently
+    /// used entry when the cache is full.
     pub fn insert(&mut self, key: u64, result: Rc<ScheduleResult>) {
-        self.map.insert(key, result);
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some((&victim, _)) = self.map.iter().min_by_key(|(_, e)| e.last_used) {
+                self.map.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                result,
+                last_used: self.tick,
+            },
+        );
     }
 
     /// Number of cached schedules.
@@ -172,12 +283,12 @@ impl ScheduleCache {
         self.map.is_empty()
     }
 
-    /// The accumulated hit/miss counters.
+    /// The accumulated hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
 
-    /// Clears entries and counters.
+    /// Clears entries and counters (capacity is kept).
     pub fn clear(&mut self) {
         self.map.clear();
         self.stats = CacheStats::default();
@@ -260,8 +371,16 @@ mod tests {
     fn counters_track_hits_and_misses() {
         let mut cache = ScheduleCache::new();
         assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), ScheduleCache::DEFAULT_CAPACITY);
         assert!(cache.get(42).is_none());
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                evictions: 0
+            }
+        );
         assert_eq!(cache.stats().hit_rate(), 0.0);
         // a real result requires scheduling; store-and-hit is covered by the
         // integration tests — here we only exercise the counter state machine
@@ -269,5 +388,83 @@ mod tests {
         assert_eq!(cache.stats().misses, 2);
         cache.clear();
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    fn schedule_once() -> Rc<ScheduleResult> {
+        use scar_core::Scar;
+        let sc = generate(3, UseCase::Datacenter, 2);
+        let mcm = het_sides_3x3(Profile::Datacenter);
+        let budget = SearchBudget {
+            max_root_perms: 6,
+            max_paths_per_model: 3,
+            max_placements_per_window: 40,
+            max_candidates_per_window: 60,
+            ..SearchBudget::default()
+        };
+        Rc::new(
+            Scar::builder()
+                .budget(budget)
+                .build()
+                .schedule(&sc, &mcm)
+                .expect("small scenario schedules"),
+        )
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_at_capacity() {
+        let result = schedule_once();
+        let mut cache = ScheduleCache::with_capacity(2);
+        cache.insert(1, Rc::clone(&result));
+        cache.insert(2, Rc::clone(&result));
+        assert!(cache.get(1).is_some()); // 1 is now fresher than 2
+        cache.insert(3, Rc::clone(&result)); // capacity 2: evicts 2
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(2).is_none(), "LRU entry 2 must be evicted");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        // re-inserting an existing key must not evict anything
+        cache.insert(3, Rc::clone(&result));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let result = schedule_once();
+        let mut cache = ScheduleCache::with_capacity(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert(1, Rc::clone(&result));
+        cache.insert(2, result);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn shape_fingerprint_ignores_batches_only() {
+        let mcm = het_sides_3x3(Profile::Datacenter);
+        let a = generate(1, UseCase::Datacenter, 2);
+        let shape = |sc: &Scenario, mcm: &McmConfig| {
+            shape_fingerprint(
+                sc,
+                mcm,
+                &OptMetric::Edp,
+                4,
+                &SearchKind::BruteForce,
+                &SearchBudget::default(),
+            )
+        };
+        // batch change → same shape, different full fingerprint
+        let mut models = a.models().to_vec();
+        models[0].batch += 3;
+        let b = Scenario::new("same-shape", a.use_case(), models);
+        assert_eq!(shape(&a, &mcm), shape(&b, &mcm));
+        assert_ne!(key_of(&a, &mcm), key_of(&b, &mcm));
+        // model-set change → different shape
+        let fewer = Scenario::new("fewer", a.use_case(), a.models()[..1].to_vec());
+        assert_ne!(shape(&a, &mcm), shape(&fewer, &mcm));
+        // MCM change → different shape
+        let simba = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
+        assert_ne!(shape(&a, &mcm), shape(&a, &simba));
     }
 }

@@ -15,9 +15,12 @@
 //!   SCAR or a paper baseline ([`ServePolicy`]), advances virtual time by
 //!   the evaluated window latencies, and completes each tenant's requests
 //!   at its own last-active-window offset.
-//! * [`cache`] — the schedule cache ([`ScheduleCache`]): recurring traffic
-//!   shapes (the common case under frame clocks) skip the expensive tree
-//!   search entirely; hit/miss counters surface in every report.
+//! * [`cache`] — the bounded LRU schedule cache ([`ScheduleCache`]):
+//!   recurring traffic shapes (the common case under frame clocks) skip
+//!   the expensive tree search entirely; hit/miss/eviction counters
+//!   surface in every report. On a miss where only batch sizes changed
+//!   since the previous round, the loop re-evaluates the prior placement
+//!   as a seeded candidate (incremental rescheduling) before searching.
 //! * [`report`] — serving metrics ([`ServeReport`]): p50/p95/p99 latency,
 //!   throughput, deadline-miss rates, energy, cache effectiveness.
 //!
@@ -51,7 +54,7 @@ pub mod report;
 pub mod sim;
 pub mod traffic;
 
-pub use cache::{fingerprint, CacheStats, ScheduleCache};
+pub use cache::{fingerprint, fingerprints, shape_fingerprint, CacheStats, ScheduleCache};
 pub use report::{percentile, LatencySummary, ServeReport, StreamStats};
 pub use sim::{ServeConfig, ServePolicy, ServeSim};
 pub use traffic::{ArrivalProcess, Request, RequestStream, TrafficMix};

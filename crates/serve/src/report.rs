@@ -104,6 +104,10 @@ pub struct ServeReport {
     pub deadline_bound: usize,
     /// Schedule-cache counters for the run.
     pub cache: CacheStats,
+    /// Scheduling rounds served by the incremental-rescheduling fast path
+    /// (previous round's placement re-evaluated because only batch sizes
+    /// changed) instead of a full search.
+    pub incremental_reschedules: u64,
     /// Per-stream breakdowns, in mix stream order.
     pub per_stream: Vec<StreamStats>,
 }
@@ -151,10 +155,12 @@ impl fmt::Display for ServeReport {
         )?;
         writeln!(
             f,
-            "schedule cache: {} hits / {} misses ({:.1}% hit rate)",
+            "schedule cache: {} hits / {} misses ({:.1}% hit rate) | {} evictions | {} incremental reschedules",
             self.cache.hits,
             self.cache.misses,
-            self.cache.hit_rate() * 100.0
+            self.cache.hit_rate() * 100.0,
+            self.cache.evictions,
+            self.incremental_reschedules
         )?;
         writeln!(
             f,
@@ -219,7 +225,12 @@ mod tests {
             latency: LatencySummary::of(&[0.01, 0.02, 0.03]),
             deadline_misses: 1,
             deadline_bound: 5,
-            cache: CacheStats { hits: 3, misses: 1 },
+            cache: CacheStats {
+                hits: 3,
+                misses: 1,
+                evictions: 2,
+            },
+            incremental_reschedules: 1,
             per_stream: vec![StreamStats {
                 model_name: "EyeCod".into(),
                 completed: 10,
@@ -229,7 +240,16 @@ mod tests {
             }],
         };
         let text = report.to_string();
-        for needle in ["test mix", "p50", "p99", "hit rate", "EyeCod", "75.0% hit"] {
+        for needle in [
+            "test mix",
+            "p50",
+            "p99",
+            "hit rate",
+            "EyeCod",
+            "75.0% hit",
+            "2 evictions",
+            "1 incremental",
+        ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
         assert!((report.deadline_miss_rate() - 0.2).abs() < 1e-12);

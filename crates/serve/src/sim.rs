@@ -15,14 +15,25 @@
 //! 5. per-request latency, deadline hit/miss, energy, and throughput are
 //!    recorded into a [`ServeReport`].
 //!
+//! Two fast paths sit in front of the full search on a scheduling round:
+//! the bounded LRU [`ScheduleCache`] (exact fingerprint match), and —
+//! on a cache miss whose live scenario differs from the previously
+//! scheduled one *only in batch sizes* — incremental rescheduling, which
+//! re-evaluates the previous round's segmentation/placement as a seeded
+//! candidate ([`Scar::evaluate_seeded`]) instead of searching.
+//!
 //! The loop is fully deterministic given the mix (seed included) and the
-//! scheduler configuration: identical runs produce identical reports.
+//! scheduler configuration: identical runs produce identical reports, for
+//! any [`Parallelism`] setting (the search engine merges candidate
+//! evaluations in generation order).
 
-use crate::cache::{fingerprint, ScheduleCache};
+use crate::cache::{fingerprints, ScheduleCache};
 use crate::report::{LatencySummary, ServeReport, StreamStats};
 use crate::traffic::{Request, TrafficMix};
 use scar_core::baselines;
-use scar_core::{OptMetric, Scar, ScheduleError, ScheduleResult, SearchBudget, SearchKind};
+use scar_core::{
+    OptMetric, Parallelism, Scar, ScheduleError, ScheduleResult, SearchBudget, SearchKind,
+};
 use scar_maestro::CostDatabase;
 use scar_mcm::McmConfig;
 use scar_workloads::{Scenario, ScenarioModel};
@@ -71,6 +82,22 @@ pub struct ServeConfig {
     pub max_batch_per_stream: u64,
     /// Whether to consult the schedule cache.
     pub use_cache: bool,
+    /// Schedule-cache entry bound (LRU eviction beyond it).
+    pub cache_capacity: usize,
+    /// Whether a cache miss that differs from the previous round only in
+    /// batch sizes may reuse the previous segmentation/placement as a
+    /// seeded candidate instead of running a full search (SCAR policy
+    /// only; baselines are already search-free).
+    pub incremental: bool,
+    /// Staleness bound on incremental rescheduling: after this many
+    /// consecutive seeded rounds the next miss runs a full search even if
+    /// the shape still matches, so a drifting tenant mix (batch sizes
+    /// moving ever further from the last-searched ones) periodically gets
+    /// a placement searched for its current batches.
+    pub max_incremental_chain: usize,
+    /// Worker-pool sizing for candidate evaluation. Wall-clock only:
+    /// reports are bit-identical across settings.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +116,10 @@ impl Default for ServeConfig {
             },
             max_batch_per_stream: 32,
             use_cache: true,
+            cache_capacity: ScheduleCache::DEFAULT_CAPACITY,
+            incremental: true,
+            max_incremental_chain: 8,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -112,16 +143,28 @@ pub struct ServeSim<'a> {
     cfg: ServeConfig,
     cache: ScheduleCache,
     db: CostDatabase,
+    /// The previously scheduled round: its batch-insensitive shape
+    /// fingerprint and its result (the incremental-rescheduling seed).
+    last: Option<(u64, Rc<ScheduleResult>)>,
+    /// Consecutive seeded rounds since the last full search (the
+    /// staleness chain bounded by `max_incremental_chain`).
+    incremental_chain: usize,
+    /// Rounds served by the incremental fast path (cumulative).
+    incremental_reschedules: u64,
 }
 
 impl<'a> ServeSim<'a> {
     /// A simulator over `mcm` with the given configuration.
     pub fn new(mcm: &'a McmConfig, cfg: ServeConfig) -> Self {
+        let cache = ScheduleCache::with_capacity(cfg.cache_capacity);
         Self {
             mcm,
             cfg,
-            cache: ScheduleCache::new(),
+            cache,
             db: CostDatabase::new(),
+            last: None,
+            incremental_chain: 0,
+            incremental_reschedules: 0,
         }
     }
 
@@ -133,6 +176,12 @@ impl<'a> ServeSim<'a> {
     /// The accumulated schedule-cache state.
     pub fn cache(&self) -> &ScheduleCache {
         &self.cache
+    }
+
+    /// Rounds served by the incremental-rescheduling fast path since the
+    /// simulator was created.
+    pub fn incremental_reschedules(&self) -> u64 {
+        self.incremental_reschedules
     }
 
     /// Serves every request the mix emits in `[0, horizon_s)` to
@@ -150,6 +199,7 @@ impl<'a> ServeSim<'a> {
     /// [`TrafficMix::arrivals`]).
     pub fn run(&mut self, mix: &TrafficMix, horizon_s: f64) -> Result<ServeReport, ScheduleError> {
         let cache_before = self.cache.stats();
+        let incremental_before = self.incremental_reschedules;
         let arrivals = mix.arrivals(horizon_s);
         let offered = arrivals.len();
         let mut next_arrival = 0usize;
@@ -221,22 +271,44 @@ impl<'a> ServeSim<'a> {
             t += window_total;
         }
 
-        Ok(
-            self.build_report(mix, completions, windows_scheduled, energy_j, makespan, {
-                let after = self.cache.stats();
-                crate::cache::CacheStats {
-                    hits: after.hits - cache_before.hits,
-                    misses: after.misses - cache_before.misses,
-                }
-            }),
-        )
+        let cache = {
+            let after = self.cache.stats();
+            crate::cache::CacheStats {
+                hits: after.hits - cache_before.hits,
+                misses: after.misses - cache_before.misses,
+                evictions: after.evictions - cache_before.evictions,
+            }
+        };
+        let incremental = self.incremental_reschedules - incremental_before;
+        Ok(self.build_report(
+            mix,
+            completions,
+            windows_scheduled,
+            energy_j,
+            makespan,
+            cache,
+            incremental,
+        ))
     }
 
-    /// Schedules one live scenario under the configured policy, consulting
-    /// the cache first. Returns a shared pointer so cache hits stay
+    /// True when this configuration can ever take the incremental path
+    /// (it is pointless for the search-free baselines).
+    fn incremental_enabled(&self) -> bool {
+        self.cfg.incremental && self.cfg.policy == ServePolicy::Scar
+    }
+
+    /// Schedules one live scenario under the configured policy: schedule
+    /// cache first, then the incremental-rescheduling fast path (previous
+    /// round's placement re-evaluated when only batch sizes changed), then
+    /// the full search. Returns a shared pointer so cache hits stay
     /// allocation-free.
+    ///
+    /// Incremental results are cached like searched ones, so a recurring
+    /// batch variant pays the seeded re-evaluation once and is an O(1) hit
+    /// afterwards — an entry memoizes the round's outcome, not specifically
+    /// a full search (see the [`crate::cache`] docs).
     fn schedule_live(&mut self, live: &Scenario) -> Result<Rc<ScheduleResult>, ScheduleError> {
-        let key = fingerprint(
+        let (key, shape) = fingerprints(
             live,
             self.mcm,
             &self.cfg.metric,
@@ -244,36 +316,88 @@ impl<'a> ServeSim<'a> {
             &self.cfg.search,
             &self.cfg.budget,
         );
+        // the batch-insensitive shape seeds/probes the incremental path
+        let shape = self.incremental_enabled().then_some(shape);
         if self.cfg.use_cache {
             if let Some(hit) = self.cache.get(key) {
+                if let Some(shape) = shape {
+                    self.last = Some((shape, Rc::clone(&hit)));
+                }
                 return Ok(hit);
             }
         }
-        let result = Rc::new(self.schedule_fresh(live)?);
+        let result = match shape.and_then(|s| self.reschedule_incremental(live, s)) {
+            Some(reused) => Rc::new(reused),
+            None => {
+                let searched = Rc::new(self.schedule_fresh(live)?);
+                self.incremental_chain = 0;
+                searched
+            }
+        };
         if self.cfg.use_cache {
             self.cache.insert(key, Rc::clone(&result));
+        }
+        if let Some(shape) = shape {
+            self.last = Some((shape, Rc::clone(&result)));
         }
         Ok(result)
     }
 
-    /// Runs the configured policy directly (no cache): what a cache hit
-    /// must be indistinguishable from.
+    /// The incremental fast path: when the previous round's scenario had
+    /// the same shape (same models on the same configuration — only batch
+    /// sizes differ), re-evaluate its schedule instance as a seeded
+    /// candidate. `None` when shapes differ, the staleness chain hit
+    /// [`ServeConfig::max_incremental_chain`], or the seed no longer
+    /// validates.
+    fn reschedule_incremental(&mut self, live: &Scenario, shape: u64) -> Option<ScheduleResult> {
+        if self.incremental_chain >= self.cfg.max_incremental_chain {
+            return None;
+        }
+        let (last_shape, last_result) = self.last.as_ref()?;
+        if *last_shape != shape {
+            return None;
+        }
+        let result = self
+            .scar()
+            .evaluate_seeded(live, self.mcm, &self.db, last_result.schedule())
+            .ok()?;
+        self.incremental_chain += 1;
+        self.incremental_reschedules += 1;
+        Some(result)
+    }
+
+    /// The configured SCAR scheduler.
+    fn scar(&self) -> Scar {
+        Scar::builder()
+            .metric(self.cfg.metric.clone())
+            .nsplits(self.cfg.nsplits)
+            .search(self.cfg.search.clone())
+            .budget(self.cfg.budget.clone())
+            .parallelism(self.cfg.parallelism)
+            .build()
+    }
+
+    /// Runs the configured policy directly (no cache, no incremental
+    /// reuse): what both fast paths must be benchmarked against.
     pub fn schedule_fresh(&self, live: &Scenario) -> Result<ScheduleResult, ScheduleError> {
         match self.cfg.policy {
-            ServePolicy::Scar => Scar::builder()
-                .metric(self.cfg.metric.clone())
-                .nsplits(self.cfg.nsplits)
-                .search(self.cfg.search.clone())
-                .budget(self.cfg.budget.clone())
-                .build()
-                .schedule_with_db(live, self.mcm, &self.db),
-            ServePolicy::Standalone => {
-                baselines::standalone(live, self.mcm, self.cfg.metric.clone())
-            }
-            ServePolicy::NnBaton => baselines::nn_baton(live, self.mcm, self.cfg.metric.clone()),
+            ServePolicy::Scar => self.scar().schedule_with_db(live, self.mcm, &self.db),
+            ServePolicy::Standalone => baselines::standalone(
+                live,
+                self.mcm,
+                self.cfg.metric.clone(),
+                self.cfg.parallelism,
+            ),
+            ServePolicy::NnBaton => baselines::nn_baton(
+                live,
+                self.mcm,
+                self.cfg.metric.clone(),
+                self.cfg.parallelism,
+            ),
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build_report(
         &self,
         mix: &TrafficMix,
@@ -282,6 +406,7 @@ impl<'a> ServeSim<'a> {
         energy_j: f64,
         makespan_s: f64,
         cache: crate::cache::CacheStats,
+        incremental_reschedules: u64,
     ) -> ServeReport {
         let mut per_stream_lat: Vec<Vec<f64>> = vec![Vec::new(); mix.streams.len()];
         let mut per_stream_miss = vec![0usize; mix.streams.len()];
@@ -327,6 +452,7 @@ impl<'a> ServeSim<'a> {
             deadline_misses,
             deadline_bound,
             cache,
+            incremental_reschedules,
             per_stream,
         }
     }
@@ -403,6 +529,126 @@ mod tests {
             let report = sim.run(&TrafficMix::arvr(2), 0.05).unwrap();
             assert!(report.completed > 0, "{policy:?}");
         }
+    }
+
+    #[test]
+    fn incremental_rescheduling_kicks_in_on_batch_only_changes() {
+        let mcm = sim_mcm();
+        // cache off isolates the fast path: every round is a "miss", and any
+        // round whose tenant set matches the previous one (only queue depths
+        // differ) must reuse the prior placement instead of searching
+        let cfg = ServeConfig {
+            use_cache: false,
+            ..ServeConfig::default()
+        };
+        let mut sim = ServeSim::new(&mcm, cfg);
+        let report = sim.run(&TrafficMix::arvr(1), 0.25).unwrap();
+        assert!(
+            report.incremental_reschedules > 0,
+            "recurring frame mixes repeat tenant sets: {report:?}"
+        );
+        assert!((report.incremental_reschedules as usize) < report.windows_scheduled);
+        assert_eq!(
+            sim.incremental_reschedules(),
+            report.incremental_reschedules
+        );
+    }
+
+    #[test]
+    fn incremental_chain_is_bounded() {
+        use crate::traffic::{ArrivalProcess, RequestStream};
+        use scar_workloads::{zoo, UseCase};
+        // a single Poisson tenant: every scheduling round shares one shape
+        // (only the queue depth changes), so chains grow without bound
+        // unless the staleness cap cuts them
+        let single = TrafficMix::new(
+            "one-tenant",
+            UseCase::Datacenter,
+            vec![RequestStream {
+                model: zoo::bert_large(),
+                samples_per_request: 1,
+                arrivals: ArrivalProcess::Poisson { rate_hz: 400.0 },
+                deadline_s: None,
+            }],
+            0x5EED,
+        );
+        let mcm = het_sides_3x3(Profile::Datacenter);
+        let count = |max_chain: usize| {
+            let cfg = ServeConfig {
+                use_cache: false,
+                max_incremental_chain: max_chain,
+                ..ServeConfig::default()
+            };
+            let mut sim = ServeSim::new(&mcm, cfg);
+            let r = sim.run(&single, 0.5).unwrap();
+            (r.incremental_reschedules, r.windows_scheduled as u64)
+        };
+        let (capped, rounds) = count(1);
+        let (loose, loose_rounds) = count(usize::MAX);
+        assert!(loose_rounds > 2, "mix must schedule repeatedly");
+        assert!(capped > 0, "cap 1 still allows alternating reuse");
+        assert!(
+            capped < loose,
+            "a tight chain cap must force extra searches ({capped} vs {loose})"
+        );
+        // with a cap of 1, at most every other round can be seeded; with no
+        // cap, every round after the first is seeded (one shape throughout)
+        assert!(capped <= rounds.div_ceil(2));
+        assert_eq!(loose, loose_rounds - 1);
+    }
+
+    #[test]
+    fn incremental_disabled_always_searches() {
+        let mcm = sim_mcm();
+        let cfg = ServeConfig {
+            use_cache: false,
+            incremental: false,
+            ..ServeConfig::default()
+        };
+        let mut sim = ServeSim::new(&mcm, cfg);
+        let report = sim.run(&TrafficMix::arvr(1), 0.1).unwrap();
+        assert_eq!(report.incremental_reschedules, 0);
+    }
+
+    #[test]
+    fn tiny_cache_capacity_evicts_and_still_serves() {
+        let mcm = sim_mcm();
+        let cfg = ServeConfig {
+            cache_capacity: 1,
+            incremental: false,
+            ..ServeConfig::default()
+        };
+        let mut sim = ServeSim::new(&mcm, cfg);
+        let report = sim.run(&TrafficMix::arvr(1), 0.25).unwrap();
+        let offered = TrafficMix::arvr(1).arrivals(0.25).len();
+        assert_eq!(report.completed, offered);
+        assert!(sim.cache().len() <= 1);
+        assert!(
+            report.cache.evictions > 0,
+            "a 1-entry cache under a multi-shape mix must evict: {:?}",
+            report.cache
+        );
+    }
+
+    #[test]
+    fn parallelism_settings_produce_identical_reports() {
+        let mcm = sim_mcm();
+        let mix = TrafficMix::arvr(5);
+        let mut reports = Vec::new();
+        for parallelism in [
+            Parallelism::Serial,
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(8),
+        ] {
+            let cfg = ServeConfig {
+                parallelism,
+                ..ServeConfig::default()
+            };
+            let mut sim = ServeSim::new(&mcm, cfg);
+            reports.push(sim.run(&mix, 0.1).unwrap());
+        }
+        assert_eq!(reports[0], reports[1], "Serial vs Fixed(2)");
+        assert_eq!(reports[0], reports[2], "Serial vs Fixed(8)");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! ```
 
 use scar::core::baselines;
-use scar::core::{OptMetric, Scar};
+use scar::core::{OptMetric, Parallelism, Scar};
 use scar::maestro::Dataflow;
 use scar::mcm::templates::{het_cb_3x3, het_sides_3x3, simba_3x3, Profile};
 use scar::workloads::Scenario;
@@ -23,7 +23,8 @@ fn main() {
     // standalone baselines: one chiplet per model, homogeneous dataflow
     for df in [Dataflow::ShidiannaoLike, Dataflow::NvdlaLike] {
         let mcm = simba_3x3(Profile::Datacenter, df);
-        let r = baselines::standalone(&scenario, &mcm, OptMetric::Edp).expect("fits");
+        let r = baselines::standalone(&scenario, &mcm, OptMetric::Edp, Parallelism::Auto)
+            .expect("fits");
         let t = r.total();
         println!(
             "{:<24} {:>12.4} {:>12.4} {:>14.4}",

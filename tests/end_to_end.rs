@@ -2,7 +2,7 @@
 //! scenarios, baseline orderings, determinism, and schedule validity.
 
 use scar::core::baselines;
-use scar::core::{EvoParams, OptMetric, Scar, SearchBudget, SearchKind};
+use scar::core::{EvoParams, OptMetric, Parallelism, Scar, SearchBudget, SearchKind};
 use scar::maestro::Dataflow;
 use scar::mcm::templates::{self, Profile};
 use scar::workloads::Scenario;
@@ -80,7 +80,7 @@ fn scar_beats_nn_baton_on_multi_model_workloads() {
         .build()
         .schedule(&sc, &mcm)
         .unwrap();
-    let baton = baselines::nn_baton(&sc, &mcm, OptMetric::Edp).unwrap();
+    let baton = baselines::nn_baton(&sc, &mcm, OptMetric::Edp, Parallelism::Serial).unwrap();
     assert!(
         scar.total().edp() < baton.total().edp(),
         "SCAR {} !< NN-baton {}",
@@ -97,12 +97,14 @@ fn nvdla_standalone_wins_lm_scenarios() {
         &sc,
         &templates::simba_3x3(Profile::Datacenter, Dataflow::ShidiannaoLike),
         OptMetric::Edp,
+        Parallelism::Serial,
     )
     .unwrap();
     let nvd = baselines::standalone(
         &sc,
         &templates::simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike),
         OptMetric::Edp,
+        Parallelism::Serial,
     )
     .unwrap();
     assert!(nvd.total().edp() * 4.0 < shi.total().edp());
@@ -116,12 +118,14 @@ fn shi_based_schedules_win_the_social_arvr_scenario() {
         &sc,
         &templates::simba_3x3(Profile::ArVr, Dataflow::ShidiannaoLike),
         OptMetric::Edp,
+        Parallelism::Serial,
     )
     .unwrap();
     let nvd = baselines::standalone(
         &sc,
         &templates::simba_3x3(Profile::ArVr, Dataflow::NvdlaLike),
         OptMetric::Edp,
+        Parallelism::Serial,
     )
     .unwrap();
     assert!(shi.total().edp() < nvd.total().edp());

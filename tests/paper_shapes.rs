@@ -2,7 +2,7 @@
 //! (§V-F "Summary of Results and Main Insights") at test scale.
 
 use scar::core::baselines;
-use scar::core::{OptMetric, PackingRule, Scar, SearchBudget};
+use scar::core::{OptMetric, PackingRule, Parallelism, Scar, SearchBudget};
 use scar::maestro::{ChipletConfig, Dataflow};
 use scar::mcm::templates::{self, Profile};
 use scar::workloads::{zoo, LayerKind, Scenario};
@@ -123,7 +123,7 @@ fn pipelining_beats_standalone_for_batched_vision_models() {
         }],
     );
     let mcm = templates::simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
-    let stand = baselines::standalone(&sc, &mcm, OptMetric::Latency).unwrap();
+    let stand = baselines::standalone(&sc, &mcm, OptMetric::Latency, Parallelism::Serial).unwrap();
     let scar = Scar::builder()
         .metric(OptMetric::Latency)
         .nsplits(0)
