@@ -2,7 +2,7 @@
 //! (the inner loop of every schedule evaluation).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use scar_maestro::{ChipletConfig, CostDatabase, Dataflow};
+use scar_maestro::{ChipletConfig, Dataflow};
 use scar_workloads::{zoo, LayerKind};
 
 fn bench_cost_model(c: &mut Criterion) {
@@ -53,11 +53,15 @@ fn bench_cost_model(c: &mut Criterion) {
     g.bench_function("database_hit", |b| {
         b.iter_batched(
             || {
-                let db = CostDatabase::new();
-                let _ = db.get(&dc_nvd, &gemm, 8);
-                db
+                let session = scar_core::Session::new();
+                let _ = session.database().get(&dc_nvd, &gemm, 8);
+                session
             },
-            |db| db.get(&dc_nvd, std::hint::black_box(&gemm), 8),
+            |session| {
+                session
+                    .database()
+                    .get(&dc_nvd, std::hint::black_box(&gemm), 8)
+            },
             BatchSize::SmallInput,
         )
     });

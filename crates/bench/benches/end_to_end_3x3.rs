@@ -2,7 +2,7 @@
 //! SCHED → evaluation) on 3×3 MCMs with the brute-force driver.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scar_core::{OptMetric, Scar, SearchBudget};
+use scar_core::{OptMetric, Scar, ScheduleRequest, Scheduler, SearchBudget, Session};
 use scar_mcm::templates::{het_sides_3x3, Profile};
 use scar_workloads::Scenario;
 
@@ -20,15 +20,16 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end_3x3");
     g.sample_size(10);
     let mcm = het_sides_3x3(Profile::Datacenter);
+    let session = Session::new();
     for scn in [1usize, 4] {
         let sc = Scenario::datacenter(scn);
+        let request = ScheduleRequest::new(sc, mcm.clone())
+            .metric(OptMetric::Edp)
+            .budget(tiny_budget());
         g.bench_function(format!("sc{scn}_edp_search"), |b| {
             b.iter(|| {
-                Scar::builder()
-                    .metric(OptMetric::Edp)
-                    .budget(tiny_budget())
-                    .build()
-                    .schedule(std::hint::black_box(&sc), &mcm)
+                Scar::with_defaults()
+                    .schedule(&session, std::hint::black_box(&request))
                     .expect("feasible")
             })
         });

@@ -2,7 +2,9 @@
 //! 4 generations — the paper's §V-D configuration).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scar_core::{EvoParams, OptMetric, Scar, SearchBudget, SearchKind};
+use scar_core::{
+    EvoParams, OptMetric, Scar, ScheduleRequest, Scheduler, SearchBudget, SearchKind, Session,
+};
 use scar_mcm::templates::{het_cross_6x6, Profile};
 use scar_workloads::Scenario;
 
@@ -11,15 +13,17 @@ fn bench_evolutionary(c: &mut Criterion) {
     g.sample_size(10);
     let mcm = het_cross_6x6(Profile::Datacenter);
     let sc = Scenario::datacenter(4);
+    let session = Session::new();
+    let request = ScheduleRequest::new(sc, mcm)
+        .metric(OptMetric::Edp)
+        .budget(SearchBudget::default());
     g.bench_function("sc4_nsplits2_pop10_gen4", |b| {
         b.iter(|| {
             Scar::builder()
-                .metric(OptMetric::Edp)
                 .nsplits(2)
                 .search(SearchKind::Evolutionary(EvoParams::default()))
-                .budget(SearchBudget::default())
                 .build()
-                .schedule(std::hint::black_box(&sc), &mcm)
+                .schedule(&session, std::hint::black_box(&request))
                 .expect("feasible")
         })
     });

@@ -6,15 +6,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scar_core::segmentation::top_k_for_model;
 use scar_core::ExpectedCosts;
-use scar_maestro::CostDatabase;
 use scar_mcm::templates::{het_sides_3x3, Profile};
 use scar_workloads::Scenario;
 
 fn bench_segmentation(c: &mut Criterion) {
     let sc = Scenario::datacenter(1);
     let mcm = het_sides_3x3(Profile::Datacenter);
-    let db = CostDatabase::new();
-    let expected = ExpectedCosts::compute(&sc, &mcm, &db);
+    let session = scar_core::Session::new();
+    let db = session.database();
+    let expected = ExpectedCosts::compute(&sc, &mcm, db);
 
     let mut g = c.benchmark_group("segmentation");
     // GPT-L: 120 layers, 3 nodes → exact C(119,2) enumeration

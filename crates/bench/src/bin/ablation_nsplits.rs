@@ -6,13 +6,14 @@
 
 use scar_bench::strategy::{default_budget, Strategy};
 use scar_bench::table::Table;
-use scar_core::OptMetric;
+use scar_core::{OptMetric, Session};
 use scar_mcm::templates::Profile;
 use scar_workloads::Scenario;
 
 fn main() {
     let sc = Scenario::datacenter(4);
     let budget = default_budget();
+    let session = Session::new();
     println!("== Ablation: nsplits sweep (Sc4, Het-Sides, EDP search) ==\n");
     let mut t = Table::new(vec![
         "nsplits".into(),
@@ -25,7 +26,14 @@ fn main() {
     let mut prev: Option<f64> = None;
     for nsplits in 0..=5usize {
         let r = Strategy::HetSides
-            .run(&sc, Profile::Datacenter, OptMetric::Edp, nsplits, &budget)
+            .run(
+                &session,
+                &sc,
+                Profile::Datacenter,
+                OptMetric::Edp,
+                nsplits,
+                &budget,
+            )
             .expect("feasible");
         let tot = r.total();
         let rate = prev

@@ -6,7 +6,7 @@
 
 use scar_bench::strategy::default_budget;
 use scar_bench::table::Table;
-use scar_core::{OptMetric, PackingRule, Scar};
+use scar_core::{OptMetric, PackingRule, Scar, ScheduleRequest, Scheduler, Session};
 use scar_mcm::templates::{het_sides_3x3, Profile};
 use scar_workloads::Scenario;
 
@@ -14,6 +14,10 @@ fn main() {
     let sc = Scenario::datacenter(4);
     let mcm = het_sides_3x3(Profile::Datacenter);
     let budget = default_budget();
+    let session = Session::new();
+    let request = ScheduleRequest::new(sc.clone(), mcm.clone())
+        .metric(OptMetric::Edp)
+        .budget(budget.clone());
     println!("== Ablation: packing rule (Sc4, Het-Sides, EDP search) ==\n");
     let mut results = Vec::new();
     for (name, rule) in [
@@ -21,11 +25,9 @@ fn main() {
         ("Uniform", PackingRule::Uniform),
     ] {
         let r = Scar::builder()
-            .metric(OptMetric::Edp)
             .packing(rule)
-            .budget(budget.clone())
             .build()
-            .schedule(&sc, &mcm)
+            .schedule(&session, &request)
             .expect("feasible");
         results.push((name, r.total()));
     }

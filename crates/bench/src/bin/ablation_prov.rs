@@ -4,13 +4,14 @@
 
 use scar_bench::strategy::quick_budget;
 use scar_bench::table::Table;
-use scar_core::{OptMetric, ProvisionRule, Scar};
+use scar_core::{OptMetric, ProvisionRule, Scar, ScheduleRequest, Scheduler, Session};
 use scar_maestro::Dataflow;
 use scar_mcm::templates::{het_sides_3x3, simba_3x3, Profile};
 use scar_workloads::Scenario;
 
 fn main() {
     let budget = quick_budget();
+    let session = Session::new();
     println!("== Ablation: PROV rule (EDP search, Sc3-5) ==\n");
     let mut t = Table::new(vec![
         "Scenario".into(),
@@ -29,12 +30,13 @@ fn main() {
             ("Het-Sides", het_sides_3x3(Profile::Datacenter)),
         ] {
             let run = |rule: ProvisionRule| {
-                Scar::builder()
+                let request = ScheduleRequest::new(sc.clone(), mcm.clone())
                     .metric(OptMetric::Edp)
+                    .budget(budget.clone());
+                Scar::builder()
                     .provisioning(rule)
-                    .budget(budget.clone())
                     .build()
-                    .schedule(&sc, &mcm)
+                    .schedule(&session, &request)
                     .map(|r| r.total().edp())
             };
             let uniform = run(ProvisionRule::Uniform);

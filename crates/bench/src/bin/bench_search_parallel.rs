@@ -18,7 +18,8 @@
 //! never spawns more workers than threads) and the gate is skipped.
 
 use scar_core::{
-    EvoParams, OptMetric, Parallelism, Scar, ScheduleResult, SearchBudget, SearchKind,
+    EvoParams, OptMetric, Parallelism, Scar, ScheduleRequest, ScheduleResult, Scheduler,
+    SearchBudget, SearchKind, Session,
 };
 use scar_mcm::templates::{het_cross_6x6, het_sides_3x3, Profile};
 use scar_mcm::McmConfig;
@@ -73,15 +74,18 @@ fn cases() -> Vec<Case> {
 
 fn run(case: &Case, parallelism: Parallelism) -> (f64, ScheduleResult) {
     let scar = Scar::builder()
-        .metric(OptMetric::Edp)
         .nsplits(case.nsplits)
         .search(case.search.clone())
-        .budget(case.budget.clone())
-        .parallelism(parallelism)
         .build();
+    let request = ScheduleRequest::new(case.scenario.clone(), case.mcm.clone())
+        .metric(OptMetric::Edp)
+        .budget(case.budget.clone())
+        .parallelism(parallelism);
+    // a fresh session per run: neither ordering warms the other
+    let session = Session::new();
     let t0 = Instant::now();
     let result = scar
-        .schedule(&case.scenario, &case.mcm)
+        .schedule(&session, &request)
         .expect("benchmark scenarios schedule");
     (t0.elapsed().as_secs_f64(), result)
 }
@@ -92,8 +96,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for case in cases() {
-        // serial first, parallel second; each run builds its own cost
-        // database, so neither ordering warms the other
+        // serial first, parallel second
         let (serial_s, serial) = run(&case, Parallelism::Serial);
         let (parallel_s, parallel) = run(&case, Parallelism::Auto);
         let identical = serial.total() == parallel.total()

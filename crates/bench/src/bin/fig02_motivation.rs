@@ -6,7 +6,8 @@
 //! spatial and spatio-temporal schedules, reporting EDP ratios.
 
 use scar_bench::table::{fmt_joules, fmt_seconds, ratio, Table};
-use scar_core::{baselines, OptMetric, Parallelism, Scar, SearchBudget};
+use scar_core::baselines::NnBaton;
+use scar_core::{OptMetric, Scar, ScheduleRequest, Scheduler, SearchBudget, Session};
 use scar_maestro::Dataflow;
 use scar_mcm::templates::{het_2x2, homo_2x2, Profile};
 use scar_workloads::{ModelBuilder, Scenario, ScenarioModel, UseCase};
@@ -54,33 +55,31 @@ fn multi() -> Scenario {
 
 fn main() {
     println!("== Figure 2: motivational study (2x2 MCM, 4096 PEs, 10 MB L2) ==\n");
-    let budget = SearchBudget::default();
-    let scar = |nsplits: usize| {
-        Scar::builder()
+    // one session: every configuration below shares the same cost database
+    let session = Session::new();
+    let request = |sc: &Scenario, mcm: scar_mcm::McmConfig| {
+        ScheduleRequest::new(sc.clone(), mcm)
             .metric(OptMetric::Edp)
-            .nsplits(nsplits)
-            .budget(budget.clone())
-            .build()
+            .budget(SearchBudget::default())
     };
+    let scar = |nsplits: usize| Scar::builder().nsplits(nsplits).build();
 
     // --- single-model case (A1-A3): the ResNet block ---
     let rn = single(resnet_block());
-    let a1 = baselines::nn_baton(
-        &rn,
-        &homo_2x2(Profile::Datacenter, Dataflow::ShidiannaoLike),
-        OptMetric::Edp,
-        Parallelism::Auto,
-    )
-    .expect("A1");
-    let a2 = baselines::nn_baton(
-        &rn,
-        &homo_2x2(Profile::Datacenter, Dataflow::NvdlaLike),
-        OptMetric::Edp,
-        Parallelism::Auto,
-    )
-    .expect("A2");
+    let a1 = NnBaton::new()
+        .schedule(
+            &session,
+            &request(&rn, homo_2x2(Profile::Datacenter, Dataflow::ShidiannaoLike)),
+        )
+        .expect("A1");
+    let a2 = NnBaton::new()
+        .schedule(
+            &session,
+            &request(&rn, homo_2x2(Profile::Datacenter, Dataflow::NvdlaLike)),
+        )
+        .expect("A2");
     let a3 = scar(0)
-        .schedule(&rn, &het_2x2(Profile::Datacenter))
+        .schedule(&session, &request(&rn, het_2x2(Profile::Datacenter)))
         .expect("A3");
 
     let mut t = Table::new(vec![
@@ -114,19 +113,14 @@ fn main() {
     // chiplet on the 2×2 package happens to be the Shidiannao-like one
     // (id 3), which is catastrophic for the GPT feed-forward layer.
     let mm = multi();
-    let b1 = baselines::nn_baton_from(
-        &mm,
-        &het_2x2(Profile::Datacenter),
-        OptMetric::Edp,
-        Parallelism::Auto,
-        3,
-    )
-    .expect("B1");
+    let b1 = NnBaton::from_chiplet(3)
+        .schedule(&session, &request(&mm, het_2x2(Profile::Datacenter)))
+        .expect("B1");
     let b2 = scar(0)
-        .schedule(&mm, &het_2x2(Profile::Datacenter))
+        .schedule(&session, &request(&mm, het_2x2(Profile::Datacenter)))
         .expect("B2");
     let b3 = scar(1)
-        .schedule(&mm, &het_2x2(Profile::Datacenter))
+        .schedule(&session, &request(&mm, het_2x2(Profile::Datacenter)))
         .expect("B3");
 
     let mut t = Table::new(vec![

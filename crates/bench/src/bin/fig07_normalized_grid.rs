@@ -7,7 +7,7 @@
 
 use scar_bench::strategy::{quick_budget, run_strategies, Strategy};
 use scar_bench::table::Table;
-use scar_core::{EvalTotals, OptMetric};
+use scar_core::{EvalTotals, OptMetric, Session};
 use scar_mcm::templates::Profile;
 use scar_workloads::Scenario;
 
@@ -21,6 +21,7 @@ fn metric_value(t: &EvalTotals, which: &str) -> f64 {
 
 fn main() {
     let budget = quick_budget();
+    let session = Session::new();
     let strategies = Strategy::table_iv();
     let scenarios = Scenario::all_datacenter();
 
@@ -33,10 +34,18 @@ fn main() {
         let mut per_sc: Vec<Vec<(String, EvalTotals)>> = Vec::new();
         for sc in &scenarios {
             per_sc.push(
-                run_strategies(&strategies, sc, Profile::Datacenter, &metric, 4, &budget)
-                    .into_iter()
-                    .map(|r| (r.name, r.result.total()))
-                    .collect(),
+                run_strategies(
+                    &session,
+                    &strategies,
+                    sc,
+                    Profile::Datacenter,
+                    &metric,
+                    4,
+                    &budget,
+                )
+                .into_iter()
+                .map(|r| (r.name, r.result.total()))
+                .collect(),
             );
         }
         for (panel_col, eval_axis) in ["latency", "energy", "edp"].iter().enumerate() {

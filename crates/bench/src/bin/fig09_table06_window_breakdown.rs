@@ -4,14 +4,17 @@
 
 use scar_bench::strategy::{default_budget, Strategy};
 use scar_bench::table::Table;
-use scar_core::{baselines, OptMetric, Parallelism};
+use scar_core::baselines::Standalone;
+use scar_core::{OptMetric, ScheduleRequest, Scheduler, Session};
 use scar_mcm::templates::Profile;
 use scar_workloads::Scenario;
 
 fn main() {
     let sc = Scenario::datacenter(4);
+    let session = Session::new();
     let r = Strategy::HetSides
         .run(
+            &session,
             &sc,
             Profile::Datacenter,
             OptMetric::Edp,
@@ -70,7 +73,8 @@ fn main() {
 
     // Table VI: per-model per-window latency + ideal (standalone) latency
     println!("\n== Table VI: end-to-end latency breakdown (seconds) ==");
-    let ideal = baselines::standalone(&sc, &mcm, OptMetric::Edp, Parallelism::Auto)
+    let ideal = Standalone::new()
+        .schedule(&session, &ScheduleRequest::new(sc.clone(), mcm.clone()))
         .expect("standalone fits");
     let mut header = vec!["Model".to_string()];
     header.extend(r.windows().iter().map(|w| format!("W{}", w.index)));

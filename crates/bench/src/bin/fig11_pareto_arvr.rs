@@ -3,12 +3,13 @@
 
 use scar_bench::pareto::{ascii_scatter, pareto_front};
 use scar_bench::strategy::{quick_budget, Strategy};
-use scar_core::{CandidatePoint, OptMetric};
+use scar_core::{CandidatePoint, OptMetric, Session};
 use scar_mcm::templates::Profile;
 use scar_workloads::Scenario;
 
 fn main() {
     let budget = quick_budget();
+    let session = Session::new();
     let strategies = [
         Strategy::SimbaShi,
         Strategy::SimbaNvd,
@@ -20,7 +21,7 @@ fn main() {
         println!("== Figure 11: {} — EDP search ==", sc.name());
         let mut clouds: Vec<(String, Vec<CandidatePoint>)> = Vec::new();
         for s in &strategies {
-            if let Ok(r) = s.run(&sc, Profile::ArVr, OptMetric::Edp, 4, &budget) {
+            if let Ok(r) = s.run(&session, &sc, Profile::ArVr, OptMetric::Edp, 4, &budget) {
                 clouds.push((s.name().to_string(), r.candidates().to_vec()));
             }
         }

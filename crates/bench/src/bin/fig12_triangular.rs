@@ -6,12 +6,13 @@
 
 use scar_bench::strategy::{default_budget, run_strategies, Strategy};
 use scar_bench::table::Table;
-use scar_core::OptMetric;
+use scar_core::{OptMetric, Session};
 use scar_mcm::templates::Profile;
 use scar_workloads::Scenario;
 
 fn main() {
     let budget = default_budget();
+    let session = Session::new();
     let mut strategies = vec![Strategy::StandaloneNvd];
     strategies.extend(Strategy::triangular());
 
@@ -28,6 +29,7 @@ fn main() {
         let sc = Scenario::datacenter(scn);
         cols.push(
             run_strategies(
+                &session,
                 &strategies,
                 &sc,
                 Profile::Datacenter,

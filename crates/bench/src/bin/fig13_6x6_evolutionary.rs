@@ -6,13 +6,14 @@
 use scar_bench::pareto::{ascii_scatter, pareto_front};
 use scar_bench::strategy::{default_budget, Strategy};
 use scar_bench::table::Table;
-use scar_core::{CandidatePoint, OptMetric};
+use scar_core::{CandidatePoint, OptMetric, Session};
 use scar_mcm::templates::Profile;
 use scar_workloads::Scenario;
 
 fn main() {
     let sc = Scenario::datacenter(4);
     let budget = default_budget();
+    let session = Session::new();
     for nsplits in [2usize, 3] {
         println!("== Figure 13: 6x6 MCM, EDP search, nsplits={nsplits} ==\n");
         let mut t = Table::new(vec![
@@ -23,7 +24,14 @@ fn main() {
         ]);
         let mut clouds: Vec<(String, Vec<CandidatePoint>)> = Vec::new();
         for s in Strategy::six_by_six() {
-            match s.run(&sc, Profile::Datacenter, OptMetric::Edp, nsplits, &budget) {
+            match s.run(
+                &session,
+                &sc,
+                Profile::Datacenter,
+                OptMetric::Edp,
+                nsplits,
+                &budget,
+            ) {
                 Ok(r) => {
                     let tot = r.total();
                     t.row(vec![

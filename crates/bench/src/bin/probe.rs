@@ -2,11 +2,12 @@
 //! the paper's headline orderings before running the full harness.
 
 use scar_bench::strategy::{quick_budget, run_strategies, Strategy};
-use scar_core::OptMetric;
+use scar_core::{OptMetric, Session};
 use scar_mcm::templates::Profile;
 use scar_workloads::Scenario;
 
 fn main() {
+    let session = Session::new();
     for (n, profile) in [
         (1usize, Profile::Datacenter),
         (3, Profile::Datacenter),
@@ -18,6 +19,7 @@ fn main() {
         println!("=== {} ===", sc.name());
         let t0 = std::time::Instant::now();
         let results = run_strategies(
+            &session,
             &Strategy::table_iv(),
             &sc,
             profile,

@@ -93,10 +93,10 @@ fn main() {
         );
 
         // the Standalone baseline under the same traffic
-        let mut base = ServeSim::new(
+        let mut base = ServeSim::with_policy(
             &mcm,
+            ServePolicy::Standalone,
             ServeConfig {
-                policy: ServePolicy::Standalone,
                 parallelism,
                 ..ServeConfig::default()
             },
@@ -111,6 +111,20 @@ fn main() {
             b.energy_j,
             cold.energy_j,
         );
+
+        // persist one representative scheduling round through the shared
+        // artifact path (same JSON shape the bench tables emit)
+        let live = mix.unit_scenario();
+        let artifact = scar_core::ScheduleArtifact::new(
+            format!("{} live round", mix.name),
+            sim.scheduler_name(),
+            sim.schedule_request(&live),
+            sim.schedule_fresh(&live).expect("live round schedules"),
+        );
+        let path = format!("ARTIFACT_serve_{}.json", mix.use_case);
+        let path = path.replace('/', "-").replace(' ', "_");
+        scar_core::ScheduleArtifact::save_all(&path, &[artifact]).expect("write artifact");
+        println!("wrote {path}");
         println!();
     }
 }

@@ -4,14 +4,18 @@
 //! latency and EDP under both the Latency Search and the EDP Search
 //! (500 MHz chiplets, Table II package parameters).
 
+use scar_bench::artifacts;
 use scar_bench::strategy::{default_budget, run_strategies, Strategy};
 use scar_bench::table::Table;
-use scar_core::OptMetric;
+use scar_core::{OptMetric, Session};
 use scar_mcm::templates::Profile;
 use scar_workloads::Scenario;
 
 fn main() {
     let budget = default_budget();
+    // one session for the whole table: every strategy x scenario x metric
+    // cell reuses the same memoized layer costs
+    let session = Session::new();
     let strategies = Strategy::table_iv();
     let scenarios: Vec<Scenario> = Scenario::all_datacenter();
 
@@ -33,14 +37,26 @@ fn main() {
         // results[strategy][scenario]
         let mut rows: Vec<Vec<Option<scar_core::EvalTotals>>> =
             vec![vec![None; scenarios.len()]; strategies.len()];
+        let mut sweep = Vec::new();
         for (si, sc) in scenarios.iter().enumerate() {
-            let res = run_strategies(&strategies, sc, Profile::Datacenter, &metric, 4, &budget);
+            let res = run_strategies(
+                &session,
+                &strategies,
+                sc,
+                Profile::Datacenter,
+                &metric,
+                4,
+                &budget,
+            );
             for r in res {
                 if let Some(pos) = strategies.iter().position(|s| s.name() == r.name) {
                     rows[pos][si] = Some(r.result.total());
                 }
+                sweep.push(r);
             }
         }
+        let artifact_path = format!("ARTIFACT_table04_{}.json", metric.label());
+        artifacts::write_sweep(&artifact_path, &sweep).expect("write sweep artifact");
         for (pos, strat) in strategies.iter().enumerate() {
             let mut lrow = vec![strat.name().to_string()];
             let mut erow = vec![strat.name().to_string()];
@@ -61,6 +77,7 @@ fn main() {
         }
         println!("Latency of top-{label} schedule:\n{lat_table}");
         println!("EDP of top-{label} schedule:\n{edp_table}");
+        println!("schedules persisted to {artifact_path}");
     }
     println!("paper shape: NVD-based strategies win Sc1-3; heterogeneous strategies close the gap (paper: win) on the heavy Sc4-5; Shi-homogeneous trails throughout.");
 }

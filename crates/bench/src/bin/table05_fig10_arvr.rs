@@ -3,19 +3,28 @@
 
 use scar_bench::strategy::{default_budget, run_strategies, Strategy};
 use scar_bench::table::Table;
-use scar_core::{EvalTotals, OptMetric};
+use scar_core::{EvalTotals, OptMetric, Session};
 use scar_mcm::templates::Profile;
 use scar_workloads::Scenario;
 
 fn main() {
     let budget = default_budget();
+    let session = Session::new();
     let strategies = Strategy::table_iv();
     let scenarios = Scenario::all_arvr();
 
     let mut results: Vec<Vec<Option<EvalTotals>>> =
         vec![vec![None; scenarios.len()]; strategies.len()];
     for (si, sc) in scenarios.iter().enumerate() {
-        for r in run_strategies(&strategies, sc, Profile::ArVr, &OptMetric::Edp, 4, &budget) {
+        for r in run_strategies(
+            &session,
+            &strategies,
+            sc,
+            Profile::ArVr,
+            &OptMetric::Edp,
+            4,
+            &budget,
+        ) {
             if let Some(pos) = strategies.iter().position(|s| s.name() == r.name) {
                 results[pos][si] = Some(r.result.total());
             }

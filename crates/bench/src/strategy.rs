@@ -1,7 +1,16 @@
 //! The MCM strategies compared throughout the paper's evaluation.
+//!
+//! A [`Strategy`] names one column of Table IV / Figure 6: an MCM template
+//! plus the scheduler family evaluated on it. Strategies run through the
+//! core [`Scheduler`] trait — [`Strategy::scheduler`] builds the boxed
+//! scheduler, [`Strategy::request`] the [`ScheduleRequest`] — and every
+//! strategy of a sweep shares one [`Session`] (one MAESTRO cost database),
+//! so a bench binary warms the cache once instead of once per strategy.
 
-use scar_core::baselines;
-use scar_core::{OptMetric, Scar, ScheduleResult, SearchBudget, SearchKind};
+use scar_core::baselines::Standalone;
+use scar_core::{
+    OptMetric, Scar, ScheduleRequest, ScheduleResult, Scheduler, SearchBudget, SearchKind, Session,
+};
 use scar_maestro::Dataflow;
 use scar_mcm::templates::{self, Profile};
 use scar_mcm::McmConfig;
@@ -97,36 +106,51 @@ impl Strategy {
         }
     }
 
-    /// Runs the strategy: baselines use their dedicated schedulers, 3×3
-    /// strategies use brute force, 6×6 strategies use the evolutionary
-    /// driver (§V-A).
+    /// The scheduler family this strategy evaluates: the baselines use
+    /// their dedicated schedulers, 3×3 strategies SCAR with brute force,
+    /// 6×6 strategies SCAR with the evolutionary driver (§V-A).
+    pub fn scheduler(self, nsplits: usize) -> Box<dyn Scheduler> {
+        match self {
+            Strategy::StandaloneShi | Strategy::StandaloneNvd => Box::new(Standalone::new()),
+            Strategy::Simba6Shi | Strategy::Simba6Nvd | Strategy::HetCross => Box::new(
+                Scar::builder()
+                    .nsplits(nsplits)
+                    .search(SearchKind::Evolutionary(Default::default()))
+                    .build(),
+            ),
+            _ => Box::new(Scar::builder().nsplits(nsplits).build()),
+        }
+    }
+
+    /// The request this strategy issues for `scenario` under `profile`.
+    pub fn request(
+        self,
+        scenario: &Scenario,
+        profile: Profile,
+        metric: OptMetric,
+        budget: &SearchBudget,
+    ) -> ScheduleRequest {
+        ScheduleRequest::new(scenario.clone(), self.mcm(profile))
+            .metric(metric)
+            .budget(budget.clone())
+    }
+
+    /// Runs the strategy over `session`'s shared cost database.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the scheduler's [`ScheduleError`](scar_core::ScheduleError).
     pub fn run(
         self,
+        session: &Session,
         scenario: &Scenario,
         profile: Profile,
         metric: OptMetric,
         nsplits: usize,
         budget: &SearchBudget,
     ) -> Result<ScheduleResult, scar_core::ScheduleError> {
-        let mcm = self.mcm(profile);
-        match self {
-            Strategy::StandaloneShi | Strategy::StandaloneNvd => {
-                baselines::standalone(scenario, &mcm, metric, budget.parallelism)
-            }
-            Strategy::Simba6Shi | Strategy::Simba6Nvd | Strategy::HetCross => Scar::builder()
-                .metric(metric)
-                .nsplits(nsplits)
-                .search(SearchKind::Evolutionary(Default::default()))
-                .budget(budget.clone())
-                .build()
-                .schedule(scenario, &mcm),
-            _ => Scar::builder()
-                .metric(metric)
-                .nsplits(nsplits)
-                .budget(budget.clone())
-                .build()
-                .schedule(scenario, &mcm),
-        }
+        self.scheduler(nsplits)
+            .schedule(session, &self.request(scenario, profile, metric, budget))
     }
 }
 
@@ -136,17 +160,23 @@ impl std::fmt::Display for Strategy {
     }
 }
 
-/// A strategy's result with its label.
+/// A strategy's result with its label and the request that produced it
+/// (kept so sweeps can be persisted as JSON artifacts — see
+/// [`crate::artifacts`]).
 #[derive(Debug, Clone)]
 pub struct LabeledResult {
     /// Strategy label.
     pub name: String,
+    /// The request the strategy issued.
+    pub request: ScheduleRequest,
     /// Scheduling outcome.
     pub result: ScheduleResult,
 }
 
-/// Runs a set of strategies on one scenario, skipping infeasible ones.
+/// Runs a set of strategies on one scenario over a shared session,
+/// skipping infeasible ones.
 pub fn run_strategies(
+    session: &Session,
     strategies: &[Strategy],
     scenario: &Scenario,
     profile: Profile,
@@ -157,10 +187,13 @@ pub fn run_strategies(
     strategies
         .iter()
         .filter_map(|s| {
-            s.run(scenario, profile, metric.clone(), nsplits, budget)
+            let request = s.request(scenario, profile, metric.clone(), budget);
+            s.scheduler(nsplits)
+                .schedule(session, &request)
                 .ok()
                 .map(|result| LabeledResult {
                     name: s.name().to_string(),
+                    request,
                     result,
                 })
         })

@@ -1,11 +1,16 @@
-//! The paper's baseline schedulers (§V-A): Standalone and NN-baton-like.
+//! The paper's baseline schedulers (§V-A): [`Standalone`] and the
+//! NN-baton-like [`NnBaton`].
 //!
 //! * **Standalone** — every model runs end-to-end on its own chiplet; all
 //!   chiplets share one dataflow. Models execute concurrently (one window).
-//! * **NN-baton-like** [68] — a single-model scheduler: models execute
+//! * **NN-baton-like** \[68\] — a single-model scheduler: models execute
 //!   *sequentially*, each from its starting chiplet, partitioning across
 //!   chiplets only when a model's working set exceeds one chiplet's
 //!   capacity (Figure 2's motivational baseline). Dataflow-agnostic.
+//!
+//! Both are first-class [`Scheduler`]s: serving loops and bench sweeps
+//! drive them through the same [`Session`]-scoped request/response API as
+//! [`Scar`](crate::Scar), sharing one cost database across calls.
 //!
 //! The Simba-like pipelining baseline needs no code of its own: it is the
 //! SCAR search restricted to a homogeneous MCM template.
@@ -15,107 +20,269 @@ use crate::problem::{
     OptMetric, ScheduleError, ScheduleInstance, Segment, TimeWindow, WindowSchedule,
 };
 use crate::scar::ScheduleResult;
+use crate::scheduler::{ScheduleRequest, Scheduler, Session};
 use crate::tree;
-use scar_maestro::CostDatabase;
 use scar_mcm::McmConfig;
 use scar_workloads::{DataType, Scenario};
+use std::hash::{Hash, Hasher};
 
-/// Schedules each model standalone on its own chiplet (concurrently).
+/// The Standalone baseline: each model end-to-end on its own chiplet, all
+/// models concurrent in a single time window.
 ///
-/// Chiplets are assigned nearest-to-DRAM first (side columns), matching the
-/// paper's off-chip-interface placement.
+/// Chiplets are assigned nearest-to-DRAM first (side columns), matching
+/// the paper's off-chip-interface placement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Standalone;
+
+impl Standalone {
+    /// The Standalone scheduler (it has no configuration).
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for Standalone {
+    fn name(&self) -> &str {
+        "Standalone"
+    }
+
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::InsufficientChiplets`] when the scenario
+    /// has more models than the MCM has chiplets.
+    fn schedule(
+        &self,
+        session: &Session,
+        request: &ScheduleRequest,
+    ) -> Result<ScheduleResult, ScheduleError> {
+        let scenario = &request.scenario;
+        let mcm = &request.mcm;
+        let m = scenario.models().len();
+        let c = mcm.num_chiplets();
+        if m > c {
+            return Err(ScheduleError::InsufficientChiplets {
+                needed: m,
+                available: c,
+            });
+        }
+        // prefer chiplets closest to an off-chip interface
+        let mut order: Vec<usize> = (0..c).collect();
+        order.sort_by_key(|&id| (mcm.nearest_interface(id).1, id));
+
+        let layers: Vec<_> = scenario
+            .models()
+            .iter()
+            .map(|sm| 0..sm.model.num_layers())
+            .collect();
+        let segments = (0..m)
+            .map(|mi| {
+                vec![Segment::new(
+                    mi,
+                    0,
+                    scenario.models()[mi].model.num_layers(),
+                )]
+            })
+            .collect();
+        let placement = (0..m).map(|mi| vec![order[mi]]).collect();
+        let schedule = ScheduleInstance {
+            windows: vec![WindowSchedule {
+                window: TimeWindow { index: 0, layers },
+                segments,
+                placement,
+            }],
+        };
+        schedule.validate(scenario, c)?;
+
+        let name = format!("Standalone ({})", mcm.chiplet(0).dataflow.short_name());
+        Ok(ScheduleResult::from_instance(
+            name,
+            scenario,
+            mcm,
+            session.database(),
+            request.metric.clone(),
+            schedule,
+            Vec::new(),
+            request.budget.parallelism,
+        ))
+    }
+}
+
+/// The NN-baton-like baseline: single-model scheduling. Models run
+/// sequentially (one time window each) from a fixed starting chiplet,
+/// splitting across adjacent chiplets only when a model's largest
+/// single-sample working set exceeds the chiplet L2
+/// (`k = ceil(working_set / L2)` pipeline stages).
+///
+/// NN-baton is agnostic to the MCM's dataflow composition, so the starting
+/// chiplet materially changes its results on heterogeneous packages
+/// (Figure 2's B1) — construct via [`NnBaton::from_chiplet`] to model
+/// that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NnBaton {
+    /// The chiplet every model starts from.
+    pub start: usize,
+}
+
+impl NnBaton {
+    /// NN-baton starting from chiplet 0 (the default off-chip corner).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// NN-baton with an explicit starting chiplet.
+    pub fn from_chiplet(start: usize) -> Self {
+        Self { start }
+    }
+}
+
+impl Scheduler for NnBaton {
+    fn name(&self) -> &str {
+        "NN-baton"
+    }
+
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::NoFeasibleSchedule`] if a required
+    /// partition cannot find an adjacent chiplet path (never happens on
+    /// connected topologies with `k ≤ |C|`), and
+    /// [`ScheduleError::InsufficientChiplets`] if a model needs more
+    /// chiplets than the package has.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured starting chiplet is out of range for the
+    /// request's MCM.
+    fn schedule(
+        &self,
+        session: &Session,
+        request: &ScheduleRequest,
+    ) -> Result<ScheduleResult, ScheduleError> {
+        let scenario = &request.scenario;
+        let mcm = &request.mcm;
+        let start = self.start;
+        let num_models = scenario.models().len();
+        let c = mcm.num_chiplets();
+        assert!(start < c, "starting chiplet out of range");
+        let dt = DataType::Int8;
+
+        let mut windows = Vec::with_capacity(num_models);
+        for (mi, sm) in scenario.models().iter().enumerate() {
+            let n = sm.model.num_layers();
+            // capacity rule: partition when the largest single-sample
+            // working set does not fit one chiplet
+            let ws_max = sm
+                .model
+                .layers()
+                .iter()
+                .map(|l| l.weight_bytes(dt) + l.input_bytes(dt) + l.output_bytes(dt))
+                .max()
+                .unwrap_or(0);
+            let l2 = mcm.chiplet(start).l2_bytes;
+            let k = (ws_max.div_ceil(l2.max(1)) as usize).clamp(1, n);
+            if k > c {
+                return Err(ScheduleError::InsufficientChiplets {
+                    needed: k,
+                    available: c,
+                });
+            }
+            let path = tree::dfs_paths(mcm, start, k, &vec![false; c], 1)
+                .into_iter()
+                .next()
+                .ok_or(ScheduleError::NoFeasibleSchedule { window: mi })?;
+
+            let mut layers = vec![0..0; num_models];
+            layers[mi] = 0..n;
+            let mut segments = vec![Vec::new(); num_models];
+            segments[mi] = (0..k)
+                .map(|i| Segment::new(mi, n * i / k, n * (i + 1) / k))
+                .collect();
+            let mut placement = vec![Vec::new(); num_models];
+            placement[mi] = path;
+            windows.push(WindowSchedule {
+                window: TimeWindow { index: mi, layers },
+                segments,
+                placement,
+            });
+        }
+
+        let schedule = ScheduleInstance { windows };
+        schedule.validate(scenario, c)?;
+        Ok(ScheduleResult::from_instance(
+            "NN-baton",
+            scenario,
+            mcm,
+            session.database(),
+            request.metric.clone(),
+            schedule,
+            Vec::new(),
+            request.budget.parallelism,
+        ))
+    }
+
+    fn fingerprint_config(&self, mut state: &mut dyn Hasher) {
+        self.start.hash(&mut state);
+    }
+}
+
+fn request_for(
+    scenario: &Scenario,
+    mcm: &McmConfig,
+    metric: OptMetric,
+    parallelism: Parallelism,
+) -> ScheduleRequest {
+    ScheduleRequest::new(scenario.clone(), mcm.clone())
+        .metric(metric)
+        .parallelism(parallelism)
+}
+
+/// Pre-redesign entry point for [`Standalone`].
 ///
 /// # Errors
 ///
-/// Returns [`ScheduleError::InsufficientChiplets`] when the scenario has
-/// more models than the MCM has chiplets.
+/// See [`Standalone::schedule`](Scheduler::schedule).
+#[deprecated(note = "drive `baselines::Standalone` through the `Scheduler` trait with a `Session`")]
 pub fn standalone(
     scenario: &Scenario,
     mcm: &McmConfig,
     metric: OptMetric,
     parallelism: Parallelism,
 ) -> Result<ScheduleResult, ScheduleError> {
-    let m = scenario.models().len();
-    let c = mcm.num_chiplets();
-    if m > c {
-        return Err(ScheduleError::InsufficientChiplets {
-            needed: m,
-            available: c,
-        });
-    }
-    // prefer chiplets closest to an off-chip interface
-    let mut order: Vec<usize> = (0..c).collect();
-    order.sort_by_key(|&id| (mcm.nearest_interface(id).1, id));
-
-    let layers: Vec<_> = scenario
-        .models()
-        .iter()
-        .map(|sm| 0..sm.model.num_layers())
-        .collect();
-    let segments = (0..m)
-        .map(|mi| {
-            vec![Segment::new(
-                mi,
-                0,
-                scenario.models()[mi].model.num_layers(),
-            )]
-        })
-        .collect();
-    let placement = (0..m).map(|mi| vec![order[mi]]).collect();
-    let schedule = ScheduleInstance {
-        windows: vec![WindowSchedule {
-            window: TimeWindow { index: 0, layers },
-            segments,
-            placement,
-        }],
-    };
-    schedule.validate(scenario, c)?;
-
-    let db = CostDatabase::new();
-    let name = format!("Standalone ({})", mcm.chiplet(0).dataflow.short_name());
-    Ok(ScheduleResult::from_instance(
-        name,
-        scenario,
-        mcm,
-        &db,
-        metric,
-        schedule,
-        Vec::new(),
-        parallelism,
-    ))
+    Standalone::new().schedule(
+        &Session::new(),
+        &request_for(scenario, mcm, metric, parallelism),
+    )
 }
 
-/// NN-baton-like single-model scheduling: models run sequentially (one
-/// time window each) from the package's starting chiplet, splitting across
-/// adjacent chiplets only when a model's largest single-sample working set
-/// exceeds the chiplet L2 (`k = ceil(working_set / L2)` pipeline stages).
+/// Pre-redesign entry point for [`NnBaton`].
 ///
 /// # Errors
 ///
-/// Returns [`ScheduleError::NoFeasibleSchedule`] if a required partition
-/// cannot find an adjacent chiplet path (never happens on connected
-/// topologies with `k ≤ |C|`), and [`ScheduleError::InsufficientChiplets`]
-/// if a model needs more chiplets than the package has.
+/// See [`NnBaton::schedule`](Scheduler::schedule).
+#[deprecated(note = "drive `baselines::NnBaton` through the `Scheduler` trait with a `Session`")]
 pub fn nn_baton(
     scenario: &Scenario,
     mcm: &McmConfig,
     metric: OptMetric,
     parallelism: Parallelism,
 ) -> Result<ScheduleResult, ScheduleError> {
-    nn_baton_from(scenario, mcm, metric, parallelism, 0)
+    NnBaton::new().schedule(
+        &Session::new(),
+        &request_for(scenario, mcm, metric, parallelism),
+    )
 }
 
-/// [`nn_baton`] with an explicit starting chiplet — NN-baton is agnostic to
-/// the MCM's dataflow composition, so the starting position materially
-/// changes its results on heterogeneous packages (Figure 2's B1).
+/// Pre-redesign entry point for [`NnBaton::from_chiplet`].
 ///
 /// # Errors
 ///
-/// See [`nn_baton`].
+/// See [`NnBaton::schedule`](Scheduler::schedule).
 ///
 /// # Panics
 ///
 /// Panics if `start` is out of range.
+#[deprecated(
+    note = "drive `baselines::NnBaton::from_chiplet` through the `Scheduler` trait with a `Session`"
+)]
 pub fn nn_baton_from(
     scenario: &Scenario,
     mcm: &McmConfig,
@@ -123,64 +290,10 @@ pub fn nn_baton_from(
     parallelism: Parallelism,
     start: usize,
 ) -> Result<ScheduleResult, ScheduleError> {
-    let num_models = scenario.models().len();
-    let c = mcm.num_chiplets();
-    assert!(start < c, "starting chiplet out of range");
-    let dt = DataType::Int8;
-
-    let mut windows = Vec::with_capacity(num_models);
-    for (mi, sm) in scenario.models().iter().enumerate() {
-        let n = sm.model.num_layers();
-        // capacity rule: partition when the largest single-sample working
-        // set does not fit one chiplet
-        let ws_max = sm
-            .model
-            .layers()
-            .iter()
-            .map(|l| l.weight_bytes(dt) + l.input_bytes(dt) + l.output_bytes(dt))
-            .max()
-            .unwrap_or(0);
-        let l2 = mcm.chiplet(start).l2_bytes;
-        let k = (ws_max.div_ceil(l2.max(1)) as usize).clamp(1, n);
-        if k > c {
-            return Err(ScheduleError::InsufficientChiplets {
-                needed: k,
-                available: c,
-            });
-        }
-        let path = tree::dfs_paths(mcm, start, k, &vec![false; c], 1)
-            .into_iter()
-            .next()
-            .ok_or(ScheduleError::NoFeasibleSchedule { window: mi })?;
-
-        let mut layers = vec![0..0; num_models];
-        layers[mi] = 0..n;
-        let mut segments = vec![Vec::new(); num_models];
-        segments[mi] = (0..k)
-            .map(|i| Segment::new(mi, n * i / k, n * (i + 1) / k))
-            .collect();
-        let mut placement = vec![Vec::new(); num_models];
-        placement[mi] = path;
-        windows.push(WindowSchedule {
-            window: TimeWindow { index: mi, layers },
-            segments,
-            placement,
-        });
-    }
-
-    let schedule = ScheduleInstance { windows };
-    schedule.validate(scenario, c)?;
-    let db = CostDatabase::new();
-    Ok(ScheduleResult::from_instance(
-        "NN-baton",
-        scenario,
-        mcm,
-        &db,
-        metric,
-        schedule,
-        Vec::new(),
-        parallelism,
-    ))
+    NnBaton::from_chiplet(start).schedule(
+        &Session::new(),
+        &request_for(scenario, mcm, metric, parallelism),
+    )
 }
 
 #[cfg(test)]
@@ -189,11 +302,17 @@ mod tests {
     use scar_maestro::Dataflow;
     use scar_mcm::templates::{het_2x2, simba_3x3, Profile};
 
+    fn edp_request(sc: &Scenario, mcm: &McmConfig) -> ScheduleRequest {
+        request_for(sc, mcm, OptMetric::Edp, Parallelism::Serial)
+    }
+
     #[test]
     fn standalone_uses_one_chiplet_per_model() {
         let sc = Scenario::datacenter(2);
         let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
-        let r = standalone(&sc, &mcm, OptMetric::Edp, Parallelism::Serial).unwrap();
+        let r = Standalone::new()
+            .schedule(&Session::new(), &edp_request(&sc, &mcm))
+            .unwrap();
         let w = &r.schedule().windows[0];
         let mut used = std::collections::HashSet::new();
         for p in &w.placement {
@@ -207,7 +326,9 @@ mod tests {
     fn standalone_latency_is_max_of_models() {
         let sc = Scenario::datacenter(1);
         let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
-        let r = standalone(&sc, &mcm, OptMetric::Edp, Parallelism::Serial).unwrap();
+        let r = Standalone::new()
+            .schedule(&Session::new(), &edp_request(&sc, &mcm))
+            .unwrap();
         let w = &r.windows()[0];
         let max_model = w.models.iter().map(|m| m.latency_s).fold(0.0f64, f64::max);
         assert!((r.total().latency_s - max_model).abs() < 1e-12);
@@ -217,10 +338,12 @@ mod tests {
     fn nn_baton_runs_models_sequentially() {
         let sc = Scenario::datacenter(1);
         let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
-        let r = nn_baton(&sc, &mcm, OptMetric::Edp, Parallelism::Serial).unwrap();
+        let session = Session::new();
+        let req = edp_request(&sc, &mcm);
+        let r = NnBaton::new().schedule(&session, &req).unwrap();
         assert_eq!(r.schedule().windows.len(), sc.models().len());
         // sequential latency = sum of window latencies > standalone's max
-        let st = standalone(&sc, &mcm, OptMetric::Edp, Parallelism::Serial).unwrap();
+        let st = Standalone::new().schedule(&session, &req).unwrap();
         assert!(r.total().latency_s > st.total().latency_s);
     }
 
@@ -229,7 +352,9 @@ mod tests {
         // U-Net's early 512×512 activations exceed a 10 MB L2 at batch 1
         let sc = Scenario::datacenter(4);
         let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
-        let r = nn_baton(&sc, &mcm, OptMetric::Edp, Parallelism::Serial).unwrap();
+        let r = NnBaton::new()
+            .schedule(&Session::new(), &edp_request(&sc, &mcm))
+            .unwrap();
         let unet = sc
             .models()
             .iter()
@@ -248,7 +373,7 @@ mod tests {
         let sc = Scenario::datacenter(5); // 6 models
         let mcm = het_2x2(Profile::Datacenter); // 4 chiplets
         assert!(matches!(
-            standalone(&sc, &mcm, OptMetric::Edp, Parallelism::Serial),
+            Standalone::new().schedule(&Session::new(), &edp_request(&sc, &mcm)),
             Err(ScheduleError::InsufficientChiplets { .. })
         ));
     }
@@ -257,11 +382,55 @@ mod tests {
     fn baselines_validate() {
         let sc = Scenario::datacenter(2);
         let mcm = simba_3x3(Profile::Datacenter, Dataflow::ShidiannaoLike);
-        for r in [
-            standalone(&sc, &mcm, OptMetric::Edp, Parallelism::Serial).unwrap(),
-            nn_baton(&sc, &mcm, OptMetric::Edp, Parallelism::Serial).unwrap(),
-        ] {
+        let session = Session::new();
+        let req = edp_request(&sc, &mcm);
+        let schedulers: [&dyn Scheduler; 2] = [&Standalone, &NnBaton { start: 0 }];
+        for s in schedulers {
+            let r = s.schedule(&session, &req).unwrap();
             r.schedule().validate(&sc, mcm.num_chiplets()).unwrap();
         }
+    }
+
+    #[test]
+    fn shared_session_matches_fresh_database() {
+        // the redesign's core promise: routing baselines through one shared
+        // Session must not change any result relative to a fresh database
+        // per call (costs are pure functions of (chiplet, layer, batch))
+        let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
+        let shared = Session::new();
+        for scn in [1usize, 2, 4] {
+            let sc = Scenario::datacenter(scn);
+            let req = edp_request(&sc, &mcm);
+            for s in [&Standalone::new() as &dyn Scheduler, &NnBaton::new()] {
+                let warm = s.schedule(&shared, &req).unwrap();
+                let cold = s.schedule(&Session::new(), &req).unwrap();
+                assert_eq!(warm, cold, "Sc{scn} {} diverged", s.name());
+            }
+        }
+        assert!(
+            shared.cached_costs() > 0,
+            "the shared session must have memoized costs"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate() {
+        let sc = Scenario::datacenter(1);
+        let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
+        let via_shim = standalone(&sc, &mcm, OptMetric::Edp, Parallelism::Serial).unwrap();
+        let via_trait = Standalone::new()
+            .schedule(&Session::new(), &edp_request(&sc, &mcm))
+            .unwrap();
+        assert_eq!(via_shim, via_trait);
+        let baton_shim = nn_baton_from(&sc, &mcm, OptMetric::Edp, Parallelism::Serial, 0).unwrap();
+        let baton_trait = NnBaton::from_chiplet(0)
+            .schedule(&Session::new(), &edp_request(&sc, &mcm))
+            .unwrap();
+        assert_eq!(baton_shim, baton_trait);
+        assert_eq!(
+            nn_baton(&sc, &mcm, OptMetric::Edp, Parallelism::Serial).unwrap(),
+            baton_trait
+        );
     }
 }

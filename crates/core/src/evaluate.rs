@@ -419,8 +419,9 @@ mod tests {
     fn window_latency_is_max_energy_is_sum() {
         let sc = Scenario::datacenter(1);
         let mcm = het_sides_3x3(Profile::Datacenter);
-        let db = CostDatabase::new();
-        let ev = Evaluator::new(&sc, &mcm, &db);
+        let session = crate::Session::new();
+        let db = session.database();
+        let ev = Evaluator::new(&sc, &mcm, db);
         let ws = single_window(&sc, vec![vec![0], vec![2]]);
         let e = ev.evaluate_window(&ws);
         let m0 = e.per_model[0].as_ref().unwrap();
@@ -434,8 +435,9 @@ mod tests {
         // ResNet-50 at batch 32 on 3 chiplets (pipelined) vs 1 chiplet
         let sc = Scenario::datacenter(3);
         let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
-        let db = CostDatabase::new();
-        let ev = Evaluator::new(&sc, &mcm, &db);
+        let session = crate::Session::new();
+        let db = session.database();
+        let ev = Evaluator::new(&sc, &mcm, db);
         let resnet = 2; // model index in Sc3
         let solo = single_window(&sc, vec![vec![3], vec![4], vec![0]]);
         let piped = single_window(&sc, vec![vec![3], vec![4], vec![0, 1, 2]]);
@@ -457,8 +459,9 @@ mod tests {
     fn idle_models_are_none() {
         let sc = Scenario::datacenter(1);
         let mcm = het_sides_3x3(Profile::Datacenter);
-        let db = CostDatabase::new();
-        let ev = Evaluator::new(&sc, &mcm, &db);
+        let session = crate::Session::new();
+        let db = session.database();
+        let ev = Evaluator::new(&sc, &mcm, db);
         let mut ws = single_window(&sc, vec![vec![0], vec![2]]);
         ws.window.layers[1] = 0..0;
         ws.segments[1].clear();
@@ -472,8 +475,9 @@ mod tests {
     fn mini_batch_divides_batch() {
         let sc = Scenario::datacenter(3); // ResNet batch 32
         let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
-        let db = CostDatabase::new();
-        let ev = Evaluator::new(&sc, &mcm, &db);
+        let session = crate::Session::new();
+        let db = session.database();
+        let ev = Evaluator::new(&sc, &mcm, db);
         let ws = single_window(&sc, vec![vec![3], vec![4], vec![0, 1, 2]]);
         let e = ev.evaluate_window(&ws);
         let r = e.per_model[2].as_ref().unwrap();
@@ -484,8 +488,9 @@ mod tests {
     fn schedule_totals_sum_windows() {
         let sc = Scenario::datacenter(1);
         let mcm = het_sides_3x3(Profile::Datacenter);
-        let db = CostDatabase::new();
-        let ev = Evaluator::new(&sc, &mcm, &db);
+        let session = crate::Session::new();
+        let db = session.database();
+        let ev = Evaluator::new(&sc, &mcm, db);
         let n0 = sc.models()[0].model.num_layers();
         let n1 = sc.models()[1].model.num_layers();
         let w0 = WindowSchedule {
@@ -526,8 +531,9 @@ mod tests {
         // two models pipelined through overlapping routes vs disjoint ones
         let sc = Scenario::datacenter(3);
         let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
-        let db = CostDatabase::new();
-        let ev = Evaluator::new(&sc, &mcm, &db);
+        let session = crate::Session::new();
+        let db = session.database();
+        let ev = Evaluator::new(&sc, &mcm, db);
         let disjoint = single_window(&sc, vec![vec![0, 1], vec![6, 7], vec![3, 4, 5]]);
         let e = ev.evaluate_window(&disjoint);
         assert!(e.latency_s > 0.0 && e.energy_j > 0.0);
@@ -538,9 +544,10 @@ mod tests {
         let sc2 = Scenario::datacenter(2); // ResNet b=1
         let sc3 = Scenario::datacenter(3); // ResNet b=32
         let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
-        let db = CostDatabase::new();
-        let ev2 = Evaluator::new(&sc2, &mcm, &db);
-        let ev3 = Evaluator::new(&sc3, &mcm, &db);
+        let session = crate::Session::new();
+        let db = session.database();
+        let ev2 = Evaluator::new(&sc2, &mcm, db);
+        let ev3 = Evaluator::new(&sc3, &mcm, db);
         let ws2 = single_window(&sc2, vec![vec![3], vec![4], vec![0]]);
         let ws3 = single_window(&sc3, vec![vec![3], vec![4], vec![0]]);
         let r2 = ev2.evaluate_window(&ws2).per_model[2]

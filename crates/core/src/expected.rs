@@ -129,8 +129,9 @@ mod tests {
     use scar_mcm::templates::{het_sides_3x3, simba_3x3, Profile};
 
     fn setup(sc: &Scenario, mcm: &McmConfig) -> ExpectedCosts {
-        let db = CostDatabase::new();
-        ExpectedCosts::compute(sc, mcm, &db)
+        let session = crate::Session::new();
+        let db = session.database();
+        ExpectedCosts::compute(sc, mcm, db)
     }
 
     #[test]
@@ -161,8 +162,9 @@ mod tests {
     fn homogeneous_expectation_equals_single_class_cost() {
         let sc = Scenario::datacenter(1);
         let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
-        let db = CostDatabase::new();
-        let e = ExpectedCosts::compute(&sc, &mcm, &db);
+        let session = crate::Session::new();
+        let db = session.database();
+        let e = ExpectedCosts::compute(&sc, &mcm, db);
         let layer = &sc.models()[0].model.layers()[0];
         let direct = mcm.chiplet(0).evaluate(&layer.kind, sc.models()[0].batch);
         assert!((e.layer_latency(0, 0) - direct.time_s).abs() < 1e-15);

@@ -23,21 +23,35 @@
 //! for any thread count). The paper's comparison schedulers live in
 //! [`baselines`]: Standalone and an NN-baton-like single-model scheduler.
 //!
-//! The entry point is [`Scar`]:
+//! Every scheduler — [`Scar`] and both baselines — implements the
+//! [`Scheduler`] trait and is driven through a [`Session`]-scoped
+//! request/response API: a [`Session`] owns the shared MAESTRO cost
+//! database (built once, reused across every call), a [`ScheduleRequest`]
+//! carries the scenario/MCM/metric/budget, and the answer is a
+//! [`ScheduleResult`]. Requests and results serialize to JSON
+//! ([`ScheduleArtifact`]), so schedules round-trip as files.
 //!
 //! ```
-//! use scar_core::{OptMetric, Scar};
+//! use scar_core::baselines::Standalone;
+//! use scar_core::{OptMetric, Scar, ScheduleRequest, Scheduler, Session};
 //! use scar_mcm::templates::{het_sides_3x3, Profile};
 //! use scar_workloads::Scenario;
 //!
-//! let scenario = Scenario::datacenter(1);
-//! let mcm = het_sides_3x3(Profile::Datacenter);
-//! let result = Scar::builder()
-//!     .metric(OptMetric::Edp)
-//!     .build()
-//!     .schedule(&scenario, &mcm)
-//!     .expect("feasible scenario");
+//! // one session: the cost database is shared by every call below
+//! let session = Session::new();
+//! let request = ScheduleRequest::new(
+//!     Scenario::datacenter(1),
+//!     het_sides_3x3(Profile::Datacenter),
+//! )
+//! .metric(OptMetric::Edp);
+//!
+//! let scar = Scar::with_defaults();
+//! let result = scar.schedule(&session, &request).expect("feasible scenario");
 //! println!("EDP = {:.3} J·s", result.total().edp());
+//!
+//! // baselines answer the same request through the same trait
+//! let baseline = Standalone::new().schedule(&session, &request).unwrap();
+//! println!("Standalone EDP = {:.3} J·s", baseline.total().edp());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -51,6 +65,7 @@ pub mod problem;
 pub mod provision;
 pub mod reconfig;
 mod scar;
+mod scheduler;
 pub mod search;
 pub mod segmentation;
 pub mod tree;
@@ -67,4 +82,5 @@ pub use reconfig::PackingRule;
 pub use scar::{
     CandidatePoint, ModelWindowReport, Scar, ScarBuilder, ScheduleResult, WindowReport,
 };
+pub use scheduler::{ScheduleArtifact, ScheduleRequest, Scheduler, Session};
 pub use search::{EvoParams, SearchBudget, SearchKind};

@@ -20,7 +20,7 @@
 /// The knob only controls *wall-clock*: results are merged in generation
 /// order, so every setting produces bit-identical schedules. Because of
 /// that, it is deliberately excluded from schedule-cache fingerprints.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum Parallelism {
     /// One worker per available hardware thread.
     #[default]

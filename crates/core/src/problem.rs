@@ -330,6 +330,58 @@ impl std::fmt::Debug for OptMetric {
     }
 }
 
+/// Serializes in serde's externally tagged enum form. The [`OptMetric::Custom`]
+/// variant serializes as the bare string `"Custom"`: closures have no
+/// serialized form, so a `Custom` metric is recorded but cannot be
+/// deserialized back (see [`Deserialize`] below).
+impl Serialize for OptMetric {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            OptMetric::Latency => serde::Value::Str("Latency".to_string()),
+            OptMetric::Energy => serde::Value::Str("Energy".to_string()),
+            OptMetric::Edp => serde::Value::Str("Edp".to_string()),
+            OptMetric::ConstrainedEdp { max_latency_s } => serde::Value::Object(vec![(
+                "ConstrainedEdp".to_string(),
+                serde::Value::Object(vec![(
+                    "max_latency_s".to_string(),
+                    serde::Value::Float(*max_latency_s),
+                )]),
+            )]),
+            OptMetric::Custom(_) => serde::Value::Str("Custom".to_string()),
+        }
+    }
+}
+
+impl Deserialize for OptMetric {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => match s.as_str() {
+                "Latency" => Ok(OptMetric::Latency),
+                "Energy" => Ok(OptMetric::Energy),
+                "Edp" => Ok(OptMetric::Edp),
+                "Custom" => Err(serde::DeError::msg(
+                    "OptMetric::Custom carries a closure and cannot be deserialized",
+                )),
+                other => Err(serde::DeError::unknown_variant(other, "OptMetric")),
+            },
+            serde::Value::Object(o) if o.len() == 1 && o[0].0 == "ConstrainedEdp" => {
+                let inner = o[0]
+                    .1
+                    .as_object()
+                    .ok_or_else(|| serde::DeError::expected("object", "ConstrainedEdp", &o[0].1))?;
+                Ok(OptMetric::ConstrainedEdp {
+                    max_latency_s: serde::__field(inner, "max_latency_s", "ConstrainedEdp")?,
+                })
+            }
+            other => Err(serde::DeError::expected(
+                "string or single-key object",
+                "OptMetric",
+                other,
+            )),
+        }
+    }
+}
+
 impl PartialEq for OptMetric {
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {

@@ -137,14 +137,14 @@ fn uniform(scenario: &Scenario, nsplits: usize) -> WindowPartition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scar_maestro::CostDatabase;
     use scar_mcm::templates::{het_sides_3x3, Profile};
 
     fn setup(n: usize) -> (Scenario, ExpectedCosts) {
         let sc = Scenario::datacenter(n);
         let mcm = het_sides_3x3(Profile::Datacenter);
-        let db = CostDatabase::new();
-        let e = ExpectedCosts::compute(&sc, &mcm, &db);
+        let session = crate::Session::new();
+        let db = session.database();
+        let e = ExpectedCosts::compute(&sc, &mcm, db);
         (sc, e)
     }
 

@@ -6,16 +6,19 @@ use crate::parallel::Parallelism;
 use crate::problem::{EvalTotals, OptMetric, ScheduleError, ScheduleInstance, Segment};
 use crate::provision::{self, ProvisionRule};
 use crate::reconfig::{self, PackingRule};
+use crate::scheduler::{ScheduleRequest, Scheduler, Session};
 use crate::search::{self, SearchBudget, SearchCtx, SearchKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scar_maestro::CostDatabase;
 use scar_mcm::{ChipletId, McmConfig};
 use scar_workloads::Scenario;
+use serde::{Deserialize, Serialize};
+use std::hash::{Hash, Hasher};
 use std::ops::Range;
 
 /// One candidate schedule's totals: a point for the Pareto figures.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CandidatePoint {
     /// End-to-end latency in seconds.
     pub latency_s: f64,
@@ -31,7 +34,7 @@ impl CandidatePoint {
 }
 
 /// A model's schedule within one window, for reporting (Figure 9 rows).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelWindowReport {
     /// Model name.
     pub model_name: String,
@@ -48,7 +51,7 @@ pub struct ModelWindowReport {
 }
 
 /// Per-window report (drives Figure 9 and Table VI).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WindowReport {
     /// Window position.
     pub index: usize,
@@ -61,7 +64,10 @@ pub struct WindowReport {
 }
 
 /// The outcome of scheduling a scenario on an MCM.
-#[derive(Debug, Clone)]
+///
+/// Serializes to JSON (all fields included), so results round-trip as
+/// artifacts — see [`crate::ScheduleArtifact`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleResult {
     strategy: String,
     schedule: ScheduleInstance,
@@ -135,15 +141,20 @@ impl ScheduleResult {
     /// (latency, energy) plane, sorted by latency.
     pub fn pareto_front(&self) -> Vec<CandidatePoint> {
         let mut pts = self.candidates.clone();
+        // total_cmp: a NaN-polluted candidate cloud (e.g. a degenerate cost
+        // model) must not panic the report path; NaNs sort last and never
+        // enter the front (no finite energy exceeds them)
         pts.sort_by(|a, b| {
             a.latency_s
-                .partial_cmp(&b.latency_s)
-                .unwrap()
-                .then(a.energy_j.partial_cmp(&b.energy_j).unwrap())
+                .total_cmp(&b.latency_s)
+                .then(a.energy_j.total_cmp(&b.energy_j))
         });
         let mut front: Vec<CandidatePoint> = Vec::new();
         let mut best_energy = f64::INFINITY;
         for p in pts {
+            if p.latency_s.is_nan() || p.energy_j.is_nan() {
+                continue;
+            }
             if p.energy_j < best_energy {
                 best_energy = p.energy_j;
                 front.push(p);
@@ -310,7 +321,10 @@ impl Scar {
         Self::builder().build()
     }
 
-    /// Schedules `scenario` onto `mcm`.
+    /// Schedules with the builder's `metric`/`budget` against a
+    /// caller-provided cost database. This is the pre-trait entry point;
+    /// prefer driving the [`Scheduler`] trait with a [`Session`] — the two
+    /// paths are bit-identical given equal metric/budget.
     ///
     /// # Errors
     ///
@@ -318,26 +332,25 @@ impl Scar {
     ///   concurrently active models than the package has chiplets;
     /// * [`ScheduleError::NoFeasibleSchedule`] when a window's search finds
     ///   no candidate (budgets too tight for the topology).
-    pub fn schedule(
-        &self,
-        scenario: &Scenario,
-        mcm: &McmConfig,
-    ) -> Result<ScheduleResult, ScheduleError> {
-        let db = CostDatabase::new();
-        self.schedule_with_db(scenario, mcm, &db)
-    }
-
-    /// [`Scar::schedule`] reusing a caller-provided cost database (lets
-    /// experiment harnesses share MAESTRO results across strategies).
-    ///
-    /// # Errors
-    ///
-    /// See [`Scar::schedule`].
     pub fn schedule_with_db(
         &self,
         scenario: &Scenario,
         mcm: &McmConfig,
         db: &CostDatabase,
+    ) -> Result<ScheduleResult, ScheduleError> {
+        self.schedule_core(scenario, mcm, db, &self.config.metric, &self.config.budget)
+    }
+
+    /// The full pipeline, parameterized over the per-request knobs (the
+    /// builder's `metric`/`budget` serve as defaults for the inherent entry
+    /// points; the [`Scheduler`] trait substitutes the request's).
+    fn schedule_core(
+        &self,
+        scenario: &Scenario,
+        mcm: &McmConfig,
+        db: &CostDatabase,
+        metric: &OptMetric,
+        budget: &SearchBudget,
     ) -> Result<ScheduleResult, ScheduleError> {
         let cfg = &self.config;
         let expected = ExpectedCosts::compute(scenario, mcm, db);
@@ -359,7 +372,7 @@ impl Scar {
 
         // windows are scored independently: apportion an end-to-end latency
         // constraint equally across them (§VI's constrained EDP search)
-        let window_metric = match &cfg.metric {
+        let window_metric = match metric {
             OptMetric::ConstrainedEdp { max_latency_s } => OptMetric::ConstrainedEdp {
                 max_latency_s: max_latency_s / partition.len().max(1) as f64,
             },
@@ -371,10 +384,10 @@ impl Scar {
             db,
             expected: &expected,
             metric: &window_metric,
-            budget: &cfg.budget,
+            budget,
         };
 
-        let mut rng = StdRng::seed_from_u64(cfg.budget.seed);
+        let mut rng = StdRng::seed_from_u64(budget.seed);
         let mut window_schedules = Vec::with_capacity(partition.len());
         let mut window_evals: Vec<WindowEval> = Vec::with_capacity(partition.len());
         let mut per_window_candidates: Vec<Vec<EvalTotals>> = Vec::with_capacity(partition.len());
@@ -384,10 +397,10 @@ impl Scar {
                 window,
                 scenario,
                 &expected,
-                &cfg.metric,
+                metric,
                 mcm.num_chiplets(),
                 cfg.provisioning,
-                cfg.budget.node_constraint,
+                budget.node_constraint,
             );
             if allocations.is_empty() {
                 return Err(ScheduleError::InsufficientChiplets {
@@ -434,10 +447,10 @@ impl Scar {
             scenario,
             mcm,
             db,
-            cfg.metric.clone(),
+            metric.clone(),
             schedule,
             candidates,
-            cfg.budget.parallelism,
+            budget.parallelism,
         ))
     }
 
@@ -463,17 +476,101 @@ impl Scar {
         db: &CostDatabase,
         seed: &ScheduleInstance,
     ) -> Result<ScheduleResult, ScheduleError> {
+        self.evaluate_seeded_core(
+            scenario,
+            mcm,
+            db,
+            seed,
+            &self.config.metric,
+            self.config.budget.parallelism,
+        )
+    }
+
+    fn evaluate_seeded_core(
+        &self,
+        scenario: &Scenario,
+        mcm: &McmConfig,
+        db: &CostDatabase,
+        seed: &ScheduleInstance,
+        metric: &OptMetric,
+        parallelism: Parallelism,
+    ) -> Result<ScheduleResult, ScheduleError> {
         seed.validate(scenario, mcm.num_chiplets())?;
         Ok(ScheduleResult::from_instance(
             mcm.name(),
             scenario,
             mcm,
             db,
-            self.config.metric.clone(),
+            metric.clone(),
             seed.clone(),
             Vec::new(),
-            self.config.budget.parallelism,
+            parallelism,
         ))
+    }
+}
+
+impl Scheduler for Scar {
+    fn name(&self) -> &str {
+        "SCAR"
+    }
+
+    /// The full SCAR pipeline over the session's shared cost database. The
+    /// request's `metric` and `budget` take precedence over the builder's
+    /// defaults; the builder keeps the structural knobs (`nsplits`,
+    /// packing, provisioning, search driver).
+    fn schedule(
+        &self,
+        session: &Session,
+        request: &ScheduleRequest,
+    ) -> Result<ScheduleResult, ScheduleError> {
+        self.schedule_core(
+            &request.scenario,
+            &request.mcm,
+            session.database(),
+            &request.metric,
+            &request.budget,
+        )
+    }
+
+    fn supports_reschedule(&self) -> bool {
+        true
+    }
+
+    /// The incremental fast path: re-evaluates `seed` against the request
+    /// (see [`Scar::evaluate_seeded`]); `None` when the seed no longer
+    /// validates against the request's scenario.
+    fn reschedule(
+        &self,
+        session: &Session,
+        request: &ScheduleRequest,
+        seed: &ScheduleInstance,
+    ) -> Option<ScheduleResult> {
+        self.evaluate_seeded_core(
+            &request.scenario,
+            &request.mcm,
+            session.database(),
+            seed,
+            &request.metric,
+            request.budget.parallelism,
+        )
+        .ok()
+    }
+
+    fn fingerprint_config(&self, mut state: &mut dyn Hasher) {
+        // everything the request does not carry but the output depends on
+        let cfg = &self.config;
+        cfg.nsplits.hash(&mut state);
+        cfg.packing.hash(&mut state);
+        cfg.provisioning.hash(&mut state);
+        match &cfg.search {
+            SearchKind::BruteForce => 0u8.hash(&mut state),
+            SearchKind::Evolutionary(p) => {
+                1u8.hash(&mut state);
+                p.population.hash(&mut state);
+                p.generations.hash(&mut state);
+                p.mutation_rate.to_bits().hash(&mut state);
+            }
+        }
     }
 }
 
@@ -493,15 +590,27 @@ mod tests {
         }
     }
 
+    fn run(scar: &Scar, sc: &Scenario, mcm: &McmConfig) -> Result<ScheduleResult, ScheduleError> {
+        run_metric(scar, OptMetric::Edp, sc, mcm)
+    }
+
+    fn run_metric(
+        scar: &Scar,
+        metric: OptMetric,
+        sc: &Scenario,
+        mcm: &McmConfig,
+    ) -> Result<ScheduleResult, ScheduleError> {
+        let request = ScheduleRequest::new(sc.clone(), mcm.clone())
+            .metric(metric)
+            .budget(quick_budget());
+        scar.schedule(&Session::new(), &request)
+    }
+
     #[test]
     fn schedules_scenario_1_on_het_sides() {
         let sc = Scenario::datacenter(1);
         let mcm = het_sides_3x3(Profile::Datacenter);
-        let r = Scar::builder()
-            .budget(quick_budget())
-            .build()
-            .schedule(&sc, &mcm)
-            .unwrap();
+        let r = run(&Scar::with_defaults(), &sc, &mcm).unwrap();
         assert!(r.total().latency_s > 0.0);
         assert!(r.total().energy_j > 0.0);
         assert!(!r.windows().is_empty());
@@ -513,9 +622,9 @@ mod tests {
     fn deterministic_given_seed() {
         let sc = Scenario::datacenter(1);
         let mcm = het_sides_3x3(Profile::Datacenter);
-        let scar = Scar::builder().budget(quick_budget()).build();
-        let a = scar.schedule(&sc, &mcm).unwrap();
-        let b = scar.schedule(&sc, &mcm).unwrap();
+        let scar = Scar::with_defaults();
+        let a = run(&scar, &sc, &mcm).unwrap();
+        let b = run(&scar, &sc, &mcm).unwrap();
         assert_eq!(a.total(), b.total());
         assert_eq!(a.schedule(), b.schedule());
     }
@@ -530,12 +639,7 @@ mod tests {
         let sc = Scenario::datacenter(1);
         let mcm = het_sides_3x3(Profile::Datacenter);
         for metric in [OptMetric::Latency, OptMetric::Energy, OptMetric::Edp] {
-            let r = Scar::builder()
-                .metric(metric.clone())
-                .budget(quick_budget())
-                .build()
-                .schedule(&sc, &mcm)
-                .unwrap();
+            let r = run_metric(&Scar::with_defaults(), metric.clone(), &sc, &mcm).unwrap();
             let best = metric.score(&r.total());
             for c in r.candidates() {
                 let t = EvalTotals {
@@ -556,11 +660,7 @@ mod tests {
     fn pareto_front_is_nondominated() {
         let sc = Scenario::datacenter(1);
         let mcm = simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
-        let r = Scar::builder()
-            .budget(quick_budget())
-            .build()
-            .schedule(&sc, &mcm)
-            .unwrap();
+        let r = run(&Scar::with_defaults(), &sc, &mcm).unwrap();
         let front = r.pareto_front();
         assert!(!front.is_empty());
         for w in front.windows(2) {
@@ -570,15 +670,43 @@ mod tests {
     }
 
     #[test]
+    fn pareto_front_survives_nan_candidates() {
+        // a degenerate candidate cloud (NaN totals from a hostile custom
+        // metric or a broken cost model) must not panic the report path;
+        // NaN points are excluded from the front
+        let sc = Scenario::datacenter(1);
+        let mcm = het_sides_3x3(Profile::Datacenter);
+        let mut r = run(&Scar::with_defaults(), &sc, &mcm).unwrap();
+        let finite_front = r.pareto_front();
+        r.candidates.extend([
+            CandidatePoint {
+                latency_s: f64::NAN,
+                energy_j: 0.0,
+            },
+            CandidatePoint {
+                latency_s: 0.0,
+                energy_j: f64::NAN,
+            },
+            CandidatePoint {
+                latency_s: f64::NAN,
+                energy_j: f64::NAN,
+            },
+        ]);
+        let front = r.pareto_front();
+        assert!(front
+            .iter()
+            .all(|p| p.latency_s.is_finite() && p.energy_j.is_finite()));
+        assert_eq!(front, finite_front, "NaN points must not perturb the front");
+    }
+
+    #[test]
     fn evolutionary_search_works() {
         let sc = Scenario::datacenter(1);
         let mcm = het_sides_3x3(Profile::Datacenter);
-        let r = Scar::builder()
+        let scar = Scar::builder()
             .search(SearchKind::Evolutionary(crate::search::EvoParams::default()))
-            .budget(quick_budget())
-            .build()
-            .schedule(&sc, &mcm)
-            .unwrap();
+            .build();
+        let r = run(&scar, &sc, &mcm).unwrap();
         assert!(r.total().latency_s > 0.0);
         r.schedule().validate(&sc, 9).unwrap();
     }
@@ -595,12 +723,7 @@ mod tests {
             scar_mcm::NopTopology::mesh(2, 2),
             vec![0, 1, 2, 3],
         );
-        let err = Scar::builder()
-            .nsplits(0)
-            .budget(quick_budget())
-            .build()
-            .schedule(&sc, &mcm)
-            .unwrap_err();
+        let err = run(&Scar::builder().nsplits(0).build(), &sc, &mcm).unwrap_err();
         assert!(matches!(err, ScheduleError::InsufficientChiplets { .. }));
     }
 
@@ -608,11 +731,7 @@ mod tests {
     fn window_latency_breakdown_sums_to_total() {
         let sc = Scenario::datacenter(1);
         let mcm = het_sides_3x3(Profile::Datacenter);
-        let r = Scar::builder()
-            .budget(quick_budget())
-            .build()
-            .schedule(&sc, &mcm)
-            .unwrap();
+        let r = run(&Scar::with_defaults(), &sc, &mcm).unwrap();
         let lats = r.window_latencies();
         assert_eq!(lats.len(), r.windows().len());
         let sum: f64 = lats.iter().sum();
@@ -634,11 +753,7 @@ mod tests {
     fn window_reports_cover_all_layers() {
         let sc = Scenario::datacenter(1);
         let mcm = het_sides_3x3(Profile::Datacenter);
-        let r = Scar::builder()
-            .budget(quick_budget())
-            .build()
-            .schedule(&sc, &mcm)
-            .unwrap();
+        let r = run(&Scar::with_defaults(), &sc, &mcm).unwrap();
         let mut covered = vec![0usize; sc.models().len()];
         for w in r.windows() {
             for m in &w.models {

@@ -1,0 +1,365 @@
+//! The uniform scheduling API: [`Scheduler`], [`Session`], and the
+//! session-scoped request/response types.
+//!
+//! The paper compares SCAR against Standalone and NN-baton-style baselines
+//! across many MCM strategies and scenarios. All of them answer the same
+//! question — *how should this scenario run on this package?* — so all of
+//! them implement one trait:
+//!
+//! * [`ScheduleRequest`] bundles everything a scheduling call depends on:
+//!   the scenario, the MCM, the optimization metric, and the search budget
+//!   (which carries the RNG seed and the evaluation [`Parallelism`]).
+//!   Requests serialize to JSON, so experiment configurations are
+//!   version-controllable artifacts.
+//! * [`Scheduler::schedule`] answers a request with a
+//!   [`ScheduleResult`] (also JSON-serializable — see [`ScheduleArtifact`]).
+//! * [`Session`] owns the shared MAESTRO [`CostDatabase`]: every request
+//!   scheduled in one session reuses the same memoized per-layer costs,
+//!   so serving loops and bench sweeps stop rebuilding the cost cache on
+//!   every call. Costs depend only on (chiplet class, layer, batch) —
+//!   never on the scheduler — so one session can serve every scheduler
+//!   and every strategy of an experiment.
+//!
+//! ```
+//! use scar_core::baselines::{NnBaton, Standalone};
+//! use scar_core::{Scar, ScheduleRequest, Scheduler, Session};
+//! use scar_mcm::templates::{het_sides_3x3, Profile};
+//! use scar_workloads::Scenario;
+//!
+//! let session = Session::new();
+//! let request = ScheduleRequest::new(
+//!     Scenario::datacenter(1),
+//!     het_sides_3x3(Profile::Datacenter),
+//! );
+//! let schedulers: Vec<Box<dyn Scheduler>> = vec![
+//!     Box::new(Scar::with_defaults()),
+//!     Box::new(Standalone::new()),
+//!     Box::new(NnBaton::new()),
+//! ];
+//! for s in &schedulers {
+//!     let result = s.schedule(&session, &request).expect("feasible");
+//!     println!("{:>10}: EDP {:.3} J*s", s.name(), result.total().edp());
+//! }
+//! ```
+
+use crate::parallel::Parallelism;
+use crate::problem::{OptMetric, ScheduleError, ScheduleInstance};
+use crate::scar::ScheduleResult;
+use crate::search::SearchBudget;
+use scar_maestro::CostDatabase;
+use scar_mcm::McmConfig;
+use scar_workloads::Scenario;
+use serde::{Deserialize, Serialize};
+use std::hash::Hasher;
+
+/// A scheduling session: the shared state every [`Scheduler`] call reuses.
+///
+/// Today that state is the memoized MAESTRO [`CostDatabase`]. Entries are
+/// keyed by (chiplet class, layer, batch) only, so one session is valid
+/// across schedulers, scenarios, MCMs, and metrics — a bench sweep or a
+/// serving loop creates one `Session` up front and threads it through
+/// every call instead of re-deriving identical layer costs per call.
+///
+/// `Session` is the only place a [`CostDatabase`] is constructed; nothing
+/// else in the workspace calls `CostDatabase::new()` directly (the sole
+/// exception is the database's own unit tests in `scar-maestro`, which
+/// cannot see this crate).
+#[derive(Debug, Default)]
+pub struct Session {
+    db: CostDatabase,
+}
+
+impl Session {
+    /// A fresh session with an empty cost database.
+    pub fn new() -> Self {
+        Self {
+            db: CostDatabase::new(),
+        }
+    }
+
+    /// The session's shared cost database.
+    pub fn database(&self) -> &CostDatabase {
+        &self.db
+    }
+
+    /// Number of memoized per-layer cost entries accumulated so far.
+    pub fn cached_costs(&self) -> usize {
+        self.db.len()
+    }
+
+    /// Pre-populates the cost database for `request` (every layer of the
+    /// scenario on every chiplet class of the MCM, evaluated in parallel).
+    /// Optional: lookups memoize lazily anyway.
+    pub fn warm_up(&self, request: &ScheduleRequest) {
+        self.db.warm_up(&request.scenario, request.mcm.chiplets());
+    }
+}
+
+/// Everything one scheduling call depends on: workload, hardware, target
+/// metric, and search budget (seed + parallelism included).
+///
+/// Scheduler-*specific* structure — SCAR's window splits, packing and
+/// provisioning rules, search driver — stays on the scheduler value
+/// itself ([`crate::ScarBuilder`]); the request only carries what every
+/// scheduler family interprets the same way.
+///
+/// Serializes to JSON (the [`OptMetric::Custom`] variant excepted:
+/// closures have no serialized form and fail to deserialize).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScheduleRequest {
+    /// The multi-model workload to schedule.
+    pub scenario: Scenario,
+    /// The chiplet package to schedule onto.
+    pub mcm: McmConfig,
+    /// The optimization metric (Definition 10; default EDP).
+    pub metric: OptMetric,
+    /// Search budgets, RNG seed, and evaluation parallelism.
+    pub budget: SearchBudget,
+}
+
+impl ScheduleRequest {
+    /// A request for `scenario` on `mcm` with the default metric (EDP) and
+    /// the default [`SearchBudget`].
+    pub fn new(scenario: Scenario, mcm: McmConfig) -> Self {
+        Self {
+            scenario,
+            mcm,
+            metric: OptMetric::Edp,
+            budget: SearchBudget::default(),
+        }
+    }
+
+    /// Sets the optimization metric.
+    #[must_use]
+    pub fn metric(mut self, metric: OptMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the search budget (enumeration caps, seed, parallelism).
+    #[must_use]
+    pub fn budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the RNG seed (shorthand for [`SearchBudget::seed`]; call after
+    /// [`ScheduleRequest::budget`]).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.budget.seed = seed;
+        self
+    }
+
+    /// Sets the evaluation worker-pool sizing (shorthand for
+    /// [`SearchBudget::parallelism`]; call after
+    /// [`ScheduleRequest::budget`]). Wall-clock only — results are
+    /// bit-identical across settings.
+    #[must_use]
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.budget.parallelism = parallelism;
+        self
+    }
+}
+
+/// Hand-written (instead of derived) to rebuild the MCM's topology caches,
+/// which are `#[serde(skip)]`-ed out of the hardware description.
+impl Deserialize for ScheduleRequest {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::expected("object", "ScheduleRequest", v))?;
+        let mut mcm: McmConfig = serde::__field(obj, "mcm", "ScheduleRequest")?;
+        mcm.rebuild_caches();
+        Ok(Self {
+            scenario: serde::__field(obj, "scenario", "ScheduleRequest")?,
+            mcm,
+            metric: serde::__field(obj, "metric", "ScheduleRequest")?,
+            budget: serde::__field(obj, "budget", "ScheduleRequest")?,
+        })
+    }
+}
+
+/// A scheduler of multi-model scenarios onto MCM packages.
+///
+/// Implemented by [`Scar`](crate::Scar) (the paper's system) and the
+/// baseline schedulers [`Standalone`](crate::baselines::Standalone) and
+/// [`NnBaton`](crate::baselines::NnBaton); serving loops and experiment
+/// harnesses drive any of them through `Box<dyn Scheduler>` without
+/// per-policy dispatch.
+pub trait Scheduler {
+    /// A short, stable name for reports and fingerprints (`"SCAR"`,
+    /// `"Standalone"`, `"NN-baton"`, …).
+    fn name(&self) -> &str;
+
+    /// Schedules `request.scenario` onto `request.mcm`, reusing
+    /// `session`'s shared cost database.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScheduleError::InsufficientChiplets`] when the scenario needs
+    ///   more concurrent chiplets than the package has;
+    /// * [`ScheduleError::NoFeasibleSchedule`] when the scheduler's search
+    ///   finds no candidate under the request's budget.
+    fn schedule(
+        &self,
+        session: &Session,
+        request: &ScheduleRequest,
+    ) -> Result<ScheduleResult, ScheduleError>;
+
+    /// Whether [`Scheduler::reschedule`] can ever return `Some` — i.e.
+    /// whether the scheduler has an incremental fast path worth seeding.
+    /// Search-free schedulers keep the default `false`.
+    fn supports_reschedule(&self) -> bool {
+        false
+    }
+
+    /// Re-evaluates `seed` (a previous result's [`ScheduleInstance`])
+    /// against the request instead of searching from scratch — the
+    /// incremental-rescheduling fast path for serving loops whose
+    /// consecutive requests differ only in batch sizes.
+    ///
+    /// Returns `None` when the scheduler has no incremental path or the
+    /// seed does not fit the request; callers fall back to
+    /// [`Scheduler::schedule`].
+    fn reschedule(
+        &self,
+        _session: &Session,
+        _request: &ScheduleRequest,
+        _seed: &ScheduleInstance,
+    ) -> Option<ScheduleResult> {
+        None
+    }
+
+    /// Hashes the scheduler's *configuration* (everything beyond the
+    /// request that can change its output) into `state`. Schedule caches
+    /// combine this with the request fingerprint; a configuration-free
+    /// scheduler keeps the default no-op.
+    fn fingerprint_config(&self, _state: &mut dyn Hasher) {}
+}
+
+/// One scheduling outcome as a self-describing JSON artifact: the request,
+/// the scheduler that answered it, and the result.
+///
+/// This is the single report path through which bench binaries and the
+/// serving simulator persist schedules — artifacts written by one tool
+/// load in another (or in a notebook) without re-running the search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleArtifact {
+    /// Free-form label (strategy name, mix name, …).
+    pub label: String,
+    /// The [`Scheduler::name`] of the scheduler that produced the result.
+    pub scheduler: String,
+    /// The request as issued.
+    pub request: ScheduleRequest,
+    /// The scheduling outcome.
+    pub result: ScheduleResult,
+}
+
+impl ScheduleArtifact {
+    /// Bundles a labeled request/result pair.
+    pub fn new(
+        label: impl Into<String>,
+        scheduler: impl Into<String>,
+        request: ScheduleRequest,
+        result: ScheduleResult,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            scheduler: scheduler.into(),
+            request,
+            result,
+        }
+    }
+
+    /// Serializes the artifact to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde::write_pretty(&self.to_value())
+    }
+
+    /// Deserializes an artifact from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON or a schema mismatch (including
+    /// a request whose metric was [`OptMetric::Custom`]).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = serde::parse_value(text).map_err(|e| e.to_string())?;
+        <Self as Deserialize>::from_value(&v).map_err(|e| e.to_string())
+    }
+
+    /// Writes a set of artifacts as one pretty-printed JSON array.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_all(path: impl AsRef<std::path::Path>, artifacts: &[Self]) -> std::io::Result<()> {
+        std::fs::write(path, serde::write_pretty(&artifacts.to_value()))
+    }
+
+    /// Loads a JSON array of artifacts written by
+    /// [`ScheduleArtifact::save_all`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure, malformed JSON, or a schema
+    /// mismatch.
+    pub fn load_all(path: impl AsRef<std::path::Path>) -> Result<Vec<Self>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let v = serde::parse_value(&text).map_err(|e| e.to_string())?;
+        <Vec<Self> as Deserialize>::from_value(&v).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scar_mcm::templates::{het_sides_3x3, Profile};
+
+    fn request() -> ScheduleRequest {
+        ScheduleRequest::new(Scenario::datacenter(1), het_sides_3x3(Profile::Datacenter))
+    }
+
+    #[test]
+    fn request_builders_compose() {
+        let r = request()
+            .metric(OptMetric::Latency)
+            .seed(7)
+            .parallelism(Parallelism::Serial);
+        assert_eq!(r.metric, OptMetric::Latency);
+        assert_eq!(r.budget.seed, 7);
+        assert_eq!(r.budget.parallelism, Parallelism::Serial);
+    }
+
+    #[test]
+    fn session_shares_one_database() {
+        let session = Session::new();
+        assert_eq!(session.cached_costs(), 0);
+        session.warm_up(&request());
+        let populated = session.cached_costs();
+        assert!(populated > 0, "warm-up fills the shared database");
+        // a second warm-up of the same request adds nothing new
+        session.warm_up(&request());
+        assert_eq!(session.cached_costs(), populated);
+    }
+
+    #[test]
+    fn request_roundtrips_through_json() {
+        let r = request().metric(OptMetric::ConstrainedEdp { max_latency_s: 0.5 });
+        let json = serde::write_pretty(&r.to_value());
+        let v = serde::parse_value(&json).expect("valid JSON");
+        let back = ScheduleRequest::from_value(&v).expect("schema matches");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn custom_metric_does_not_roundtrip() {
+        let r = request().metric(OptMetric::Custom(std::sync::Arc::new(|t| t.latency_s)));
+        let json = serde::write_compact(&r.to_value());
+        let v = serde::parse_value(&json).expect("valid JSON");
+        assert!(
+            ScheduleRequest::from_value(&v).is_err(),
+            "closures have no serialized form"
+        );
+    }
+}

@@ -250,7 +250,6 @@ mod tests {
     use crate::expected::ExpectedCosts;
     use crate::search::SearchBudget;
     use rand::SeedableRng;
-    use scar_maestro::CostDatabase;
     use scar_mcm::templates::{het_sides_3x3, Profile};
     use scar_workloads::Scenario;
 
@@ -274,8 +273,9 @@ mod tests {
         // instead of being silently lost
         let sc = Scenario::datacenter(1);
         let mcm = het_sides_3x3(Profile::Datacenter);
-        let db = CostDatabase::new();
-        let expected = ExpectedCosts::compute(&sc, &mcm, &db);
+        let session = crate::Session::new();
+        let db = session.database();
+        let expected = ExpectedCosts::compute(&sc, &mcm, db);
         let metric = crate::problem::OptMetric::Edp;
         let budget = SearchBudget {
             max_candidates_per_window: 200,
@@ -284,7 +284,7 @@ mod tests {
         let ctx = SearchCtx {
             scenario: &sc,
             mcm: &mcm,
-            db: &db,
+            db,
             expected: &expected,
             metric: &metric,
             budget: &budget,
@@ -322,8 +322,9 @@ mod tests {
     fn candidate_ids_increase_in_generation_order() {
         let sc = Scenario::datacenter(1);
         let mcm = het_sides_3x3(Profile::Datacenter);
-        let db = CostDatabase::new();
-        let expected = ExpectedCosts::compute(&sc, &mcm, &db);
+        let session = crate::Session::new();
+        let db = session.database();
+        let expected = ExpectedCosts::compute(&sc, &mcm, db);
         let metric = crate::problem::OptMetric::Edp;
         let budget = SearchBudget {
             max_candidates_per_window: 64,
@@ -332,7 +333,7 @@ mod tests {
         let ctx = SearchCtx {
             scenario: &sc,
             mcm: &mcm,
-            db: &db,
+            db,
             expected: &expected,
             metric: &metric,
             budget: &budget,

@@ -6,8 +6,8 @@
 //! scheduling-tree placement generator of the SCHED engine, and both
 //! return every evaluated candidate (for the paper's Pareto figures).
 //!
-//! Drivers are pure candidate *generators* ([`engine::CandidateSource`]):
-//! the shared [`engine`] evaluates their batches across a worker pool sized
+//! Drivers are pure candidate *generators* (`engine::CandidateSource`):
+//! the shared `engine` evaluates their batches across a worker pool sized
 //! by [`SearchBudget::parallelism`] and merges results in generation order,
 //! so the chosen schedule is bit-identical for any thread count.
 
@@ -29,7 +29,7 @@ use scar_workloads::Scenario;
 /// the paper's 3×3 exhaustive search is tractable only under pruning it
 /// does not fully specify; these caps make the same decision dimensions
 /// explicit and configurable).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SearchBudget {
     /// Segmentation candidates kept per model (Heuristic 1's top-k).
     pub top_k_segmentations: usize,
@@ -71,7 +71,7 @@ impl Default for SearchBudget {
 }
 
 /// Evolutionary-search hyperparameters (§V-A: population 10, 4 generations).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct EvoParams {
     /// Population size.
     pub population: usize,
@@ -92,7 +92,7 @@ impl Default for EvoParams {
 }
 
 /// Which driver explores each window's space.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum SearchKind {
     /// Budgeted exhaustive enumeration (the 3×3 experiments).
     BruteForce,

@@ -241,14 +241,14 @@ fn enumerate_combinations(n: usize, k: usize, f: &mut impl FnMut(&[usize])) {
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use scar_maestro::CostDatabase;
     use scar_mcm::templates::{het_sides_3x3, Profile};
 
     fn setup() -> (Scenario, McmConfig, ExpectedCosts) {
         let sc = Scenario::datacenter(1);
         let mcm = het_sides_3x3(Profile::Datacenter);
-        let db = CostDatabase::new();
-        let e = ExpectedCosts::compute(&sc, &mcm, &db);
+        let session = crate::Session::new();
+        let db = session.database();
+        let e = ExpectedCosts::compute(&sc, &mcm, db);
         (sc, mcm, e)
     }
 

@@ -5,14 +5,14 @@ use serde::{Deserialize, Serialize};
 /// The dataflow style of an accelerator chiplet (the `df` of Definition 2).
 ///
 /// The paper builds its heterogeneous MCMs from the two styles shown to be
-/// complementary by Herald [37]:
+/// complementary by Herald \[37\]:
 ///
-/// * [`Dataflow::NvdlaLike`] — weight-stationary, NVDLA [52] style. The PE
+/// * [`Dataflow::NvdlaLike`] — weight-stationary, NVDLA \[52\] style. The PE
 ///   array parallelizes **output × input channels**; weights stay pinned in
 ///   PE registers while activations stream. Excellent for channel-rich
 ///   convolutions and GEMM/attention layers (LLMs), poor for layers with
 ///   few channels (early convolutions, depthwise).
-/// * [`Dataflow::ShidiannaoLike`] — output-stationary, Shi-diannao [16]
+/// * [`Dataflow::ShidiannaoLike`] — output-stationary, Shi-diannao \[16\]
 ///   style. The PE array parallelizes **output spatial positions** (and
 ///   batch); partial sums never leave the PEs. Excellent for large-spatial
 ///   feature maps, poor for spatial-less GEMMs at low batch.

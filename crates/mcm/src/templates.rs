@@ -2,7 +2,7 @@
 //!
 //! All constructors take a [`Profile`] selecting the §V-A chiplet class
 //! (datacenter: 4096 PEs; AR/VR: 256 PEs). Off-chip interfaces sit on the
-//! left and right package columns (§III-A, following Tangram [19]).
+//! left and right package columns (§III-A, following Tangram \[19\]).
 
 use crate::config::McmConfig;
 use crate::topology::NopTopology;

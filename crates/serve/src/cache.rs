@@ -6,12 +6,14 @@
 //! SCAR search is orders of magnitude more expensive than a cache probe, so
 //! [`ScheduleCache`] memoizes complete [`ScheduleResult`]s keyed by a
 //! [`fingerprint`] of everything the scheduling round's outcome depends on:
-//! scenario content (model names, layer shapes, batch vector), the MCM
-//! configuration (chiplet capabilities, topology, NoP/DRAM parameters),
-//! the optimization metric, and the full search configuration. The
-//! evaluation worker-pool size ([`SearchBudget::parallelism`]) is
-//! deliberately *not* keyed: the search engine merges results in generation
-//! order, so thread count never changes a schedule.
+//! the [`ScheduleRequest`] (scenario content — model names, layer shapes,
+//! batch vector — the MCM configuration, the metric, the budget) plus the
+//! answering [`Scheduler`]'s name and configuration. The evaluation
+//! worker-pool size ([`SearchBudget::parallelism`]) is deliberately *not*
+//! keyed: the search engine merges results in generation order, so thread
+//! count never changes a schedule.
+//!
+//! [`SearchBudget::parallelism`]: scar_core::SearchBudget::parallelism
 //!
 //! An entry memoizes the serving loop's *round outcome* for that
 //! fingerprint — a full search, or the incremental fast path's seeded
@@ -25,7 +27,7 @@
 //! least-recently-used schedule is evicted. Hit/miss/eviction counters are
 //! surfaced in serving reports via [`CacheStats`].
 
-use scar_core::{OptMetric, ScheduleResult, SearchBudget, SearchKind};
+use scar_core::{OptMetric, ScheduleRequest, ScheduleResult, Scheduler, SearchBudget};
 use scar_mcm::McmConfig;
 use scar_workloads::Scenario;
 use std::collections::hash_map::DefaultHasher;
@@ -56,11 +58,13 @@ impl CacheStats {
     }
 }
 
-/// Everything a schedule's identity depends on, hashed into one key:
-/// the scenario's full layer content and batch vector, the MCM's chiplet
-/// capabilities ([`ChipletConfig::cache_key`] + energy constants), its
-/// NoP/off-chip parameters and topology adjacency, the metric, and the
-/// complete search configuration.
+/// Everything a schedule's identity depends on, hashed into one key: the
+/// request's scenario (full layer content and batch vector), MCM (chiplet
+/// capabilities via [`ChipletConfig::cache_key`] + energy constants,
+/// NoP/off-chip parameters, topology adjacency), metric, and budget — plus
+/// the answering scheduler's [`name`](Scheduler::name) and configuration
+/// ([`Scheduler::fingerprint_config`]: SCAR contributes its window splits,
+/// packing/provisioning rules, and search driver there).
 ///
 /// Hashing layer *shapes* (not just model names) keeps custom
 /// [`ModelBuilder`](scar_workloads::ModelBuilder)-built models with
@@ -69,35 +73,21 @@ impl CacheStats {
 /// dataflow layouts but differ 16× in PE count) apart.
 ///
 /// [`ChipletConfig::cache_key`]: scar_maestro::ChipletConfig::cache_key
-pub fn fingerprint(
-    scenario: &Scenario,
-    mcm: &McmConfig,
-    metric: &OptMetric,
-    nsplits: usize,
-    search: &SearchKind,
-    budget: &SearchBudget,
-) -> u64 {
-    fingerprints(scenario, mcm, metric, nsplits, search, budget).0
+pub fn fingerprint(request: &ScheduleRequest, scheduler: &dyn Scheduler) -> u64 {
+    fingerprints(request, scheduler).0
 }
 
-/// [`fingerprint`] with the scenario's batch vector left out: two live
-/// scenarios share a shape fingerprint exactly when they run the same
-/// models (same names, layer shapes, order, use case) on the same MCM under
-/// the same scheduler configuration and differ **only in batch sizes**.
+/// [`fingerprint`] with the scenario's batch vector left out: two requests
+/// share a shape fingerprint exactly when they run the same models (same
+/// names, layer shapes, order, use case) on the same MCM under the same
+/// scheduler and differ **only in batch sizes**.
 ///
 /// That equivalence is the trigger for the serving loop's incremental
 /// rescheduling: a cache miss whose shape matches the previously scheduled
 /// scenario can re-evaluate the prior segmentation/placement as a seeded
-/// candidate instead of paying a full window search.
-pub fn shape_fingerprint(
-    scenario: &Scenario,
-    mcm: &McmConfig,
-    metric: &OptMetric,
-    nsplits: usize,
-    search: &SearchKind,
-    budget: &SearchBudget,
-) -> u64 {
-    fingerprints(scenario, mcm, metric, nsplits, search, budget).1
+/// candidate ([`Scheduler::reschedule`]) instead of paying a full search.
+pub fn shape_fingerprint(request: &ScheduleRequest, scheduler: &dyn Scheduler) -> u64 {
+    fingerprints(request, scheduler).1
 }
 
 /// Computes `(`[`fingerprint`]`, `[`shape_fingerprint`]`)` in a single
@@ -105,15 +95,30 @@ pub fn shape_fingerprint(
 /// is snapshotted, and the batch vector is folded in on top for the full
 /// key. The serving loop needs both on every round, and hashing the
 /// scenario + chiplet set + topology adjacency dominates a cache probe.
-pub fn fingerprints(
+pub fn fingerprints(request: &ScheduleRequest, scheduler: &dyn Scheduler) -> (u64, u64) {
+    fingerprint_parts(
+        &request.scenario,
+        &request.mcm,
+        &request.metric,
+        &request.budget,
+        scheduler,
+    )
+}
+
+/// [`fingerprints`] over borrowed request parts. This is the hot-path
+/// variant for probe-before-build callers (the serving loop fingerprints
+/// every round but only *constructs* an owned [`ScheduleRequest`] on a
+/// cache miss, so cache hits stay allocation-free).
+pub fn fingerprint_parts(
     scenario: &Scenario,
     mcm: &McmConfig,
     metric: &OptMetric,
-    nsplits: usize,
-    search: &SearchKind,
     budget: &SearchBudget,
+    scheduler: &dyn Scheduler,
 ) -> (u64, u64) {
     let mut h = DefaultHasher::new();
+    scheduler.name().hash(&mut h);
+    scheduler.fingerprint_config(&mut h);
     scenario.use_case().to_string().hash(&mut h);
     for sm in scenario.models() {
         sm.model.name().hash(&mut h);
@@ -153,16 +158,6 @@ pub fn fingerprints(
         // lives within one process: the Arc address distinguishes them
         OptMetric::Custom(f) => (std::sync::Arc::as_ptr(f) as *const () as usize).hash(&mut h),
         _ => {}
-    }
-    nsplits.hash(&mut h);
-    match search {
-        SearchKind::BruteForce => 0u8.hash(&mut h),
-        SearchKind::Evolutionary(p) => {
-            1u8.hash(&mut h);
-            p.population.hash(&mut h);
-            p.generations.hash(&mut h);
-            p.mutation_rate.to_bits().hash(&mut h);
-        }
     }
     budget.seed.hash(&mut h);
     budget.top_k_segmentations.hash(&mut h);
@@ -298,20 +293,20 @@ impl ScheduleCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scar_core::baselines::Standalone;
+    use scar_core::{Scar, SearchBudget};
     use scar_maestro::Dataflow;
     use scar_mcm::templates::{het_sides_3x3, simba_3x3, Profile};
+    use scar_mcm::McmConfig;
     use scar_workloads::scenario::generate;
-    use scar_workloads::UseCase;
+    use scar_workloads::{Scenario, UseCase};
+
+    fn request(sc: &Scenario, mcm: &McmConfig) -> ScheduleRequest {
+        ScheduleRequest::new(sc.clone(), mcm.clone())
+    }
 
     fn key_of(sc: &Scenario, mcm: &McmConfig) -> u64 {
-        fingerprint(
-            sc,
-            mcm,
-            &OptMetric::Edp,
-            4,
-            &SearchKind::BruteForce,
-            &SearchBudget::default(),
-        )
+        fingerprint(&request(sc, mcm), &Scar::with_defaults())
     }
 
     #[test]
@@ -343,12 +338,8 @@ mod tests {
         assert_ne!(key_of(&sc_x, &mcm), key_of(&sc_y, &mcm));
         // metric change → different key
         let k_lat = fingerprint(
-            &a,
-            &mcm,
-            &OptMetric::Latency,
-            4,
-            &SearchKind::BruteForce,
-            &SearchBudget::default(),
+            &request(&a, &mcm).metric(OptMetric::Latency),
+            &Scar::with_defaults(),
         );
         assert_ne!(key_of(&a, &mcm), k_lat);
         // budget seed change → different key
@@ -356,15 +347,24 @@ mod tests {
             seed: 999,
             ..SearchBudget::default()
         };
-        let k_seed = fingerprint(
-            &a,
-            &mcm,
-            &OptMetric::Edp,
-            4,
-            &SearchKind::BruteForce,
-            &seeded,
-        );
+        let k_seed = fingerprint(&request(&a, &mcm).budget(seeded), &Scar::with_defaults());
         assert_ne!(key_of(&a, &mcm), k_seed);
+    }
+
+    #[test]
+    fn fingerprint_keys_the_scheduler_identity_and_config() {
+        // the same request answered by a different scheduler — or the same
+        // scheduler family configured differently — must not collide
+        let mcm = het_sides_3x3(Profile::Datacenter);
+        let sc = generate(1, UseCase::Datacenter, 2);
+        let req = request(&sc, &mcm);
+        let scar_key = fingerprint(&req, &Scar::with_defaults());
+        assert_ne!(scar_key, fingerprint(&req, &Standalone::new()));
+        assert_ne!(
+            scar_key,
+            fingerprint(&req, &Scar::builder().nsplits(1).build()),
+            "SCAR's window splits are configuration, not request state"
+        );
     }
 
     #[test]
@@ -391,7 +391,7 @@ mod tests {
     }
 
     fn schedule_once() -> Rc<ScheduleResult> {
-        use scar_core::Scar;
+        use scar_core::Session;
         let sc = generate(3, UseCase::Datacenter, 2);
         let mcm = het_sides_3x3(Profile::Datacenter);
         let budget = SearchBudget {
@@ -402,10 +402,8 @@ mod tests {
             ..SearchBudget::default()
         };
         Rc::new(
-            Scar::builder()
-                .budget(budget)
-                .build()
-                .schedule(&sc, &mcm)
+            Scar::with_defaults()
+                .schedule(&Session::new(), &request(&sc, &mcm).budget(budget))
                 .expect("small scenario schedules"),
         )
     }
@@ -445,14 +443,7 @@ mod tests {
         let mcm = het_sides_3x3(Profile::Datacenter);
         let a = generate(1, UseCase::Datacenter, 2);
         let shape = |sc: &Scenario, mcm: &McmConfig| {
-            shape_fingerprint(
-                sc,
-                mcm,
-                &OptMetric::Edp,
-                4,
-                &SearchKind::BruteForce,
-                &SearchBudget::default(),
-            )
+            shape_fingerprint(&request(sc, mcm), &Scar::with_defaults())
         };
         // batch change → same shape, different full fingerprint
         let mut models = a.models().to_vec();

@@ -11,10 +11,13 @@
 //!   per-request deadlines (AR/VR defaults come from the XRBench-style
 //!   rates in [`scar_workloads::scenario`]).
 //! * [`sim`] — the serving loop ([`ServeSim`]): batches queued requests
-//!   into live [`Scenario`](scar_workloads::Scenario)s, schedules them with
-//!   SCAR or a paper baseline ([`ServePolicy`]), advances virtual time by
-//!   the evaluated window latencies, and completes each tenant's requests
-//!   at its own last-active-window offset.
+//!   into live [`Scenario`](scar_workloads::Scenario)s and schedules them
+//!   through a boxed [`Scheduler`](scar_core::Scheduler) — SCAR, a paper
+//!   baseline (pick one by name with [`ServePolicy`]), or any custom
+//!   implementation — over one [`Session`](scar_core::Session)-wide cost
+//!   database, advancing virtual time by the evaluated window latencies
+//!   and completing each tenant's requests at its own last-active-window
+//!   offset.
 //! * [`cache`] — the bounded LRU schedule cache ([`ScheduleCache`]):
 //!   recurring traffic shapes (the common case under frame clocks) skip
 //!   the expensive tree search entirely; hit/miss/eviction counters
@@ -54,7 +57,9 @@ pub mod report;
 pub mod sim;
 pub mod traffic;
 
-pub use cache::{fingerprint, fingerprints, shape_fingerprint, CacheStats, ScheduleCache};
+pub use cache::{
+    fingerprint, fingerprint_parts, fingerprints, shape_fingerprint, CacheStats, ScheduleCache,
+};
 pub use report::{percentile, LatencySummary, ServeReport, StreamStats};
 pub use sim::{ServeConfig, ServePolicy, ServeSim};
 pub use traffic::{ArrivalProcess, Request, RequestStream, TrafficMix};

@@ -1,13 +1,16 @@
 //! The event-driven serving loop.
 //!
-//! [`ServeSim`] drives a SCAR-family scheduler under dynamic traffic:
+//! [`ServeSim`] drives any [`Scheduler`] under dynamic traffic:
 //!
 //! 1. requests arrive on virtual time (from a [`TrafficMix`]),
 //! 2. whenever the accelerator is idle and work is queued, queued requests
 //!    are folded per-stream into a *live* [`Scenario`] (queue depth becomes
 //!    the batch size, capped by `max_batch_per_stream`),
-//! 3. the configured policy (SCAR, or a paper baseline) schedules the live
-//!    scenario onto the MCM — consulting the [`ScheduleCache`] first —
+//! 3. the configured scheduler — held as a `Box<dyn Scheduler>`, so SCAR,
+//!    a paper baseline, and any user-provided policy take the same path —
+//!    answers a [`ScheduleRequest`] over the simulator's [`Session`]
+//!    (one shared cost database for the whole simulation), consulting the
+//!    [`ScheduleCache`] first,
 //! 4. virtual time advances by the evaluated schedule's window latencies
 //!    ([`ScheduleResult::window_latencies`]); each model's requests
 //!    complete at its own last-active-window offset
@@ -20,27 +23,33 @@
 //! on a cache miss whose live scenario differs from the previously
 //! scheduled one *only in batch sizes* — incremental rescheduling, which
 //! re-evaluates the previous round's segmentation/placement as a seeded
-//! candidate ([`Scar::evaluate_seeded`]) instead of searching.
+//! candidate ([`Scheduler::reschedule`]) instead of searching.
 //!
 //! The loop is fully deterministic given the mix (seed included) and the
 //! scheduler configuration: identical runs produce identical reports, for
 //! any [`Parallelism`] setting (the search engine merges candidate
 //! evaluations in generation order).
 
-use crate::cache::{fingerprints, ScheduleCache};
+use crate::cache::{fingerprint_parts, ScheduleCache};
 use crate::report::{LatencySummary, ServeReport, StreamStats};
 use crate::traffic::{Request, TrafficMix};
-use scar_core::baselines;
+use scar_core::baselines::{NnBaton, Standalone};
 use scar_core::{
-    OptMetric, Parallelism, Scar, ScheduleError, ScheduleResult, SearchBudget, SearchKind,
+    OptMetric, Parallelism, Scar, ScheduleError, ScheduleRequest, ScheduleResult, Scheduler,
+    SearchBudget, SearchKind, Session,
 };
-use scar_maestro::CostDatabase;
 use scar_mcm::McmConfig;
 use scar_workloads::{Scenario, ScenarioModel};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-/// Which scheduler serves the live scenarios.
+/// The built-in serving policies: a compatibility shim over the
+/// [`Scheduler`] trait.
+///
+/// [`ServeSim`] holds a `Box<dyn Scheduler>`; this enum only names the
+/// three paper schedulers so callers can pick one without constructing it
+/// ([`ServeSim::with_policy`]). Custom schedulers go straight through
+/// [`ServeSim::with_scheduler`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServePolicy {
     /// The full SCAR pipeline (MCM-Reconfig → PROV → SEG → SCHED).
@@ -52,7 +61,8 @@ pub enum ServePolicy {
 }
 
 impl ServePolicy {
-    /// Short policy label for reports.
+    /// Short policy label for reports (matches the built scheduler's
+    /// [`Scheduler::name`]).
     pub fn name(&self) -> &'static str {
         match self {
             ServePolicy::Scar => "SCAR",
@@ -60,19 +70,36 @@ impl ServePolicy {
             ServePolicy::NnBaton => "NN-baton",
         }
     }
+
+    /// Builds the named scheduler. SCAR takes its structural knobs
+    /// (window splits, search driver) from `cfg`; the baselines are
+    /// configuration-free. This is the only policy match in the crate —
+    /// the scheduling path itself is trait-dispatched.
+    pub fn scheduler(&self, cfg: &ServeConfig) -> Box<dyn Scheduler> {
+        match self {
+            ServePolicy::Scar => Box::new(
+                Scar::builder()
+                    .nsplits(cfg.nsplits)
+                    .search(cfg.search.clone())
+                    .build(),
+            ),
+            ServePolicy::Standalone => Box::new(Standalone::new()),
+            ServePolicy::NnBaton => Box::new(NnBaton::new()),
+        }
+    }
 }
 
 /// Serving-loop configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// The scheduler family.
-    pub policy: ServePolicy,
     /// Optimization metric for every window schedule.
     pub metric: OptMetric,
     /// SCAR window splits per live scenario (live scenarios are small;
-    /// 1 keeps scheduling cheap and windows short).
+    /// 1 keeps scheduling cheap and windows short). Consumed by
+    /// [`ServePolicy::scheduler`] when building the SCAR policy; ignored
+    /// for schedulers passed in via [`ServeSim::with_scheduler`].
     pub nsplits: usize,
-    /// Per-window search driver.
+    /// Per-window search driver (same scope as `nsplits`).
     pub search: SearchKind,
     /// Search budgets (the serving loop schedules often — default to a
     /// trimmed budget, not [`SearchBudget::default`]).
@@ -86,8 +113,9 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Whether a cache miss that differs from the previous round only in
     /// batch sizes may reuse the previous segmentation/placement as a
-    /// seeded candidate instead of running a full search (SCAR policy
-    /// only; baselines are already search-free).
+    /// seeded candidate instead of running a full search (only effective
+    /// for schedulers that [`Scheduler::supports_reschedule`]; the
+    /// search-free baselines do not).
     pub incremental: bool,
     /// Staleness bound on incremental rescheduling: after this many
     /// consecutive seeded rounds the next miss runs a full search even if
@@ -103,7 +131,6 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         Self {
-            policy: ServePolicy::Scar,
             metric: OptMetric::Edp,
             nsplits: 1,
             search: SearchKind::BruteForce,
@@ -132,17 +159,18 @@ struct Completion {
     had_deadline: bool,
 }
 
-/// The serving simulator: binds an MCM, a policy, and a schedule cache.
+/// The serving simulator: binds an MCM, a scheduler, a [`Session`], and a
+/// schedule cache.
 ///
-/// The cache (and the MAESTRO cost database) persist across [`ServeSim::run`]
-/// calls, so serving the same mix twice shows warm-cache behavior — exactly
-/// the recurring-traffic effect the cache exists for.
-#[derive(Debug)]
+/// The cache and the session's cost database persist across
+/// [`ServeSim::run`] calls, so serving the same mix twice shows warm-cache
+/// behavior — exactly the recurring-traffic effect the cache exists for.
 pub struct ServeSim<'a> {
     mcm: &'a McmConfig,
     cfg: ServeConfig,
+    scheduler: Box<dyn Scheduler>,
+    session: Session,
     cache: ScheduleCache,
-    db: CostDatabase,
     /// The previously scheduled round: its batch-insensitive shape
     /// fingerprint and its result (the incremental-rescheduling seed).
     last: Option<(u64, Rc<ScheduleResult>)>,
@@ -153,22 +181,53 @@ pub struct ServeSim<'a> {
     incremental_reschedules: u64,
 }
 
+impl std::fmt::Debug for ServeSim<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeSim")
+            .field("mcm", &self.mcm.name())
+            .field("scheduler", &self.scheduler.name())
+            .field("cfg", &self.cfg)
+            .field("cache", &self.cache.stats())
+            .field("incremental_reschedules", &self.incremental_reschedules)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> ServeSim<'a> {
-    /// A simulator over `mcm` with the given configuration.
+    /// A simulator over `mcm` serving with the SCAR policy built from
+    /// `cfg` (the common case).
     pub fn new(mcm: &'a McmConfig, cfg: ServeConfig) -> Self {
+        Self::with_policy(mcm, ServePolicy::Scar, cfg)
+    }
+
+    /// Compatibility constructor: a simulator serving with a named
+    /// built-in policy.
+    pub fn with_policy(mcm: &'a McmConfig, policy: ServePolicy, cfg: ServeConfig) -> Self {
+        let scheduler = policy.scheduler(&cfg);
+        Self::with_scheduler(mcm, scheduler, cfg)
+    }
+
+    /// A simulator serving with an arbitrary [`Scheduler`] — the trait
+    /// object takes the exact same path as the built-in policies.
+    pub fn with_scheduler(
+        mcm: &'a McmConfig,
+        scheduler: Box<dyn Scheduler>,
+        cfg: ServeConfig,
+    ) -> Self {
         let cache = ScheduleCache::with_capacity(cfg.cache_capacity);
         Self {
             mcm,
             cfg,
+            scheduler,
+            session: Session::new(),
             cache,
-            db: CostDatabase::new(),
             last: None,
             incremental_chain: 0,
             incremental_reschedules: 0,
         }
     }
 
-    /// A simulator with the default configuration.
+    /// A SCAR-policy simulator with the default configuration.
     pub fn with_defaults(mcm: &'a McmConfig) -> Self {
         Self::new(mcm, ServeConfig::default())
     }
@@ -176,6 +235,16 @@ impl<'a> ServeSim<'a> {
     /// The accumulated schedule-cache state.
     pub fn cache(&self) -> &ScheduleCache {
         &self.cache
+    }
+
+    /// The scheduling session (shared cost database) backing every round.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The name of the scheduler serving this simulator.
+    pub fn scheduler_name(&self) -> &str {
+        self.scheduler.name()
     }
 
     /// Rounds served by the incremental-rescheduling fast path since the
@@ -189,7 +258,7 @@ impl<'a> ServeSim<'a> {
     ///
     /// # Errors
     ///
-    /// Returns a [`ScheduleError`] if the policy cannot schedule a live
+    /// Returns a [`ScheduleError`] if the scheduler cannot schedule a live
     /// scenario (e.g. more concurrent tenants than chiplets under
     /// `Standalone`).
     ///
@@ -294,27 +363,39 @@ impl<'a> ServeSim<'a> {
     /// True when this configuration can ever take the incremental path
     /// (it is pointless for the search-free baselines).
     fn incremental_enabled(&self) -> bool {
-        self.cfg.incremental && self.cfg.policy == ServePolicy::Scar
+        self.cfg.incremental && self.scheduler.supports_reschedule()
     }
 
-    /// Schedules one live scenario under the configured policy: schedule
-    /// cache first, then the incremental-rescheduling fast path (previous
-    /// round's placement re-evaluated when only batch sizes changed), then
-    /// the full search. Returns a shared pointer so cache hits stay
-    /// allocation-free.
+    /// The [`ScheduleRequest`] the loop issues for a live scenario: the
+    /// simulator's MCM plus the configured metric, budget, and
+    /// parallelism. Public so tools can persist the exact request of a
+    /// round (e.g. as a [`scar_core::ScheduleArtifact`]).
+    pub fn schedule_request(&self, live: &Scenario) -> ScheduleRequest {
+        ScheduleRequest::new(live.clone(), self.mcm.clone())
+            .metric(self.cfg.metric.clone())
+            .budget(self.cfg.budget.clone())
+            .parallelism(self.cfg.parallelism)
+    }
+
+    /// Schedules one live scenario through the configured scheduler:
+    /// schedule cache first, then the incremental-rescheduling fast path
+    /// (previous round's placement re-evaluated when only batch sizes
+    /// changed), then the full [`Scheduler::schedule`]. Returns a shared
+    /// pointer so cache hits stay allocation-free.
     ///
     /// Incremental results are cached like searched ones, so a recurring
     /// batch variant pays the seeded re-evaluation once and is an O(1) hit
     /// afterwards — an entry memoizes the round's outcome, not specifically
     /// a full search (see the [`crate::cache`] docs).
     fn schedule_live(&mut self, live: &Scenario) -> Result<Rc<ScheduleResult>, ScheduleError> {
-        let (key, shape) = fingerprints(
+        // probe by reference: the owned request is only built on a miss,
+        // so cache hits stay allocation-free
+        let (key, shape) = fingerprint_parts(
             live,
             self.mcm,
             &self.cfg.metric,
-            self.cfg.nsplits,
-            &self.cfg.search,
             &self.cfg.budget,
+            self.scheduler.as_ref(),
         );
         // the batch-insensitive shape seeds/probes the incremental path
         let shape = self.incremental_enabled().then_some(shape);
@@ -326,10 +407,11 @@ impl<'a> ServeSim<'a> {
                 return Ok(hit);
             }
         }
-        let result = match shape.and_then(|s| self.reschedule_incremental(live, s)) {
+        let request = self.schedule_request(live);
+        let result = match shape.and_then(|s| self.reschedule_incremental(&request, s)) {
             Some(reused) => Rc::new(reused),
             None => {
-                let searched = Rc::new(self.schedule_fresh(live)?);
+                let searched = Rc::new(self.scheduler.schedule(&self.session, &request)?);
                 self.incremental_chain = 0;
                 searched
             }
@@ -347,9 +429,13 @@ impl<'a> ServeSim<'a> {
     /// the same shape (same models on the same configuration — only batch
     /// sizes differ), re-evaluate its schedule instance as a seeded
     /// candidate. `None` when shapes differ, the staleness chain hit
-    /// [`ServeConfig::max_incremental_chain`], or the seed no longer
-    /// validates.
-    fn reschedule_incremental(&mut self, live: &Scenario, shape: u64) -> Option<ScheduleResult> {
+    /// [`ServeConfig::max_incremental_chain`], or the scheduler declines
+    /// the seed ([`Scheduler::reschedule`]).
+    fn reschedule_incremental(
+        &mut self,
+        request: &ScheduleRequest,
+        shape: u64,
+    ) -> Option<ScheduleResult> {
         if self.incremental_chain >= self.cfg.max_incremental_chain {
             return None;
         }
@@ -358,43 +444,22 @@ impl<'a> ServeSim<'a> {
             return None;
         }
         let result = self
-            .scar()
-            .evaluate_seeded(live, self.mcm, &self.db, last_result.schedule())
-            .ok()?;
+            .scheduler
+            .reschedule(&self.session, request, last_result.schedule())?;
         self.incremental_chain += 1;
         self.incremental_reschedules += 1;
         Some(result)
     }
 
-    /// The configured SCAR scheduler.
-    fn scar(&self) -> Scar {
-        Scar::builder()
-            .metric(self.cfg.metric.clone())
-            .nsplits(self.cfg.nsplits)
-            .search(self.cfg.search.clone())
-            .budget(self.cfg.budget.clone())
-            .parallelism(self.cfg.parallelism)
-            .build()
-    }
-
-    /// Runs the configured policy directly (no cache, no incremental
+    /// Runs the configured scheduler directly (no cache, no incremental
     /// reuse): what both fast paths must be benchmarked against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the scheduler's [`ScheduleError`].
     pub fn schedule_fresh(&self, live: &Scenario) -> Result<ScheduleResult, ScheduleError> {
-        match self.cfg.policy {
-            ServePolicy::Scar => self.scar().schedule_with_db(live, self.mcm, &self.db),
-            ServePolicy::Standalone => baselines::standalone(
-                live,
-                self.mcm,
-                self.cfg.metric.clone(),
-                self.cfg.parallelism,
-            ),
-            ServePolicy::NnBaton => baselines::nn_baton(
-                live,
-                self.mcm,
-                self.cfg.metric.clone(),
-                self.cfg.parallelism,
-            ),
-        }
+        self.scheduler
+            .schedule(&self.session, &self.schedule_request(live))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -438,7 +503,7 @@ impl<'a> ServeSim<'a> {
             .collect();
         ServeReport {
             mix_name: mix.name.clone(),
-            policy_name: format!("{} on {}", self.cfg.policy.name(), self.mcm.name()),
+            policy_name: format!("{} on {}", self.scheduler.name(), self.mcm.name()),
             makespan_s,
             completed: completions.len(),
             windows_scheduled,
@@ -488,6 +553,8 @@ mod tests {
             report.per_stream.iter().map(|s| s.completed).sum::<usize>(),
             offered
         );
+        // the serving loop reuses one session-wide cost database
+        assert!(sim.session().cached_costs() > 0);
     }
 
     #[test]
@@ -521,14 +588,50 @@ mod tests {
     fn baseline_policies_serve_too() {
         let mcm = sim_mcm();
         for policy in [ServePolicy::Standalone, ServePolicy::NnBaton] {
-            let cfg = ServeConfig {
-                policy: policy.clone(),
-                ..ServeConfig::default()
-            };
-            let mut sim = ServeSim::new(&mcm, cfg);
+            let mut sim = ServeSim::with_policy(&mcm, policy.clone(), ServeConfig::default());
             let report = sim.run(&TrafficMix::arvr(2), 0.05).unwrap();
             assert!(report.completed > 0, "{policy:?}");
+            assert!(
+                report.policy_name.starts_with(policy.name()),
+                "{policy:?} must be named in {:?}",
+                report.policy_name
+            );
         }
+    }
+
+    /// A scheduler defined outside the crate serves through the same loop
+    /// as the built-ins — the point of holding a `Box<dyn Scheduler>`.
+    #[test]
+    fn custom_boxed_scheduler_serves() {
+        struct AlwaysStandalone(Standalone);
+        impl Scheduler for AlwaysStandalone {
+            fn name(&self) -> &str {
+                "custom-standalone"
+            }
+            fn schedule(
+                &self,
+                session: &Session,
+                request: &ScheduleRequest,
+            ) -> Result<ScheduleResult, ScheduleError> {
+                self.0.schedule(session, request)
+            }
+        }
+        let mcm = sim_mcm();
+        let mut sim = ServeSim::with_scheduler(
+            &mcm,
+            Box::new(AlwaysStandalone(Standalone::new())),
+            ServeConfig::default(),
+        );
+        let report = sim.run(&TrafficMix::arvr(2), 0.05).unwrap();
+        assert!(report.completed > 0);
+        assert!(report.policy_name.starts_with("custom-standalone"));
+        // identical outcomes to the built-in Standalone policy: the
+        // wrapper changes only the fingerprint identity
+        let mut builtin =
+            ServeSim::with_policy(&mcm, ServePolicy::Standalone, ServeConfig::default());
+        let b = builtin.run(&TrafficMix::arvr(2), 0.05).unwrap();
+        assert_eq!(report.latency, b.latency);
+        assert_eq!(report.energy_j, b.energy_j);
     }
 
     #[test]
@@ -606,6 +709,22 @@ mod tests {
             ..ServeConfig::default()
         };
         let mut sim = ServeSim::new(&mcm, cfg);
+        let report = sim.run(&TrafficMix::arvr(1), 0.1).unwrap();
+        assert_eq!(report.incremental_reschedules, 0);
+    }
+
+    #[test]
+    fn baselines_never_take_the_incremental_path() {
+        // Standalone does not support rescheduling, so even with the
+        // incremental knob on and the cache off, every round is scheduled
+        // fresh through the trait
+        let mcm = sim_mcm();
+        let cfg = ServeConfig {
+            use_cache: false,
+            incremental: true,
+            ..ServeConfig::default()
+        };
+        let mut sim = ServeSim::with_policy(&mcm, ServePolicy::Standalone, cfg);
         let report = sim.run(&TrafficMix::arvr(1), 0.1).unwrap();
         assert_eq!(report.incremental_reschedules, 0);
     }

@@ -271,6 +271,25 @@ impl TrafficMix {
     pub fn offered_rps(&self) -> f64 {
         self.streams.iter().map(|s| s.arrivals.rate_hz()).sum()
     }
+
+    /// The live [`Scenario`](scar_workloads::Scenario) the serving loop
+    /// forms when every stream has exactly one queued request — the
+    /// canonical recurring round of a frame mix. Useful for persisting a
+    /// representative schedule of the mix (e.g. as a
+    /// [`scar_core::ScheduleArtifact`]) without running the loop.
+    pub fn unit_scenario(&self) -> scar_workloads::Scenario {
+        scar_workloads::Scenario::new(
+            format!("{} unit round", self.name),
+            self.use_case,
+            self.streams
+                .iter()
+                .map(|s| scar_workloads::ScenarioModel {
+                    model: s.model.clone(),
+                    batch: s.samples_per_request,
+                })
+                .collect(),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -76,7 +76,7 @@ pub fn resnet_backbone(name: &str, input_hw: u64, in_ch: u64) -> Model {
     b.build()
 }
 
-/// ResNet-50 for 224×224×3 ImageNet classification (He et al. [24]).
+/// ResNet-50 for 224×224×3 ImageNet classification (He et al. \[24\]).
 ///
 /// 66 scheduling units, matching Table VI: `conv1` + 16 bottleneck blocks ×
 /// 4 units (three convolutions plus either the projection shortcut or the
@@ -111,7 +111,7 @@ fn inception(
         .conv(format!("{tag}.pool_proj"), hw, in_ch, pp, 1, 1)
 }
 
-/// GoogleNet (Inception v1) for 224×224×3 classification (Szegedy et al. [67]).
+/// GoogleNet (Inception v1) for 224×224×3 classification (Szegedy et al. \[67\]).
 ///
 /// 3 stem convolutions, 9 inception modules (6 convs each), 3 inter-stage
 /// pools, and the classifier GEMM: 61 scheduling units.

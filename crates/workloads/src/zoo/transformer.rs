@@ -42,7 +42,7 @@ pub fn transformer_encoder(
     b.build()
 }
 
-/// GPT-L: a GPT-2-style decoder (Radford et al. [60]) at sequence length 128.
+/// GPT-L: a GPT-2-style decoder (Radford et al. \[60\]) at sequence length 128.
 ///
 /// 20 blocks × 6 units = 120 scheduling units, matching Table VI.
 /// d_model = 1280 and d_ff = 4·d follow the GPT-2-Large configuration; the
@@ -51,7 +51,7 @@ pub fn gpt_l() -> Model {
     transformer_encoder("GPT-L", 20, 1280, 20, 5120, 128)
 }
 
-/// BERT-L: a BERT-Large-style encoder (Devlin et al. [15]) at sequence
+/// BERT-L: a BERT-Large-style encoder (Devlin et al. \[15\]) at sequence
 /// length 128.
 ///
 /// 10 blocks × 6 units = 60 scheduling units, matching Table VI; d_model =
@@ -60,13 +60,13 @@ pub fn bert_large() -> Model {
     transformer_encoder("BERT-L", 10, 1024, 16, 4096, 128)
 }
 
-/// BERT-base encoder (Devlin et al. [15]): 12 blocks, d_model = 768,
+/// BERT-base encoder (Devlin et al. \[15\]): 12 blocks, d_model = 768,
 /// sequence length 128 → 72 scheduling units.
 pub fn bert_base() -> Model {
     transformer_encoder("BERT-base", 12, 768, 12, 3072, 128)
 }
 
-/// Emformer streaming speech-recognition transformer (Shi et al. [66]).
+/// Emformer streaming speech-recognition transformer (Shi et al. \[66\]).
 ///
 /// Streaming segment of 64 frames, 12 blocks, d_model = 512: the
 /// low-sequence-length, GEMM-dominated profile of XRBench's audio pipeline.

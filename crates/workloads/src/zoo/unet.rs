@@ -1,4 +1,4 @@
-//! U-Net medical image segmentation (Ronneberger et al. [63]).
+//! U-Net medical image segmentation (Ronneberger et al. \[63\]).
 
 use crate::{Model, ModelBuilder};
 

@@ -1,4 +1,4 @@
-//! XRBench AR/VR model suite (Kwon et al. [38]).
+//! XRBench AR/VR model suite (Kwon et al. \[38\]).
 //!
 //! XRBench distributes task definitions, not exact layer lists; these
 //! architectures follow the cited backbone families (FBNet-style detector,
@@ -32,7 +32,7 @@ fn inverted_residual(
     b
 }
 
-/// D2GO mobile object detector (Meta [46]) at 320×320×3.
+/// D2GO mobile object detector (Meta \[46\]) at 320×320×3.
 ///
 /// FBNet-style inverted-residual backbone plus an SSD-like detection head.
 pub fn d2go() -> Model {
@@ -71,7 +71,7 @@ pub fn d2go() -> Model {
         .build()
 }
 
-/// PlaneRCNN plane detection (Liu et al. [41]): ResNet-50-FPN backbone at
+/// PlaneRCNN plane detection (Liu et al. \[41\]): ResNet-50-FPN backbone at
 /// 512×512 plus RPN and mask/plane heads.
 pub fn plane_rcnn() -> Model {
     let (mut b, hw) = resnet_trunk(ModelBuilder::new("PlaneRCNN"), 512, 3);
@@ -98,7 +98,7 @@ pub fn plane_rcnn() -> Model {
         .build()
 }
 
-/// MiDaS monocular depth estimation (Ranftl et al. [61]): ResNet-50 encoder
+/// MiDaS monocular depth estimation (Ranftl et al. \[61\]): ResNet-50 encoder
 /// at 256×256 with a 4-level refinement decoder.
 pub fn midas() -> Model {
     let (mut b, hw) = resnet_trunk(ModelBuilder::new("MiDaS"), 256, 3);
@@ -123,7 +123,7 @@ pub fn midas() -> Model {
 }
 
 /// HRViT hybrid vision transformer for semantic segmentation
-/// (Facebook Research [17]) at 512×512: convolutional stem and patch
+/// (Facebook Research \[17\]) at 512×512: convolutional stem and patch
 /// embeddings interleaved with windowed-attention transformer blocks —
 /// the most operator-heterogeneous XR workload.
 pub fn hrvit() -> Model {
@@ -162,7 +162,7 @@ pub fn hrvit() -> Model {
         .build()
 }
 
-/// 3-D hand shape/pose estimation (Ge et al. [20]) at 224×224×3:
+/// 3-D hand shape/pose estimation (Ge et al. \[20\]) at 224×224×3:
 /// ResNet-18-style encoder with pose and shape regression heads.
 pub fn hand_sp() -> Model {
     let mut b = ModelBuilder::new("Hand-S/P").conv("conv1", 224, 3, 64, 7, 2); // -> 56 (pool folded)
@@ -202,7 +202,7 @@ pub fn hand_sp() -> Model {
         .build()
 }
 
-/// EyeCod gaze estimation (You et al. [75]) at 128×128×1: compact CNN with
+/// EyeCod gaze estimation (You et al. \[75\]) at 128×128×1: compact CNN with
 /// a regression head — the lightest XR workload.
 pub fn eyecod() -> Model {
     ModelBuilder::new("EyeCod")
@@ -217,7 +217,7 @@ pub fn eyecod() -> Model {
         .build()
 }
 
-/// Sparse-to-dense depth refinement (Ma & Karaman [44]) at 224×224:
+/// Sparse-to-dense depth refinement (Ma & Karaman \[44\]) at 224×224:
 /// encoder-decoder over RGB + sparse-depth input.
 pub fn sp2dense() -> Model {
     let mut b = ModelBuilder::new("Sp2Dense").conv("conv1", 224, 4, 64, 7, 2); // -> 56 (pool folded)

@@ -7,7 +7,7 @@
 //! cargo run --release --example arvr_pipeline
 //! ```
 
-use scar::core::{OptMetric, Scar};
+use scar::core::{OptMetric, Scar, ScheduleRequest, Scheduler, Session};
 use scar::mcm::templates::{het_sides_3x3, Profile};
 use scar::workloads::{zoo, Scenario, ScenarioModel, UseCase};
 
@@ -39,11 +39,15 @@ fn main() {
     println!("workload: {scenario}");
     println!("hardware: {mcm}\n");
 
+    // one session across all three searches: the per-layer costs depend on
+    // neither the metric nor the schedule, so they are computed exactly once
+    let session = Session::new();
+    let scar = Scar::with_defaults();
+    let request = ScheduleRequest::new(scenario.clone(), mcm.clone());
+
     for metric in [OptMetric::Latency, OptMetric::Energy, OptMetric::Edp] {
-        let r = Scar::builder()
-            .metric(metric.clone())
-            .build()
-            .schedule(&scenario, &mcm)
+        let r = scar
+            .schedule(&session, &request.clone().metric(metric.clone()))
             .expect("fits");
         let t = r.total();
         println!(
@@ -57,10 +61,8 @@ fn main() {
     }
 
     println!("\nper-window anatomy of the EDP schedule:");
-    let r = Scar::builder()
-        .metric(OptMetric::Edp)
-        .build()
-        .schedule(&scenario, &mcm)
+    let r = scar
+        .schedule(&session, &request.clone().metric(OptMetric::Edp))
         .expect("fits");
     for w in r.windows() {
         let models: Vec<String> = w

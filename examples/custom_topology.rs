@@ -7,7 +7,7 @@
 //! cargo run --release --example custom_topology
 //! ```
 
-use scar::core::{OptMetric, Scar};
+use scar::core::{OptMetric, Scar, ScheduleRequest, Scheduler, Session};
 use scar::maestro::{ChipletConfig, Dataflow};
 use scar::mcm::parse as mcm_parse;
 use scar::mcm::{McmConfig, NopTopology};
@@ -78,11 +78,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- schedule ---
+    let session = Session::new();
+    let request = ScheduleRequest::new(scenario, mcm.clone()).metric(OptMetric::Edp);
     let r = Scar::builder()
-        .metric(OptMetric::Edp)
         .nsplits(2)
         .build()
-        .schedule(&scenario, &mcm)?;
+        .schedule(&session, &request)?;
     let t = r.total();
     println!(
         "EDP schedule: latency {:.3} ms, energy {:.3} mJ, EDP {:.3e} J*s",

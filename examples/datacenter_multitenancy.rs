@@ -2,12 +2,16 @@
 //! GPT-L + BERT-L + U-Net + ResNet-50) across MCM strategies, reproducing
 //! the §V-B comparison at example scale.
 //!
+//! Every strategy — the Standalone baseline and SCAR on four packages —
+//! runs through the same `Scheduler` trait over one `Session`, so the
+//! MAESTRO cost database is built once for the whole comparison.
+//!
 //! ```sh
 //! cargo run --release --example datacenter_multitenancy
 //! ```
 
-use scar::core::baselines;
-use scar::core::{OptMetric, Parallelism, Scar};
+use scar::core::baselines::Standalone;
+use scar::core::{OptMetric, Scar, ScheduleRequest, Scheduler, Session};
 use scar::maestro::Dataflow;
 use scar::mcm::templates::{het_cb_3x3, het_sides_3x3, simba_3x3, Profile};
 use scar::workloads::Scenario;
@@ -20,10 +24,13 @@ fn main() {
         "strategy", "latency (s)", "energy (J)", "EDP (J*s)"
     );
 
+    let session = Session::new();
+    let request = |mcm| ScheduleRequest::new(scenario.clone(), mcm).metric(OptMetric::Edp);
+
     // standalone baselines: one chiplet per model, homogeneous dataflow
     for df in [Dataflow::ShidiannaoLike, Dataflow::NvdlaLike] {
-        let mcm = simba_3x3(Profile::Datacenter, df);
-        let r = baselines::standalone(&scenario, &mcm, OptMetric::Edp, Parallelism::Auto)
+        let r = Standalone::new()
+            .schedule(&session, &request(simba_3x3(Profile::Datacenter, df)))
             .expect("fits");
         let t = r.total();
         println!(
@@ -36,14 +43,14 @@ fn main() {
     }
 
     // SCAR on homogeneous and heterogeneous packages
-    let scar = Scar::builder().metric(OptMetric::Edp).build();
+    let scar = Scar::with_defaults();
     for mcm in [
         simba_3x3(Profile::Datacenter, Dataflow::ShidiannaoLike),
         simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike),
         het_cb_3x3(Profile::Datacenter),
         het_sides_3x3(Profile::Datacenter),
     ] {
-        let r = scar.schedule(&scenario, &mcm).expect("fits");
+        let r = scar.schedule(&session, &request(mcm)).expect("fits");
         let t = r.total();
         println!(
             "{:<24} {:>12.4} {:>12.4} {:>14.4}",
@@ -54,7 +61,11 @@ fn main() {
         );
     }
 
-    println!("\nexpected shape: NVDLA-based strategies dominate the LM-heavy work;");
+    println!(
+        "\ncost database: {} layer entries shared across all 6 strategies",
+        session.cached_costs()
+    );
+    println!("expected shape: NVDLA-based strategies dominate the LM-heavy work;");
     println!("heterogeneous packages close the gap by offloading U-Net/ResNet to");
     println!("Shidiannao-like chiplets (compare the energy column).");
 }

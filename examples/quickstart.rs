@@ -1,27 +1,32 @@
 //! Quickstart: schedule a two-model workload on a heterogeneous 3×3 MCM
-//! and print what SCAR decided.
+//! through the `Scheduler` trait and print what SCAR decided.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use scar::core::{OptMetric, Scar};
+use scar::core::baselines::{NnBaton, Standalone};
+use scar::core::{OptMetric, Scar, ScheduleRequest, Scheduler, Session};
 use scar::mcm::templates::{het_sides_3x3, Profile};
 use scar::workloads::Scenario;
 
 fn main() {
-    // Table III scenario 1: GPT-L (batch 1) + BERT-L (batch 3).
+    // Table III scenario 1: GPT-L (batch 1) + BERT-L (batch 3),
+    // on a 3×3 package: NVDLA-like side columns, Shidiannao-like middle.
     let scenario = Scenario::datacenter(1);
-    // A 3×3 package: NVDLA-like side columns, Shidiannao-like middle.
     let mcm = het_sides_3x3(Profile::Datacenter);
-
     println!("scheduling {scenario}\n        on {mcm}\n");
 
-    let result = Scar::builder()
-        .metric(OptMetric::Edp) // the paper's default target
+    // a session owns the shared MAESTRO cost database: every schedule
+    // below reuses the same memoized per-layer costs
+    let session = Session::new();
+    let request = ScheduleRequest::new(scenario, mcm.clone()).metric(OptMetric::Edp); // the paper's default target
+
+    let scar = Scar::builder()
         .nsplits(4) // up to 5 time windows
-        .build()
-        .schedule(&scenario, &mcm)
+        .build();
+    let result = scar
+        .schedule(&session, &request)
         .expect("scenario fits the package");
 
     let totals = result.total();
@@ -58,5 +63,22 @@ fn main() {
         "\nthe search evaluated {} candidate schedules; Pareto front has {} points",
         result.candidates().len(),
         result.pareto_front().len()
+    );
+
+    // the paper's baselines answer the same request through the same trait
+    println!("\nbaselines on the identical request (shared cost database):");
+    let schedulers: [&dyn Scheduler; 2] = [&Standalone, &NnBaton { start: 0 }];
+    for s in schedulers {
+        let r = s.schedule(&session, &request).expect("baselines fit too");
+        println!(
+            "    {:10} latency {:.3} ms, EDP {:.3e} J*s",
+            s.name(),
+            r.total().latency_s * 1e3,
+            r.total().edp()
+        );
+    }
+    println!(
+        "\nsession cost database: {} memoized layer entries after 3 schedulers",
+        session.cached_costs()
     );
 }

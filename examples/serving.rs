@@ -34,19 +34,14 @@ fn main() {
         r2.deadline_misses, r2.deadline_bound, report.deadline_misses, report.deadline_bound
     );
 
-    // policy comparison under identical traffic
+    // policy comparison under identical traffic: every policy is a boxed
+    // `Scheduler` behind the same serving loop
     for policy in [
         ServePolicy::Scar,
         ServePolicy::Standalone,
         ServePolicy::NnBaton,
     ] {
-        let mut sim = ServeSim::new(
-            &mcm,
-            ServeConfig {
-                policy: policy.clone(),
-                ..ServeConfig::default()
-            },
-        );
+        let mut sim = ServeSim::with_policy(&mcm, policy.clone(), ServeConfig::default());
         let r = sim.run(&mix, 0.5).expect("every policy fits this mix");
         println!(
             "{:<12} throughput {:>6.1} req/s | p99 {:>8.2} ms | miss rate {:>5.1}% | energy {:.3} J",

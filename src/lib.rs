@@ -20,18 +20,25 @@
 //!
 //! # Quickstart: one offline schedule
 //!
+//! Every scheduler (SCAR and the paper baselines) implements
+//! [`core::Scheduler`] and answers a [`core::ScheduleRequest`] over a
+//! [`core::Session`] — the session owns the shared MAESTRO cost database,
+//! so repeated calls never recompute per-layer costs:
+//!
 //! ```
-//! use scar::core::{OptMetric, Scar};
+//! use scar::core::{OptMetric, Scar, ScheduleRequest, Scheduler, Session};
 //! use scar::mcm::templates;
 //! use scar::workloads::Scenario;
 //!
 //! // Schedule the paper's Scenario 1 on a 3×3 heterogeneous Het-Sides MCM.
-//! let scenario = Scenario::datacenter(1);
-//! let mcm = templates::het_sides_3x3(templates::Profile::Datacenter);
-//! let result = Scar::builder()
-//!     .metric(OptMetric::Edp)
-//!     .build()
-//!     .schedule(&scenario, &mcm)
+//! let session = Session::new();
+//! let request = ScheduleRequest::new(
+//!     Scenario::datacenter(1),
+//!     templates::het_sides_3x3(templates::Profile::Datacenter),
+//! )
+//! .metric(OptMetric::Edp);
+//! let result = Scar::with_defaults()
+//!     .schedule(&session, &request)
 //!     .expect("scheduling succeeds");
 //! assert!(result.total().latency_s > 0.0);
 //! ```

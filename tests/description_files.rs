@@ -2,7 +2,7 @@
 //! round-trips of workloads and MCM hardware, and scheduling from parsed
 //! descriptions.
 
-use scar::core::{OptMetric, Scar, SearchBudget};
+use scar::core::{OptMetric, Scar, ScheduleRequest, Scheduler, SearchBudget, Session};
 use scar::maestro::{ChipletConfig, Dataflow};
 use scar::mcm::templates::{het_sides_3x3, Profile};
 use scar::mcm::{parse as mcm_parse, McmConfig, NopTopology};
@@ -35,9 +35,11 @@ fn mcm_roundtrip_preserves_scheduling_results() {
     let json = mcm_parse::mcm_to_json(&mcm).unwrap();
     let parsed = mcm_parse::mcm_from_json(&json).unwrap();
 
-    let scar = Scar::builder().budget(quick()).build();
-    let a = scar.schedule(&sc, &mcm).unwrap();
-    let b = scar.schedule(&sc, &parsed).unwrap();
+    let session = Session::new();
+    let scar = Scar::with_defaults();
+    let request = |mcm: &McmConfig| ScheduleRequest::new(sc.clone(), mcm.clone()).budget(quick());
+    let a = scar.schedule(&session, &request(&mcm)).unwrap();
+    let b = scar.schedule(&session, &request(&parsed)).unwrap();
     assert_eq!(a.schedule(), b.schedule());
     assert_eq!(a.total(), b.total());
 }
@@ -54,11 +56,13 @@ fn scheduling_from_files_on_disk() {
 
     let sc = wl_parse::load_scenario(&sc_path).unwrap();
     let mcm = mcm_parse::load_mcm(&mcm_path).unwrap();
-    let r = Scar::builder()
-        .metric(OptMetric::Edp)
-        .budget(quick())
-        .build()
-        .schedule(&sc, &mcm)
+    let r = Scar::with_defaults()
+        .schedule(
+            &Session::new(),
+            &ScheduleRequest::new(sc, mcm)
+                .metric(OptMetric::Edp)
+                .budget(quick()),
+        )
         .unwrap();
     assert!(r.total().edp() > 0.0);
 }

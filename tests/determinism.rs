@@ -8,7 +8,8 @@
 //! the parallelism knob from schedule-cache fingerprints.
 
 use scar::core::{
-    EvoParams, OptMetric, Parallelism, Scar, ScheduleResult, SearchBudget, SearchKind,
+    EvoParams, OptMetric, Parallelism, Scar, ScheduleRequest, ScheduleResult, Scheduler,
+    SearchBudget, SearchKind, Session,
 };
 use scar::mcm::templates::{het_cross_6x6, het_sides_3x3, Profile};
 use scar::mcm::McmConfig;
@@ -32,13 +33,14 @@ fn schedule(
     metric: OptMetric,
     parallelism: Parallelism,
 ) -> ScheduleResult {
-    Scar::builder()
+    let request = ScheduleRequest::new(sc.clone(), mcm.clone())
         .metric(metric)
+        .budget(quick_budget(parallelism));
+    Scar::builder()
         .nsplits(2)
         .search(kind)
-        .budget(quick_budget(parallelism))
         .build()
-        .schedule(sc, mcm)
+        .schedule(&Session::new(), &request)
         .expect("scenario schedules")
 }
 

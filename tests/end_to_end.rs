@@ -1,10 +1,14 @@
 //! End-to-end integration tests: full SCAR runs across templates and
 //! scenarios, baseline orderings, determinism, and schedule validity.
 
-use scar::core::baselines;
-use scar::core::{EvoParams, OptMetric, Parallelism, Scar, SearchBudget, SearchKind};
+use scar::core::baselines::{NnBaton, Standalone};
+use scar::core::{
+    EvoParams, OptMetric, Scar, ScheduleError, ScheduleRequest, ScheduleResult, Scheduler,
+    SearchBudget, SearchKind, Session,
+};
 use scar::maestro::Dataflow;
 use scar::mcm::templates::{self, Profile};
+use scar::mcm::McmConfig;
 use scar::workloads::Scenario;
 
 fn quick() -> SearchBudget {
@@ -15,6 +19,18 @@ fn quick() -> SearchBudget {
         max_candidates_per_window: 300,
         ..SearchBudget::default()
     }
+}
+
+fn request(sc: &Scenario, mcm: &McmConfig) -> ScheduleRequest {
+    ScheduleRequest::new(sc.clone(), mcm.clone()).budget(quick())
+}
+
+fn run(
+    scheduler: &dyn Scheduler,
+    sc: &Scenario,
+    mcm: &McmConfig,
+) -> Result<ScheduleResult, ScheduleError> {
+    scheduler.schedule(&Session::new(), &request(sc, mcm))
 }
 
 #[test]
@@ -28,10 +44,7 @@ fn every_3x3_template_schedules_scenario_1() {
         templates::simba_t_3x3(Profile::Datacenter, Dataflow::NvdlaLike),
         templates::het_t_3x3(Profile::Datacenter),
     ] {
-        let r = Scar::builder()
-            .budget(quick())
-            .build()
-            .schedule(&sc, &mcm)
+        let r = run(&Scar::with_defaults(), &sc, &mcm)
             .unwrap_or_else(|e| panic!("{}: {e}", mcm.name()));
         r.schedule()
             .validate(&sc, mcm.num_chiplets())
@@ -46,11 +59,7 @@ fn every_arvr_scenario_schedules_on_het_sides() {
     for n in 6..=10 {
         let sc = Scenario::arvr(n);
         let mcm = templates::het_sides_3x3(Profile::ArVr);
-        let r = Scar::builder()
-            .budget(quick())
-            .build()
-            .schedule(&sc, &mcm)
-            .unwrap_or_else(|e| panic!("Sc{n}: {e}"));
+        let r = run(&Scar::with_defaults(), &sc, &mcm).unwrap_or_else(|e| panic!("Sc{n}: {e}"));
         r.schedule().validate(&sc, 9).unwrap();
     }
 }
@@ -59,13 +68,11 @@ fn every_arvr_scenario_schedules_on_het_sides() {
 fn six_by_six_evolutionary_schedules_scenario_4() {
     let sc = Scenario::datacenter(4);
     let mcm = templates::het_cross_6x6(Profile::Datacenter);
-    let r = Scar::builder()
+    let scar = Scar::builder()
         .nsplits(2)
         .search(SearchKind::Evolutionary(EvoParams::default()))
-        .budget(quick())
-        .build()
-        .schedule(&sc, &mcm)
-        .expect("6x6 feasible");
+        .build();
+    let r = run(&scar, &sc, &mcm).expect("6x6 feasible");
     r.schedule().validate(&sc, 36).unwrap();
 }
 
@@ -75,12 +82,14 @@ fn scar_beats_nn_baton_on_multi_model_workloads() {
     // beats sequential single-model scheduling
     let sc = Scenario::datacenter(1);
     let mcm = templates::het_sides_3x3(Profile::Datacenter);
-    let scar = Scar::builder()
-        .budget(quick())
-        .build()
-        .schedule(&sc, &mcm)
+    // one shared session for both schedulers, as a serving system would use
+    let session = Session::new();
+    let scar = Scar::with_defaults()
+        .schedule(&session, &request(&sc, &mcm))
         .unwrap();
-    let baton = baselines::nn_baton(&sc, &mcm, OptMetric::Edp, Parallelism::Serial).unwrap();
+    let baton = NnBaton::new()
+        .schedule(&session, &request(&sc, &mcm))
+        .unwrap();
     assert!(
         scar.total().edp() < baton.total().edp(),
         "SCAR {} !< NN-baton {}",
@@ -93,18 +102,16 @@ fn scar_beats_nn_baton_on_multi_model_workloads() {
 fn nvdla_standalone_wins_lm_scenarios() {
     // Table IV shape: Sc1 (LM-only) strongly favors the NVDLA dataflow
     let sc = Scenario::datacenter(1);
-    let shi = baselines::standalone(
+    let shi = run(
+        &Standalone::new(),
         &sc,
         &templates::simba_3x3(Profile::Datacenter, Dataflow::ShidiannaoLike),
-        OptMetric::Edp,
-        Parallelism::Serial,
     )
     .unwrap();
-    let nvd = baselines::standalone(
+    let nvd = run(
+        &Standalone::new(),
         &sc,
         &templates::simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike),
-        OptMetric::Edp,
-        Parallelism::Serial,
     )
     .unwrap();
     assert!(nvd.total().edp() * 4.0 < shi.total().edp());
@@ -114,18 +121,16 @@ fn nvdla_standalone_wins_lm_scenarios() {
 fn shi_based_schedules_win_the_social_arvr_scenario() {
     // Table V shape: Sc9 (EyeCod + Hand S/P + Sp2Dense) favors Shi/het
     let sc = Scenario::arvr(9);
-    let shi = baselines::standalone(
+    let shi = run(
+        &Standalone::new(),
         &sc,
         &templates::simba_3x3(Profile::ArVr, Dataflow::ShidiannaoLike),
-        OptMetric::Edp,
-        Parallelism::Serial,
     )
     .unwrap();
-    let nvd = baselines::standalone(
+    let nvd = run(
+        &Standalone::new(),
         &sc,
         &templates::simba_3x3(Profile::ArVr, Dataflow::NvdlaLike),
-        OptMetric::Edp,
-        Parallelism::Serial,
     )
     .unwrap();
     assert!(shi.total().edp() < nvd.total().edp());
@@ -135,9 +140,9 @@ fn shi_based_schedules_win_the_social_arvr_scenario() {
 fn results_are_deterministic_across_runs() {
     let sc = Scenario::arvr(10);
     let mcm = templates::het_cb_3x3(Profile::ArVr);
-    let scar = Scar::builder().budget(quick()).build();
-    let a = scar.schedule(&sc, &mcm).unwrap();
-    let b = scar.schedule(&sc, &mcm).unwrap();
+    let scar = Scar::with_defaults();
+    let a = run(&scar, &sc, &mcm).unwrap();
+    let b = run(&scar, &sc, &mcm).unwrap();
     assert_eq!(a.schedule(), b.schedule());
     assert_eq!(a.total(), b.total());
 }
@@ -147,10 +152,11 @@ fn different_seeds_explore_different_candidates() {
     let sc = Scenario::datacenter(2);
     let mcm = templates::het_sides_3x3(Profile::Datacenter);
     let run = |seed: u64| {
-        Scar::builder()
-            .budget(SearchBudget { seed, ..quick() })
-            .build()
-            .schedule(&sc, &mcm)
+        Scar::with_defaults()
+            .schedule(
+                &Session::new(),
+                &request(&sc, &mcm).budget(SearchBudget { seed, ..quick() }),
+            )
             .unwrap()
             .candidates()
             .len()
@@ -166,17 +172,12 @@ fn custom_metric_is_honored() {
     let sc = Scenario::datacenter(1);
     let mcm = templates::simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
     let custom = OptMetric::Custom(std::sync::Arc::new(|t| t.latency_s));
-    let a = Scar::builder()
-        .metric(custom)
-        .budget(quick())
-        .build()
-        .schedule(&sc, &mcm)
+    let session = Session::new();
+    let a = Scar::with_defaults()
+        .schedule(&session, &request(&sc, &mcm).metric(custom))
         .unwrap();
-    let b = Scar::builder()
-        .metric(OptMetric::Latency)
-        .budget(quick())
-        .build()
-        .schedule(&sc, &mcm)
+    let b = Scar::with_defaults()
+        .schedule(&session, &request(&sc, &mcm).metric(OptMetric::Latency))
         .unwrap();
     assert!((a.total().latency_s - b.total().latency_s).abs() < 1e-12);
 }
@@ -185,12 +186,7 @@ fn custom_metric_is_honored() {
 fn infeasible_scenarios_error_cleanly() {
     let sc = Scenario::datacenter(5); // 6 models
     let mcm = templates::het_2x2(Profile::Datacenter); // 4 chiplets
-    let err = Scar::builder()
-        .nsplits(0)
-        .budget(quick())
-        .build()
-        .schedule(&sc, &mcm)
-        .unwrap_err();
+    let err = run(&Scar::builder().nsplits(0).build(), &sc, &mcm).unwrap_err();
     assert!(err.to_string().contains("chiplets"));
 }
 
@@ -202,11 +198,9 @@ fn constrained_edp_search_respects_the_latency_bound() {
     // single window: the bound applies exactly end-to-end
     let run = |metric: OptMetric| {
         Scar::builder()
-            .metric(metric)
             .nsplits(0)
-            .budget(quick())
             .build()
-            .schedule(&sc, &mcm)
+            .schedule(&Session::new(), &request(&sc, &mcm).metric(metric))
             .unwrap()
             .total()
     };

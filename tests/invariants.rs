@@ -9,7 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use scar::core::{OptMetric, Scar, SearchBudget};
+use scar::core::{OptMetric, Scar, ScheduleRequest, Scheduler, SearchBudget, Session};
 use scar::maestro::{ChipletConfig, Dataflow};
 use scar::mcm::templates::{het_sides_3x3, Profile};
 use scar::mcm::{Loc, NopTopology};
@@ -87,9 +87,11 @@ fn emitted_schedules_are_always_valid() {
         let seed = rng.gen_range(0u64..1000);
         let r = Scar::builder()
             .nsplits(nsplits)
-            .budget(tiny_budget(seed))
             .build()
-            .schedule(&sc, &mcm)
+            .schedule(
+                &Session::new(),
+                &ScheduleRequest::new(sc.clone(), mcm.clone()).budget(tiny_budget(seed)),
+            )
             .expect("two models on nine chiplets is always feasible");
         r.schedule()
             .validate(&sc, mcm.num_chiplets())
@@ -108,11 +110,13 @@ fn winner_is_optimal_within_candidates() {
         let sc = random_scenario(&mut rng);
         let seed = rng.gen_range(0u64..1000);
         for metric in [OptMetric::Latency, OptMetric::Energy, OptMetric::Edp] {
-            let r = Scar::builder()
-                .metric(metric.clone())
-                .budget(tiny_budget(seed))
-                .build()
-                .schedule(&sc, &mcm)
+            let r = Scar::with_defaults()
+                .schedule(
+                    &Session::new(),
+                    &ScheduleRequest::new(sc.clone(), mcm.clone())
+                        .metric(metric.clone())
+                        .budget(tiny_budget(seed)),
+                )
                 .unwrap();
             let best = metric.score(&r.total());
             for c in r.candidates() {
@@ -140,10 +144,11 @@ fn pareto_front_is_sound() {
     for _ in 0..8 {
         let sc = random_scenario(&mut rng);
         let seed = rng.gen_range(0u64..1000);
-        let r = Scar::builder()
-            .budget(tiny_budget(seed))
-            .build()
-            .schedule(&sc, &mcm)
+        let r = Scar::with_defaults()
+            .schedule(
+                &Session::new(),
+                &ScheduleRequest::new(sc.clone(), mcm.clone()).budget(tiny_budget(seed)),
+            )
             .unwrap();
         let front = r.pareto_front();
         assert!(!front.is_empty());

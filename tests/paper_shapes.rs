@@ -1,8 +1,8 @@
 //! Shape tests pinning the qualitative findings of the paper's evaluation
 //! (§V-F "Summary of Results and Main Insights") at test scale.
 
-use scar::core::baselines;
-use scar::core::{OptMetric, PackingRule, Parallelism, Scar, SearchBudget};
+use scar::core::baselines::Standalone;
+use scar::core::{OptMetric, PackingRule, Scar, ScheduleRequest, Scheduler, SearchBudget, Session};
 use scar::maestro::{ChipletConfig, Dataflow};
 use scar::mcm::templates::{self, Profile};
 use scar::workloads::{zoo, LayerKind, Scenario};
@@ -15,6 +15,10 @@ fn quick() -> SearchBudget {
         max_candidates_per_window: 400,
         ..SearchBudget::default()
     }
+}
+
+fn request(sc: &Scenario, mcm: &scar::mcm::McmConfig) -> ScheduleRequest {
+    ScheduleRequest::new(sc.clone(), mcm.clone()).budget(quick())
 }
 
 /// Per-layer dataflow affinities that the heterogeneous MCM exploits.
@@ -64,20 +68,24 @@ fn dataflow_affinities_match_the_papers_motivation() {
 #[test]
 fn homogeneous_nvd_wins_light_datacenter_scenarios() {
     let sc = Scenario::datacenter(1);
-    let nvd = Scar::builder()
-        .budget(quick())
-        .build()
+    let session = Session::new();
+    let scar = Scar::with_defaults();
+    let nvd = scar
         .schedule(
-            &sc,
-            &templates::simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike),
+            &session,
+            &request(
+                &sc,
+                &templates::simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike),
+            ),
         )
         .unwrap();
-    let shi = Scar::builder()
-        .budget(quick())
-        .build()
+    let shi = scar
         .schedule(
-            &sc,
-            &templates::simba_3x3(Profile::Datacenter, Dataflow::ShidiannaoLike),
+            &session,
+            &request(
+                &sc,
+                &templates::simba_3x3(Profile::Datacenter, Dataflow::ShidiannaoLike),
+            ),
         )
         .unwrap();
     assert!(nvd.total().edp() * 5.0 < shi.total().edp());
@@ -88,17 +96,21 @@ fn homogeneous_nvd_wins_light_datacenter_scenarios() {
 #[test]
 fn heterogeneous_wins_diverse_arvr_scenario() {
     let sc = Scenario::arvr(9);
-    let het = Scar::builder()
-        .budget(quick())
-        .build()
-        .schedule(&sc, &templates::het_sides_3x3(Profile::ArVr))
-        .unwrap();
-    let nvd = Scar::builder()
-        .budget(quick())
-        .build()
+    let session = Session::new();
+    let scar = Scar::with_defaults();
+    let het = scar
         .schedule(
-            &sc,
-            &templates::simba_3x3(Profile::ArVr, Dataflow::NvdlaLike),
+            &session,
+            &request(&sc, &templates::het_sides_3x3(Profile::ArVr)),
+        )
+        .unwrap();
+    let nvd = scar
+        .schedule(
+            &session,
+            &request(
+                &sc,
+                &templates::simba_3x3(Profile::ArVr, Dataflow::NvdlaLike),
+            ),
         )
         .unwrap();
     assert!(
@@ -123,13 +135,14 @@ fn pipelining_beats_standalone_for_batched_vision_models() {
         }],
     );
     let mcm = templates::simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike);
-    let stand = baselines::standalone(&sc, &mcm, OptMetric::Latency, Parallelism::Serial).unwrap();
+    let session = Session::new();
+    let stand = Standalone::new()
+        .schedule(&session, &request(&sc, &mcm).metric(OptMetric::Latency))
+        .unwrap();
     let scar = Scar::builder()
-        .metric(OptMetric::Latency)
         .nsplits(0)
-        .budget(quick())
         .build()
-        .schedule(&sc, &mcm)
+        .schedule(&session, &request(&sc, &mcm).metric(OptMetric::Latency))
         .unwrap();
     assert!(
         scar.total().latency_s < stand.total().latency_s,
@@ -148,12 +161,12 @@ fn pipelining_beats_standalone_for_batched_vision_models() {
 fn packing_rules_both_produce_comparable_schedules() {
     let sc = Scenario::datacenter(4);
     let mcm = templates::het_sides_3x3(Profile::Datacenter);
+    let session = Session::new();
     let run = |rule| {
         let r = Scar::builder()
             .packing(rule)
-            .budget(quick())
             .build()
-            .schedule(&sc, &mcm)
+            .schedule(&session, &request(&sc, &mcm))
             .unwrap();
         r.schedule().validate(&sc, mcm.num_chiplets()).unwrap();
         r.total()

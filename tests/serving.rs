@@ -2,7 +2,7 @@
 //! cache correctness against fresh scheduling, generated-scenario serving,
 //! and cross-use-case behavior on real MCM templates.
 
-use scar::core::{OptMetric, Scar, SearchBudget, SearchKind};
+use scar::core::{OptMetric, Scar, ScheduleRequest, Scheduler, Session};
 use scar::mcm::templates::{het_sides_3x3, Profile};
 use scar::serve::{fingerprint, ServeConfig, ServePolicy, ServeSim, TrafficMix};
 use scar::workloads::scenario::generate;
@@ -61,12 +61,15 @@ fn cached_schedule_matches_fresh_schedule() {
         let live = generate(seed, UseCase::Datacenter, 2);
         let via_sim = sim.schedule_fresh(&live).expect("schedulable");
         let fresh = Scar::builder()
-            .metric(cfg.metric.clone())
             .nsplits(cfg.nsplits)
             .search(cfg.search.clone())
-            .budget(cfg.budget.clone())
             .build()
-            .schedule(&live, &mcm)
+            .schedule(
+                &Session::new(),
+                &ScheduleRequest::new(live.clone(), mcm.clone())
+                    .metric(cfg.metric.clone())
+                    .budget(cfg.budget.clone()),
+            )
             .expect("schedulable");
         assert_eq!(via_sim.total(), fresh.total(), "seed {seed}");
         assert_eq!(via_sim.schedule(), fresh.schedule(), "seed {seed}");
@@ -116,15 +119,11 @@ fn cache_does_not_change_serving_outcomes() {
 #[test]
 fn fingerprints_agree_across_equal_scenarios() {
     let mcm = het_sides_3x3(Profile::Datacenter);
-    let budget = SearchBudget::default();
+    let scar = Scar::builder().nsplits(1).build();
     let key = |sc: &scar::workloads::Scenario| {
         fingerprint(
-            sc,
-            &mcm,
-            &OptMetric::Edp,
-            1,
-            &SearchKind::BruteForce,
-            &budget,
+            &ScheduleRequest::new(sc.clone(), mcm.clone()).metric(OptMetric::Edp),
+            &scar,
         )
     };
     let a = generate(10, UseCase::Datacenter, 3);
@@ -176,13 +175,7 @@ fn policies_complete_identical_traffic() {
         ServePolicy::Standalone,
         ServePolicy::NnBaton,
     ] {
-        let mut sim = ServeSim::new(
-            &mcm,
-            ServeConfig {
-                policy: policy.clone(),
-                ..ServeConfig::default()
-            },
-        );
+        let mut sim = ServeSim::with_policy(&mcm, policy.clone(), ServeConfig::default());
         let r = sim.run(&mix, 0.2).expect("policy serves the mix");
         assert_eq!(r.completed, offered, "{policy:?} must drain the queue");
         miss_rates.push((policy, r.deadline_miss_rate()));
