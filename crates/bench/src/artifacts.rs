@@ -12,14 +12,17 @@ use scar_core::ScheduleArtifact;
 use std::path::Path;
 
 /// Converts a sweep into artifacts (label = strategy name; the scheduler
-/// field records the result's strategy string).
+/// field records the answering [`Scheduler::name`] — a registry name, so
+/// saved sweeps replay through [`crate::replay`]).
+///
+/// [`Scheduler::name`]: scar_core::Scheduler::name
 pub fn from_sweep(results: &[LabeledResult]) -> Vec<ScheduleArtifact> {
     results
         .iter()
         .map(|r| {
             ScheduleArtifact::new(
                 r.name.clone(),
-                r.result.strategy(),
+                r.scheduler.clone(),
                 r.request.clone(),
                 r.result.clone(),
             )
@@ -65,8 +68,13 @@ mod tests {
         assert_eq!(back.len(), sweep.len());
         for (a, r) in back.iter().zip(&sweep) {
             assert_eq!(a.label, r.name);
+            assert_eq!(a.scheduler, r.scheduler);
             assert_eq!(a.request, r.request);
             assert_eq!(a.result, r.result);
         }
+        // the scheduler field is a registry name (what replay rebuilds),
+        // not the MCM/strategy string
+        assert_eq!(back[0].scheduler, "Standalone");
+        assert_eq!(back[1].scheduler, "SCAR");
     }
 }

@@ -1,0 +1,111 @@
+//! Cold-vs-warm start: what a persisted MAESTRO cost database buys.
+//!
+//! Runs the same serving simulation twice per traffic mix — once against
+//! an empty cost database (every per-layer cost evaluated by the
+//! analytical model) and once restored from the snapshot the cold run
+//! persisted (zero evaluations) — and records wall clock, evaluation
+//! counts, and the resulting speedup in `BENCH_cold_start.json`.
+//!
+//! The two runs must produce **bit-identical serving reports**: the
+//! snapshot only changes whether the cost model executes, never what it
+//! would have returned. The binary asserts both that and the warm run's
+//! zero evaluation count, so it doubles as the cold-start acceptance
+//! gate.
+//!
+//! ```sh
+//! cargo run --release -p scar-bench --bin bench_cold_start
+//! ```
+
+use scar_mcm::templates::{het_sides_3x3, Profile};
+use scar_serve::{ServeConfig, ServeSim, TrafficMix};
+use std::time::Instant;
+
+struct Measurement {
+    mix: String,
+    cold_wall_s: f64,
+    warm_wall_s: f64,
+    cold_evaluations: u64,
+    warm_evaluations: u64,
+    snapshot_entries: usize,
+}
+
+fn main() {
+    let horizon_s = 1.0;
+    let path = std::path::PathBuf::from("BENCH_cold_start_costdb.json");
+    let mut measurements = Vec::new();
+
+    for (profile, mix) in [
+        (Profile::Datacenter, TrafficMix::datacenter(0x5CA2)),
+        (Profile::ArVr, TrafficMix::arvr(0x5CA2)),
+    ] {
+        // a fresh snapshot per mix isolates the measurement
+        std::fs::remove_file(&path).ok();
+        let mcm = het_sides_3x3(profile);
+        let cfg = || ServeConfig {
+            cost_db_path: Some(path.clone()),
+            ..ServeConfig::default()
+        };
+
+        let mut cold_sim = ServeSim::new(&mcm, cfg());
+        let t0 = Instant::now();
+        let cold = cold_sim.run(&mix, horizon_s).expect("mix fits the 3x3");
+        let cold_wall_s = t0.elapsed().as_secs_f64();
+
+        let mut warm_sim = ServeSim::new(&mcm, cfg());
+        let snapshot_entries = warm_sim.session().cached_costs();
+        assert!(snapshot_entries > 0, "warm sim must restore the snapshot");
+        let t1 = Instant::now();
+        let warm = warm_sim.run(&mix, horizon_s).expect("identical mix fits");
+        let warm_wall_s = t1.elapsed().as_secs_f64();
+
+        assert_eq!(
+            warm.cost_evaluations, 0,
+            "a covered snapshot must skip MAESTRO entirely"
+        );
+        assert!(cold.cost_evaluations > 0, "cold start pays the model");
+        // identical outcomes: persistence changes cost, never content
+        assert_eq!(warm.latency, cold.latency, "{}", mix.name);
+        assert_eq!(warm.energy_j, cold.energy_j);
+        assert_eq!(warm.makespan_s, cold.makespan_s);
+        assert_eq!(warm.windows_scheduled, cold.windows_scheduled);
+
+        println!(
+            "{:<24} cold {:.3}s ({} evaluations) → warm {:.3}s (0 evaluations), {:.2}x",
+            mix.name,
+            cold_wall_s,
+            cold.cost_evaluations,
+            warm_wall_s,
+            cold_wall_s / warm_wall_s
+        );
+        measurements.push(Measurement {
+            mix: mix.name.clone(),
+            cold_wall_s,
+            warm_wall_s,
+            cold_evaluations: cold.cost_evaluations,
+            warm_evaluations: warm.cost_evaluations,
+            snapshot_entries,
+        });
+    }
+    std::fs::remove_file(&path).ok();
+
+    // hand-rolled JSON (same style as BENCH_search_parallel.json): the
+    // vendored serde works too, but a bench report wants field order
+    let rows: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            format!(
+                "  {{\n    \"mix\": \"{}\",\n    \"cold_wall_s\": {:.6},\n    \"warm_wall_s\": {:.6},\n    \"speedup\": {:.3},\n    \"cold_evaluations\": {},\n    \"warm_evaluations\": {},\n    \"snapshot_entries\": {}\n  }}",
+                m.mix,
+                m.cold_wall_s,
+                m.warm_wall_s,
+                m.cold_wall_s / m.warm_wall_s,
+                m.cold_evaluations,
+                m.warm_evaluations,
+                m.snapshot_entries
+            )
+        })
+        .collect();
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    std::fs::write("BENCH_cold_start.json", &json).expect("write BENCH_cold_start.json");
+    println!("wrote BENCH_cold_start.json");
+}

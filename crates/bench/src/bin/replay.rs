@@ -1,0 +1,173 @@
+//! Replay a saved `ScheduleArtifact` sweep and diff it against a fresh
+//! re-evaluation — the fidelity re-anchoring harness.
+//!
+//! ```sh
+//! # exact-replay regression over a recorded serving round (zero drift
+//! # expected: serve_sim records under the default serving config)
+//! cargo run --release -p scar-bench --bin replay -- ARTIFACT_serve_datacenter.json
+//!
+//! # warm-start the cost database from a snapshot before replaying
+//! SCAR_COST_DB=costdb.json cargo run --release -p scar-bench --bin replay -- ARTIFACT_serve_AR-VR.json
+//!
+//! # table04 sweeps were recorded under nsplits=4: reconstruct that
+//! SCAR_NSPLITS=4 cargo run --release -p scar-bench --bin replay -- ARTIFACT_table04_edp.json
+//!
+//! # what-if: re-target every recorded request at a different package
+//! SCAR_REPLAY_MCM=simba_nvd cargo run --release -p scar-bench --bin replay -- ARTIFACT_table04_edp.json
+//! ```
+//!
+//! Artifacts record the answering scheduler's *name*; SCAR's structural
+//! knobs (window splits, search driver) are reconstructed from
+//! `SCAR_NSPLITS` / `SCAR_SEARCH` (`brute` default, `evolutionary` for
+//! 6×6 sweeps) — see DESIGN.md §8 on this limitation.
+//!
+//! Exit code 1 when replaying **without** an MCM override and any
+//! artifact fails to reproduce exactly — or could not be replayed at all
+//! (unknown scheduler name): under an unchanged cost model, scheduling is
+//! deterministic, so drift means the model (or a scheduler
+//! reconstruction) changed out from under the recording. With
+//! `SCAR_REPLAY_MCM` set, drift is the expected output, not an error.
+
+use scar_bench::replay::{replay_artifacts, ReplayOptions};
+use scar_core::{ScheduleArtifact, SearchKind, Session};
+use scar_maestro::Dataflow;
+use scar_mcm::templates::{self, Profile};
+use scar_mcm::McmConfig;
+use scar_serve::PolicyRegistry;
+use std::process::ExitCode;
+
+/// Resolves `SCAR_REPLAY_MCM` names to template constructors. Profiles
+/// default to datacenter; suffix `:arvr` picks the AR/VR chiplet profile
+/// (e.g. `het_sides:arvr`).
+fn mcm_by_name(spec: &str) -> Option<McmConfig> {
+    let (name, profile) = match spec.rsplit_once(':') {
+        Some((n, "arvr")) => (n, Profile::ArVr),
+        Some((n, "datacenter")) => (n, Profile::Datacenter),
+        _ => (spec, Profile::Datacenter),
+    };
+    Some(match name {
+        "simba_shi" => templates::simba_3x3(profile, Dataflow::ShidiannaoLike),
+        "simba_nvd" => templates::simba_3x3(profile, Dataflow::NvdlaLike),
+        "het_cb" => templates::het_cb_3x3(profile),
+        "het_sides" => templates::het_sides_3x3(profile),
+        "het_t" => templates::het_t_3x3(profile),
+        "het_cross" => templates::het_cross_6x6(profile),
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: replay <ARTIFACT_*.json> [more artifact files…]");
+        eprintln!(
+            "env: SCAR_COST_DB=<snapshot> (warm-start costs), \
+             SCAR_REPLAY_MCM=<template[:profile]>, SCAR_NSPLITS=<n>, \
+             SCAR_SEARCH=brute|evolutionary"
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut options = ReplayOptions::default();
+    if let Ok(spec) = std::env::var("SCAR_REPLAY_MCM") {
+        match mcm_by_name(&spec) {
+            Some(mcm) => {
+                println!("re-targeting every request at {mcm}");
+                options.mcm_override = Some(mcm);
+            }
+            None => {
+                eprintln!(
+                    "SCAR_REPLAY_MCM={spec:?} is not a known template \
+                     (simba_shi, simba_nvd, het_cb, het_sides, het_t, het_cross; \
+                     optional :datacenter/:arvr suffix)"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // SCAR's structural knobs are not recorded in artifacts (they live on
+    // the scheduler value, keyed by name); these reconstruct sweeps
+    // recorded under non-default configurations (table04: SCAR_NSPLITS=4;
+    // 6x6 evolutionary sweeps: SCAR_SEARCH=evolutionary)
+    if let Ok(n) = std::env::var("SCAR_NSPLITS") {
+        match n.parse() {
+            Ok(n) => options.serve_config.nsplits = n,
+            Err(_) => {
+                eprintln!("SCAR_NSPLITS={n:?} is not a window-split count");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Ok(s) = std::env::var("SCAR_SEARCH") {
+        options.serve_config.search = match s.trim().to_ascii_lowercase().as_str() {
+            "brute" | "bruteforce" | "brute-force" => SearchKind::BruteForce,
+            "evo" | "evolutionary" => SearchKind::Evolutionary(Default::default()),
+            other => {
+                eprintln!("SCAR_SEARCH={other:?} is not `brute` or `evolutionary`");
+                return ExitCode::from(2);
+            }
+        };
+    }
+
+    let session = Session::new();
+    if let Ok(snapshot) = std::env::var("SCAR_COST_DB") {
+        match session.load_costs(&snapshot) {
+            Ok(n) => {
+                println!("cost database warm-started from {snapshot}: {n} entries, 0 evaluations")
+            }
+            Err(e) => {
+                eprintln!("SCAR_COST_DB={snapshot}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let registry = PolicyRegistry::with_builtins();
+    let what_if = options.mcm_override.is_some();
+    let mut all_exact = true;
+    let mut skipped = 0usize;
+    for path in &paths {
+        let artifacts = match ScheduleArtifact::load_all(path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let diffs = replay_artifacts(&session, &artifacts, &registry, &options);
+        // a skipped artifact (unknown scheduler name) reproduced nothing:
+        // it must fail the exactness gate, not silently pass it
+        skipped += artifacts.len() - diffs.len();
+        println!(
+            "── {path}: {} artifacts, {} replayed",
+            artifacts.len(),
+            diffs.len()
+        );
+        for d in &diffs {
+            println!("{d}");
+            all_exact &= d.is_exact();
+        }
+    }
+    println!(
+        "cost database: {} entries, {} evaluations during replay",
+        session.cached_costs(),
+        session.cost_evaluations()
+    );
+
+    if !what_if && skipped > 0 {
+        eprintln!(
+            "{skipped} artifact(s) could not be replayed (scheduler name unknown to the registry)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !what_if && !all_exact {
+        eprintln!(
+            "replay drifted from the recording under an unchanged MCM — cost model or \
+             scheduler reconstruction changed (for sweeps recorded under non-default \
+             SCAR knobs, set SCAR_NSPLITS / SCAR_SEARCH)"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

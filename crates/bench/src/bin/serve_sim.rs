@@ -3,23 +3,38 @@
 //!
 //! Simulates (a) a datacenter Poisson query mix and (b) an XRBench-style
 //! AR/VR frame mix on Het-Sides, reporting sustained throughput, p50/p95/p99
-//! request latency, deadline-miss rate, energy, and schedule-cache hit rate.
-//! Each mix is then replayed on the warm cache (recurring traffic is the
-//! serving steady state), and SCAR is compared against the Standalone
-//! baseline policy under identical traffic.
+//! request latency, deadline-miss rate, energy, schedule-cache hit rate,
+//! and MAESTRO cost-evaluation counts. Each mix is then replayed on the
+//! warm cache (recurring traffic is the serving steady state), and the
+//! primary policy is compared against the Standalone baseline under
+//! identical traffic.
 //!
 //! ```sh
 //! cargo run --release -p scar-bench --bin serve_sim
 //! ```
 //!
-//! `SCAR_THREADS` sizes the candidate-evaluation worker pool: unset →
-//! `Auto` (all hardware threads), `serial` → no pool, `N` → `Fixed(N)`.
-//! The knob changes wall-clock only; reports are bit-identical across
-//! settings.
+//! Environment knobs:
+//!
+//! * `SCAR_THREADS` — candidate-evaluation worker pool: unset → `Auto`,
+//!   `serial` → no pool, `N` → `Fixed(N)`. Wall-clock only; reports are
+//!   bit-identical across settings.
+//! * `SCAR_POLICY` — primary serving policy, resolved through the
+//!   [`PolicyRegistry`] (default `SCAR`; also `Standalone`, `NN-baton`).
+//! * `SCAR_COST_DB` — persist path for the MAESTRO cost database: loaded
+//!   (if present) before serving, saved after each run. A second process
+//!   pointed at the same path serves the same traffic with **zero** cost
+//!   evaluations and byte-identical reports.
+//! * `SCAR_EXPECT_ZERO_EVALS` — when set (CI's warm pass), assert that
+//!   every simulation performed zero MAESTRO evaluations.
+//!
+//! Besides stdout (which includes wall-clock timings), the deterministic
+//! serving reports are written to `REPORT_serve_sim.txt` so warm and cold
+//! runs can be diffed byte-for-byte.
 
 use scar_core::Parallelism;
 use scar_mcm::templates::{het_sides_3x3, Profile};
-use scar_serve::{ServeConfig, ServePolicy, ServeSim, TrafficMix};
+use scar_serve::{PolicyRegistry, ServeConfig, ServePolicy, ServeSim, TrafficMix};
+use std::fmt::Write as _;
 
 /// Parses `SCAR_THREADS` into a [`Parallelism`]; unset → `Auto`, an
 /// unparsable value aborts rather than silently unpinning the run.
@@ -46,10 +61,39 @@ fn parallelism_from_env() -> Parallelism {
 fn main() {
     let horizon_s = 2.0;
     let parallelism = parallelism_from_env();
+    let registry = PolicyRegistry::with_builtins();
+    let policy = std::env::var("SCAR_POLICY").unwrap_or_else(|_| "SCAR".to_string());
+    if !registry.contains(&policy) {
+        eprintln!(
+            "SCAR_POLICY={policy:?} is not registered (known: {})",
+            registry.names().join(", ")
+        );
+        std::process::exit(2);
+    }
+    let cost_db_path = std::env::var("SCAR_COST_DB").ok().map(Into::into);
+    let expect_zero_evals = std::env::var("SCAR_EXPECT_ZERO_EVALS").is_ok();
+    let make_cfg = || ServeConfig {
+        parallelism,
+        cost_db_path: cost_db_path.clone(),
+        ..ServeConfig::default()
+    };
     println!(
-        "candidate evaluation: {parallelism:?} ({} worker threads)\n",
-        parallelism.threads()
+        "candidate evaluation: {parallelism:?} ({} worker threads) | policy {policy} | cost db {}\n",
+        parallelism.threads(),
+        cost_db_path
+            .as_ref()
+            .map_or("off".to_string(), |p: &std::path::PathBuf| p
+                .display()
+                .to_string()),
     );
+
+    // The steady-state serving reports: diffing this file across cold and
+    // warm processes proves bit-identical scheduling. Logged from each
+    // simulator's *second* in-process run — by then every round is served
+    // from the schedule cache in both a cold and a warm process, so the
+    // whole report (evaluation counter included) is process-independent;
+    // a first-run report necessarily differs in `cost_evaluations`.
+    let mut report_log = String::new();
 
     for (profile, mix) in [
         (Profile::Datacenter, TrafficMix::datacenter(0x5CA2)),
@@ -64,13 +108,13 @@ fn main() {
         );
 
         // cold start, then the same traffic replayed on the warm cache
-        let mut sim = ServeSim::new(
-            &mcm,
-            ServeConfig {
-                parallelism,
-                ..ServeConfig::default()
-            },
-        );
+        let cfg = make_cfg();
+        let scheduler = registry.build(&policy, &cfg).expect("checked above");
+        let mut sim = ServeSim::with_scheduler(&mcm, scheduler, cfg);
+        let restored = sim.session().cached_costs();
+        if restored > 0 {
+            println!("cost database restored: {restored} entries before the first round");
+        }
         let t0 = std::time::Instant::now();
         let cold = sim.run(&mix, horizon_s).expect("mix fits the 3x3 package");
         let cold_wall = t0.elapsed();
@@ -79,6 +123,7 @@ fn main() {
         let warm_wall = t1.elapsed();
 
         println!("{cold}");
+        writeln!(report_log, "{warm}").expect("string write");
         println!(
             "replay on warm cache: {} hits / {} misses ({:.1}% hit rate), wall {:.1?} → {:.1?}",
             warm.cache.hits,
@@ -91,17 +136,20 @@ fn main() {
             warm.cache.hits > 0,
             "recurring traffic must produce cache hits"
         );
+        if expect_zero_evals {
+            assert_eq!(
+                cold.cost_evaluations, 0,
+                "SCAR_EXPECT_ZERO_EVALS: the persisted snapshot must cover {}",
+                mix.name
+            );
+        }
 
-        // the Standalone baseline under the same traffic
-        let mut base = ServeSim::with_policy(
-            &mcm,
-            ServePolicy::Standalone,
-            ServeConfig {
-                parallelism,
-                ..ServeConfig::default()
-            },
-        );
+        // the Standalone baseline under the same traffic (sharing the
+        // persisted cost database — per-layer costs are scheduler-free)
+        let mut base = ServeSim::with_policy(&mcm, ServePolicy::Standalone, make_cfg());
         let b = base.run(&mix, horizon_s).expect("standalone fits too");
+        let b_warm = base.run(&mix, horizon_s).expect("standalone replay fits");
+        writeln!(report_log, "{b_warm}").expect("string write");
         println!(
             "vs Standalone: throughput {:.1} → {:.1} req/s | p99 {:.2} → {:.2} ms | energy {:.3} → {:.3} J",
             b.throughput_rps,
@@ -111,6 +159,9 @@ fn main() {
             b.energy_j,
             cold.energy_j,
         );
+        if expect_zero_evals {
+            assert_eq!(b.cost_evaluations, 0, "baseline must warm-start too");
+        }
 
         // persist one representative scheduling round through the shared
         // artifact path (same JSON shape the bench tables emit)
@@ -127,4 +178,7 @@ fn main() {
         println!("wrote {path}");
         println!();
     }
+
+    std::fs::write("REPORT_serve_sim.txt", report_log).expect("write REPORT_serve_sim.txt");
+    println!("wrote REPORT_serve_sim.txt (deterministic reports, diffable across runs)");
 }

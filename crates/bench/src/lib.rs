@@ -7,9 +7,11 @@
 
 pub mod artifacts;
 pub mod pareto;
+pub mod replay;
 pub mod strategy;
 pub mod table;
 
 pub use pareto::{ascii_scatter, pareto_front};
+pub use replay::{replay_artifacts, replay_file, ReplayDiff, ReplayOptions};
 pub use strategy::{run_strategies, LabeledResult, Strategy};
 pub use table::Table;

@@ -1,0 +1,271 @@
+//! Artifact replay: re-evaluate recorded schedules under today's model.
+//!
+//! Every bench binary and the serving simulator persist their schedules as
+//! [`ScheduleArtifact`] JSON (request + scheduler name + result). Replay
+//! closes the fidelity loop ROADMAP asks for: load a recorded sweep,
+//! rebuild each artifact's scheduler from its recorded name (through the
+//! serving [`PolicyRegistry`]), re-run the recorded request over a shared
+//! [`Session`] — optionally warm-started from a cost-database snapshot, or
+//! re-targeted at a different MCM — and diff the outcome against what was
+//! recorded.
+//!
+//! Three uses fall out of one mechanism:
+//!
+//! * **Re-anchoring.** After a cost-model change, replaying a committed
+//!   sweep shows exactly which strategies drifted and by how much — the
+//!   tolerance-band comparison harness in miniature.
+//! * **Regression.** Under an *unchanged* model, every diff must be zero:
+//!   scheduling is deterministic, so a nonzero diff on identical inputs
+//!   is a reproducibility bug (or an artifact recorded under a scheduler
+//!   configuration the registry no longer reconstructs — reported, not
+//!   hidden).
+//! * **What-if.** Replaying a recorded workload against a different MCM
+//!   re-answers the paper's strategy comparison for traffic that actually
+//!   happened rather than a synthetic Table III scenario.
+
+use scar_core::{EvalTotals, ScheduleArtifact, ScheduleError, Session};
+use scar_mcm::McmConfig;
+use scar_serve::{PolicyRegistry, ServeConfig};
+
+/// One artifact's recorded-vs-replayed comparison.
+#[derive(Debug, Clone)]
+pub struct ReplayDiff {
+    /// The artifact's label (strategy name, mix round, …).
+    pub label: String,
+    /// The scheduler name the artifact recorded (and the replay rebuilt).
+    pub scheduler: String,
+    /// Totals as recorded in the artifact.
+    pub recorded: EvalTotals,
+    /// Totals after re-evaluation, or the scheduling error if the request
+    /// no longer schedules (e.g. a smaller replay MCM).
+    pub replayed: Result<EvalTotals, ScheduleError>,
+    /// Whether the replayed *schedule* (placement, not just totals) is
+    /// identical to the recorded one.
+    pub identical_schedule: bool,
+}
+
+impl ReplayDiff {
+    /// Relative latency drift `(replayed - recorded) / recorded`, if the
+    /// replay scheduled.
+    pub fn latency_drift(&self) -> Option<f64> {
+        self.replayed
+            .as_ref()
+            .ok()
+            .map(|r| (r.latency_s - self.recorded.latency_s) / self.recorded.latency_s)
+    }
+
+    /// Relative EDP drift, if the replay scheduled.
+    pub fn edp_drift(&self) -> Option<f64> {
+        self.replayed
+            .as_ref()
+            .ok()
+            .map(|r| (r.edp() - self.recorded.edp()) / self.recorded.edp())
+    }
+
+    /// True when the replay reproduced the recorded totals bit-for-bit.
+    pub fn is_exact(&self) -> bool {
+        matches!(&self.replayed, Ok(r) if *r == self.recorded) && self.identical_schedule
+    }
+}
+
+impl std::fmt::Display for ReplayDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.replayed {
+            Ok(r) => write!(
+                f,
+                "{:<24} {:<12} lat {:>10.4}ms → {:>10.4}ms ({:+.3}%) | edp {:>10.4} → {:>10.4} ({:+.3}%){}",
+                self.label,
+                self.scheduler,
+                self.recorded.latency_s * 1e3,
+                r.latency_s * 1e3,
+                self.latency_drift().unwrap_or(0.0) * 100.0,
+                self.recorded.edp(),
+                r.edp(),
+                self.edp_drift().unwrap_or(0.0) * 100.0,
+                if self.is_exact() { " [exact]" } else { "" },
+            ),
+            Err(e) => write!(
+                f,
+                "{:<24} {:<12} recorded lat {:.4}ms, replay failed: {e}",
+                self.label,
+                self.scheduler,
+                self.recorded.latency_s * 1e3,
+            ),
+        }
+    }
+}
+
+/// Options steering one replay pass.
+#[derive(Default)]
+pub struct ReplayOptions {
+    /// Substitute MCM: every request is re-targeted at this package
+    /// instead of the recorded one (the "what-if" mode). `None` replays
+    /// on the recorded hardware.
+    pub mcm_override: Option<McmConfig>,
+    /// Serving configuration handed to the registry factories (SCAR's
+    /// structural knobs). Defaults match `serve_sim`'s defaults.
+    pub serve_config: ServeConfig,
+}
+
+/// Replays `artifacts` over `session`, rebuilding each scheduler by its
+/// recorded name from `registry`. Artifacts whose scheduler name the
+/// registry does not know are skipped with a note on stderr (a registry
+/// gap is worth seeing, not worth aborting a sweep over).
+pub fn replay_artifacts(
+    session: &Session,
+    artifacts: &[ScheduleArtifact],
+    registry: &PolicyRegistry,
+    options: &ReplayOptions,
+) -> Vec<ReplayDiff> {
+    artifacts
+        .iter()
+        .filter_map(|a| {
+            let scheduler = match registry.build(&a.scheduler, &options.serve_config) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("replay: skipping {:?}: {e}", a.label);
+                    return None;
+                }
+            };
+            let mut request = a.request.clone();
+            if let Some(mcm) = &options.mcm_override {
+                request.mcm = mcm.clone();
+            }
+            let replayed = scheduler.schedule(session, &request);
+            let identical_schedule = matches!(
+                &replayed,
+                Ok(r) if r.schedule() == a.result.schedule()
+            );
+            Some(ReplayDiff {
+                label: a.label.clone(),
+                scheduler: a.scheduler.clone(),
+                recorded: a.result.total(),
+                replayed: replayed.map(|r| r.total()),
+                identical_schedule,
+            })
+        })
+        .collect()
+}
+
+/// Loads an artifact file and replays it over a fresh or caller-provided
+/// session. Convenience wrapper for the `replay` binary and tests.
+///
+/// # Errors
+///
+/// Returns the artifact loader's message on I/O or schema failure.
+pub fn replay_file(
+    session: &Session,
+    path: impl AsRef<std::path::Path>,
+    options: &ReplayOptions,
+) -> Result<Vec<ReplayDiff>, String> {
+    let artifacts = ScheduleArtifact::load_all(path)?;
+    Ok(replay_artifacts(
+        session,
+        &artifacts,
+        &PolicyRegistry::with_builtins(),
+        options,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scar_core::{ScheduleRequest, SearchBudget};
+    use scar_maestro::Dataflow;
+    use scar_mcm::templates::{het_sides_3x3, simba_3x3, Profile};
+    use scar_workloads::Scenario;
+
+    fn artifact() -> ScheduleArtifact {
+        let session = Session::new();
+        let request =
+            ScheduleRequest::new(Scenario::datacenter(1), het_sides_3x3(Profile::Datacenter))
+                .budget(SearchBudget {
+                    max_root_perms: 8,
+                    max_paths_per_model: 4,
+                    max_placements_per_window: 60,
+                    max_candidates_per_window: 120,
+                    ..SearchBudget::default()
+                });
+        // record through the same registry reconstruction replay will use:
+        // artifacts carry the scheduler *name*, so exact replay holds when
+        // the registry rebuilds the same configuration
+        let scar = PolicyRegistry::with_builtins()
+            .build("SCAR", &ServeConfig::default())
+            .unwrap();
+        let result = scar.schedule(&session, &request).unwrap();
+        ScheduleArtifact::new("Sc1", scar.name(), request, result)
+    }
+
+    /// Replaying under the unchanged cost model reproduces the recording
+    /// exactly — determinism across processes is the whole point.
+    #[test]
+    fn unchanged_model_replays_exactly() {
+        let a = artifact();
+        let diffs = replay_artifacts(
+            &Session::new(),
+            &[a],
+            &PolicyRegistry::with_builtins(),
+            &ReplayOptions::default(),
+        );
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].is_exact(), "{}", diffs[0]);
+        assert_eq!(diffs[0].latency_drift(), Some(0.0));
+        assert_eq!(diffs[0].edp_drift(), Some(0.0));
+    }
+
+    /// An MCM override re-evaluates the recorded request on new hardware:
+    /// totals legitimately move, and the diff reports rather than hides it.
+    #[test]
+    fn mcm_override_retargets_the_request() {
+        let a = artifact();
+        let options = ReplayOptions {
+            mcm_override: Some(simba_3x3(Profile::Datacenter, Dataflow::NvdlaLike)),
+            ..Default::default()
+        };
+        let diffs = replay_artifacts(
+            &Session::new(),
+            &[a],
+            &PolicyRegistry::with_builtins(),
+            &options,
+        );
+        let replayed = diffs[0].replayed.as_ref().expect("still schedulable");
+        assert_ne!(
+            *replayed, diffs[0].recorded,
+            "different package, different totals"
+        );
+        assert!(!diffs[0].is_exact());
+        // the display renders both sides
+        let text = diffs[0].to_string();
+        assert!(text.contains("lat"), "{text}");
+    }
+
+    #[test]
+    fn unknown_schedulers_are_skipped_not_fatal() {
+        let mut a = artifact();
+        a.scheduler = "from-the-future".to_string();
+        let diffs = replay_artifacts(
+            &Session::new(),
+            &[a, artifact()],
+            &PolicyRegistry::with_builtins(),
+            &ReplayOptions::default(),
+        );
+        assert_eq!(diffs.len(), 1, "the known artifact still replays");
+    }
+
+    #[test]
+    fn replay_file_roundtrips_through_disk() {
+        let a = artifact();
+        let path = std::env::temp_dir().join("scar_bench_replay_test.json");
+        ScheduleArtifact::save_all(&path, std::slice::from_ref(&a)).unwrap();
+        let diffs = replay_file(&Session::new(), &path, &ReplayOptions::default()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].is_exact());
+        assert!(replay_file(
+            &Session::new(),
+            "/nonexistent/replay.json",
+            &ReplayOptions::default()
+        )
+        .is_err());
+    }
+}

@@ -160,13 +160,16 @@ impl std::fmt::Display for Strategy {
     }
 }
 
-/// A strategy's result with its label and the request that produced it
-/// (kept so sweeps can be persisted as JSON artifacts — see
-/// [`crate::artifacts`]).
+/// A strategy's result with its label, the request that produced it, and
+/// the answering scheduler's name (kept so sweeps can be persisted as
+/// JSON artifacts — see [`crate::artifacts`] — and replayed through the
+/// policy registry — see [`crate::replay`]).
 #[derive(Debug, Clone)]
 pub struct LabeledResult {
     /// Strategy label.
     pub name: String,
+    /// The [`Scheduler::name`] of the scheduler that answered.
+    pub scheduler: String,
     /// The request the strategy issued.
     pub request: ScheduleRequest,
     /// Scheduling outcome.
@@ -188,11 +191,13 @@ pub fn run_strategies(
         .iter()
         .filter_map(|s| {
             let request = s.request(scenario, profile, metric.clone(), budget);
-            s.scheduler(nsplits)
+            let scheduler = s.scheduler(nsplits);
+            scheduler
                 .schedule(session, &request)
                 .ok()
                 .map(|result| LabeledResult {
                     name: s.name().to_string(),
+                    scheduler: scheduler.name().to_string(),
                     request,
                     result,
                 })

@@ -46,7 +46,7 @@ use crate::parallel::Parallelism;
 use crate::problem::{OptMetric, ScheduleError, ScheduleInstance};
 use crate::scar::ScheduleResult;
 use crate::search::SearchBudget;
-use scar_maestro::CostDatabase;
+use scar_maestro::{CostDatabase, SnapshotError};
 use scar_mcm::McmConfig;
 use scar_workloads::Scenario;
 use serde::{Deserialize, Serialize};
@@ -62,8 +62,14 @@ use std::hash::Hasher;
 ///
 /// `Session` is the only place a [`CostDatabase`] is constructed; nothing
 /// else in the workspace calls `CostDatabase::new()` directly (the sole
-/// exception is the database's own unit tests in `scar-maestro`, which
-/// cannot see this crate).
+/// exceptions live inside `scar-maestro` itself — the database's own unit
+/// tests and its snapshot-restore constructor, which cannot see this
+/// crate).
+///
+/// Sessions persist: [`Session::save_costs`] snapshots the memoized costs
+/// to disk and [`Session::load_costs`]/[`Session::from_snapshot`] restore
+/// them, so a restarted process serves covered workloads at zero MAESTRO
+/// evaluations ([`Session::cost_evaluations`]).
 #[derive(Debug, Default)]
 pub struct Session {
     db: CostDatabase,
@@ -87,11 +93,59 @@ impl Session {
         self.db.len()
     }
 
+    /// Number of MAESTRO cost-model evaluations this session has actually
+    /// performed (cache misses + warm-up work). A session restored from a
+    /// snapshot that covers its workload reports zero — the number every
+    /// cold-start benchmark watches.
+    pub fn cost_evaluations(&self) -> u64 {
+        self.db.evaluations()
+    }
+
     /// Pre-populates the cost database for `request` (every layer of the
-    /// scenario on every chiplet class of the MCM, evaluated in parallel).
-    /// Optional: lookups memoize lazily anyway.
+    /// scenario on every chiplet class of the MCM, evaluated in parallel;
+    /// already-memoized entries are skipped). Optional: lookups memoize
+    /// lazily anyway.
     pub fn warm_up(&self, request: &ScheduleRequest) {
         self.db.warm_up(&request.scenario, request.mcm.chiplets());
+    }
+
+    /// Persists every memoized per-layer cost to `path` in the versioned
+    /// snapshot format (`scar_maestro::snapshot`): a later process calls
+    /// [`Session::load_costs`] and skips MAESTRO evaluation entirely for
+    /// the covered (chiplet class, layer, batch) space. Output bytes are
+    /// deterministic in the database contents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError`] on filesystem failure.
+    pub fn save_costs(&self, path: impl AsRef<std::path::Path>) -> Result<(), SnapshotError> {
+        self.db.save_snapshot(path)
+    }
+
+    /// Loads a cost snapshot written by [`Session::save_costs`] into this
+    /// session's shared database, returning the number of entries that
+    /// were new. Loaded entries count as zero
+    /// [`cost_evaluations`](Session::cost_evaluations).
+    ///
+    /// # Errors
+    ///
+    /// Rejects the whole snapshot (nothing is absorbed) on I/O failure, a
+    /// malformed file, a schema-version mismatch, or a cost-model
+    /// fingerprint mismatch — see [`SnapshotError`].
+    pub fn load_costs(&self, path: impl AsRef<std::path::Path>) -> Result<usize, SnapshotError> {
+        self.db.load_snapshot_into(path)
+    }
+
+    /// A fresh session whose cost database is restored from a snapshot
+    /// file — the warm-start constructor.
+    ///
+    /// # Errors
+    ///
+    /// Same rejections as [`Session::load_costs`].
+    pub fn from_snapshot(path: impl AsRef<std::path::Path>) -> Result<Self, SnapshotError> {
+        let session = Self::new();
+        session.load_costs(path)?;
+        Ok(session)
     }
 }
 
@@ -341,6 +395,30 @@ mod tests {
         // a second warm-up of the same request adds nothing new
         session.warm_up(&request());
         assert_eq!(session.cached_costs(), populated);
+    }
+
+    #[test]
+    fn session_costs_persist_and_restore() {
+        let warm = Session::new();
+        warm.warm_up(&request());
+        assert!(warm.cost_evaluations() > 0, "cold warm-up pays the model");
+        let path = std::env::temp_dir().join("scar_core_session_snapshot.json");
+        warm.save_costs(&path).unwrap();
+
+        let restored = Session::from_snapshot(&path).unwrap();
+        assert_eq!(restored.cached_costs(), warm.cached_costs());
+        restored.warm_up(&request());
+        assert_eq!(
+            restored.cost_evaluations(),
+            0,
+            "a covered warm-up must not evaluate MAESTRO"
+        );
+        std::fs::remove_file(&path).ok();
+
+        // a second warm-up on the donor is also free (entries memoized)
+        let evals = warm.cost_evaluations();
+        warm.warm_up(&request());
+        assert_eq!(warm.cost_evaluations(), evals);
     }
 
     #[test]

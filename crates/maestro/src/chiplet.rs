@@ -105,7 +105,10 @@ impl std::fmt::Display for ChipletConfig {
 }
 
 /// Hashable identity of a chiplet class (see [`ChipletConfig::cache_key`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Serializes to JSON so cost-database snapshots can persist their keys
+/// (see [`crate::CostDatabase::save_snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ChipletClassKey {
     dataflow: Dataflow,
     num_pes: u64,

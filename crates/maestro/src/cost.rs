@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// array is organized as `pe_c × pe_k` with `pe_c ≤ 64`, matching NVDLA's
 /// 64-wide MAC rows. This cap is what starves the weight-stationary dataflow
 /// on channel-poor layers (early/depthwise convolutions).
-const NVDLA_ATOMIC_C: u64 = 64;
+pub(crate) const NVDLA_ATOMIC_C: u64 = 64;
 
 /// NVDLA's convolution-buffer (CBUF) capacity. Spatial kernels whose input
 /// feature map exceeds the CBUF suffer sliding-window fetch stalls
@@ -19,13 +19,13 @@ const NVDLA_ATOMIC_C: u64 = 64;
 /// (neighbor shift registers) — this asymmetry is the large-spatial-conv
 /// affinity the paper's heterogeneous MCMs exploit (U-Net, depth/detection
 /// backbones → Shi; ResNet-class and transformer layers → NVDLA).
-const NVDLA_CBUF_BYTES: u64 = 512 * 1024;
+pub(crate) const NVDLA_CBUF_BYTES: u64 = 512 * 1024;
 
 /// Sustained fraction of peak under CBUF fetch stalls.
-const NVDLA_CONV_EFFICIENCY: f64 = 0.6;
+pub(crate) const NVDLA_CONV_EFFICIENCY: f64 = 0.6;
 
 /// Fixed per-layer-pass overhead: configuration, pipeline fill and drain.
-const LAYER_OVERHEAD_CYCLES: f64 = 500.0;
+pub(crate) const LAYER_OVERHEAD_CYCLES: f64 = 500.0;
 
 /// Energy constants of the intra-chiplet hierarchy (28 nm, 8-bit datapath).
 ///

@@ -11,6 +11,7 @@ use crate::chiplet::ChipletClassKey;
 use crate::{ChipletConfig, LayerCost};
 use scar_workloads::{LayerKind, Scenario};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 /// A single database entry: the paper's `Layer L1: dfA: 0.8ms / 0.5mJ` rows.
@@ -31,16 +32,21 @@ impl From<LayerCost> for CostEntry {
     }
 }
 
-type Key = (ChipletClassKey, LayerKind, u64);
+pub(crate) type Key = (ChipletClassKey, LayerKind, u64);
 
 /// Memoizing per-layer cost database over a set of chiplet classes.
 ///
 /// Thread-safe: lookups take a read lock, misses compute outside the lock
 /// and then upgrade. Construction is cheap; use [`CostDatabase::warm_up`]
-/// to pre-populate for a scenario in parallel.
+/// to pre-populate for a scenario in parallel, or load a persisted
+/// snapshot ([`CostDatabase::load_snapshot`]) to skip cost-model
+/// evaluation entirely on a warm start.
 #[derive(Debug)]
 pub struct CostDatabase {
     cache: RwLock<HashMap<Key, LayerCost>>,
+    /// Cost-model invocations (cache misses + warm-up evaluations) since
+    /// construction — the price a persisted snapshot avoids.
+    evaluations: AtomicU64,
 }
 
 impl Default for CostDatabase {
@@ -54,6 +60,7 @@ impl CostDatabase {
     pub fn new() -> Self {
         Self {
             cache: RwLock::new(HashMap::new()),
+            evaluations: AtomicU64::new(0),
         }
     }
 
@@ -65,11 +72,53 @@ impl CostDatabase {
             return *hit;
         }
         let cost = chiplet.evaluate(kind, batch);
-        self.cache
+        // count the entry only on first insert: two threads racing on one
+        // key both evaluate (misses compute outside the lock) but must not
+        // both count, or the counter — and every report carrying it —
+        // would depend on thread interleaving
+        if self
+            .cache
             .write()
             .expect("cost cache poisoned")
-            .insert(key, cost);
+            .insert(key, cost)
+            .is_none()
+        {
+            self.evaluations.fetch_add(1, Ordering::Relaxed);
+        }
         cost
+    }
+
+    /// Number of distinct entries this database computed with the cost
+    /// model (as opposed to loading them from a snapshot) since
+    /// construction. Deterministic for a given workload — concurrent
+    /// misses on one key count once — so `evaluations() == len()` on a
+    /// cold database and `0` on one restored from a covering snapshot:
+    /// the counter every cold-start report surfaces.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations.load(Ordering::Relaxed)
+    }
+
+    /// Every memoized entry, in unspecified order (snapshot writers sort a
+    /// serialized form — see [`crate::snapshot`]).
+    pub(crate) fn raw_entries(&self) -> Vec<(Key, LayerCost)> {
+        self.cache
+            .read()
+            .expect("cost cache poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Bulk-inserts precomputed entries (snapshot restore), returning how
+    /// many were new. Counts as zero evaluations: the entries were paid
+    /// for by whichever process wrote the snapshot.
+    pub(crate) fn insert_raw(&self, entries: impl IntoIterator<Item = (Key, LayerCost)>) -> usize {
+        let mut cache = self.cache.write().expect("cost cache poisoned");
+        let before = cache.len();
+        for (k, v) in entries {
+            cache.insert(k, v);
+        }
+        cache.len() - before
     }
 
     /// Convenience accessor returning only the (latency, energy) pair.
@@ -79,19 +128,34 @@ impl CostDatabase {
 
     /// Pre-populates the database for every layer of `scenario` (at each
     /// model's full batch size) on every chiplet class in `classes`,
-    /// evaluating layers in parallel.
+    /// evaluating layers in parallel. Work is deduplicated: keys already
+    /// memoized (a previous warm-up, lazy lookups, or a restored snapshot)
+    /// are skipped — so warming up a database whose snapshot covers the
+    /// scenario performs zero cost-model evaluations — and identical
+    /// layers within the scenario (repeated blocks) are evaluated once.
     pub fn warm_up(&self, scenario: &Scenario, classes: &[ChipletConfig]) {
-        let work: Vec<(&ChipletConfig, LayerKind, u64)> = classes
-            .iter()
-            .flat_map(|ch| {
-                scenario.models().iter().flat_map(move |sm| {
-                    sm.model
-                        .layers()
-                        .iter()
-                        .map(move |l| (ch, l.kind.clone(), sm.batch))
+        let work: Vec<(&ChipletConfig, LayerKind, u64)> = {
+            let cache = self.cache.read().expect("cost cache poisoned");
+            let mut queued: std::collections::HashSet<Key> = std::collections::HashSet::new();
+            classes
+                .iter()
+                .flat_map(|ch| {
+                    scenario.models().iter().flat_map(move |sm| {
+                        sm.model
+                            .layers()
+                            .iter()
+                            .map(move |l| (ch, l.kind.clone(), sm.batch))
+                    })
                 })
-            })
-            .collect();
+                .filter(|(ch, kind, batch)| {
+                    let key = (ch.cache_key(), kind.clone(), *batch);
+                    !cache.contains_key(&key) && queued.insert(key)
+                })
+                .collect()
+        };
+        if work.is_empty() {
+            return;
+        }
 
         let shards = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -118,10 +182,16 @@ impl CostDatabase {
                 .collect()
         });
 
+        // count at insertion (first insert only), like `get`: a lookup
+        // racing this warm-up must not make the counter double-count
         let mut cache = self.cache.write().expect("cost cache poisoned");
+        let mut inserted = 0u64;
         for (k, v) in results {
-            cache.insert(k, v);
+            if cache.insert(k, v).is_none() {
+                inserted += 1;
+            }
         }
+        self.evaluations.fetch_add(inserted, Ordering::Relaxed);
     }
 
     /// Number of memoized entries.
@@ -185,6 +255,29 @@ mod tests {
             }
         }
         assert_eq!(db.len(), before);
+    }
+
+    /// Every warm-up evaluation must produce a distinct entry: repeated
+    /// identical blocks inside a scenario (GPT decoder stacks, ResNet
+    /// stages) collapse to one key and one evaluation, and the counter
+    /// agrees with the entry count.
+    #[test]
+    fn warm_up_evaluates_each_unique_key_once() {
+        let db = CostDatabase::new();
+        let sc = Scenario::datacenter(1); // transformer stacks repeat blocks
+        let classes = [
+            ChipletConfig::datacenter(Dataflow::NvdlaLike),
+            ChipletConfig::datacenter(Dataflow::ShidiannaoLike),
+        ];
+        db.warm_up(&sc, &classes);
+        assert_eq!(
+            db.evaluations(),
+            db.len() as u64,
+            "duplicate keys must not be re-evaluated or double-counted"
+        );
+        // and a repeated warm-up adds nothing
+        db.warm_up(&sc, &classes);
+        assert_eq!(db.evaluations(), db.len() as u64);
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! * **Energy** — MAC, register-file, and L2 access energies at 28 nm
 //!   (Table II's package/DRAM energies live in `scar-mcm`).
 //!
+//! Evaluated costs are memoized in [`CostDatabase`] and persist across
+//! processes as versioned snapshots ([`snapshot`]): a warm start restores
+//! the database from disk and runs the cost model zero times.
+//!
 //! # Example
 //!
 //! ```
@@ -42,8 +46,10 @@ mod chiplet;
 mod cost;
 mod database;
 mod dataflow;
+pub mod snapshot;
 
 pub use chiplet::{ChipletClassKey, ChipletConfig};
 pub use cost::{EnergyModel, LayerCost};
 pub use database::{CostDatabase, CostEntry};
 pub use dataflow::Dataflow;
+pub use snapshot::{cost_model_fingerprint, SnapshotError, SNAPSHOT_FORMAT_VERSION};

@@ -26,11 +26,27 @@
 //! the cache is bounded: at [`ScheduleCache::capacity`] entries the
 //! least-recently-used schedule is evicted. Hit/miss/eviction counters are
 //! surfaced in serving reports via [`CacheStats`].
+//!
+//! ## Fingerprint stability contract
+//!
+//! Fingerprints are computed with [`StableHasher`] — an in-repo FNV-1a
+//! with a pinned little-endian integer encoding — **not** with
+//! `DefaultHasher` (SipHash, whose algorithm the standard library
+//! explicitly reserves the right to change between releases). The same
+//! request therefore hashes to the same `u64` across processes,
+//! platforms, and Rust versions, which is what lets fingerprints be
+//! persisted (cost-db snapshots, schedule artifacts, replay diffs) and
+//! compared across runs. The regression tests at the bottom of this file
+//! pin concrete fingerprint values; if one moves, either the fingerprint
+//! *content* changed deliberately (update the pin and call it out in the
+//! changelog) or stability broke (a bug — fix it). The sole exception is
+//! [`OptMetric::Custom`]: closures have no cross-process identity, so
+//! their fingerprints are process-local by construction.
 
 use scar_core::{OptMetric, ScheduleRequest, ScheduleResult, Scheduler, SearchBudget};
+use scar_hash::StableHasher;
 use scar_mcm::McmConfig;
 use scar_workloads::Scenario;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::rc::Rc;
@@ -116,7 +132,7 @@ pub fn fingerprint_parts(
     budget: &SearchBudget,
     scheduler: &dyn Scheduler,
 ) -> (u64, u64) {
-    let mut h = DefaultHasher::new();
+    let mut h = StableHasher::new();
     scheduler.name().hash(&mut h);
     scheduler.fingerprint_config(&mut h);
     scenario.use_case().to_string().hash(&mut h);
@@ -154,8 +170,9 @@ pub fn fingerprint_parts(
     metric.label().hash(&mut h);
     match metric {
         OptMetric::ConstrainedEdp { max_latency_s } => max_latency_s.to_bits().hash(&mut h),
-        // closures have no stable identity across processes, but the cache
-        // lives within one process: the Arc address distinguishes them
+        // closures have no stable identity across processes; the Arc
+        // address distinguishes them within one process, and Custom-metric
+        // fingerprints are documented as process-local (never persist them)
         OptMetric::Custom(f) => (std::sync::Arc::as_ptr(f) as *const () as usize).hash(&mut h),
         _ => {}
     }
@@ -365,6 +382,34 @@ mod tests {
             fingerprint(&req, &Scar::builder().nsplits(1).build()),
             "SCAR's window splits are configuration, not request state"
         );
+    }
+
+    /// The cross-process stability contract, pinned to concrete values: a
+    /// fixed request must fingerprint to the same `u64` in every process,
+    /// on every platform, under every Rust release. `DefaultHasher` (the
+    /// pre-fix implementation) documents no such guarantee — its output
+    /// may change between releases, which silently invalidates any
+    /// persisted fingerprint.
+    ///
+    /// If this test fails, either the fingerprint *content* was changed
+    /// deliberately (re-pin the values and say so in the changelog) or
+    /// hashing stability regressed (fix the hasher, never the pin).
+    #[test]
+    fn fingerprints_are_pinned_across_processes() {
+        use scar_workloads::{ModelBuilder, ScenarioModel, UseCase};
+        let sc = Scenario::new(
+            "pinned",
+            UseCase::Datacenter,
+            vec![ScenarioModel {
+                model: ModelBuilder::new("pin-model").gemm("g0", 64, 32, 8).build(),
+                batch: 2,
+            }],
+        );
+        let mcm = het_sides_3x3(Profile::Datacenter);
+        let req = ScheduleRequest::new(sc, mcm);
+        let (full, shape) = fingerprints(&req, &Standalone::new());
+        assert_eq!(full, 0xfee36550577ac1bb, "full fingerprint moved");
+        assert_eq!(shape, 0x3475f389208e6859, "shape fingerprint moved");
     }
 
     #[test]

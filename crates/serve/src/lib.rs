@@ -18,6 +18,10 @@
 //!   database, advancing virtual time by the evaluated window latencies
 //!   and completing each tenant's requests at its own last-active-window
 //!   offset.
+//! * [`registry`] — the policy registry ([`PolicyRegistry`]): serving
+//!   policies constructed from config strings (`SCAR`/`Standalone`/
+//!   `NN-baton` pre-registered, user schedulers registrable), so tools
+//!   and config files name schedulers instead of hard-coding them.
 //! * [`cache`] — the bounded LRU schedule cache ([`ScheduleCache`]):
 //!   recurring traffic shapes (the common case under frame clocks) skip
 //!   the expensive tree search entirely; hit/miss/eviction counters
@@ -53,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod registry;
 pub mod report;
 pub mod sim;
 pub mod traffic;
@@ -60,6 +65,7 @@ pub mod traffic;
 pub use cache::{
     fingerprint, fingerprint_parts, fingerprints, shape_fingerprint, CacheStats, ScheduleCache,
 };
+pub use registry::{PolicyFactory, PolicyRegistry, UnknownPolicy};
 pub use report::{percentile, LatencySummary, ServeReport, StreamStats};
 pub use sim::{ServeConfig, ServePolicy, ServeSim};
 pub use traffic::{ArrivalProcess, Request, RequestStream, TrafficMix};

@@ -23,12 +23,20 @@ pub struct LatencySummary {
 
 impl LatencySummary {
     /// Summarizes latencies (need not be sorted). Empty input → zeros.
+    ///
+    /// NaN entries are filtered out before summarizing rather than
+    /// panicking the whole serving report (the pre-fix implementation
+    /// sorted with `partial_cmp().expect(..)`, so a single NaN window
+    /// latency — e.g. from a degenerate cost-model input — took down the
+    /// report for every healthy request). Non-NaN infinities are kept:
+    /// they sort last via `total_cmp` and legitimately dominate the tail
+    /// percentiles. `count` reports the summarized (non-NaN) samples.
     pub fn of(latencies: &[f64]) -> Self {
-        if latencies.is_empty() {
+        let mut sorted: Vec<f64> = latencies.iter().copied().filter(|l| !l.is_nan()).collect();
+        if sorted.is_empty() {
             return Self::default();
         }
-        let mut sorted = latencies.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        sorted.sort_by(f64::total_cmp);
         let count = sorted.len();
         Self {
             count,
@@ -108,6 +116,10 @@ pub struct ServeReport {
     /// (previous round's placement re-evaluated because only batch sizes
     /// changed) instead of a full search.
     pub incremental_reschedules: u64,
+    /// MAESTRO cost-model evaluations performed during the run. Zero on a
+    /// warm start whose persisted cost snapshot covers the traffic — the
+    /// counter the cold-start acceptance gate watches.
+    pub cost_evaluations: u64,
     /// Per-stream breakdowns, in mix stream order.
     pub per_stream: Vec<StreamStats>,
 }
@@ -164,6 +176,11 @@ impl fmt::Display for ServeReport {
         )?;
         writeln!(
             f,
+            "maestro cost evaluations this run: {}",
+            self.cost_evaluations
+        )?;
+        writeln!(
+            f,
             "  {:<12} {:>6} {:>9} {:>9} {:>9} {:>10}",
             "stream", "reqs", "p50 ms", "p95 ms", "p99 ms", "miss rate"
         )?;
@@ -212,6 +229,33 @@ mod tests {
         assert_eq!(LatencySummary::of(&[]), LatencySummary::default());
     }
 
+    /// The degenerate inputs that used to panic the whole serving report
+    /// (`partial_cmp().expect("latencies are finite")`): NaN entries are
+    /// dropped, infinities are summarized in sorted position.
+    #[test]
+    fn summary_survives_nan_and_infinite_latencies() {
+        // one poisoned sample among healthy ones: stats over the healthy
+        let s = LatencySummary::of(&[4.0, f64::NAN, 1.0, 3.0, 2.0]);
+        assert_eq!(s.count, 4, "NaN is filtered, finite samples remain");
+        assert_eq!(s.mean_s, 2.5);
+        assert_eq!(s.max_s, 4.0);
+        // all-NaN input degrades to the empty summary, not a panic
+        assert_eq!(
+            LatencySummary::of(&[f64::NAN, f64::NAN]),
+            LatencySummary::default()
+        );
+        // infinities are real (a request that never completes) — they sort
+        // last and dominate max/p99
+        let inf = LatencySummary::of(&[1.0, f64::INFINITY, 2.0]);
+        assert_eq!(inf.count, 3);
+        assert_eq!(inf.max_s, f64::INFINITY);
+        assert_eq!(inf.p50_s, 2.0);
+        // negative zero and negative values keep a total order
+        let neg = LatencySummary::of(&[-0.0, 0.0, -1.0]);
+        assert_eq!(neg.count, 3);
+        assert_eq!(neg.p50_s, -0.0);
+    }
+
     #[test]
     fn report_renders_all_sections() {
         let report = ServeReport {
@@ -231,6 +275,7 @@ mod tests {
                 evictions: 2,
             },
             incremental_reschedules: 1,
+            cost_evaluations: 12,
             per_stream: vec![StreamStats {
                 model_name: "EyeCod".into(),
                 completed: 10,
@@ -249,6 +294,7 @@ mod tests {
             "75.0% hit",
             "2 evictions",
             "1 incremental",
+            "cost evaluations this run: 12",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

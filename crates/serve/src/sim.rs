@@ -33,9 +33,8 @@
 use crate::cache::{fingerprint_parts, ScheduleCache};
 use crate::report::{LatencySummary, ServeReport, StreamStats};
 use crate::traffic::{Request, TrafficMix};
-use scar_core::baselines::{NnBaton, Standalone};
 use scar_core::{
-    OptMetric, Parallelism, Scar, ScheduleError, ScheduleRequest, ScheduleResult, Scheduler,
+    OptMetric, Parallelism, ScheduleError, ScheduleRequest, ScheduleResult, Scheduler,
     SearchBudget, SearchKind, Session,
 };
 use scar_mcm::McmConfig;
@@ -71,21 +70,16 @@ impl ServePolicy {
         }
     }
 
-    /// Builds the named scheduler. SCAR takes its structural knobs
+    /// Builds the named scheduler through the standard
+    /// [`PolicyRegistry`](crate::PolicyRegistry) (this enum is now purely
+    /// a convenience over registry names — the per-policy `match` that
+    /// used to live here is gone). SCAR takes its structural knobs
     /// (window splits, search driver) from `cfg`; the baselines are
-    /// configuration-free. This is the only policy match in the crate —
-    /// the scheduling path itself is trait-dispatched.
+    /// configuration-free.
     pub fn scheduler(&self, cfg: &ServeConfig) -> Box<dyn Scheduler> {
-        match self {
-            ServePolicy::Scar => Box::new(
-                Scar::builder()
-                    .nsplits(cfg.nsplits)
-                    .search(cfg.search.clone())
-                    .build(),
-            ),
-            ServePolicy::Standalone => Box::new(Standalone::new()),
-            ServePolicy::NnBaton => Box::new(NnBaton::new()),
-        }
+        crate::registry::PolicyRegistry::with_builtins()
+            .build(self.name(), cfg)
+            .expect("built-in policies are pre-registered")
     }
 }
 
@@ -126,6 +120,14 @@ pub struct ServeConfig {
     /// Worker-pool sizing for candidate evaluation. Wall-clock only:
     /// reports are bit-identical across settings.
     pub parallelism: Parallelism,
+    /// Auto-persist path for the session's MAESTRO cost database. When
+    /// set, an existing snapshot at this path is loaded at construction
+    /// (so a restarted server skips cost-model evaluation for every
+    /// covered layer) and the accumulated database is saved back after
+    /// every [`ServeSim::run`]. Costs are schedule-independent, so the
+    /// snapshot never changes *what* is scheduled — only whether MAESTRO
+    /// runs (watch [`ServeReport::cost_evaluations`]).
+    pub cost_db_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -147,6 +149,7 @@ impl Default for ServeConfig {
             incremental: true,
             max_incremental_chain: 8,
             parallelism: Parallelism::Auto,
+            cost_db_path: None,
         }
     }
 }
@@ -179,6 +182,10 @@ pub struct ServeSim<'a> {
     incremental_chain: usize,
     /// Rounds served by the incremental fast path (cumulative).
     incremental_reschedules: u64,
+    /// Cost entries covered by the on-disk snapshot as of the last
+    /// load/save — a steady-state run that added nothing skips the
+    /// rewrite.
+    persisted_costs: usize,
 }
 
 impl std::fmt::Debug for ServeSim<'_> {
@@ -209,21 +216,41 @@ impl<'a> ServeSim<'a> {
 
     /// A simulator serving with an arbitrary [`Scheduler`] — the trait
     /// object takes the exact same path as the built-in policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ServeConfig::cost_db_path`] points at an existing file
+    /// that is not a loadable cost snapshot (corrupt, wrong format
+    /// version, or written by a different cost model): serving on costs
+    /// from a different model would silently change every schedule, so a
+    /// bad snapshot is a configuration error, not a warm-start miss. A
+    /// *missing* file is fine — that is the cold start that writes it.
     pub fn with_scheduler(
         mcm: &'a McmConfig,
         scheduler: Box<dyn Scheduler>,
         cfg: ServeConfig,
     ) -> Self {
         let cache = ScheduleCache::with_capacity(cfg.cache_capacity);
+        let session = Session::new();
+        if let Some(path) = &cfg.cost_db_path {
+            if path.exists() {
+                let loaded = session.load_costs(path).unwrap_or_else(|e| {
+                    panic!("cost_db_path {}: {e}", path.display());
+                });
+                debug_assert_eq!(session.cached_costs(), loaded);
+            }
+        }
+        let persisted_costs = session.cached_costs();
         Self {
             mcm,
             cfg,
             scheduler,
-            session: Session::new(),
+            session,
             cache,
             last: None,
             incremental_chain: 0,
             incremental_reschedules: 0,
+            persisted_costs,
         }
     }
 
@@ -269,6 +296,7 @@ impl<'a> ServeSim<'a> {
     pub fn run(&mut self, mix: &TrafficMix, horizon_s: f64) -> Result<ServeReport, ScheduleError> {
         let cache_before = self.cache.stats();
         let incremental_before = self.incremental_reschedules;
+        let evaluations_before = self.session.cost_evaluations();
         let arrivals = mix.arrivals(horizon_s);
         let offered = arrivals.len();
         let mut next_arrival = 0usize;
@@ -349,6 +377,19 @@ impl<'a> ServeSim<'a> {
             }
         };
         let incremental = self.incremental_reschedules - incremental_before;
+        let cost_evaluations = self.session.cost_evaluations() - evaluations_before;
+        if let Some(path) = &self.cfg.cost_db_path {
+            // persist the accumulated database so the next process (or the
+            // next run) starts warm; a steady-state run that added no
+            // entries skips the rewrite, and errors must not lose the
+            // report
+            if self.session.cached_costs() != self.persisted_costs {
+                match self.session.save_costs(path) {
+                    Ok(()) => self.persisted_costs = self.session.cached_costs(),
+                    Err(e) => eprintln!("warning: failed to persist cost database: {e}"),
+                }
+            }
+        }
         Ok(self.build_report(
             mix,
             completions,
@@ -357,6 +398,7 @@ impl<'a> ServeSim<'a> {
             makespan,
             cache,
             incremental,
+            cost_evaluations,
         ))
     }
 
@@ -472,6 +514,7 @@ impl<'a> ServeSim<'a> {
         makespan_s: f64,
         cache: crate::cache::CacheStats,
         incremental_reschedules: u64,
+        cost_evaluations: u64,
     ) -> ServeReport {
         let mut per_stream_lat: Vec<Vec<f64>> = vec![Vec::new(); mix.streams.len()];
         let mut per_stream_miss = vec![0usize; mix.streams.len()];
@@ -518,6 +561,7 @@ impl<'a> ServeSim<'a> {
             deadline_bound,
             cache,
             incremental_reschedules,
+            cost_evaluations,
             per_stream,
         }
     }
@@ -527,6 +571,7 @@ impl<'a> ServeSim<'a> {
 mod tests {
     use super::*;
     use crate::traffic::TrafficMix;
+    use scar_core::baselines::Standalone;
     use scar_mcm::templates::{het_sides_3x3, Profile};
 
     fn sim_mcm() -> scar_mcm::McmConfig {
@@ -747,6 +792,59 @@ mod tests {
             "a 1-entry cache under a multi-shape mix must evict: {:?}",
             report.cache
         );
+    }
+
+    /// The warm-start path end to end: a simulator with `cost_db_path`
+    /// persists its cost database, and a *fresh* simulator at the same
+    /// path serves the same traffic with zero MAESTRO evaluations and a
+    /// bit-identical report.
+    #[test]
+    fn cost_db_path_warm_start_skips_maestro() {
+        let mcm = sim_mcm();
+        let path = std::env::temp_dir().join("scar_serve_sim_costdb_test.json");
+        std::fs::remove_file(&path).ok();
+        let cfg = || ServeConfig {
+            cost_db_path: Some(path.clone()),
+            ..ServeConfig::default()
+        };
+        let mix = TrafficMix::arvr(1);
+
+        let mut cold = ServeSim::new(&mcm, cfg());
+        let cold_report = cold.run(&mix, 0.1).unwrap();
+        assert!(
+            cold_report.cost_evaluations > 0,
+            "cold start pays the cost model"
+        );
+        assert!(path.exists(), "run must persist the snapshot");
+
+        let mut warm = ServeSim::new(&mcm, cfg());
+        assert!(warm.session().cached_costs() > 0, "snapshot restored");
+        let warm_report = warm.run(&mix, 0.1).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            warm_report.cost_evaluations, 0,
+            "warm start must not invoke MAESTRO"
+        );
+        // identical serving outcomes — the snapshot changes cost, not content
+        assert_eq!(warm_report.latency, cold_report.latency);
+        assert_eq!(warm_report.energy_j, cold_report.energy_j);
+        assert_eq!(warm_report.makespan_s, cold_report.makespan_s);
+        assert_eq!(warm_report.windows_scheduled, cold_report.windows_scheduled);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost_db_path")]
+    fn corrupt_cost_snapshot_is_a_configuration_error() {
+        let mcm = sim_mcm();
+        let path = std::env::temp_dir().join("scar_serve_sim_corrupt_costdb.json");
+        std::fs::write(&path, "{ definitely not a snapshot").unwrap();
+        let cfg = ServeConfig {
+            cost_db_path: Some(path),
+            ..ServeConfig::default()
+        };
+        // constructor must reject, not serve on garbage costs (the stray
+        // temp file is rewritten on every test run)
+        let _ = ServeSim::new(&mcm, cfg);
     }
 
     #[test]

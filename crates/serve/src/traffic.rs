@@ -202,9 +202,17 @@ impl TrafficMix {
     /// (ties by stream index), with ids in that order. Deterministic given
     /// the mix (including its seed).
     ///
+    /// A stream whose rate is zero or negative emits nothing (a muted
+    /// tenant, reachable via [`TrafficMix::throttled`] rounding); a
+    /// *non-finite* rate or phase is a configuration bug and panics
+    /// eagerly — before this guard, a NaN Poisson rate made the
+    /// inter-arrival gap NaN, and since `NaN >= horizon` is false the
+    /// sampling loop below never terminated.
+    ///
     /// # Panics
     ///
-    /// Panics if `horizon_s` is not positive and finite.
+    /// Panics if `horizon_s` is not positive and finite, or if any
+    /// stream's rate (or periodic phase) is non-finite.
     pub fn arrivals(&self, horizon_s: f64) -> Vec<Request> {
         assert!(
             horizon_s > 0.0 && horizon_s.is_finite(),
@@ -212,8 +220,18 @@ impl TrafficMix {
         );
         let mut out: Vec<Request> = Vec::new();
         for (si, stream) in self.streams.iter().enumerate() {
+            assert!(
+                stream.arrivals.rate_hz().is_finite(),
+                "stream {si} ({}) has a non-finite arrival rate",
+                stream.model.name()
+            );
             match stream.arrivals {
                 ArrivalProcess::Periodic { rate_hz, phase_s } => {
+                    assert!(
+                        phase_s.is_finite(),
+                        "stream {si} ({}) has a non-finite phase",
+                        stream.model.name()
+                    );
                     if rate_hz <= 0.0 {
                         continue;
                     }
@@ -234,9 +252,16 @@ impl TrafficMix {
                         StdRng::seed_from_u64(self.seed ^ (si as u64).wrapping_mul(0x9E37_79B9));
                     let mut t = 0.0f64;
                     loop {
-                        // exponential gap via inverse transform; (1 - u) keeps
-                        // ln's argument in (0, 1]
-                        let u: f64 = rng.gen();
+                        // Exponential gap via inverse transform; (1 - u)
+                        // keeps ln's argument in (0, 1]. Audit of the
+                        // vendored `rand` stub: `gen::<f64>()` maps 53
+                        // random bits onto [0, 1), so u == 1.0 (which
+                        // would make the gap ln(0) → +inf and silently
+                        // truncate the stream) cannot occur — but that is
+                        // a property of *this* stub, so clamp anyway: a
+                        // swapped-in generator with a closed [0, 1] range
+                        // must not change arrival semantics.
+                        let u: f64 = rng.gen::<f64>().clamp(0.0, 1.0 - f64::EPSILON);
                         t += -(1.0 - u).ln() / rate_hz;
                         if t >= horizon_s {
                             break;
@@ -246,10 +271,11 @@ impl TrafficMix {
                 }
             }
         }
+        // total_cmp: arrival times are finite by construction here, but a
+        // comparator that cannot panic beats one that asserts it
         out.sort_by(|a, b| {
             a.arrival_s
-                .partial_cmp(&b.arrival_s)
-                .expect("arrival times are finite")
+                .total_cmp(&b.arrival_s)
                 .then(a.stream.cmp(&b.stream))
         });
         for (id, r) in out.iter_mut().enumerate() {
@@ -362,6 +388,55 @@ mod tests {
             .arrivals(2.0)
             .iter()
             .all(|r| r.deadline_s.is_none()));
+    }
+
+    #[test]
+    fn zero_rate_streams_emit_nothing() {
+        let mut mix = TrafficMix::datacenter(1);
+        mix.streams[0].arrivals = ArrivalProcess::Poisson { rate_hz: 0.0 };
+        mix.streams[1].arrivals = ArrivalProcess::Periodic {
+            rate_hz: -3.0,
+            phase_s: 0.0,
+        };
+        let reqs = mix.arrivals(2.0);
+        assert!(!reqs.is_empty(), "stream 2 still emits");
+        assert!(
+            reqs.iter().all(|r| r.stream == 2),
+            "muted streams are silent"
+        );
+    }
+
+    /// A NaN rate used to make the Poisson gap NaN and spin the sampling
+    /// loop forever (`NaN >= horizon` is false); now it panics eagerly.
+    #[test]
+    #[should_panic(expected = "non-finite arrival rate")]
+    fn nan_rate_panics_instead_of_hanging() {
+        let mut mix = TrafficMix::datacenter(1);
+        mix.streams[0].arrivals = ArrivalProcess::Poisson { rate_hz: f64::NAN };
+        let _ = mix.arrivals(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite phase")]
+    fn infinite_phase_panics() {
+        let mut mix = TrafficMix::arvr(1);
+        mix.streams[0].arrivals = ArrivalProcess::Periodic {
+            rate_hz: 60.0,
+            phase_s: f64::INFINITY,
+        };
+        let _ = mix.arrivals(1.0);
+    }
+
+    /// All sampled arrivals are finite and in-horizon even at extreme
+    /// rates — the u→1 clamp bounds every inter-arrival gap away from the
+    /// ln(0) infinity.
+    #[test]
+    fn poisson_gaps_are_always_finite() {
+        let mix = TrafficMix::datacenter(0xFEED).throttled(1000.0);
+        for r in mix.arrivals(0.05) {
+            assert!(r.arrival_s.is_finite());
+            assert!((0.0..0.05).contains(&r.arrival_s));
+        }
     }
 
     #[test]

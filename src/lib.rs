@@ -12,6 +12,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |--------|-------|----------|
+//! | [`hash`] | `scar-hash` | process-stable FNV-1a hashing for persisted fingerprints |
 //! | [`workloads`] | `scar-workloads` | layers, models, scenarios, the scenario generator, JSON parsing |
 //! | [`maestro`] | `scar-maestro` | intra-chiplet analytical cost model |
 //! | [`mcm`] | `scar-mcm` | NoP topologies, MCM templates, communication model |
@@ -69,6 +70,7 @@
 #![forbid(unsafe_code)]
 
 pub use scar_core as core;
+pub use scar_hash as hash;
 pub use scar_maestro as maestro;
 pub use scar_mcm as mcm;
 pub use scar_serve as serve;
