@@ -12,20 +12,20 @@ use scar_core::ScheduleArtifact;
 use std::path::Path;
 
 /// Converts a sweep into artifacts (label = strategy name; the scheduler
-/// field records the answering [`Scheduler::name`] — a registry name, so
-/// saved sweeps replay through [`crate::replay`]).
+/// field records the answering [`Scheduler::name`] — a registry name —
+/// and `scheduler_config` its structural knobs, so saved sweeps replay
+/// through [`crate::replay`] under the exact recorded configuration).
 ///
 /// [`Scheduler::name`]: scar_core::Scheduler::name
 pub fn from_sweep(results: &[LabeledResult]) -> Vec<ScheduleArtifact> {
     results
         .iter()
-        .map(|r| {
-            ScheduleArtifact::new(
-                r.name.clone(),
-                r.scheduler.clone(),
-                r.request.clone(),
-                r.result.clone(),
-            )
+        .map(|r| ScheduleArtifact {
+            label: r.name.clone(),
+            scheduler: r.scheduler.clone(),
+            scheduler_config: r.scheduler_config.clone(),
+            request: r.request.clone(),
+            result: r.result.clone(),
         })
         .collect()
 }

@@ -16,10 +16,12 @@
 //! SCAR_REPLAY_MCM=simba_nvd cargo run --release -p scar-bench --bin replay -- ARTIFACT_table04_edp.json
 //! ```
 //!
-//! Artifacts record the answering scheduler's *name*; SCAR's structural
-//! knobs (window splits, search driver) are reconstructed from
-//! `SCAR_NSPLITS` / `SCAR_SEARCH` (`brute` default, `evolutionary` for
-//! 6×6 sweeps) — see DESIGN.md §8 on this limitation.
+//! Artifacts record the answering scheduler's *name and configuration*
+//! (window splits, search driver); replay reconstructs the recorded
+//! configuration automatically. `SCAR_NSPLITS` / `SCAR_SEARCH` (`brute`
+//! default, `evolutionary` for 6×6 sweeps) remain as fallbacks for
+//! artifacts recorded before configurations were persisted — a recorded
+//! configuration always wins over these knobs.
 //!
 //! Exit code 1 when replaying **without** an MCM override and any
 //! artifact fails to reproduce exactly — or could not be replayed at all
@@ -27,8 +29,15 @@
 //! deterministic, so drift means the model (or a scheduler
 //! reconstruction) changed out from under the recording. With
 //! `SCAR_REPLAY_MCM` set, drift is the expected output, not an error.
+//! With `SCAR_REPLAY_BAND=<frac>` set (e.g. `0.05` for ±5%), the gate is
+//! the fidelity *tolerance band* instead of exactness: totals drift
+//! within the band passes, outside it fails — the re-anchoring mode for
+//! intentional cost-model changes. Bands judge totals only (a changed
+//! model legitimately re-places work), so band mode does not check
+//! placement identity; use the default exactness gate for
+//! unchanged-model regressions.
 
-use scar_bench::replay::{replay_artifacts, ReplayOptions};
+use scar_bench::replay::{band_violations, replay_artifacts, ReplayOptions, ToleranceBand};
 use scar_core::{ScheduleArtifact, SearchKind, Session};
 use scar_maestro::Dataflow;
 use scar_mcm::templates::{self, Profile};
@@ -63,10 +72,22 @@ fn main() -> ExitCode {
         eprintln!(
             "env: SCAR_COST_DB=<snapshot> (warm-start costs), \
              SCAR_REPLAY_MCM=<template[:profile]>, SCAR_NSPLITS=<n>, \
-             SCAR_SEARCH=brute|evolutionary"
+             SCAR_SEARCH=brute|evolutionary, SCAR_REPLAY_BAND=<frac> \
+             (±band gate instead of exactness)"
         );
         return ExitCode::from(2);
     }
+
+    let band: Option<ToleranceBand> = match std::env::var("SCAR_REPLAY_BAND") {
+        Ok(f) => match f.parse::<f64>() {
+            Ok(frac) if frac >= 0.0 && frac.is_finite() => Some(ToleranceBand::uniform(frac)),
+            _ => {
+                eprintln!("SCAR_REPLAY_BAND={f:?} is not a non-negative fraction");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => None,
+    };
 
     let mut options = ReplayOptions::default();
     if let Ok(spec) = std::env::var("SCAR_REPLAY_MCM") {
@@ -86,10 +107,9 @@ fn main() -> ExitCode {
         }
     }
 
-    // SCAR's structural knobs are not recorded in artifacts (they live on
-    // the scheduler value, keyed by name); these reconstruct sweeps
-    // recorded under non-default configurations (table04: SCAR_NSPLITS=4;
-    // 6x6 evolutionary sweeps: SCAR_SEARCH=evolutionary)
+    // fallback knobs for artifacts recorded before scheduler
+    // configurations were persisted (a recorded configuration always
+    // overrides these, field by field — see `replay_artifacts`)
     if let Ok(n) = std::env::var("SCAR_NSPLITS") {
         match n.parse() {
             Ok(n) => options.serve_config.nsplits = n,
@@ -126,6 +146,7 @@ fn main() -> ExitCode {
     let registry = PolicyRegistry::with_builtins();
     let what_if = options.mcm_override.is_some();
     let mut all_exact = true;
+    let mut violations = 0usize;
     let mut skipped = 0usize;
     for path in &paths {
         let artifacts = match ScheduleArtifact::load_all(path) {
@@ -148,6 +169,12 @@ fn main() -> ExitCode {
             println!("{d}");
             all_exact &= d.is_exact();
         }
+        if let Some(band) = &band {
+            for v in band_violations(&diffs, band) {
+                eprintln!("band violation (±{:.2}%): {v}", band.latency_frac * 100.0);
+                violations += 1;
+            }
+        }
     }
     println!(
         "cost database: {} entries, {} evaluations during replay",
@@ -161,11 +188,27 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    if let Some(band) = &band {
+        // band mode: the ± tolerance is the gate (re-anchoring after an
+        // intentional model change); exactness is not required
+        if violations > 0 {
+            eprintln!(
+                "{violations} artifact(s) drifted outside the ±{:.2}% tolerance band",
+                band.latency_frac * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "all artifacts re-anchor within the ±{:.2}% tolerance band",
+            band.latency_frac * 100.0
+        );
+        return ExitCode::SUCCESS;
+    }
     if !what_if && !all_exact {
         eprintln!(
             "replay drifted from the recording under an unchanged MCM — cost model or \
              scheduler reconstruction changed (for sweeps recorded under non-default \
-             SCAR knobs, set SCAR_NSPLITS / SCAR_SEARCH)"
+             SCAR knobs predating recorded configurations, set SCAR_NSPLITS / SCAR_SEARCH)"
         );
         return ExitCode::FAILURE;
     }

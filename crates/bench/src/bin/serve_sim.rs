@@ -20,12 +20,27 @@
 //!   bit-identical across settings.
 //! * `SCAR_POLICY` — primary serving policy, resolved through the
 //!   [`PolicyRegistry`] (default `SCAR`; also `Standalone`, `NN-baton`).
+//! * `SCAR_ADMISSION` — admission policy: `accept` (default),
+//!   `deadline` (deadline-feasibility via the cost-DB probe), or
+//!   `shed[:N]` (per-stream queue bound, default 8).
+//! * `SCAR_TRAFFIC_SHAPE` — re-express both mixes' arrivals at the same
+//!   mean rates: `poisson`, `burst` (Markov-modulated on/off), or
+//!   `diurnal` (sinusoidal rate). Unset keeps the native shapes
+//!   (AR/VR frame clocks + datacenter Poisson).
+//! * `SCAR_PREEMPT` — `1` enables mid-window preemption (arrivals cut the
+//!   in-flight schedule at the next window boundary; the remainder is
+//!   respliced). Default off: boundary-only rescheduling.
+//! * `SCAR_NSPLITS` — SCAR window splits per live scenario (default 1;
+//!   more splits → shorter windows → more preemption opportunities).
 //! * `SCAR_COST_DB` — persist path for the MAESTRO cost database: loaded
 //!   (if present) before serving, saved after each run. A second process
 //!   pointed at the same path serves the same traffic with **zero** cost
 //!   evaluations and byte-identical reports.
 //! * `SCAR_EXPECT_ZERO_EVALS` — when set (CI's warm pass), assert that
 //!   every simulation performed zero MAESTRO evaluations.
+//! * `SCAR_EXPECT_PREEMPTIONS` — when set (CI's overload smoke), assert
+//!   that the primary policy performed at least one mid-window preemption
+//!   across the simulated mixes.
 //!
 //! Besides stdout (which includes wall-clock timings), the deterministic
 //! serving reports are written to `REPORT_serve_sim.txt` so warm and cold
@@ -33,7 +48,9 @@
 
 use scar_core::Parallelism;
 use scar_mcm::templates::{het_sides_3x3, Profile};
-use scar_serve::{PolicyRegistry, ServeConfig, ServePolicy, ServeSim, TrafficMix};
+use scar_serve::{
+    AdmissionKind, PolicyRegistry, ServeConfig, ServePolicy, ServeSim, TrafficMix, TrafficShape,
+};
 use std::fmt::Write as _;
 
 /// Parses `SCAR_THREADS` into a [`Parallelism`]; unset → `Auto`, an
@@ -70,22 +87,62 @@ fn main() {
         );
         std::process::exit(2);
     }
+    let admission = match std::env::var("SCAR_ADMISSION") {
+        Ok(spec) => AdmissionKind::parse(&spec).unwrap_or_else(|e| {
+            eprintln!("SCAR_ADMISSION: {e}");
+            std::process::exit(2);
+        }),
+        Err(_) => AdmissionKind::AcceptAll,
+    };
+    let shape = match std::env::var("SCAR_TRAFFIC_SHAPE").as_deref() {
+        Err(_) => None,
+        Ok("poisson") => Some(TrafficShape::Poisson),
+        Ok("burst") => Some(TrafficShape::Burst),
+        Ok("diurnal") => Some(TrafficShape::Diurnal),
+        Ok(other) => {
+            eprintln!("SCAR_TRAFFIC_SHAPE={other:?} is not poisson, burst, or diurnal");
+            std::process::exit(2);
+        }
+    };
+    let preemption = match std::env::var("SCAR_PREEMPT").as_deref() {
+        Err(_) | Ok("0") | Ok("") => false,
+        Ok(_) => true,
+    };
+    let nsplits: usize = match std::env::var("SCAR_NSPLITS") {
+        Ok(n) => n.parse().unwrap_or_else(|_| {
+            eprintln!("SCAR_NSPLITS={n:?} is not a window-split count");
+            std::process::exit(2);
+        }),
+        Err(_) => ServeConfig::default().nsplits,
+    };
     let cost_db_path = std::env::var("SCAR_COST_DB").ok().map(Into::into);
     let expect_zero_evals = std::env::var("SCAR_EXPECT_ZERO_EVALS").is_ok();
+    let expect_preemptions = std::env::var("SCAR_EXPECT_PREEMPTIONS").is_ok();
     let make_cfg = || ServeConfig {
         parallelism,
+        admission,
+        preemption,
+        nsplits,
         cost_db_path: cost_db_path.clone(),
         ..ServeConfig::default()
     };
+    let reshape = |mix: TrafficMix| match shape {
+        Some(s) => mix.reshaped(s),
+        None => mix,
+    };
     println!(
-        "candidate evaluation: {parallelism:?} ({} worker threads) | policy {policy} | cost db {}\n",
+        "candidate evaluation: {parallelism:?} ({} worker threads) | policy {policy} | \
+         admission {admission:?} | shape {} | preemption {} | nsplits {nsplits} | cost db {}\n",
         parallelism.threads(),
+        shape.map_or("native".to_string(), |s| s.to_string()),
+        if preemption { "on" } else { "off" },
         cost_db_path
             .as_ref()
             .map_or("off".to_string(), |p: &std::path::PathBuf| p
                 .display()
                 .to_string()),
     );
+    let mut total_preemptions = 0u64;
 
     // The steady-state serving reports: diffing this file across cold and
     // warm processes proves bit-identical scheduling. Logged from each
@@ -96,8 +153,8 @@ fn main() {
     let mut report_log = String::new();
 
     for (profile, mix) in [
-        (Profile::Datacenter, TrafficMix::datacenter(0x5CA2)),
-        (Profile::ArVr, TrafficMix::arvr(0x5CA2)),
+        (Profile::Datacenter, reshape(TrafficMix::datacenter(0x5CA2))),
+        (Profile::ArVr, reshape(TrafficMix::arvr(0x5CA2))),
     ] {
         let mcm = het_sides_3x3(profile);
         println!(
@@ -143,6 +200,7 @@ fn main() {
                 mix.name
             );
         }
+        total_preemptions += cold.preemptions + warm.preemptions;
 
         // the Standalone baseline under the same traffic (sharing the
         // persisted cost database — per-layer costs are scheduler-free)
@@ -164,11 +222,13 @@ fn main() {
         }
 
         // persist one representative scheduling round through the shared
-        // artifact path (same JSON shape the bench tables emit)
+        // artifact path (same JSON shape the bench tables emit); `of`
+        // records the scheduler's configuration so replay reconstructs the
+        // exact knobs (e.g. a non-default SCAR_NSPLITS)
         let live = mix.unit_scenario();
-        let artifact = scar_core::ScheduleArtifact::new(
+        let artifact = scar_core::ScheduleArtifact::of(
             format!("{} live round", mix.name),
-            sim.scheduler_name(),
+            sim.scheduler(),
             sim.schedule_request(&live),
             sim.schedule_fresh(&live).expect("live round schedules"),
         );
@@ -179,6 +239,14 @@ fn main() {
         println!();
     }
 
+    if expect_preemptions {
+        assert!(
+            total_preemptions > 0,
+            "SCAR_EXPECT_PREEMPTIONS: no mid-window preemption occurred \
+             (is SCAR_PREEMPT=1 set and the traffic bursty enough?)"
+        );
+        println!("mid-window preemptions across runs: {total_preemptions} (expected nonzero: ok)");
+    }
     std::fs::write("REPORT_serve_sim.txt", report_log).expect("write REPORT_serve_sim.txt");
     println!("wrote REPORT_serve_sim.txt (deterministic reports, diffable across runs)");
 }

@@ -66,6 +66,68 @@ impl ReplayDiff {
     pub fn is_exact(&self) -> bool {
         matches!(&self.replayed, Ok(r) if *r == self.recorded) && self.identical_schedule
     }
+
+    /// True when the replayed totals drifted no further than `band` allows
+    /// in either direction (a failed replay is never within any band).
+    /// This is the fidelity gate for *intentional* model changes: exact
+    /// replay is the regression gate, ± bands are the re-anchoring gate.
+    ///
+    /// Bands judge **totals only** — deliberately. A changed cost model
+    /// legitimately re-places work, so `identical_schedule` is *not*
+    /// consulted here (unlike [`ReplayDiff::is_exact`], which requires
+    /// it). A zero-width band is therefore still weaker than the
+    /// exactness gate: use `is_exact` to catch placement-identity
+    /// regressions under an unchanged model.
+    pub fn within(&self, band: &ToleranceBand) -> bool {
+        match (self.latency_drift(), self.edp_drift()) {
+            (Some(lat), Some(edp)) => lat.abs() <= band.latency_frac && edp.abs() <= band.edp_frac,
+            _ => false,
+        }
+    }
+}
+
+/// Symmetric relative tolerance on replay *totals* drift: a diff passes
+/// when `|drift| ≤ frac` on each tracked metric (schedule placement
+/// identity is never part of a band — see [`ReplayDiff::within`]).
+/// `ToleranceBand::exact()` (zero width) admits only drift-free totals;
+/// [`ToleranceBand::uniform`] builds the common equal-width band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ToleranceBand {
+    /// Maximum |relative latency drift| admitted.
+    pub latency_frac: f64,
+    /// Maximum |relative EDP drift| admitted.
+    pub edp_frac: f64,
+}
+
+impl ToleranceBand {
+    /// The same ± fraction on every metric (e.g. `uniform(0.05)` = ±5%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is negative or not finite.
+    pub fn uniform(frac: f64) -> Self {
+        assert!(
+            frac >= 0.0 && frac.is_finite(),
+            "tolerance must be a non-negative finite fraction"
+        );
+        Self {
+            latency_frac: frac,
+            edp_frac: frac,
+        }
+    }
+
+    /// The zero-width band: only drift-free *totals* pass (still weaker
+    /// than [`ReplayDiff::is_exact`], which also requires the identical
+    /// placement).
+    pub fn exact() -> Self {
+        Self::uniform(0.0)
+    }
+}
+
+/// The diffs of `diffs` that drift outside `band` (empty = the whole sweep
+/// re-anchors within tolerance).
+pub fn band_violations<'a>(diffs: &'a [ReplayDiff], band: &ToleranceBand) -> Vec<&'a ReplayDiff> {
+    diffs.iter().filter(|d| !d.within(band)).collect()
 }
 
 impl std::fmt::Display for ReplayDiff {
@@ -108,9 +170,16 @@ pub struct ReplayOptions {
 }
 
 /// Replays `artifacts` over `session`, rebuilding each scheduler by its
-/// recorded name from `registry`. Artifacts whose scheduler name the
-/// registry does not know are skipped with a note on stderr (a registry
-/// gap is worth seeing, not worth aborting a sweep over).
+/// recorded name from `registry`. An artifact that recorded the answering
+/// scheduler's *configuration* ([`ScheduleArtifact::scheduler_config`])
+/// is reconstructed with exactly those knobs — the recorded configuration
+/// overrides `options.serve_config` field by field, so a sweep recorded
+/// under `nsplits = 4` replays under `nsplits = 4` no matter what the
+/// caller's default is. Artifacts without one (recorded before
+/// configurations were persisted) fall back to `options.serve_config`.
+/// Artifacts whose scheduler name the registry does not know are skipped
+/// with a note on stderr (a registry gap is worth seeing, not worth
+/// aborting a sweep over).
 pub fn replay_artifacts(
     session: &Session,
     artifacts: &[ScheduleArtifact],
@@ -120,7 +189,14 @@ pub fn replay_artifacts(
     artifacts
         .iter()
         .filter_map(|a| {
-            let scheduler = match registry.build(&a.scheduler, &options.serve_config) {
+            let mut cfg = options.serve_config.clone();
+            if let Some(nsplits) = a.scheduler_config.nsplits {
+                cfg.nsplits = nsplits;
+            }
+            if let Some(search) = &a.scheduler_config.search {
+                cfg.search = search.clone();
+            }
+            let scheduler = match registry.build(&a.scheduler, &cfg) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("replay: skipping {:?}: {e}", a.label);
@@ -250,6 +326,128 @@ mod tests {
             &ReplayOptions::default(),
         );
         assert_eq!(diffs.len(), 1, "the known artifact still replays");
+    }
+
+    /// The fidelity tolerance bands (ROADMAP "Fidelity"): a drifted diff
+    /// passes a band wide enough for its drift and violates a tighter one;
+    /// failed replays pass no band; the zero band is the exactness gate.
+    #[test]
+    fn tolerance_bands_pass_and_violate() {
+        let mk = |recorded: EvalTotals, replayed: EvalTotals| ReplayDiff {
+            label: "band-test".into(),
+            scheduler: "SCAR".into(),
+            recorded,
+            replayed: Ok(replayed),
+            identical_schedule: false,
+        };
+        let base = EvalTotals {
+            latency_s: 1.0,
+            energy_j: 2.0,
+        };
+        // +2% latency, energy unchanged → EDP drifts +2% as well
+        let drifted = mk(
+            base,
+            EvalTotals {
+                latency_s: 1.02,
+                energy_j: 2.0,
+            },
+        );
+        assert!(drifted.within(&ToleranceBand::uniform(0.05)), "band pass");
+        assert!(
+            !drifted.within(&ToleranceBand::uniform(0.01)),
+            "band violation"
+        );
+        assert!(!drifted.within(&ToleranceBand::exact()));
+        // downward drift is judged by magnitude (± band)
+        let faster = mk(
+            base,
+            EvalTotals {
+                latency_s: 0.98,
+                energy_j: 2.0,
+            },
+        );
+        assert!(faster.within(&ToleranceBand::uniform(0.05)));
+        assert!(!faster.within(&ToleranceBand::uniform(0.01)));
+        // drift-free totals pass every band, including the zero band —
+        // even though `mk` sets identical_schedule: false, because bands
+        // deliberately judge totals only (see ReplayDiff::within)
+        let exact = mk(base, base);
+        assert!(exact.within(&ToleranceBand::exact()));
+        assert!(!exact.is_exact(), "is_exact still demands the placement");
+        // a failed replay passes no band
+        let failed = ReplayDiff {
+            label: "failed".into(),
+            scheduler: "SCAR".into(),
+            recorded: base,
+            replayed: Err(ScheduleError::NoFeasibleSchedule { window: 0 }),
+            identical_schedule: false,
+        };
+        assert!(!failed.within(&ToleranceBand::uniform(1.0)));
+        // the sweep-level filter surfaces exactly the violators
+        let diffs = vec![drifted, exact];
+        let violations = band_violations(&diffs, &ToleranceBand::uniform(0.01));
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].label, "band-test");
+        assert!(band_violations(&diffs, &ToleranceBand::uniform(0.05)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative finite")]
+    fn negative_tolerance_panics() {
+        let _ = ToleranceBand::uniform(-0.1);
+    }
+
+    /// An artifact recorded under a *non-default* scheduler configuration
+    /// replays exactly because the configuration is recorded and
+    /// reconstructed — before this, replay rebuilt registry defaults and
+    /// silently drifted (the `SCAR_NSPLITS` workaround).
+    #[test]
+    fn recorded_scheduler_config_wins_over_replay_defaults() {
+        let session = Session::new();
+        let request =
+            ScheduleRequest::new(Scenario::datacenter(1), het_sides_3x3(Profile::Datacenter))
+                .budget(SearchBudget {
+                    max_root_perms: 8,
+                    max_paths_per_model: 4,
+                    max_placements_per_window: 60,
+                    max_candidates_per_window: 120,
+                    ..SearchBudget::default()
+                });
+        let nondefault = ServeConfig {
+            nsplits: 2,
+            ..ServeConfig::default()
+        };
+        let scar = PolicyRegistry::with_builtins()
+            .build("SCAR", &nondefault)
+            .unwrap();
+        let result = scar.schedule(&session, &request).unwrap();
+        let artifact = ScheduleArtifact::of("nsplits-2", scar.as_ref(), request, result);
+        assert_eq!(artifact.scheduler_config.nsplits, Some(2));
+
+        // replay under *default* options: the recorded config must win
+        let diffs = replay_artifacts(
+            &Session::new(),
+            std::slice::from_ref(&artifact),
+            &PolicyRegistry::with_builtins(),
+            &ReplayOptions::default(),
+        );
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].is_exact(), "{}", diffs[0]);
+
+        // control: strip the recorded config and the default-reconstructed
+        // scheduler (nsplits = 1) schedules differently
+        let mut stripped = artifact;
+        stripped.scheduler_config = Default::default();
+        let control = replay_artifacts(
+            &Session::new(),
+            &[stripped],
+            &PolicyRegistry::with_builtins(),
+            &ReplayOptions::default(),
+        );
+        assert!(
+            !control[0].identical_schedule,
+            "a 2-split schedule must not reconstruct from 1-split defaults"
+        );
     }
 
     #[test]

@@ -161,15 +161,19 @@ impl std::fmt::Display for Strategy {
 }
 
 /// A strategy's result with its label, the request that produced it, and
-/// the answering scheduler's name (kept so sweeps can be persisted as
-/// JSON artifacts — see [`crate::artifacts`] — and replayed through the
-/// policy registry — see [`crate::replay`]).
+/// the answering scheduler's name *and configuration* (kept so sweeps can
+/// be persisted as JSON artifacts — see [`crate::artifacts`] — and
+/// replayed through the policy registry with the exact recorded knobs —
+/// see [`crate::replay`]).
 #[derive(Debug, Clone)]
 pub struct LabeledResult {
     /// Strategy label.
     pub name: String,
     /// The [`Scheduler::name`] of the scheduler that answered.
     pub scheduler: String,
+    /// The answering scheduler's structural configuration
+    /// ([`Scheduler::config`]).
+    pub scheduler_config: scar_core::SchedulerConfig,
     /// The request the strategy issued.
     pub request: ScheduleRequest,
     /// Scheduling outcome.
@@ -198,6 +202,7 @@ pub fn run_strategies(
                 .map(|result| LabeledResult {
                     name: s.name().to_string(),
                     scheduler: scheduler.name().to_string(),
+                    scheduler_config: scheduler.config(),
                     request,
                     result,
                 })

@@ -82,5 +82,5 @@ pub use reconfig::PackingRule;
 pub use scar::{
     CandidatePoint, ModelWindowReport, Scar, ScarBuilder, ScheduleResult, WindowReport,
 };
-pub use scheduler::{ScheduleArtifact, ScheduleRequest, Scheduler, Session};
+pub use scheduler::{ScheduleArtifact, ScheduleRequest, Scheduler, SchedulerConfig, Session};
 pub use search::{EvoParams, SearchBudget, SearchKind};

@@ -556,6 +556,17 @@ impl Scheduler for Scar {
         .ok()
     }
 
+    /// SCAR's structural knobs, recorded into artifacts so replay rebuilds
+    /// the exact scheduler (packing/provisioning rules stay at their
+    /// defaults in every recorded configuration; they are covered by
+    /// [`Scheduler::fingerprint_config`] should that ever change).
+    fn config(&self) -> crate::SchedulerConfig {
+        crate::SchedulerConfig {
+            nsplits: Some(self.config.nsplits),
+            search: Some(self.config.search.clone()),
+        }
+    }
+
     fn fingerprint_config(&self, mut state: &mut dyn Hasher) {
         // everything the request does not carry but the output depends on
         let cfg = &self.config;

@@ -285,33 +285,128 @@ pub trait Scheduler {
         None
     }
 
+    /// Answers a *mid-window preemption*: a serving loop has cut an
+    /// in-flight schedule at a window (layer) boundary, and
+    /// `request.scenario` holds the spliced remainder — partially executed
+    /// models resumed at their first unexecuted layer — plus whatever new
+    /// tenants triggered the splice. `in_flight` is the schedule instance
+    /// that was cut; a preemption-aware scheduler may mine it for
+    /// placement hints (the remainder models ran *somewhere* a moment
+    /// ago, and data residency favors keeping them there).
+    ///
+    /// The default implementation ignores the cut schedule and answers
+    /// with a full [`Scheduler::schedule`] — always correct, never
+    /// clairvoyant. Implementations must stay deterministic in
+    /// `(request, in_flight)`: serving loops replay traffic and expect
+    /// bit-identical reports.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Scheduler::schedule`].
+    fn preempt(
+        &self,
+        session: &Session,
+        request: &ScheduleRequest,
+        in_flight: &ScheduleInstance,
+    ) -> Result<ScheduleResult, ScheduleError> {
+        let _ = in_flight;
+        self.schedule(session, request)
+    }
+
     /// Hashes the scheduler's *configuration* (everything beyond the
     /// request that can change its output) into `state`. Schedule caches
     /// combine this with the request fingerprint; a configuration-free
     /// scheduler keeps the default no-op.
     fn fingerprint_config(&self, _state: &mut dyn Hasher) {}
+
+    /// The scheduler's configuration as a serializable record, so
+    /// artifacts can persist *how* the answering scheduler was built (not
+    /// just its name) and replay can reconstruct the exact structural
+    /// knobs. Configuration-free schedulers keep the default empty record.
+    fn config(&self) -> SchedulerConfig {
+        SchedulerConfig::default()
+    }
+}
+
+/// A serializable record of a scheduler's structural configuration — the
+/// knobs that live on the scheduler *value* rather than in the
+/// [`ScheduleRequest`] (budgets, seed, and parallelism already travel in
+/// the request). Recorded into every [`ScheduleArtifact`] so replay
+/// rebuilds the scheduler the recording actually ran, instead of guessing
+/// defaults from its registry name.
+///
+/// Fields are optional: a baseline records nothing, SCAR records its
+/// window splits and search driver. Unknown-to-a-scheduler fields are
+/// ignored on reconstruction.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// SCAR's window-split count (`nsplits`), when the scheduler has one.
+    pub nsplits: Option<usize>,
+    /// The per-window search driver, when the scheduler has one.
+    pub search: Option<crate::search::SearchKind>,
+}
+
+impl SchedulerConfig {
+    /// True when nothing was recorded (a configuration-free scheduler, or
+    /// an artifact written before configurations were recorded).
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
 }
 
 /// One scheduling outcome as a self-describing JSON artifact: the request,
-/// the scheduler that answered it, and the result.
+/// the scheduler that answered it (name *and* configuration), and the
+/// result.
 ///
 /// This is the single report path through which bench binaries and the
 /// serving simulator persist schedules — artifacts written by one tool
 /// load in another (or in a notebook) without re-running the search.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ScheduleArtifact {
     /// Free-form label (strategy name, mix name, …).
     pub label: String,
     /// The [`Scheduler::name`] of the scheduler that produced the result.
     pub scheduler: String,
+    /// The answering scheduler's structural configuration
+    /// ([`Scheduler::config`]), so replay reconstructs the exact window
+    /// splits / search driver instead of defaults. Empty for
+    /// configuration-free schedulers and for artifacts recorded before
+    /// configurations were persisted.
+    pub scheduler_config: SchedulerConfig,
     /// The request as issued.
     pub request: ScheduleRequest,
     /// The scheduling outcome.
     pub result: ScheduleResult,
 }
 
+/// Hand-written (instead of derived) so artifacts recorded before
+/// `scheduler_config` existed still load: a missing field deserializes as
+/// the empty configuration rather than failing the whole file.
+impl Deserialize for ScheduleArtifact {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::expected("object", "ScheduleArtifact", v))?;
+        let scheduler_config = match obj.iter().find(|(k, _)| k == "scheduler_config") {
+            Some((_, v)) => SchedulerConfig::from_value(v).map_err(|e| {
+                serde::DeError::msg(format!("ScheduleArtifact.scheduler_config: {e}"))
+            })?,
+            None => SchedulerConfig::default(),
+        };
+        Ok(Self {
+            label: serde::__field(obj, "label", "ScheduleArtifact")?,
+            scheduler: serde::__field(obj, "scheduler", "ScheduleArtifact")?,
+            scheduler_config,
+            request: serde::__field(obj, "request", "ScheduleArtifact")?,
+            result: serde::__field(obj, "result", "ScheduleArtifact")?,
+        })
+    }
+}
+
 impl ScheduleArtifact {
-    /// Bundles a labeled request/result pair.
+    /// Bundles a labeled request/result pair under a scheduler *name*
+    /// only (no configuration recorded). Prefer [`ScheduleArtifact::of`],
+    /// which captures the answering scheduler's configuration too.
     pub fn new(
         label: impl Into<String>,
         scheduler: impl Into<String>,
@@ -321,6 +416,25 @@ impl ScheduleArtifact {
         Self {
             label: label.into(),
             scheduler: scheduler.into(),
+            scheduler_config: SchedulerConfig::default(),
+            request,
+            result,
+        }
+    }
+
+    /// Bundles a labeled request/result pair, recording the answering
+    /// scheduler's name *and* configuration — what replay needs to
+    /// reconstruct the exact scheduler.
+    pub fn of(
+        label: impl Into<String>,
+        scheduler: &dyn Scheduler,
+        request: ScheduleRequest,
+        result: ScheduleResult,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            scheduler: scheduler.name().to_string(),
+            scheduler_config: scheduler.config(),
             request,
             result,
         }

@@ -121,6 +121,23 @@ pub fn fingerprints(request: &ScheduleRequest, scheduler: &dyn Scheduler) -> (u6
     )
 }
 
+/// The serving-loop state a cache key must carry *beyond* the request and
+/// scheduler: the admission policy and the traffic shape the round was
+/// formed under. A schedule is a pure function of (request, scheduler) —
+/// but the serving loop's *rounds* are not: admission decides which
+/// arrivals exist and the traffic shape decides when they land, so two
+/// runs differing only in those knobs must never alias cache entries (a
+/// shape change hitting a stale entry recorded under another regime was
+/// the bug this context closes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeContext {
+    /// Stable hash of the admission policy's name + configuration.
+    pub admission: u64,
+    /// Stable hash of the mix's arrival shape
+    /// ([`TrafficMix::shape_fingerprint`](crate::TrafficMix::shape_fingerprint)).
+    pub traffic_shape: u64,
+}
+
 /// [`fingerprints`] over borrowed request parts. This is the hot-path
 /// variant for probe-before-build callers (the serving loop fingerprints
 /// every round but only *constructs* an owned [`ScheduleRequest`] on a
@@ -132,7 +149,32 @@ pub fn fingerprint_parts(
     budget: &SearchBudget,
     scheduler: &dyn Scheduler,
 ) -> (u64, u64) {
+    fingerprint_parts_in_context(
+        scenario,
+        mcm,
+        metric,
+        budget,
+        scheduler,
+        ServeContext::default(),
+    )
+}
+
+/// [`fingerprint_parts`] keyed additionally by a [`ServeContext`]
+/// (admission policy + traffic shape) — what the serving loop uses.
+/// [`fingerprint_parts`] is this function at the default (all-zero)
+/// context, so context-free callers and serving rounds under one context
+/// stay mutually consistent.
+pub fn fingerprint_parts_in_context(
+    scenario: &Scenario,
+    mcm: &McmConfig,
+    metric: &OptMetric,
+    budget: &SearchBudget,
+    scheduler: &dyn Scheduler,
+    context: ServeContext,
+) -> (u64, u64) {
     let mut h = StableHasher::new();
+    context.admission.hash(&mut h);
+    context.traffic_shape.hash(&mut h);
     scheduler.name().hash(&mut h);
     scheduler.fingerprint_config(&mut h);
     scenario.use_case().to_string().hash(&mut h);
@@ -407,9 +449,88 @@ mod tests {
         );
         let mcm = het_sides_3x3(Profile::Datacenter);
         let req = ScheduleRequest::new(sc, mcm);
+        // Values re-pinned in the overload-serving PR: fingerprint content
+        // deliberately grew a leading `ServeContext` (admission policy +
+        // traffic shape; zero for context-free callers like this one).
         let (full, shape) = fingerprints(&req, &Standalone::new());
-        assert_eq!(full, 0xfee36550577ac1bb, "full fingerprint moved");
-        assert_eq!(shape, 0x3475f389208e6859, "shape fingerprint moved");
+        assert_eq!(full, 0xde94deb8109953fb, "full fingerprint moved");
+        assert_eq!(shape, 0x5108e5b95f9d3299, "shape fingerprint moved");
+    }
+
+    /// The satellite regression this PR fixes: serve-cache keys must
+    /// include the admission policy and the traffic shape. Before
+    /// `ServeContext`, a run under burst traffic (or a different admission
+    /// regime) could hit a schedule cached under a Poisson run of the same
+    /// live scenarios — the schedule itself is request-pure, but reports,
+    /// counters, and any context-dependent policy behavior silently aliased.
+    #[test]
+    fn fingerprint_context_keys_admission_and_traffic_shape() {
+        use crate::admission::AdmissionKind;
+        use crate::TrafficMix;
+        use scar_hash::StableHasher;
+        use std::hash::Hasher as _;
+
+        let mcm = het_sides_3x3(Profile::Datacenter);
+        let sc = generate(1, UseCase::Datacenter, 2);
+        let scar = Scar::with_defaults();
+        let key = |ctx: ServeContext| {
+            fingerprint_parts_in_context(
+                &sc,
+                &mcm,
+                &OptMetric::Edp,
+                &SearchBudget::default(),
+                &scar,
+                ctx,
+            )
+        };
+
+        let admission_fp = |kind: AdmissionKind| {
+            let policy = kind.policy();
+            let mut h = StableHasher::new();
+            policy.name().hash(&mut h);
+            policy.fingerprint_config(&mut h);
+            h.finish()
+        };
+        let shape = |mix: &TrafficMix| mix.shape_fingerprint();
+
+        let base = ServeContext {
+            admission: admission_fp(AdmissionKind::AcceptAll),
+            traffic_shape: shape(&TrafficMix::datacenter(1)),
+        };
+        // same request, different admission policy → different keys (full
+        // and shape fingerprints both)
+        for kind in [
+            AdmissionKind::DeadlineFeasible,
+            AdmissionKind::LoadShed { max_queue: 4 },
+            AdmissionKind::LoadShed { max_queue: 8 },
+        ] {
+            let other = ServeContext {
+                admission: admission_fp(kind),
+                ..base
+            };
+            assert_ne!(key(base), key(other), "{kind:?} must not alias accept-all");
+        }
+        // same request, same admission, reshaped traffic → different keys
+        for reshaped in [
+            TrafficMix::datacenter(1).reshaped(crate::TrafficShape::Burst),
+            TrafficMix::datacenter(1).reshaped(crate::TrafficShape::Diurnal),
+        ] {
+            let other = ServeContext {
+                traffic_shape: shape(&reshaped),
+                ..base
+            };
+            assert_ne!(key(base), key(other), "{} must not alias", reshaped.name);
+        }
+        // the seed is *not* shape: two seeds of one mix share a context
+        assert_eq!(
+            shape(&TrafficMix::datacenter(1)),
+            shape(&TrafficMix::datacenter(99))
+        );
+        // and the default context is exactly the context-free entry point
+        assert_eq!(
+            key(ServeContext::default()),
+            fingerprint_parts(&sc, &mcm, &OptMetric::Edp, &SearchBudget::default(), &scar)
+        );
     }
 
     #[test]

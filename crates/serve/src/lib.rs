@@ -7,9 +7,12 @@
 //! discrete-event serving simulator over the unmodified SCAR scheduler:
 //!
 //! * [`traffic`] — per-model request streams ([`TrafficMix`]): fixed-rate
-//!   frame clocks and seeded-Poisson query arrivals, with optional
-//!   per-request deadlines (AR/VR defaults come from the XRBench-style
-//!   rates in [`scar_workloads::scenario`]).
+//!   frame clocks, seeded-Poisson query arrivals, Markov-modulated
+//!   on/off bursts, and sinusoidal diurnal rates (all seeded and
+//!   deterministic; [`TrafficMix::reshaped`] re-expresses a mix in any
+//!   shape at the same mean rates), with optional per-request deadlines
+//!   (AR/VR defaults come from the XRBench-style rates in
+//!   [`scar_workloads::scenario`]).
 //! * [`sim`] — the serving loop ([`ServeSim`]): batches queued requests
 //!   into live [`Scenario`](scar_workloads::Scenario)s and schedules them
 //!   through a boxed [`Scheduler`](scar_core::Scheduler) — SCAR, a paper
@@ -17,7 +20,14 @@
 //!   implementation — over one [`Session`](scar_core::Session)-wide cost
 //!   database, advancing virtual time by the evaluated window latencies
 //!   and completing each tenant's requests at its own last-active-window
-//!   offset.
+//!   offset. With [`ServeConfig::preemption`] on, a qualifying arrival
+//!   cuts the in-flight schedule at the next window (layer) boundary and
+//!   the remainder is respliced into the next round
+//!   ([`Scheduler::preempt`](scar_core::Scheduler::preempt)).
+//! * [`admission`] — pluggable admission control ([`AdmissionPolicy`]):
+//!   accept-all, deadline-feasibility via a cheap cost-database probe,
+//!   and per-stream load shedding; rejections are counted into every
+//!   report (`offered == completed + rejected`, always).
 //! * [`registry`] — the policy registry ([`PolicyRegistry`]): serving
 //!   policies constructed from config strings (`SCAR`/`Standalone`/
 //!   `NN-baton` pre-registered, user schedulers registrable), so tools
@@ -56,16 +66,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cache;
 pub mod registry;
 pub mod report;
 pub mod sim;
 pub mod traffic;
 
+pub use admission::{
+    AcceptAll, AdmissionContext, AdmissionKind, AdmissionPolicy, DeadlineFeasible, LoadShed,
+};
 pub use cache::{
-    fingerprint, fingerprint_parts, fingerprints, shape_fingerprint, CacheStats, ScheduleCache,
+    fingerprint, fingerprint_parts, fingerprint_parts_in_context, fingerprints, shape_fingerprint,
+    CacheStats, ScheduleCache, ServeContext,
 };
 pub use registry::{PolicyFactory, PolicyRegistry, UnknownPolicy};
 pub use report::{percentile, LatencySummary, ServeReport, StreamStats};
 pub use sim::{ServeConfig, ServePolicy, ServeSim};
-pub use traffic::{ArrivalProcess, Request, RequestStream, TrafficMix};
+pub use traffic::{ArrivalProcess, Request, RequestStream, TrafficMix, TrafficShape};

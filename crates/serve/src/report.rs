@@ -68,6 +68,8 @@ pub struct StreamStats {
     pub model_name: String,
     /// Requests completed.
     pub completed: usize,
+    /// Requests rejected by admission control (0 under accept-all).
+    pub rejected: usize,
     /// Latency summary over completed requests.
     pub latency: LatencySummary,
     /// Requests that missed their deadline (0 for deadline-free streams).
@@ -96,8 +98,18 @@ pub struct ServeReport {
     pub policy_name: String,
     /// Virtual time at which the last request completed, seconds.
     pub makespan_s: f64,
-    /// Requests completed (equals requests offered: the queue drains).
+    /// Requests the traffic mix offered over the horizon. Conservation of
+    /// arrivals: `offered == completed + rejected`, always.
+    pub offered: usize,
+    /// Requests completed (everything admitted completes: the queue
+    /// drains).
     pub completed: usize,
+    /// Requests rejected by admission control (0 under accept-all).
+    pub rejected: usize,
+    /// Mid-window preemptions: scheduling rounds cut at a window (layer)
+    /// boundary because a qualifying arrival landed while the schedule was
+    /// in flight, with the remainder respliced into the next round.
+    pub preemptions: u64,
     /// Scheduling rounds executed (live scenarios formed).
     pub windows_scheduled: usize,
     /// Sustained throughput: completed requests / makespan.
@@ -134,6 +146,16 @@ impl ServeReport {
             self.deadline_misses as f64 / self.deadline_bound as f64
         }
     }
+
+    /// Rejections as a fraction of offered requests (0 when nothing was
+    /// offered).
+    pub fn rejection_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.offered as f64
+        }
+    }
 }
 
 fn ms(s: f64) -> String {
@@ -145,8 +167,15 @@ impl fmt::Display for ServeReport {
         writeln!(f, "=== {} on {} ===", self.mix_name, self.policy_name)?;
         writeln!(
             f,
-            "completed {} requests in {:.3} s virtual ({} scheduling rounds)",
-            self.completed, self.makespan_s, self.windows_scheduled
+            "completed {} of {} requests in {:.3} s virtual ({} scheduling rounds)",
+            self.completed, self.offered, self.makespan_s, self.windows_scheduled
+        )?;
+        writeln!(
+            f,
+            "admission rejected {} ({:.1}%) | mid-window preemptions {}",
+            self.rejected,
+            self.rejection_rate() * 100.0,
+            self.preemptions
         )?;
         writeln!(
             f,
@@ -262,7 +291,10 @@ mod tests {
             mix_name: "test mix".into(),
             policy_name: "SCAR on Het-Sides".into(),
             makespan_s: 1.5,
+            offered: 12,
             completed: 10,
+            rejected: 2,
+            preemptions: 3,
             windows_scheduled: 4,
             throughput_rps: 10.0 / 1.5,
             energy_j: 0.25,
@@ -279,6 +311,7 @@ mod tests {
             per_stream: vec![StreamStats {
                 model_name: "EyeCod".into(),
                 completed: 10,
+                rejected: 2,
                 latency: LatencySummary::of(&[0.01]),
                 deadline_misses: 1,
                 has_deadlines: true,
@@ -295,9 +328,13 @@ mod tests {
             "2 evictions",
             "1 incremental",
             "cost evaluations this run: 12",
+            "completed 10 of 12",
+            "admission rejected 2 (16.7%)",
+            "mid-window preemptions 3",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
         assert!((report.deadline_miss_rate() - 0.2).abs() < 1e-12);
+        assert!((report.rejection_rate() - 2.0 / 12.0).abs() < 1e-12);
     }
 }

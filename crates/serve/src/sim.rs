@@ -25,21 +25,34 @@
 //! re-evaluates the previous round's segmentation/placement as a seeded
 //! candidate ([`Scheduler::reschedule`]) instead of searching.
 //!
+//! Two overload mechanisms sit around the scheduling rounds (both
+//! opt-in; the defaults reproduce the plain loop bit-for-bit):
+//! *admission control* ([`crate::admission`]) gates every arrival at
+//! ingestion and counts rejections, and *mid-window preemption*
+//! ([`ServeConfig::preemption`]) cuts an in-flight schedule at the next
+//! window (layer) boundary when a qualifying arrival lands, completes
+//! the executed prefix, and resplices partially executed models — as
+//! remainder models resuming at their first unexecuted layer — into the
+//! next round through [`Scheduler::preempt`].
+//!
 //! The loop is fully deterministic given the mix (seed included) and the
 //! scheduler configuration: identical runs produce identical reports, for
 //! any [`Parallelism`] setting (the search engine merges candidate
 //! evaluations in generation order).
 
-use crate::cache::{fingerprint_parts, ScheduleCache};
+use crate::admission::{AdmissionContext, AdmissionKind, AdmissionPolicy};
+use crate::cache::{fingerprint_parts_in_context, ScheduleCache, ServeContext};
 use crate::report::{LatencySummary, ServeReport, StreamStats};
-use crate::traffic::{Request, TrafficMix};
+use crate::traffic::{Request, RequestStream, TrafficMix};
 use scar_core::{
     OptMetric, Parallelism, ScheduleError, ScheduleRequest, ScheduleResult, Scheduler,
     SearchBudget, SearchKind, Session,
 };
+use scar_hash::StableHasher;
 use scar_mcm::McmConfig;
-use scar_workloads::{Scenario, ScenarioModel};
+use scar_workloads::{Model, Scenario, ScenarioModel};
 use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 
 /// The built-in serving policies: a compatibility shim over the
@@ -117,6 +130,24 @@ pub struct ServeConfig {
     /// moving ever further from the last-searched ones) periodically gets
     /// a placement searched for its current batches.
     pub max_incremental_chain: usize,
+    /// The admission-control policy gating every arrival (default
+    /// [`AdmissionKind::AcceptAll`], the pre-admission behavior
+    /// bit-for-bit). Custom policies go through
+    /// [`ServeSim::with_admission`].
+    pub admission: AdmissionKind,
+    /// Whether a qualifying arrival may *preempt* an in-flight schedule:
+    /// the round is cut at the next window (layer) boundary after the
+    /// arrival, completed work is accounted, and the remainder —
+    /// partially executed models resumed at their first unexecuted layer —
+    /// is respliced into the next scheduling round together with the new
+    /// traffic ([`Scheduler::preempt`]). Off by default: boundary-only
+    /// rescheduling, the pre-preemption behavior bit-for-bit.
+    pub preemption: bool,
+    /// Rate gate on preemption triggers: only arrivals from streams whose
+    /// mean rate is at least this many requests per second cut a window
+    /// (the paper's "high-rate tenant arrives mid-window" case). 0 lets
+    /// every arrival preempt.
+    pub preempt_min_rate_hz: f64,
     /// Worker-pool sizing for candidate evaluation. Wall-clock only:
     /// reports are bit-identical across settings.
     pub parallelism: Parallelism,
@@ -148,6 +179,9 @@ impl Default for ServeConfig {
             cache_capacity: ScheduleCache::DEFAULT_CAPACITY,
             incremental: true,
             max_incremental_chain: 8,
+            admission: AdmissionKind::AcceptAll,
+            preemption: false,
+            preempt_min_rate_hz: 0.0,
             parallelism: Parallelism::Auto,
             cost_db_path: None,
         }
@@ -162,6 +196,109 @@ struct Completion {
     had_deadline: bool,
 }
 
+/// One live model of a scheduling round: the stream it serves and the
+/// requests folded into its batch.
+struct RoundPart {
+    stream: usize,
+    reqs: Vec<Request>,
+}
+
+/// Work cut out of a preempted round: the unexecuted remainder of one live
+/// model, respliced into the next round.
+struct CarriedWork {
+    stream: usize,
+    reqs: Vec<Request>,
+    /// The remainder model (the original's layers from the first
+    /// unexecuted one onward).
+    model: Model,
+    /// The batch the original round folded (carried unchanged: these
+    /// requests were already taken).
+    batch: u64,
+}
+
+/// Slices the unexecuted remainder of a live model: layers
+/// `[executed_end, …)`. `executed_end == 0` (nothing ran) returns the
+/// model unchanged, so an un-started tenant reschedules as itself.
+fn remainder_model(model: &Model, executed_end: usize) -> Model {
+    if executed_end == 0 {
+        return model.clone();
+    }
+    debug_assert!(executed_end < model.num_layers());
+    Model::new(
+        format!("{}+{}", model.name(), executed_end),
+        model.layers()[executed_end..].to_vec(),
+    )
+}
+
+/// The admission cost-DB probe: a lower bound on one request's service
+/// latency — the sum over the stream's layers of the best-chiplet latency
+/// at the stream's per-request batch. Probed entries memoize into the
+/// session's shared database (and persist with it), so a warm-started
+/// process probes at zero MAESTRO evaluations.
+fn min_service_probe(session: &Session, mcm: &McmConfig, stream: &RequestStream) -> f64 {
+    let db = session.database();
+    stream
+        .model
+        .layers()
+        .iter()
+        .map(|layer| {
+            mcm.chiplets()
+                .iter()
+                .map(|ch| db.get(ch, &layer.kind, stream.samples_per_request).time_s)
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum()
+}
+
+/// Where (if anywhere) a schedule starting at `t` with per-window
+/// latencies `lats` gets cut: the index of the window in flight when the
+/// earliest pending arrival satisfying `qualifies` lands — provided it
+/// lands strictly before the final window starts (cutting after the final
+/// window is not a cut). `pending` must hold the not-yet-ingested
+/// arrivals in time order; every one of them is strictly later than `t`.
+///
+/// The cut is at a window boundary: windows are layer-aligned in SCAR
+/// (every window boundary is a layer boundary for every active model), so
+/// "cut the in-flight window at the next layer boundary" means "finish
+/// the window in flight, splice off the rest".
+fn splice_point(
+    pending: &[Request],
+    t: f64,
+    lats: &[f64],
+    mut qualifies: impl FnMut(&Request) -> bool,
+) -> Option<usize> {
+    if lats.len() < 2 {
+        return None;
+    }
+    // window end times by one shared accumulation, so the early-exit
+    // bound and the cut-window search can never disagree by a rounding
+    // ulp (a subtraction-derived bound could)
+    let ends: Vec<f64> = lats
+        .iter()
+        .scan(t, |acc, lat| {
+            *acc += lat;
+            Some(*acc)
+        })
+        .collect();
+    let last_window_start = ends[ends.len() - 2];
+    for a in pending {
+        if a.arrival_s >= last_window_start {
+            return None;
+        }
+        if !qualifies(a) {
+            continue;
+        }
+        // the window in flight at the arrival instant; `arrival <
+        // last_window_start == ends[len - 2]` guarantees a non-final match
+        let w = ends[..ends.len() - 1]
+            .iter()
+            .position(|&end| a.arrival_s < end)
+            .expect("arrival before the final window start is inside a non-final window");
+        return Some(w);
+    }
+    None
+}
+
 /// The serving simulator: binds an MCM, a scheduler, a [`Session`], and a
 /// schedule cache.
 ///
@@ -172,6 +309,7 @@ pub struct ServeSim<'a> {
     mcm: &'a McmConfig,
     cfg: ServeConfig,
     scheduler: Box<dyn Scheduler>,
+    admission: Box<dyn AdmissionPolicy>,
     session: Session,
     cache: ScheduleCache,
     /// The previously scheduled round: its batch-insensitive shape
@@ -182,6 +320,8 @@ pub struct ServeSim<'a> {
     incremental_chain: usize,
     /// Rounds served by the incremental fast path (cumulative).
     incremental_reschedules: u64,
+    /// Mid-window preemptions (cumulative).
+    preemptions: u64,
     /// Cost entries covered by the on-disk snapshot as of the last
     /// load/save — a steady-state run that added nothing skips the
     /// rewrite.
@@ -241,17 +381,39 @@ impl<'a> ServeSim<'a> {
             }
         }
         let persisted_costs = session.cached_costs();
+        let admission = cfg.admission.policy();
         Self {
             mcm,
             cfg,
             scheduler,
+            admission,
             session,
             cache,
             last: None,
             incremental_chain: 0,
             incremental_reschedules: 0,
+            preemptions: 0,
             persisted_costs,
         }
+    }
+
+    /// Replaces the admission policy with an arbitrary implementation —
+    /// custom policies take the exact same path as the built-ins selected
+    /// through [`ServeConfig::admission`].
+    #[must_use]
+    pub fn with_admission(mut self, policy: Box<dyn AdmissionPolicy>) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// The name of the admission policy gating arrivals.
+    pub fn admission_name(&self) -> &str {
+        self.admission.name()
+    }
+
+    /// Mid-window preemptions performed since the simulator was created.
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
     }
 
     /// A SCAR-policy simulator with the default configuration.
@@ -272,6 +434,13 @@ impl<'a> ServeSim<'a> {
     /// The name of the scheduler serving this simulator.
     pub fn scheduler_name(&self) -> &str {
         self.scheduler.name()
+    }
+
+    /// The scheduler serving this simulator (e.g. for recording artifacts
+    /// with [`scar_core::ScheduleArtifact::of`], which captures its name
+    /// and configuration).
+    pub fn scheduler(&self) -> &dyn Scheduler {
+        self.scheduler.as_ref()
     }
 
     /// Rounds served by the incremental-rescheduling fast path since the
@@ -296,11 +465,22 @@ impl<'a> ServeSim<'a> {
     pub fn run(&mut self, mix: &TrafficMix, horizon_s: f64) -> Result<ServeReport, ScheduleError> {
         let cache_before = self.cache.stats();
         let incremental_before = self.incremental_reschedules;
+        let preemptions_before = self.preemptions;
         let evaluations_before = self.session.cost_evaluations();
         let arrivals = mix.arrivals(horizon_s);
         let offered = arrivals.len();
         let mut next_arrival = 0usize;
         let mut queues: Vec<VecDeque<Request>> = vec![VecDeque::new(); mix.streams.len()];
+        let mut rejected_per_stream = vec![0usize; mix.streams.len()];
+        let mut rejected = 0usize;
+        // lazily probed per-stream service-latency lower bounds (the
+        // admission cost-DB probe; memoized so it runs once per stream)
+        let mut min_service: Vec<Option<f64>> = vec![None; mix.streams.len()];
+        // work cut out of a preempted round, respliced into the next one
+        let mut carried: Vec<CarriedWork> = Vec::new();
+        // the instance that was cut, handed to `Scheduler::preempt`
+        let mut preempt_seed: Option<Rc<ScheduleResult>> = None;
+        let context = self.serve_context(mix);
 
         let mut t = 0.0f64;
         let mut completions: Vec<Completion> = Vec::with_capacity(offered);
@@ -308,22 +488,55 @@ impl<'a> ServeSim<'a> {
         let mut energy_j = 0.0f64;
         let mut makespan = 0.0f64;
 
-        while completions.len() < offered {
-            // ingest everything that has arrived by now
+        while completions.len() + rejected < offered {
+            // ingest everything that has arrived by now, through admission
             while next_arrival < arrivals.len() && arrivals[next_arrival].arrival_s <= t {
                 let r = arrivals[next_arrival];
-                queues[r.stream].push_back(r);
                 next_arrival += 1;
+                let stream = &mix.streams[r.stream];
+                // the cost-DB probe runs only for policies that read it,
+                // so the default accept-all path never touches the model
+                let min_service_s = self.admission.wants_cost_probe().then(|| {
+                    *min_service[r.stream]
+                        .get_or_insert_with(|| min_service_probe(&self.session, self.mcm, stream))
+                });
+                let ctx = AdmissionContext {
+                    now_s: t,
+                    queue_depth: queues[r.stream].len(),
+                    stream,
+                    min_service_s,
+                };
+                if self.admission.admit(&r, &ctx) {
+                    queues[r.stream].push_back(r);
+                } else {
+                    rejected += 1;
+                    rejected_per_stream[r.stream] += 1;
+                }
             }
-            if queues.iter().all(VecDeque::is_empty) {
+            if carried.is_empty() && queues.iter().all(VecDeque::is_empty) {
+                if next_arrival >= arrivals.len() {
+                    // every remaining offered request was rejected
+                    break;
+                }
                 // idle: jump to the next arrival
                 t = arrivals[next_arrival].arrival_s;
                 continue;
             }
 
-            // fold queue depths into a live scenario
+            // fold carried remainders (in carry order) and queue depths
+            // into a live scenario
             let mut live_models: Vec<ScenarioModel> = Vec::new();
-            let mut taken: Vec<(usize, Vec<Request>)> = Vec::new();
+            let mut parts: Vec<RoundPart> = Vec::new();
+            for c in carried.drain(..) {
+                live_models.push(ScenarioModel {
+                    model: c.model,
+                    batch: c.batch,
+                });
+                parts.push(RoundPart {
+                    stream: c.stream,
+                    reqs: c.reqs,
+                });
+            }
             for (si, q) in queues.iter_mut().enumerate() {
                 if q.is_empty() {
                     continue;
@@ -335,7 +548,7 @@ impl<'a> ServeSim<'a> {
                     model: stream.model.clone(),
                     batch: n * stream.samples_per_request,
                 });
-                taken.push((si, reqs));
+                parts.push(RoundPart { stream: si, reqs });
             }
             let live = Scenario::new(
                 format!("{} @ {:.4}s", mix.name, t),
@@ -343,29 +556,105 @@ impl<'a> ServeSim<'a> {
                 live_models,
             );
 
-            // schedule (through the cache when enabled)
-            let result = self.schedule_live(&live)?;
+            // schedule (through the cache when enabled; post-splice rounds
+            // route through `Scheduler::preempt` instead)
+            let result = self.schedule_live(&live, context, preempt_seed.take())?;
             windows_scheduled += 1;
-            energy_j += result.total().energy_j;
-            let window_total: f64 = result.window_latencies().iter().sum();
+            let lats = result.window_latencies();
+            let window_total: f64 = lats.iter().sum();
 
-            // complete each stream's requests at its model's own offset
-            for (mi, (si, reqs)) in taken.iter().enumerate() {
-                let offset = result.model_completion_s(mi).unwrap_or(window_total);
-                let done_at = t + offset;
+            // a qualifying arrival landing mid-schedule cuts the round at
+            // the end of its in-flight window: qualifying = from a stream
+            // at or above the rate gate, AND worth preempting for in the
+            // admission policy's judgment (a deadline-hopeless arrival
+            // that admission will reject anyway must not splice — the
+            // reschedule would serve nobody)
+            let cut = if self.cfg.preemption {
+                let admission = &self.admission;
+                let session = &self.session;
+                let mcm = self.mcm;
+                let min_rate_hz = self.cfg.preempt_min_rate_hz;
+                let qualifies = |a: &Request| {
+                    let stream = &mix.streams[a.stream];
+                    if stream.arrivals.rate_hz() < min_rate_hz {
+                        return false;
+                    }
+                    let min_service_s = admission.wants_cost_probe().then(|| {
+                        *min_service[a.stream]
+                            .get_or_insert_with(|| min_service_probe(session, mcm, stream))
+                    });
+                    admission.preempt_worthy(
+                        a,
+                        &AdmissionContext {
+                            now_s: a.arrival_s,
+                            queue_depth: queues[a.stream].len(),
+                            stream,
+                            min_service_s,
+                        },
+                    )
+                };
+                splice_point(&arrivals[next_arrival..], t, &lats, qualifies)
+            } else {
+                None
+            };
+
+            let mut complete = |part: &RoundPart, done_at: f64| {
                 makespan = makespan.max(done_at);
-                for r in reqs {
+                for r in &part.reqs {
                     completions.push(Completion {
-                        stream: *si,
+                        stream: part.stream,
                         latency_s: done_at - r.arrival_s,
                         missed_deadline: r.deadline_s.is_some_and(|d| done_at > d),
                         had_deadline: r.deadline_s.is_some(),
                     });
                 }
-            }
+            };
 
-            // the package is busy until the whole window schedule drains
-            t += window_total;
+            match cut {
+                None => {
+                    // complete each part's requests at its model's offset;
+                    // the package is busy until the whole schedule drains
+                    for (mi, part) in parts.iter().enumerate() {
+                        let offset = result.model_completion_s(mi).unwrap_or(window_total);
+                        complete(part, t + offset);
+                    }
+                    energy_j += result.total().energy_j;
+                    t += window_total;
+                }
+                Some(cut_w) => {
+                    // execute windows 0..=cut_w, splice off the rest:
+                    // finished models complete, partially executed ones are
+                    // carried as remainders into the next round
+                    self.preemptions += 1;
+                    let executed: &[_] = &result.windows()[..=cut_w];
+                    energy_j += executed.iter().map(|w| w.energy_j).sum::<f64>();
+                    for (mi, part) in parts.into_iter().enumerate() {
+                        let executed_end = executed
+                            .iter()
+                            .flat_map(|w| &w.models)
+                            .filter(|m| m.model == mi)
+                            .map(|m| m.layers.end)
+                            .max()
+                            .unwrap_or(0);
+                        let sm = &live.models()[mi];
+                        if executed_end >= sm.model.num_layers() {
+                            let offset = result
+                                .model_completion_s(mi)
+                                .expect("fully executed model is active somewhere");
+                            complete(&part, t + offset);
+                        } else {
+                            carried.push(CarriedWork {
+                                stream: part.stream,
+                                reqs: part.reqs,
+                                model: remainder_model(&sm.model, executed_end),
+                                batch: sm.batch,
+                            });
+                        }
+                    }
+                    t += lats[..=cut_w].iter().sum::<f64>();
+                    preempt_seed = Some(Rc::clone(&result));
+                }
+            }
         }
 
         let cache = {
@@ -377,6 +666,7 @@ impl<'a> ServeSim<'a> {
             }
         };
         let incremental = self.incremental_reschedules - incremental_before;
+        let preemptions = self.preemptions - preemptions_before;
         let cost_evaluations = self.session.cost_evaluations() - evaluations_before;
         if let Some(path) = &self.cfg.cost_db_path {
             // persist the accumulated database so the next process (or the
@@ -390,9 +680,18 @@ impl<'a> ServeSim<'a> {
                 }
             }
         }
+        debug_assert_eq!(
+            completions.len() + rejected,
+            offered,
+            "conservation of arrivals: every offered request completes or is rejected"
+        );
         Ok(self.build_report(
             mix,
             completions,
+            offered,
+            rejected,
+            rejected_per_stream,
+            preemptions,
             windows_scheduled,
             energy_j,
             makespan,
@@ -419,6 +718,20 @@ impl<'a> ServeSim<'a> {
             .parallelism(self.cfg.parallelism)
     }
 
+    /// The serve-cache fingerprint context of one run: the admission
+    /// policy (name + configuration) and the mix's traffic shape. Keyed
+    /// into every cache probe so a schedule cached under one serving
+    /// regime is never replayed under another.
+    fn serve_context(&self, mix: &TrafficMix) -> ServeContext {
+        let mut h = StableHasher::new();
+        self.admission.name().hash(&mut h);
+        self.admission.fingerprint_config(&mut h);
+        ServeContext {
+            admission: h.finish(),
+            traffic_shape: mix.shape_fingerprint(),
+        }
+    }
+
     /// Schedules one live scenario through the configured scheduler:
     /// schedule cache first, then the incremental-rescheduling fast path
     /// (previous round's placement re-evaluated when only batch sizes
@@ -429,15 +742,41 @@ impl<'a> ServeSim<'a> {
     /// batch variant pays the seeded re-evaluation once and is an O(1) hit
     /// afterwards — an entry memoizes the round's outcome, not specifically
     /// a full search (see the [`crate::cache`] docs).
-    fn schedule_live(&mut self, live: &Scenario) -> Result<Rc<ScheduleResult>, ScheduleError> {
+    ///
+    /// A round formed right after a mid-window splice (`preempted` holds
+    /// the cut result) routes through [`Scheduler::preempt`] instead and
+    /// bypasses the cache entirely: a preemption-aware scheduler may
+    /// legitimately answer differently than a cold `schedule` for the same
+    /// request, so memoizing that answer under the request fingerprint
+    /// would poison later non-preempt rounds.
+    fn schedule_live(
+        &mut self,
+        live: &Scenario,
+        context: ServeContext,
+        preempted: Option<Rc<ScheduleResult>>,
+    ) -> Result<Rc<ScheduleResult>, ScheduleError> {
+        if let Some(in_flight) = preempted {
+            let request = self.schedule_request(live);
+            let result = Rc::new(self.scheduler.preempt(
+                &self.session,
+                &request,
+                in_flight.schedule(),
+            )?);
+            // the spliced round is neither cached nor a seed for the
+            // incremental chain: its shape (remainder models) is one-off
+            self.incremental_chain = 0;
+            self.last = None;
+            return Ok(result);
+        }
         // probe by reference: the owned request is only built on a miss,
         // so cache hits stay allocation-free
-        let (key, shape) = fingerprint_parts(
+        let (key, shape) = fingerprint_parts_in_context(
             live,
             self.mcm,
             &self.cfg.metric,
             &self.cfg.budget,
             self.scheduler.as_ref(),
+            context,
         );
         // the batch-insensitive shape seeds/probes the incremental path
         let shape = self.incremental_enabled().then_some(shape);
@@ -509,6 +848,10 @@ impl<'a> ServeSim<'a> {
         &self,
         mix: &TrafficMix,
         completions: Vec<Completion>,
+        offered: usize,
+        rejected: usize,
+        rejected_per_stream: Vec<usize>,
+        preemptions: u64,
         windows_scheduled: usize,
         energy_j: f64,
         makespan_s: f64,
@@ -539,6 +882,7 @@ impl<'a> ServeSim<'a> {
             .map(|(si, s)| StreamStats {
                 model_name: s.model.name().to_string(),
                 completed: per_stream_lat[si].len(),
+                rejected: rejected_per_stream[si],
                 latency: LatencySummary::of(&per_stream_lat[si]),
                 deadline_misses: per_stream_miss[si],
                 has_deadlines: s.deadline_s.is_some(),
@@ -548,7 +892,10 @@ impl<'a> ServeSim<'a> {
             mix_name: mix.name.clone(),
             policy_name: format!("{} on {}", self.scheduler.name(), self.mcm.name()),
             makespan_s,
+            offered,
             completed: completions.len(),
+            rejected,
+            preemptions,
             windows_scheduled,
             throughput_rps: if makespan_s > 0.0 {
                 completions.len() as f64 / makespan_s
@@ -866,6 +1213,120 @@ mod tests {
         }
         assert_eq!(reports[0], reports[1], "Serial vs Fixed(2)");
         assert_eq!(reports[0], reports[2], "Serial vs Fixed(8)");
+    }
+
+    /// Preemption fires on a bursty deadline mix: mid-window splices are
+    /// counted, and conservation of arrivals holds — every offered request
+    /// completes (or is rejected), exactly once, splices notwithstanding.
+    #[test]
+    fn preemption_splices_and_conserves_requests() {
+        let mcm = sim_mcm();
+        let mix = TrafficMix::arvr(7).reshaped(crate::TrafficShape::Burst);
+        let cfg = ServeConfig {
+            preemption: true,
+            nsplits: 2,
+            ..ServeConfig::default()
+        };
+        let mut sim = ServeSim::new(&mcm, cfg);
+        let report = sim.run(&mix, 0.25).unwrap();
+        let offered = mix.arrivals(0.25).len();
+        assert_eq!(report.offered, offered);
+        assert_eq!(report.completed + report.rejected, offered);
+        assert_eq!(report.rejected, 0, "accept-all rejects nothing");
+        assert!(
+            report.preemptions > 0,
+            "bursty arrivals over multi-window rounds must splice: {report:?}"
+        );
+        assert_eq!(sim.preemptions(), report.preemptions);
+    }
+
+    /// Preemption off (the default) is the pre-splice loop bit-for-bit,
+    /// and the counter stays zero.
+    #[test]
+    fn preemption_disabled_never_splices() {
+        let mcm = sim_mcm();
+        let mut sim = ServeSim::with_defaults(&mcm);
+        let report = sim.run(&TrafficMix::arvr(1), 0.1).unwrap();
+        assert_eq!(report.preemptions, 0);
+    }
+
+    /// The rate gate: with a threshold above every stream's rate, no
+    /// arrival qualifies and nothing splices even with preemption on.
+    #[test]
+    fn preempt_rate_gate_filters_triggers() {
+        let mcm = sim_mcm();
+        let mix = TrafficMix::arvr(7).reshaped(crate::TrafficShape::Burst);
+        let run_with = |min_rate: f64| {
+            let cfg = ServeConfig {
+                preemption: true,
+                nsplits: 2,
+                preempt_min_rate_hz: min_rate,
+                ..ServeConfig::default()
+            };
+            ServeSim::new(&mcm, cfg).run(&mix, 0.25).unwrap()
+        };
+        let gated = run_with(1e9);
+        assert_eq!(gated.preemptions, 0, "no stream reaches 1 GHz");
+        let open = run_with(0.0);
+        assert!(open.preemptions > 0);
+    }
+
+    /// Admission control sheds load and the report accounts it: offered =
+    /// completed + rejected, per stream and in total.
+    #[test]
+    fn load_shedding_rejects_and_accounts() {
+        let mcm = sim_mcm();
+        // overload: 3× the nominal AR/VR rates against a 1-deep queue bound
+        let mix = TrafficMix::arvr(3).throttled(3.0);
+        let cfg = ServeConfig {
+            admission: crate::AdmissionKind::LoadShed { max_queue: 1 },
+            ..ServeConfig::default()
+        };
+        let mut sim = ServeSim::new(&mcm, cfg);
+        assert_eq!(sim.admission_name(), "load-shed");
+        let report = sim.run(&mix, 0.1).unwrap();
+        let offered = mix.arrivals(0.1).len();
+        assert_eq!(report.offered, offered);
+        assert_eq!(report.completed + report.rejected, offered);
+        assert!(report.rejected > 0, "a 1-deep bound under 3× load sheds");
+        assert_eq!(
+            report.per_stream.iter().map(|s| s.rejected).sum::<usize>(),
+            report.rejected
+        );
+        assert_eq!(
+            report
+                .per_stream
+                .iter()
+                .map(|s| s.completed + s.rejected)
+                .sum::<usize>(),
+            offered
+        );
+    }
+
+    /// A custom admission policy injected through `with_admission` takes
+    /// the same path as the built-ins (here: reject everything — the
+    /// simulator must terminate with zero completions, not hang).
+    #[test]
+    fn custom_admission_policy_rejects_everything() {
+        use crate::admission::{AdmissionContext, AdmissionPolicy};
+        struct RejectAll;
+        impl AdmissionPolicy for RejectAll {
+            fn name(&self) -> &str {
+                "reject-all"
+            }
+            fn admit(&mut self, _r: &Request, _ctx: &AdmissionContext<'_>) -> bool {
+                false
+            }
+        }
+        let mcm = sim_mcm();
+        let mut sim = ServeSim::with_defaults(&mcm).with_admission(Box::new(RejectAll));
+        let report = sim.run(&TrafficMix::arvr(1), 0.1).unwrap();
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.rejected, report.offered);
+        assert_eq!(
+            report.windows_scheduled, 0,
+            "nothing admitted, nothing scheduled"
+        );
     }
 
     #[test]

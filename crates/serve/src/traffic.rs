@@ -38,16 +38,127 @@ pub enum ArrivalProcess {
         /// Mean requests per second.
         rate_hz: f64,
     },
+    /// Markov-modulated on/off ("burst") arrivals: exponentially
+    /// distributed ON phases (mean `mean_on_s`) emitting Poisson arrivals
+    /// at `burst_rate_hz`, separated by exponentially distributed silent
+    /// OFF phases (mean `mean_off_s`). The two-state Markov chain of the
+    /// classic MMPP(2) overload model: mean rate is
+    /// `burst_rate_hz * on / (on + off)`, but the instantaneous rate
+    /// alternates between `burst_rate_hz` and zero.
+    Burst {
+        /// Requests per second *while a burst is on*.
+        burst_rate_hz: f64,
+        /// Mean ON-phase duration, seconds.
+        mean_on_s: f64,
+        /// Mean OFF-phase duration, seconds.
+        mean_off_s: f64,
+    },
+    /// Sinusoidal-rate ("diurnal") arrivals: an inhomogeneous Poisson
+    /// process with rate `λ(t) = base_hz · (1 + amplitude · sin(2πt /
+    /// period_s))`, sampled by thinning against the peak rate. Models the
+    /// day/night swing of datacenter query traffic compressed onto
+    /// simulation timescales.
+    Diurnal {
+        /// Mean requests per second (the rate averaged over one period).
+        base_hz: f64,
+        /// Relative swing in `[0, 1]`: 0 degenerates to Poisson, 1 swings
+        /// between zero and twice the base rate.
+        amplitude: f64,
+        /// Period of one rate cycle, seconds.
+        period_s: f64,
+    },
 }
 
 impl ArrivalProcess {
-    /// The process's mean rate in requests per second.
+    /// The process's mean rate in requests per second (for `Burst`, the
+    /// on-rate scaled by the duty cycle; for `Diurnal`, the base rate —
+    /// the sinusoid averages out over whole periods).
     pub fn rate_hz(&self) -> f64 {
         match *self {
             ArrivalProcess::Periodic { rate_hz, .. } | ArrivalProcess::Poisson { rate_hz } => {
                 rate_hz
             }
+            ArrivalProcess::Burst {
+                burst_rate_hz,
+                mean_on_s,
+                mean_off_s,
+            } => {
+                if mean_on_s + mean_off_s <= 0.0 {
+                    0.0
+                } else {
+                    burst_rate_hz * mean_on_s / (mean_on_s + mean_off_s)
+                }
+            }
+            ArrivalProcess::Diurnal { base_hz, .. } => base_hz,
         }
+    }
+
+    /// A short tag naming the process family (`periodic` / `poisson` /
+    /// `burst` / `diurnal`) — what shape fingerprints and reports print.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Periodic { .. } => "periodic",
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Burst { .. } => "burst",
+            ArrivalProcess::Diurnal { .. } => "diurnal",
+        }
+    }
+
+    /// This process with every rate scaled by `factor` (phase offsets and
+    /// burst/diurnal time constants are kept — throttling changes load,
+    /// not the shape's timescale).
+    fn throttled(self, factor: f64) -> Self {
+        match self {
+            ArrivalProcess::Periodic { rate_hz, phase_s } => ArrivalProcess::Periodic {
+                rate_hz: rate_hz * factor,
+                phase_s,
+            },
+            ArrivalProcess::Poisson { rate_hz } => ArrivalProcess::Poisson {
+                rate_hz: rate_hz * factor,
+            },
+            ArrivalProcess::Burst {
+                burst_rate_hz,
+                mean_on_s,
+                mean_off_s,
+            } => ArrivalProcess::Burst {
+                burst_rate_hz: burst_rate_hz * factor,
+                mean_on_s,
+                mean_off_s,
+            },
+            ArrivalProcess::Diurnal {
+                base_hz,
+                amplitude,
+                period_s,
+            } => ArrivalProcess::Diurnal {
+                base_hz: base_hz * factor,
+                amplitude,
+                period_s,
+            },
+        }
+    }
+}
+
+/// The arrival-shape families a mix can be re-expressed in — see
+/// [`TrafficMix::reshaped`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficShape {
+    /// Seeded-Poisson arrivals at each stream's mean rate.
+    Poisson,
+    /// Markov-modulated on/off bursts (25% duty cycle at 4× the mean
+    /// rate): the overload shape.
+    Burst,
+    /// Sinusoidal rate swinging ±80% around the mean over a 0.5 s cycle:
+    /// the day/night shape on simulation timescales.
+    Diurnal,
+}
+
+impl std::fmt::Display for TrafficShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TrafficShape::Poisson => "poisson",
+            TrafficShape::Burst => "burst",
+            TrafficShape::Diurnal => "diurnal",
+        })
     }
 }
 
@@ -183,19 +294,80 @@ impl TrafficMix {
             "rate factor must be positive and finite"
         );
         for s in &mut self.streams {
-            s.arrivals = match s.arrivals {
-                ArrivalProcess::Periodic { rate_hz, phase_s } => ArrivalProcess::Periodic {
-                    rate_hz: rate_hz * factor,
-                    phase_s,
-                },
-                ArrivalProcess::Poisson { rate_hz } => ArrivalProcess::Poisson {
-                    rate_hz: rate_hz * factor,
-                },
-            };
+            s.arrivals = s.arrivals.throttled(factor);
             s.deadline_s = s.deadline_s.map(|d| d / factor);
         }
         self.name = format!("{} ×{factor:.2}", self.name);
         self
+    }
+
+    /// This mix with every stream's arrival process re-expressed in
+    /// `shape` at the same *mean* rate (deadlines and per-request batching
+    /// are untouched): one tenant composition sweeps across smooth,
+    /// bursty, and diurnal load without changing what is offered on
+    /// average. Reshaping to `Poisson` turns frame clocks into query
+    /// traffic; `Burst` concentrates the same load into 4×-rate on-phases
+    /// (25% duty cycle, 50 ms mean bursts); `Diurnal` swings the rate
+    /// ±80% over a 0.5 s cycle.
+    #[must_use]
+    pub fn reshaped(mut self, shape: TrafficShape) -> Self {
+        for s in &mut self.streams {
+            let rate_hz = s.arrivals.rate_hz();
+            s.arrivals = match shape {
+                TrafficShape::Poisson => ArrivalProcess::Poisson { rate_hz },
+                TrafficShape::Burst => ArrivalProcess::Burst {
+                    burst_rate_hz: rate_hz * 4.0,
+                    mean_on_s: 0.05,
+                    mean_off_s: 0.15,
+                },
+                TrafficShape::Diurnal => ArrivalProcess::Diurnal {
+                    base_hz: rate_hz,
+                    amplitude: 0.8,
+                    period_s: 0.5,
+                },
+            };
+        }
+        self.name = format!("{} ~{shape}", self.name);
+        self
+    }
+
+    /// A stable fingerprint of the mix's *arrival shape*: every stream's
+    /// process family and parameters (not the seed — two seeds of one
+    /// shape sample different arrivals but describe the same traffic
+    /// contract). Serving caches fold this into their keys so a schedule
+    /// cached under one traffic shape is never served under another.
+    pub fn shape_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = scar_hash::StableHasher::new();
+        for s in &self.streams {
+            s.arrivals.kind_label().hash(&mut h);
+            match s.arrivals {
+                ArrivalProcess::Periodic { rate_hz, phase_s } => {
+                    rate_hz.to_bits().hash(&mut h);
+                    phase_s.to_bits().hash(&mut h);
+                }
+                ArrivalProcess::Poisson { rate_hz } => rate_hz.to_bits().hash(&mut h),
+                ArrivalProcess::Burst {
+                    burst_rate_hz,
+                    mean_on_s,
+                    mean_off_s,
+                } => {
+                    burst_rate_hz.to_bits().hash(&mut h);
+                    mean_on_s.to_bits().hash(&mut h);
+                    mean_off_s.to_bits().hash(&mut h);
+                }
+                ArrivalProcess::Diurnal {
+                    base_hz,
+                    amplitude,
+                    period_s,
+                } => {
+                    base_hz.to_bits().hash(&mut h);
+                    amplitude.to_bits().hash(&mut h);
+                    period_s.to_bits().hash(&mut h);
+                }
+            }
+        }
+        h.finish()
     }
 
     /// Every request arriving in `[0, horizon_s)`, sorted by arrival time
@@ -246,27 +418,87 @@ impl TrafficMix {
                     if rate_hz <= 0.0 {
                         continue;
                     }
-                    // one independent, stream-keyed generator per stream so
-                    // adding a stream never perturbs the others
-                    let mut rng =
-                        StdRng::seed_from_u64(self.seed ^ (si as u64).wrapping_mul(0x9E37_79B9));
+                    let mut rng = self.stream_rng(si);
                     let mut t = 0.0f64;
                     loop {
-                        // Exponential gap via inverse transform; (1 - u)
-                        // keeps ln's argument in (0, 1]. Audit of the
-                        // vendored `rand` stub: `gen::<f64>()` maps 53
-                        // random bits onto [0, 1), so u == 1.0 (which
-                        // would make the gap ln(0) → +inf and silently
-                        // truncate the stream) cannot occur — but that is
-                        // a property of *this* stub, so clamp anyway: a
-                        // swapped-in generator with a closed [0, 1] range
-                        // must not change arrival semantics.
-                        let u: f64 = rng.gen::<f64>().clamp(0.0, 1.0 - f64::EPSILON);
-                        t += -(1.0 - u).ln() / rate_hz;
+                        t += exp_gap(&mut rng, 1.0 / rate_hz);
                         if t >= horizon_s {
                             break;
                         }
                         out.push(self.request_at(si, t, stream.deadline_s));
+                    }
+                }
+                ArrivalProcess::Burst {
+                    burst_rate_hz,
+                    mean_on_s,
+                    mean_off_s,
+                } => {
+                    assert!(
+                        mean_on_s.is_finite()
+                            && mean_off_s.is_finite()
+                            && mean_on_s > 0.0
+                            && mean_off_s >= 0.0,
+                        "stream {si} ({}) has invalid burst phase durations",
+                        stream.model.name()
+                    );
+                    if burst_rate_hz <= 0.0 {
+                        continue;
+                    }
+                    let mut rng = self.stream_rng(si);
+                    let mut t = 0.0f64;
+                    'phases: while t < horizon_s {
+                        // one ON phase: Poisson arrivals at the burst rate,
+                        // restarted at the phase edge (memorylessness makes
+                        // the truncated draw at the edge equivalent)
+                        let on_end = t + exp_gap(&mut rng, mean_on_s);
+                        loop {
+                            t += exp_gap(&mut rng, 1.0 / burst_rate_hz);
+                            if t >= on_end {
+                                break;
+                            }
+                            if t >= horizon_s {
+                                break 'phases;
+                            }
+                            out.push(self.request_at(si, t, stream.deadline_s));
+                        }
+                        // one silent OFF phase
+                        t = on_end + exp_gap(&mut rng, mean_off_s);
+                    }
+                }
+                ArrivalProcess::Diurnal {
+                    base_hz,
+                    amplitude,
+                    period_s,
+                } => {
+                    assert!(
+                        (0.0..=1.0).contains(&amplitude),
+                        "stream {si} ({}) has a diurnal amplitude outside [0, 1]",
+                        stream.model.name()
+                    );
+                    assert!(
+                        period_s.is_finite() && period_s > 0.0,
+                        "stream {si} ({}) has an invalid diurnal period",
+                        stream.model.name()
+                    );
+                    if base_hz <= 0.0 {
+                        continue;
+                    }
+                    // inhomogeneous Poisson by thinning: sample at the peak
+                    // rate, keep each arrival with probability λ(t)/λ_peak
+                    let peak_hz = base_hz * (1.0 + amplitude);
+                    let mut rng = self.stream_rng(si);
+                    let mut t = 0.0f64;
+                    loop {
+                        t += exp_gap(&mut rng, 1.0 / peak_hz);
+                        if t >= horizon_s {
+                            break;
+                        }
+                        let lambda_t = base_hz
+                            * (1.0 + amplitude * (std::f64::consts::TAU * t / period_s).sin());
+                        let accept: f64 = rng.gen();
+                        if accept * peak_hz < lambda_t {
+                            out.push(self.request_at(si, t, stream.deadline_s));
+                        }
                     }
                 }
             }
@@ -282,6 +514,14 @@ impl TrafficMix {
             r.id = id as u64;
         }
         out
+    }
+
+    /// One independent, stream-keyed generator per stream, so adding a
+    /// stream never perturbs the others' arrival draws. Every random
+    /// shape (Poisson, Burst, Diurnal) samples from this — one seeding
+    /// rule, shared by construction.
+    fn stream_rng(&self, si: usize) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ (si as u64).wrapping_mul(0x9E37_79B9))
     }
 
     fn request_at(&self, stream: usize, arrival_s: f64, deadline_s: Option<f64>) -> Request {
@@ -316,6 +556,20 @@ impl TrafficMix {
                 .collect(),
         )
     }
+}
+
+/// An exponentially distributed sample with the given mean, by inverse
+/// transform — the one gap sampler every random arrival shape uses.
+///
+/// `(1 - u)` keeps ln's argument in (0, 1]. Audit of the vendored `rand`
+/// stub: `gen::<f64>()` maps 53 random bits onto [0, 1), so u == 1.0
+/// (which would make the sample ln(0) → +inf and silently truncate the
+/// stream) cannot occur — but that is a property of *this* stub, so clamp
+/// anyway: a swapped-in generator with a closed [0, 1] range must not
+/// change arrival semantics.
+fn exp_gap(rng: &mut StdRng, mean_s: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>().clamp(0.0, 1.0 - f64::EPSILON);
+    -(1.0 - u).ln() * mean_s
 }
 
 #[cfg(test)]

@@ -163,6 +163,77 @@ fn schedule_result_roundtrips_through_json() {
     }
 }
 
+/// Scheduler *configuration* round-trips through artifacts: `of` records
+/// the answering scheduler's structural knobs, they survive JSON, and the
+/// registry rebuilds a scheduler that fingerprints identically to the
+/// recorded one — the guarantee replay's exactness gate stands on.
+#[test]
+fn scheduler_config_roundtrips_through_artifacts() {
+    use scar::core::{SchedulerConfig, SearchKind};
+    use scar::serve::{fingerprint, PolicyRegistry, ServeConfig};
+
+    let sc = Scenario::datacenter(1);
+    let mcm = het_sides_3x3(Profile::Datacenter);
+    let session = Session::new();
+    let req = request(&sc, &mcm, OptMetric::Edp);
+
+    // a non-default SCAR: nsplits 2 (the registry default is 1)
+    let scar = Scar::builder().nsplits(2).budget(quick()).build();
+    assert_eq!(
+        scar.config(),
+        SchedulerConfig {
+            nsplits: Some(2),
+            search: Some(SearchKind::BruteForce),
+        }
+    );
+    let result = scar.schedule(&session, &req).unwrap();
+    let artifact = ScheduleArtifact::of("roundtrip", &scar, req.clone(), result);
+    assert_eq!(artifact.scheduler, "SCAR");
+    assert_eq!(artifact.scheduler_config, scar.config());
+
+    // JSON round trip preserves the configuration
+    let back = ScheduleArtifact::from_json(&artifact.to_json()).unwrap();
+    assert_eq!(back, artifact);
+    assert_eq!(back.scheduler_config.nsplits, Some(2));
+
+    // the registry reconstructs a scheduler with the recorded knobs that
+    // fingerprints identically to the original (cache-interchangeable)
+    let cfg = ServeConfig {
+        nsplits: back.scheduler_config.nsplits.unwrap(),
+        search: back.scheduler_config.search.clone().unwrap(),
+        ..ServeConfig::default()
+    };
+    let rebuilt = PolicyRegistry::with_builtins()
+        .build(&back.scheduler, &cfg)
+        .unwrap();
+    assert_eq!(
+        fingerprint(&req, rebuilt.as_ref()),
+        fingerprint(&req, &scar),
+        "reconstructed configuration must fingerprint like the recorded one"
+    );
+
+    // baselines record the empty configuration, and pre-config artifacts
+    // (no scheduler_config field in the JSON) still load
+    let standalone = Standalone::new();
+    assert!(standalone.config().is_empty());
+    let legacy_json = {
+        // drop the scheduler_config field from the value tree, as if the
+        // artifact had been written before the field existed
+        use serde::{Serialize, Value};
+        let v = artifact.to_value();
+        let fields = v.as_object().expect("artifacts serialize as objects");
+        let stripped: Vec<(String, Value)> = fields
+            .iter()
+            .filter(|(k, _)| k != "scheduler_config")
+            .cloned()
+            .collect();
+        serde::write_pretty(&Value::Object(stripped))
+    };
+    let legacy = ScheduleArtifact::from_json(&legacy_json)
+        .expect("artifacts recorded before configurations existed must load");
+    assert!(legacy.scheduler_config.is_empty());
+}
+
 /// The serving loop's incremental path is exposed through the trait:
 /// `reschedule` accepts a prior instance for a batch-resized request and
 /// declines a structurally different one; the baselines always decline.
