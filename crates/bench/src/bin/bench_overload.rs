@@ -21,18 +21,24 @@
 //! cargo run --release -p scar-bench --bin bench_overload
 //! ```
 //!
+//! `SCAR_TRACE=1` additionally records the span timeline of both runs and
+//! writes it to `TRACE_bench_overload.json` (Chrome `trace_event`;
+//! observational only — the reports and the JSON results are unchanged).
+//!
 //! Everything is virtual-time deterministic: reruns produce byte-identical
 //! JSON (modulo the wall-clock fields).
 
 use scar_mcm::templates::{het_sides_3x3, Profile};
 use scar_serve::{ServeConfig, ServeReport, ServeSim, TrafficMix, TrafficShape};
+use scar_telemetry::Telemetry;
 
-fn overload_cfg(preemption: bool) -> ServeConfig {
+fn overload_cfg(preemption: bool, telemetry: Telemetry) -> ServeConfig {
     ServeConfig {
         preemption,
         // two splits → up to three windows per round: enough layer-aligned
         // boundaries for a burst to cut into, still cheap to search
         nsplits: 2,
+        telemetry,
         ..ServeConfig::default()
     }
 }
@@ -68,8 +74,9 @@ fn main() {
         mix.offered_rps()
     );
 
+    let telemetry = Telemetry::from_env();
     let run = |preemption: bool| {
-        let mut sim = ServeSim::new(&mcm, overload_cfg(preemption));
+        let mut sim = ServeSim::new(&mcm, overload_cfg(preemption, telemetry.clone()));
         let t0 = std::time::Instant::now();
         let report = sim.run(&mix, horizon_s).expect("mix fits the 3x3");
         (report, t0.elapsed())
@@ -94,7 +101,7 @@ fn main() {
          \"nsplits\": {},\n  \"results\": {{\n{},\n{}\n  }}\n}}\n",
         mix.name,
         mcm.name(),
-        overload_cfg(true).nsplits,
+        overload_cfg(true, Telemetry::disabled()).nsplits,
         summary("boundary_only", &off, off_wall),
         summary("preemption", &on, on_wall),
     );
@@ -121,4 +128,14 @@ fn main() {
         off.deadline_miss_rate()
     );
     println!("acceptance: preemption strictly reduces the deadline-miss rate: ok");
+
+    if let Some(summary) = telemetry.wall_summary() {
+        println!("{summary}");
+    }
+    if telemetry
+        .write_trace("TRACE_bench_overload.json")
+        .expect("write TRACE_bench_overload.json")
+    {
+        println!("wrote TRACE_bench_overload.json");
+    }
 }

@@ -1,0 +1,120 @@
+//! Serving-loop throughput: scheduling rounds per second of wall time,
+//! measured through the telemetry span timers.
+//!
+//! Serves both paper traffic mixes (datacenter Poisson and the
+//! XRBench-style AR/VR frame mix) on Het-Sides with the SCAR policy —
+//! one cold pass and one warm (cached) pass each — and reports, per mix:
+//!
+//! * **schedules/s** — scheduling rounds completed per second of
+//!   `serve.run` wall time (the telemetry root span; both passes summed),
+//! * **arrivals/s** — offered requests processed per second of the same
+//!   wall time,
+//! * the cold/warm split of the full-search vs cache-hit round counts
+//!   (from the deterministic report counters).
+//!
+//! Results land in `BENCH_throughput.json`. The acceptance gate asserts
+//! every mix clears a schedules/s floor — deliberately loose so CI
+//! machines of very different speeds all pass, tightenable via
+//! `SCAR_MIN_SCHEDULES_PER_SEC`:
+//!
+//! ```sh
+//! cargo run --release -p scar-bench --bin bench_throughput
+//! SCAR_MIN_SCHEDULES_PER_SEC=50 cargo run --release -p scar-bench --bin bench_throughput
+//! ```
+//!
+//! The virtual-time serving *reports* are deterministic; the throughput
+//! numbers are wall-clock and vary run to run (which is why they live in
+//! a `BENCH_*.json`, never in a byte-compared `REPORT_*`).
+
+use scar_mcm::templates::{het_sides_3x3, Profile};
+use scar_serve::{ServeConfig, ServeSim, TrafficMix};
+use scar_telemetry::Telemetry;
+use std::fmt::Write as _;
+
+/// The default schedules/s floor: an order of magnitude below what a
+/// laptop-class machine sustains, so the gate only catches collapses
+/// (e.g. the cache or the incremental path silently disabled).
+const DEFAULT_FLOOR: f64 = 2.0;
+
+fn main() {
+    let horizon_s = 2.0;
+    let floor: f64 = match std::env::var("SCAR_MIN_SCHEDULES_PER_SEC") {
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("SCAR_MIN_SCHEDULES_PER_SEC={v:?} is not a rate");
+            std::process::exit(2);
+        }),
+        Err(_) => DEFAULT_FLOOR,
+    };
+
+    let mut entries = String::new();
+    let mut failures = Vec::new();
+    for (i, (profile, mix)) in [
+        (Profile::Datacenter, TrafficMix::datacenter(0x5CA2)),
+        (Profile::ArVr, TrafficMix::arvr(0x5CA2)),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mcm = het_sides_3x3(profile);
+        // metrics-only sink: span wall timers without the trace buffer
+        let telemetry = Telemetry::enabled(false, true);
+        let cfg = ServeConfig {
+            telemetry: telemetry.clone(),
+            ..ServeConfig::default()
+        };
+        let mut sim = ServeSim::new(&mcm, cfg);
+        let cold = sim.run(&mix, horizon_s).expect("mix fits the 3x3");
+        let warm = sim.run(&mix, horizon_s).expect("identical mix still fits");
+
+        let run_wall = telemetry
+            .span_wall("serve.run")
+            .expect("the sim records its root span");
+        let rounds = (cold.windows_scheduled + warm.windows_scheduled) as f64;
+        let offered = (cold.offered + warm.offered) as f64;
+        let schedules_per_sec = rounds / run_wall.total_s;
+        let arrivals_per_sec = offered / run_wall.total_s;
+        println!(
+            "{}: {rounds} rounds / {offered} arrivals in {:.1} ms wall → \
+             {schedules_per_sec:.1} schedules/s, {arrivals_per_sec:.1} arrivals/s \
+             (cold: {} full searches; warm: {} cache hits)",
+            mix.name,
+            run_wall.total_s * 1e3,
+            cold.full_searches,
+            warm.cache.hits,
+        );
+        if schedules_per_sec < floor {
+            failures.push(format!(
+                "{}: {schedules_per_sec:.2} schedules/s below the {floor} floor",
+                mix.name
+            ));
+        }
+        write!(
+            entries,
+            "{}    \"{}\": {{\n      \"windows_scheduled\": {rounds},\n      \
+             \"offered\": {offered},\n      \"serve_wall_s\": {:.6},\n      \
+             \"schedules_per_sec\": {schedules_per_sec:.2},\n      \
+             \"arrivals_per_sec\": {arrivals_per_sec:.2},\n      \
+             \"cold_full_searches\": {},\n      \"warm_cache_hits\": {}\n    }}",
+            if i == 0 { "" } else { ",\n" },
+            mix.name,
+            run_wall.total_s,
+            cold.full_searches,
+            warm.cache.hits,
+        )
+        .expect("string write");
+    }
+
+    let json = format!(
+        "{{\n  \"horizon_s\": {horizon_s},\n  \"floor_schedules_per_sec\": {floor},\n  \
+         \"results\": {{\n{entries}\n  }}\n}}\n"
+    );
+    std::fs::write("BENCH_throughput.json", json).expect("write BENCH_throughput.json");
+    println!("wrote BENCH_throughput.json");
+
+    assert!(
+        failures.is_empty(),
+        "scheduling throughput below floor:\n{}",
+        failures.join("\n")
+    );
+    println!("acceptance: every mix clears {floor} schedules/s: ok");
+}

@@ -41,6 +41,12 @@
 //! * `SCAR_EXPECT_PREEMPTIONS` — when set (CI's overload smoke), assert
 //!   that the primary policy performed at least one mid-window preemption
 //!   across the simulated mixes.
+//! * `SCAR_TRACE` — `1` records a span timeline for the primary policy's
+//!   simulations and writes it as Chrome `trace_event` JSON to
+//!   `TRACE_serve_sim.json` (loadable in Perfetto). Observational only:
+//!   the serving reports stay byte-identical with tracing on or off.
+//! * `SCAR_METRICS` — `1` records the counter/gauge/histogram registry
+//!   and writes it to `METRICS_serve_sim.json`.
 //!
 //! Besides stdout (which includes wall-clock timings), the deterministic
 //! serving reports are written to `REPORT_serve_sim.txt` so warm and cold
@@ -51,6 +57,7 @@ use scar_mcm::templates::{het_sides_3x3, Profile};
 use scar_serve::{
     AdmissionKind, PolicyRegistry, ServeConfig, ServePolicy, ServeSim, TrafficMix, TrafficShape,
 };
+use scar_telemetry::Telemetry;
 use std::fmt::Write as _;
 
 /// Parses `SCAR_THREADS` into a [`Parallelism`]; unset → `Auto`, an
@@ -118,12 +125,17 @@ fn main() {
     let cost_db_path = std::env::var("SCAR_COST_DB").ok().map(Into::into);
     let expect_zero_evals = std::env::var("SCAR_EXPECT_ZERO_EVALS").is_ok();
     let expect_preemptions = std::env::var("SCAR_EXPECT_PREEMPTIONS").is_ok();
-    let make_cfg = || ServeConfig {
+    // one sink for every primary-policy simulation; the Standalone
+    // baselines get the disabled handle so the timeline attributes the
+    // primary policy's wall time only
+    let telemetry = Telemetry::from_env();
+    let make_cfg = |telemetry: Telemetry| ServeConfig {
         parallelism,
         admission,
         preemption,
         nsplits,
         cost_db_path: cost_db_path.clone(),
+        telemetry,
         ..ServeConfig::default()
     };
     let reshape = |mix: TrafficMix| match shape {
@@ -165,7 +177,7 @@ fn main() {
         );
 
         // cold start, then the same traffic replayed on the warm cache
-        let cfg = make_cfg();
+        let cfg = make_cfg(telemetry.clone());
         let scheduler = registry.build(&policy, &cfg).expect("checked above");
         let mut sim = ServeSim::with_scheduler(&mcm, scheduler, cfg);
         let restored = sim.session().cached_costs();
@@ -204,7 +216,11 @@ fn main() {
 
         // the Standalone baseline under the same traffic (sharing the
         // persisted cost database — per-layer costs are scheduler-free)
-        let mut base = ServeSim::with_policy(&mcm, ServePolicy::Standalone, make_cfg());
+        let mut base = ServeSim::with_policy(
+            &mcm,
+            ServePolicy::Standalone,
+            make_cfg(Telemetry::disabled()),
+        );
         let b = base.run(&mix, horizon_s).expect("standalone fits too");
         let b_warm = base.run(&mix, horizon_s).expect("standalone replay fits");
         writeln!(report_log, "{b_warm}").expect("string write");
@@ -249,4 +265,20 @@ fn main() {
     }
     std::fs::write("REPORT_serve_sim.txt", report_log).expect("write REPORT_serve_sim.txt");
     println!("wrote REPORT_serve_sim.txt (deterministic reports, diffable across runs)");
+
+    // wall-clock attribution goes to stdout and the trace file only —
+    // never into the byte-compared report
+    if let Some(summary) = telemetry.wall_summary() {
+        println!("{summary}");
+    }
+    if telemetry
+        .write_trace("TRACE_serve_sim.json")
+        .expect("write TRACE_serve_sim.json")
+    {
+        println!("wrote TRACE_serve_sim.json (Chrome trace_event; load in Perfetto)");
+    }
+    if let Some(json) = telemetry.metrics_json() {
+        std::fs::write("METRICS_serve_sim.json", json).expect("write METRICS_serve_sim.json");
+        println!("wrote METRICS_serve_sim.json (counter/gauge/histogram registry)");
+    }
 }

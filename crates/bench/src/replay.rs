@@ -42,6 +42,12 @@ pub struct ReplayDiff {
     /// Whether the replayed *schedule* (placement, not just totals) is
     /// identical to the recorded one.
     pub identical_schedule: bool,
+    /// MAESTRO cost-model evaluations this artifact's replay performed
+    /// (0 when the session's cost database — warm-started or filled by an
+    /// earlier artifact in the sweep — already covered every layer).
+    pub cost_evaluations: u64,
+    /// Cost-database entries held by the session after this replay.
+    pub cached_costs: usize,
 }
 
 impl ReplayDiff {
@@ -135,7 +141,7 @@ impl std::fmt::Display for ReplayDiff {
         match &self.replayed {
             Ok(r) => write!(
                 f,
-                "{:<24} {:<12} lat {:>10.4}ms → {:>10.4}ms ({:+.3}%) | edp {:>10.4} → {:>10.4} ({:+.3}%){}",
+                "{:<24} {:<12} lat {:>10.4}ms → {:>10.4}ms ({:+.3}%) | edp {:>10.4} → {:>10.4} ({:+.3}%) | {} cost evals (db {}){}",
                 self.label,
                 self.scheduler,
                 self.recorded.latency_s * 1e3,
@@ -144,6 +150,8 @@ impl std::fmt::Display for ReplayDiff {
                 self.recorded.edp(),
                 r.edp(),
                 self.edp_drift().unwrap_or(0.0) * 100.0,
+                self.cost_evaluations,
+                self.cached_costs,
                 if self.is_exact() { " [exact]" } else { "" },
             ),
             Err(e) => write!(
@@ -207,6 +215,7 @@ pub fn replay_artifacts(
             if let Some(mcm) = &options.mcm_override {
                 request.mcm = mcm.clone();
             }
+            let evals_before = session.cost_evaluations();
             let replayed = scheduler.schedule(session, &request);
             let identical_schedule = matches!(
                 &replayed,
@@ -218,6 +227,8 @@ pub fn replay_artifacts(
                 recorded: a.result.total(),
                 replayed: replayed.map(|r| r.total()),
                 identical_schedule,
+                cost_evaluations: session.cost_evaluations() - evals_before,
+                cached_costs: session.cached_costs(),
             })
         })
         .collect()
@@ -287,6 +298,12 @@ mod tests {
         assert!(diffs[0].is_exact(), "{}", diffs[0]);
         assert_eq!(diffs[0].latency_drift(), Some(0.0));
         assert_eq!(diffs[0].edp_drift(), Some(0.0));
+        // the fresh replay session had to evaluate costs, and the diff
+        // surfaces both the work and the resulting database size
+        assert!(diffs[0].cost_evaluations > 0);
+        assert!(diffs[0].cached_costs > 0);
+        let text = diffs[0].to_string();
+        assert!(text.contains("cost evals"), "{text}");
     }
 
     /// An MCM override re-evaluates the recorded request on new hardware:
@@ -339,6 +356,8 @@ mod tests {
             recorded,
             replayed: Ok(replayed),
             identical_schedule: false,
+            cost_evaluations: 0,
+            cached_costs: 0,
         };
         let base = EvalTotals {
             latency_s: 1.0,
@@ -381,6 +400,8 @@ mod tests {
             recorded: base,
             replayed: Err(ScheduleError::NoFeasibleSchedule { window: 0 }),
             identical_schedule: false,
+            cost_evaluations: 0,
+            cached_costs: 0,
         };
         assert!(!failed.within(&ToleranceBand::uniform(1.0)));
         // the sweep-level filter surfaces exactly the violators

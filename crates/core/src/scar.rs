@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scar_maestro::CostDatabase;
 use scar_mcm::{ChipletId, McmConfig};
+use scar_telemetry::Telemetry;
 use scar_workloads::Scenario;
 use serde::{Deserialize, Serialize};
 use std::hash::{Hash, Hasher};
@@ -338,7 +339,14 @@ impl Scar {
         mcm: &McmConfig,
         db: &CostDatabase,
     ) -> Result<ScheduleResult, ScheduleError> {
-        self.schedule_core(scenario, mcm, db, &self.config.metric, &self.config.budget)
+        self.schedule_core(
+            scenario,
+            mcm,
+            db,
+            &self.config.metric,
+            &self.config.budget,
+            &Telemetry::disabled(),
+        )
     }
 
     /// The full pipeline, parameterized over the per-request knobs (the
@@ -351,10 +359,18 @@ impl Scar {
         db: &CostDatabase,
         metric: &OptMetric,
         budget: &SearchBudget,
+        tel: &Telemetry,
     ) -> Result<ScheduleResult, ScheduleError> {
         let cfg = &self.config;
-        let expected = ExpectedCosts::compute(scenario, mcm, db);
-        let partition = reconfig::partition(scenario, &expected, cfg.nsplits, cfg.packing);
+        let expected = {
+            // cost-model work: misses in `db` run MAESTRO here
+            let _g = tel.span("schedule.costs");
+            ExpectedCosts::compute(scenario, mcm, db)
+        };
+        let partition = {
+            let _g = tel.span("schedule.partition").arg("nsplits", cfg.nsplits);
+            reconfig::partition(scenario, &expected, cfg.nsplits, cfg.packing)
+        };
         debug_assert!(partition.validate(scenario).is_ok());
 
         let max_active = partition
@@ -385,6 +401,7 @@ impl Scar {
             expected: &expected,
             metric: &window_metric,
             budget,
+            tel,
         };
 
         let mut rng = StdRng::seed_from_u64(budget.seed);
@@ -393,15 +410,18 @@ impl Scar {
         let mut per_window_candidates: Vec<Vec<EvalTotals>> = Vec::with_capacity(partition.len());
 
         for window in partition.windows() {
-            let allocations = provision::allocations(
-                window,
-                scenario,
-                &expected,
-                metric,
-                mcm.num_chiplets(),
-                cfg.provisioning,
-                budget.node_constraint,
-            );
+            let allocations = {
+                let _g = tel.span("schedule.provision").arg("window", window.index);
+                provision::allocations(
+                    window,
+                    scenario,
+                    &expected,
+                    metric,
+                    mcm.num_chiplets(),
+                    cfg.provisioning,
+                    budget.node_constraint,
+                )
+            };
             if allocations.is_empty() {
                 return Err(ScheduleError::InsufficientChiplets {
                     needed: window.active_models().len(),
@@ -442,6 +462,7 @@ impl Scar {
             }
         }
 
+        let _g = tel.span("schedule.finalize");
         Ok(ScheduleResult::from_instance(
             mcm.name(),
             scenario,
@@ -483,9 +504,11 @@ impl Scar {
             seed,
             &self.config.metric,
             self.config.budget.parallelism,
+            &Telemetry::disabled(),
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_seeded_core(
         &self,
         scenario: &Scenario,
@@ -494,8 +517,10 @@ impl Scar {
         seed: &ScheduleInstance,
         metric: &OptMetric,
         parallelism: Parallelism,
+        tel: &Telemetry,
     ) -> Result<ScheduleResult, ScheduleError> {
         seed.validate(scenario, mcm.num_chiplets())?;
+        let _g = tel.span("schedule.seeded");
         Ok(ScheduleResult::from_instance(
             mcm.name(),
             scenario,
@@ -523,12 +548,17 @@ impl Scheduler for Scar {
         session: &Session,
         request: &ScheduleRequest,
     ) -> Result<ScheduleResult, ScheduleError> {
+        let tel = session.telemetry();
+        let _g = tel
+            .span("schedule.run")
+            .arg_opt("tag", request.trace_tag.as_deref());
         self.schedule_core(
             &request.scenario,
             &request.mcm,
             session.database(),
             &request.metric,
             &request.budget,
+            tel,
         )
     }
 
@@ -552,6 +582,7 @@ impl Scheduler for Scar {
             seed,
             &request.metric,
             request.budget.parallelism,
+            session.telemetry(),
         )
         .ok()
     }

@@ -48,6 +48,7 @@ use crate::scar::ScheduleResult;
 use crate::search::SearchBudget;
 use scar_maestro::{CostDatabase, SnapshotError};
 use scar_mcm::McmConfig;
+use scar_telemetry::Telemetry;
 use scar_workloads::Scenario;
 use serde::{Deserialize, Serialize};
 use std::hash::Hasher;
@@ -73,14 +74,33 @@ use std::hash::Hasher;
 #[derive(Debug, Default)]
 pub struct Session {
     db: CostDatabase,
+    telemetry: Telemetry,
 }
 
 impl Session {
-    /// A fresh session with an empty cost database.
+    /// A fresh session with an empty cost database and no telemetry sink.
     pub fn new() -> Self {
         Self {
             db: CostDatabase::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink: every scheduler driven through this
+    /// session emits spans (candidate generation, cost evaluation, …)
+    /// into it. The default is [`Telemetry::disabled`] — a no-op handle
+    /// with zero hot-path cost. Telemetry never influences scheduling
+    /// decisions; it only observes them.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The session's telemetry sink (the disabled handle when none was
+    /// attached).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The session's shared cost database.
@@ -169,6 +189,12 @@ pub struct ScheduleRequest {
     pub metric: OptMetric,
     /// Search budgets, RNG seed, and evaluation parallelism.
     pub budget: SearchBudget,
+    /// Telemetry knob: a free-form label attached to the spans this
+    /// request's scheduling emits (e.g. the serving round's virtual
+    /// timestamp), so timelines can be joined back to requests. Purely
+    /// observational — never hashed into schedule fingerprints, never
+    /// consulted by any scheduler.
+    pub trace_tag: Option<String>,
 }
 
 impl ScheduleRequest {
@@ -180,6 +206,7 @@ impl ScheduleRequest {
             mcm,
             metric: OptMetric::Edp,
             budget: SearchBudget::default(),
+            trace_tag: None,
         }
     }
 
@@ -214,6 +241,13 @@ impl ScheduleRequest {
         self.budget.parallelism = parallelism;
         self
     }
+
+    /// Sets the telemetry trace tag (see [`ScheduleRequest::trace_tag`]).
+    #[must_use]
+    pub fn trace_tag(mut self, tag: impl Into<String>) -> Self {
+        self.trace_tag = Some(tag.into());
+        self
+    }
 }
 
 /// Hand-written (instead of derived) to rebuild the MCM's topology caches,
@@ -225,11 +259,19 @@ impl Deserialize for ScheduleRequest {
             .ok_or_else(|| serde::DeError::expected("object", "ScheduleRequest", v))?;
         let mut mcm: McmConfig = serde::__field(obj, "mcm", "ScheduleRequest")?;
         mcm.rebuild_caches();
+        // `trace_tag` postdates persisted requests: absent = None, so
+        // artifacts recorded before the field existed keep loading
+        let trace_tag = match obj.iter().find(|(k, _)| k == "trace_tag") {
+            Some((_, v)) => Option::<String>::from_value(v)
+                .map_err(|e| serde::DeError::msg(format!("ScheduleRequest.trace_tag: {e}")))?,
+            None => None,
+        };
         Ok(Self {
             scenario: serde::__field(obj, "scenario", "ScheduleRequest")?,
             mcm,
             metric: serde::__field(obj, "metric", "ScheduleRequest")?,
             budget: serde::__field(obj, "budget", "ScheduleRequest")?,
+            trace_tag,
         })
     }
 }

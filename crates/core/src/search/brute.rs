@@ -288,6 +288,7 @@ mod tests {
             expected: &expected,
             metric: &metric,
             budget: &budget,
+            tel: &scar_telemetry::Telemetry::disabled(),
         };
         let n0 = sc.models()[0].model.num_layers();
         let n1 = sc.models()[1].model.num_layers();
@@ -337,6 +338,7 @@ mod tests {
             expected: &expected,
             metric: &metric,
             budget: &budget,
+            tel: &scar_telemetry::Telemetry::disabled(),
         };
         let n0 = sc.models()[0].model.num_layers();
         let n1 = sc.models()[1].model.num_layers();

@@ -69,7 +69,14 @@ pub(crate) fn run(
     let mut candidates: Vec<EvalTotals> = Vec::new();
 
     loop {
-        let batch = source.next_batch();
+        // spans are recorded here on the coordinating thread — workers
+        // inside `par_map` never touch the telemetry sink
+        let batch = {
+            let mut g = ctx.tel.span("search.generation");
+            let batch = source.next_batch();
+            g.push_arg("candidates", batch.len());
+            batch
+        };
         if batch.is_empty() {
             break;
         }
@@ -77,6 +84,11 @@ pub(crate) fn run(
             batch.windows(2).all(|w| w[0].id < w[1].id),
             "candidate ids must be strictly increasing in generation order"
         );
+        let _eval_span = ctx
+            .tel
+            .span("search.evaluation")
+            .arg("candidates", batch.len())
+            .arg("threads", threads);
         let scored = evaluate_batch(&evaluator, ctx.metric, &batch, threads);
 
         // in-order merge: identical to a serial evaluation loop — strict
@@ -89,6 +101,8 @@ pub(crate) fn run(
                 best = Some((sc.score, cand.schedule.clone(), sc.eval));
             }
         }
+        drop(_eval_span);
+        let _g = ctx.tel.span("search.generation");
         source.observe(&scores);
     }
 

@@ -23,6 +23,7 @@ use crate::segmentation::SegCandidate;
 use rand::rngs::StdRng;
 use scar_maestro::CostDatabase;
 use scar_mcm::McmConfig;
+use scar_telemetry::Telemetry;
 use scar_workloads::Scenario;
 
 /// Enumeration budgets bounding the "brute-force" search (see DESIGN.md §5:
@@ -119,6 +120,10 @@ pub(crate) struct SearchCtx<'a> {
     pub expected: &'a ExpectedCosts,
     pub metric: &'a OptMetric,
     pub budget: &'a SearchBudget,
+    /// Observational only: generation/evaluation spans are recorded from
+    /// the coordinating thread, never inside `par_map` workers, so the
+    /// Serial-vs-`Fixed(N)` determinism contract is untouched.
+    pub tel: &'a Telemetry,
 }
 
 impl<'a> SearchCtx<'a> {
@@ -165,14 +170,29 @@ pub(crate) fn search_window(
     kind: &SearchKind,
     rng: &mut StdRng,
 ) -> Option<WindowSearchResult> {
+    // source construction enumerates segmentation lists and seeds the
+    // candidate space — generation work, attributed as such
     match kind {
         SearchKind::BruteForce => {
-            engine::run(ctx, brute::BruteSource::new(ctx, window, allocations, rng))
+            let source = {
+                let _g = ctx
+                    .tel
+                    .span("search.generation")
+                    .arg("window", window.index);
+                brute::BruteSource::new(ctx, window, allocations, rng)
+            };
+            engine::run(ctx, source)
         }
-        SearchKind::Evolutionary(p) => engine::run(
-            ctx,
-            evolutionary::EvoSource::new(ctx, window, allocations, *p, rng),
-        ),
+        SearchKind::Evolutionary(p) => {
+            let source = {
+                let _g = ctx
+                    .tel
+                    .span("search.generation")
+                    .arg("window", window.index);
+                evolutionary::EvoSource::new(ctx, window, allocations, *p, rng)
+            };
+            engine::run(ctx, source)
+        }
     }
 }
 

@@ -46,6 +46,7 @@
 use scar_core::{OptMetric, ScheduleRequest, ScheduleResult, Scheduler, SearchBudget};
 use scar_hash::StableHasher;
 use scar_mcm::McmConfig;
+use scar_telemetry::Telemetry;
 use scar_workloads::Scenario;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -258,6 +259,10 @@ pub struct ScheduleCache {
     capacity: usize,
     tick: u64,
     stats: CacheStats,
+    /// Metrics mirror of the counters (disabled by default): hits,
+    /// misses, and evictions also land in the telemetry registry so
+    /// timelines and metrics dumps see cache behavior without a report.
+    telemetry: Telemetry,
 }
 
 impl Default for ScheduleCache {
@@ -283,7 +288,17 @@ impl ScheduleCache {
             capacity: capacity.max(1),
             tick: 0,
             stats: CacheStats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink mirroring the hit/miss/eviction counters
+    /// into the metrics registry (`serve.cache.*`). Observational only:
+    /// cache contents and eviction order are unaffected.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The entry bound.
@@ -299,10 +314,12 @@ impl ScheduleCache {
             Some(e) => {
                 e.last_used = self.tick;
                 self.stats.hits += 1;
+                self.telemetry.count("serve.cache.hits", 1);
                 Some(Rc::clone(&e.result))
             }
             None => {
                 self.stats.misses += 1;
+                self.telemetry.count("serve.cache.misses", 1);
                 None
             }
         }
@@ -316,6 +333,7 @@ impl ScheduleCache {
             if let Some((&victim, _)) = self.map.iter().min_by_key(|(_, e)| e.last_used) {
                 self.map.remove(&victim);
                 self.stats.evictions += 1;
+                self.telemetry.count("serve.cache.evictions", 1);
             }
         }
         self.map.insert(
@@ -325,6 +343,8 @@ impl ScheduleCache {
                 last_used: self.tick,
             },
         );
+        self.telemetry
+            .gauge("serve.cache.entries", self.map.len() as f64);
     }
 
     /// Number of cached schedules.

@@ -74,7 +74,8 @@ pub mod sim;
 pub mod traffic;
 
 pub use admission::{
-    AcceptAll, AdmissionContext, AdmissionKind, AdmissionPolicy, DeadlineFeasible, LoadShed,
+    admit_observed, AcceptAll, AdmissionContext, AdmissionKind, AdmissionPolicy, DeadlineFeasible,
+    LoadShed,
 };
 pub use cache::{
     fingerprint, fingerprint_parts, fingerprint_parts_in_context, fingerprints, shape_fingerprint,

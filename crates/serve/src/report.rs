@@ -128,6 +128,12 @@ pub struct ServeReport {
     /// (previous round's placement re-evaluated because only batch sizes
     /// changed) instead of a full search.
     pub incremental_reschedules: u64,
+    /// Scheduling rounds that ran the full window search (neither a cache
+    /// hit nor an incremental reschedule). Together with cache hits and
+    /// incremental reschedules this partitions the non-preempt rounds —
+    /// the deterministic phase breakdown (wall-clock attribution lives in
+    /// the telemetry trace, never in this report).
+    pub full_searches: u64,
     /// MAESTRO cost-model evaluations performed during the run. Zero on a
     /// warm start whose persisted cost snapshot covers the traffic — the
     /// counter the cold-start acceptance gate watches.
@@ -202,6 +208,11 @@ impl fmt::Display for ServeReport {
             self.cache.hit_rate() * 100.0,
             self.cache.evictions,
             self.incremental_reschedules
+        )?;
+        writeln!(
+            f,
+            "rounds by phase: {} full searches | {} cache hits | {} incremental | {} preempt splices",
+            self.full_searches, self.cache.hits, self.incremental_reschedules, self.preemptions
         )?;
         writeln!(
             f,
@@ -307,6 +318,7 @@ mod tests {
                 evictions: 2,
             },
             incremental_reschedules: 1,
+            full_searches: 4,
             cost_evaluations: 12,
             per_stream: vec![StreamStats {
                 model_name: "EyeCod".into(),
@@ -327,6 +339,7 @@ mod tests {
             "75.0% hit",
             "2 evictions",
             "1 incremental",
+            "rounds by phase: 4 full searches | 3 cache hits | 1 incremental | 3 preempt splices",
             "cost evaluations this run: 12",
             "completed 10 of 12",
             "admission rejected 2 (16.7%)",

@@ -50,6 +50,7 @@ use scar_core::{
 };
 use scar_hash::StableHasher;
 use scar_mcm::McmConfig;
+use scar_telemetry::Telemetry;
 use scar_workloads::{Model, Scenario, ScenarioModel};
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
@@ -159,6 +160,13 @@ pub struct ServeConfig {
     /// snapshot never changes *what* is scheduled — only whether MAESTRO
     /// runs (watch [`ServeReport::cost_evaluations`]).
     pub cost_db_path: Option<std::path::PathBuf>,
+    /// Telemetry sink threaded through the whole loop: the [`Session`]
+    /// (scheduler-side spans), the [`ScheduleCache`] (hit/miss/eviction
+    /// counters), admission, and the loop's own phase spans all record
+    /// into it. Observational only — the default disabled handle does no
+    /// work, and an enabled one never changes what is scheduled, so
+    /// reports are bit-identical with telemetry on or off.
+    pub telemetry: Telemetry,
 }
 
 impl Default for ServeConfig {
@@ -184,6 +192,7 @@ impl Default for ServeConfig {
             preempt_min_rate_hz: 0.0,
             parallelism: Parallelism::Auto,
             cost_db_path: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -322,6 +331,14 @@ pub struct ServeSim<'a> {
     incremental_reschedules: u64,
     /// Mid-window preemptions (cumulative).
     preemptions: u64,
+    /// Rounds that ran the full window search (neither a cache hit nor an
+    /// incremental reschedule; cumulative). Deterministic, so it may
+    /// appear in reports.
+    full_searches: u64,
+    /// The telemetry handle (a clone of [`ServeConfig::telemetry`]):
+    /// spans and counters are recorded from this coordinating thread
+    /// only, never inside evaluation workers.
+    tel: Telemetry,
     /// Cost entries covered by the on-disk snapshot as of the last
     /// load/save — a steady-state run that added nothing skips the
     /// rewrite.
@@ -370,8 +387,9 @@ impl<'a> ServeSim<'a> {
         scheduler: Box<dyn Scheduler>,
         cfg: ServeConfig,
     ) -> Self {
-        let cache = ScheduleCache::with_capacity(cfg.cache_capacity);
-        let session = Session::new();
+        let tel = cfg.telemetry.clone();
+        let cache = ScheduleCache::with_capacity(cfg.cache_capacity).with_telemetry(tel.clone());
+        let session = Session::new().with_telemetry(tel.clone());
         if let Some(path) = &cfg.cost_db_path {
             if path.exists() {
                 let loaded = session.load_costs(path).unwrap_or_else(|e| {
@@ -393,6 +411,8 @@ impl<'a> ServeSim<'a> {
             incremental_chain: 0,
             incremental_reschedules: 0,
             preemptions: 0,
+            full_searches: 0,
+            tel,
             persisted_costs,
         }
     }
@@ -414,6 +434,18 @@ impl<'a> ServeSim<'a> {
     /// Mid-window preemptions performed since the simulator was created.
     pub fn preemptions(&self) -> u64 {
         self.preemptions
+    }
+
+    /// Rounds that ran the full window search since the simulator was
+    /// created (neither a cache hit nor an incremental reschedule).
+    pub fn full_searches(&self) -> u64 {
+        self.full_searches
+    }
+
+    /// The telemetry sink this simulator records into (disabled unless
+    /// [`ServeConfig::telemetry`] enabled it).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// A SCAR-policy simulator with the default configuration.
@@ -466,7 +498,11 @@ impl<'a> ServeSim<'a> {
         let cache_before = self.cache.stats();
         let incremental_before = self.incremental_reschedules;
         let preemptions_before = self.preemptions;
+        let full_before = self.full_searches;
         let evaluations_before = self.session.cost_evaluations();
+        // local handle so span guards never borrow `self` across the
+        // `&mut self` scheduling calls below
+        let tel = self.tel.clone();
         let arrivals = mix.arrivals(horizon_s);
         let offered = arrivals.len();
         let mut next_arrival = 0usize;
@@ -488,6 +524,12 @@ impl<'a> ServeSim<'a> {
         let mut energy_j = 0.0f64;
         let mut makespan = 0.0f64;
 
+        // the root span every per-phase interval nests under (trace
+        // coverage is measured against its extent)
+        let mut run_span = tel.span("serve.run");
+        run_span.push_arg("mix", mix.name.as_str());
+        run_span.push_arg("offered", offered);
+
         while completions.len() + rejected < offered {
             // ingest everything that has arrived by now, through admission
             while next_arrival < arrivals.len() && arrivals[next_arrival].arrival_s <= t {
@@ -497,8 +539,10 @@ impl<'a> ServeSim<'a> {
                 // the cost-DB probe runs only for policies that read it,
                 // so the default accept-all path never touches the model
                 let min_service_s = self.admission.wants_cost_probe().then(|| {
-                    *min_service[r.stream]
-                        .get_or_insert_with(|| min_service_probe(&self.session, self.mcm, stream))
+                    *min_service[r.stream].get_or_insert_with(|| {
+                        let _g = tel.span("serve.admission.probe").arg("stream", r.stream);
+                        min_service_probe(&self.session, self.mcm, stream)
+                    })
                 });
                 let ctx = AdmissionContext {
                     now_s: t,
@@ -506,7 +550,7 @@ impl<'a> ServeSim<'a> {
                     stream,
                     min_service_s,
                 };
-                if self.admission.admit(&r, &ctx) {
+                if crate::admission::admit_observed(self.admission.as_mut(), &tel, &r, &ctx) {
                     queues[r.stream].push_back(r);
                 } else {
                     rejected += 1;
@@ -570,6 +614,8 @@ impl<'a> ServeSim<'a> {
             // that admission will reject anyway must not splice — the
             // reschedule would serve nobody)
             let cut = if self.cfg.preemption {
+                let mut scan = tel.span("serve.splice.scan");
+                scan.push_arg("pending", arrivals.len() - next_arrival);
                 let admission = &self.admission;
                 let session = &self.session;
                 let mcm = self.mcm;
@@ -580,8 +626,10 @@ impl<'a> ServeSim<'a> {
                         return false;
                     }
                     let min_service_s = admission.wants_cost_probe().then(|| {
-                        *min_service[a.stream]
-                            .get_or_insert_with(|| min_service_probe(session, mcm, stream))
+                        *min_service[a.stream].get_or_insert_with(|| {
+                            let _g = tel.span("serve.admission.probe").arg("stream", a.stream);
+                            min_service_probe(session, mcm, stream)
+                        })
                     });
                     admission.preempt_worthy(
                         a,
@@ -593,7 +641,9 @@ impl<'a> ServeSim<'a> {
                         },
                     )
                 };
-                splice_point(&arrivals[next_arrival..], t, &lats, qualifies)
+                let cut = splice_point(&arrivals[next_arrival..], t, &lats, qualifies);
+                scan.push_arg("cut", cut.is_some());
+                cut
             } else {
                 None
             };
@@ -625,6 +675,8 @@ impl<'a> ServeSim<'a> {
                     // execute windows 0..=cut_w, splice off the rest:
                     // finished models complete, partially executed ones are
                     // carried as remainders into the next round
+                    let mut splice = tel.span("serve.splice");
+                    splice.push_arg("cut_window", cut_w);
                     self.preemptions += 1;
                     let executed: &[_] = &result.windows()[..=cut_w];
                     energy_j += executed.iter().map(|w| w.energy_j).sum::<f64>();
@@ -653,9 +705,11 @@ impl<'a> ServeSim<'a> {
                     }
                     t += lats[..=cut_w].iter().sum::<f64>();
                     preempt_seed = Some(Rc::clone(&result));
+                    splice.push_arg("carried", carried.len());
                 }
             }
         }
+        drop(run_span);
 
         let cache = {
             let after = self.cache.stats();
@@ -667,7 +721,20 @@ impl<'a> ServeSim<'a> {
         };
         let incremental = self.incremental_reschedules - incremental_before;
         let preemptions = self.preemptions - preemptions_before;
+        let full_searches = self.full_searches - full_before;
         let cost_evaluations = self.session.cost_evaluations() - evaluations_before;
+        // mirror the run's deterministic counters into the metrics
+        // registry (the sim's own fields stay the report's source of
+        // truth; cache hit/miss/eviction counters are mirrored by the
+        // cache itself as they happen)
+        tel.count("serve.offered", offered as u64);
+        tel.count("serve.completed", completions.len() as u64);
+        tel.count("serve.rejected", rejected as u64);
+        tel.count("serve.windows_scheduled", windows_scheduled as u64);
+        tel.count("serve.preemptions", preemptions);
+        tel.count("serve.incremental_reschedules", incremental);
+        tel.count("serve.full_searches", full_searches);
+        tel.count("maestro.cost_evaluations", cost_evaluations);
         if let Some(path) = &self.cfg.cost_db_path {
             // persist the accumulated database so the next process (or the
             // next run) starts warm; a steady-state run that added no
@@ -697,6 +764,7 @@ impl<'a> ServeSim<'a> {
             makespan,
             cache,
             incremental,
+            full_searches,
             cost_evaluations,
         ))
     }
@@ -716,6 +784,19 @@ impl<'a> ServeSim<'a> {
             .metric(self.cfg.metric.clone())
             .budget(self.cfg.budget.clone())
             .parallelism(self.cfg.parallelism)
+    }
+
+    /// [`Self::schedule_request`] plus a trace tag (the live scenario's
+    /// name) when tracing is on. The tag is observational only — never
+    /// fingerprinted, never consulted — so tagged and untagged requests
+    /// schedule identically.
+    fn tagged_request(&self, live: &Scenario) -> ScheduleRequest {
+        let request = self.schedule_request(live);
+        if self.tel.trace_enabled() {
+            request.trace_tag(live.name())
+        } else {
+            request
+        }
     }
 
     /// The serve-cache fingerprint context of one run: the admission
@@ -755,8 +836,10 @@ impl<'a> ServeSim<'a> {
         context: ServeContext,
         preempted: Option<Rc<ScheduleResult>>,
     ) -> Result<Rc<ScheduleResult>, ScheduleError> {
+        let tel = self.tel.clone();
         if let Some(in_flight) = preempted {
-            let request = self.schedule_request(live);
+            let request = self.tagged_request(live);
+            let _sp = tel.span("serve.schedule").arg("kind", "preempt");
             let result = Rc::new(self.scheduler.preempt(
                 &self.session,
                 &request,
@@ -770,6 +853,7 @@ impl<'a> ServeSim<'a> {
         }
         // probe by reference: the owned request is only built on a miss,
         // so cache hits stay allocation-free
+        let mut probe = tel.span("serve.cache.probe");
         let (key, shape) = fingerprint_parts_in_context(
             live,
             self.mcm,
@@ -782,22 +866,34 @@ impl<'a> ServeSim<'a> {
         let shape = self.incremental_enabled().then_some(shape);
         if self.cfg.use_cache {
             if let Some(hit) = self.cache.get(key) {
+                probe.push_arg("hit", true);
                 if let Some(shape) = shape {
                     self.last = Some((shape, Rc::clone(&hit)));
                 }
                 return Ok(hit);
             }
         }
-        let request = self.schedule_request(live);
-        let result = match shape.and_then(|s| self.reschedule_incremental(&request, s)) {
-            Some(reused) => Rc::new(reused),
-            None => {
-                let searched = Rc::new(self.scheduler.schedule(&self.session, &request)?);
-                self.incremental_chain = 0;
-                searched
+        probe.push_arg("hit", false);
+        drop(probe);
+        let request = self.tagged_request(live);
+        let result = {
+            let mut sp = tel.span("serve.schedule");
+            match shape.and_then(|s| self.reschedule_incremental(&request, s)) {
+                Some(reused) => {
+                    sp.push_arg("kind", "incremental");
+                    Rc::new(reused)
+                }
+                None => {
+                    sp.push_arg("kind", "full");
+                    let searched = Rc::new(self.scheduler.schedule(&self.session, &request)?);
+                    self.incremental_chain = 0;
+                    self.full_searches += 1;
+                    searched
+                }
             }
         };
         if self.cfg.use_cache {
+            let _g = tel.span("serve.cache.store");
             self.cache.insert(key, Rc::clone(&result));
         }
         if let Some(shape) = shape {
@@ -857,6 +953,7 @@ impl<'a> ServeSim<'a> {
         makespan_s: f64,
         cache: crate::cache::CacheStats,
         incremental_reschedules: u64,
+        full_searches: u64,
         cost_evaluations: u64,
     ) -> ServeReport {
         let mut per_stream_lat: Vec<Vec<f64>> = vec![Vec::new(); mix.streams.len()];
@@ -908,6 +1005,7 @@ impl<'a> ServeSim<'a> {
             deadline_bound,
             cache,
             incremental_reschedules,
+            full_searches,
             cost_evaluations,
             per_stream,
         }

@@ -18,6 +18,7 @@
 //! | [`mcm`] | `scar-mcm` | NoP topologies, MCM templates, communication model |
 //! | [`core`] | `scar-core` | the SCAR scheduler and baseline schedulers |
 //! | [`serve`] | `scar-serve` | traffic models, the serving loop, schedule caching, latency/deadline reports |
+//! | [`telemetry`] | `scar-telemetry` | structured spans, metrics registry, Chrome trace_event export (see DESIGN.md §10) |
 //!
 //! # Quickstart: one offline schedule
 //!
@@ -74,4 +75,5 @@ pub use scar_hash as hash;
 pub use scar_maestro as maestro;
 pub use scar_mcm as mcm;
 pub use scar_serve as serve;
+pub use scar_telemetry as telemetry;
 pub use scar_workloads as workloads;
