@@ -13,24 +13,46 @@
 //! XRBench-style AR/VR frame mix (every request deadline-bound at its
 //! frame period) twice — preemption off, then on — under otherwise
 //! identical configuration (accept-all admission isolates the preemption
-//! effect), and reports deadline-miss rate, tail latency, and splice
-//! counts. The acceptance gate asserts preemption *strictly reduces* the
-//! deadline-miss rate. Results land in `BENCH_overload.json`.
+//! effect), and reports deadline-miss rate, tail latency, splice counts,
+//! and the per-phase wall breakdown (generation / evaluation / splice)
+//! from the telemetry registry. The acceptance gate asserts preemption
+//! *strictly reduces* the deadline-miss rate. Results land in
+//! `BENCH_overload.json`, including a `preempt_wall_ratio` field tracking
+//! the splice fast path's cost run over run.
+//!
+//! Wall clocks are the only nondeterministic output, and single-core CI
+//! boxes jitter them by ±25%: each mode therefore runs three reps and
+//! reports the *minimum* wall (the least-interference estimate), with the
+//! reports themselves asserted byte-identical across reps (virtual-time
+//! determinism). `SCAR_TRACE=1` drops to one rep so the exported timeline
+//! stays one-run-per-mode.
 //!
 //! ```sh
 //! cargo run --release -p scar-bench --bin bench_overload
 //! ```
 //!
+//! `SCAR_PERF_GATE=1` additionally asserts the perf acceptance: preemption
+//! wall ≤ 2× boundary-only, at a deadline-miss rate no worse than the
+//! committed baseline.
+//!
 //! `SCAR_TRACE=1` additionally records the span timeline of both runs and
 //! writes it to `TRACE_bench_overload.json` (Chrome `trace_event`;
 //! observational only — the reports and the JSON results are unchanged).
-//!
-//! Everything is virtual-time deterministic: reruns produce byte-identical
-//! JSON (modulo the wall-clock fields).
 
 use scar_mcm::templates::{het_sides_3x3, Profile};
 use scar_serve::{ServeConfig, ServeReport, ServeSim, TrafficMix, TrafficShape};
 use scar_telemetry::Telemetry;
+
+/// The committed quality baseline: preemption-on deadline-miss rate of
+/// the checked-in `BENCH_overload.json` (rounded to 6 decimals there, so
+/// the gate allows half an ulp of that rounding). Virtual-time
+/// determinism makes the measured rate exact, so a regression in the
+/// splice fast path shows up as a strictly higher rate, not as noise.
+const BASELINE_MISS_RATE: f64 = 0.676966;
+const BASELINE_ROUNDING: f64 = 5e-7;
+
+/// Wall reps per mode (minimum taken); trace runs keep one rep per mode.
+const WALL_REPS: usize = 5;
 
 fn overload_cfg(preemption: bool, telemetry: Telemetry) -> ServeConfig {
     ServeConfig {
@@ -43,13 +65,29 @@ fn overload_cfg(preemption: bool, telemetry: Telemetry) -> ServeConfig {
     }
 }
 
-fn summary(name: &str, r: &ServeReport, wall: std::time::Duration) -> String {
+/// One mode's measurement: the (deterministic) report, the best-of-reps
+/// wall, and that rep's per-phase wall deltas in milliseconds.
+struct ModeRun {
+    report: ServeReport,
+    wall: std::time::Duration,
+    phase_ms: Vec<(&'static str, f64)>,
+}
+
+fn summary(name: &str, m: &ModeRun) -> String {
+    let r = &m.report;
+    let phases = m
+        .phase_ms
+        .iter()
+        .map(|(p, ms)| format!("\"{p}\": {ms:.1}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
         "    \"{name}\": {{\n      \"completed\": {},\n      \"offered\": {},\n      \
          \"deadline_misses\": {},\n      \"deadline_miss_rate\": {:.6},\n      \
          \"p50_ms\": {:.4},\n      \"p99_ms\": {:.4},\n      \"max_ms\": {:.4},\n      \
          \"preemptions\": {},\n      \"windows_scheduled\": {},\n      \
-         \"energy_j\": {:.6},\n      \"wall_ms\": {:.1}\n    }}",
+         \"energy_j\": {:.6},\n      \"wall_ms\": {:.1},\n      \
+         \"phase_wall_ms\": {{ {phases} }}\n    }}",
         r.completed,
         r.offered,
         r.deadline_misses,
@@ -60,7 +98,7 @@ fn summary(name: &str, r: &ServeReport, wall: std::time::Duration) -> String {
         r.preemptions,
         r.windows_scheduled,
         r.energy_j,
-        wall.as_secs_f64() * 1e3,
+        m.wall.as_secs_f64() * 1e3,
     )
 }
 
@@ -74,60 +112,129 @@ fn main() {
         mix.offered_rps()
     );
 
-    let telemetry = Telemetry::from_env();
-    let run = |preemption: bool| {
+    // the registry is always on (phase walls go into the JSON); the
+    // timeline only when SCAR_TRACE asks for it
+    let telemetry = Telemetry::enabled(Telemetry::from_env().trace_enabled(), true);
+    let reps = if telemetry.trace_enabled() {
+        1
+    } else {
+        WALL_REPS
+    };
+
+    // one serving run, with per-phase wall attribution taken as a delta
+    // of the shared registry around it
+    let run_once = |preemption: bool| {
+        let before = telemetry.phase_wall();
         let mut sim = ServeSim::new(&mcm, overload_cfg(preemption, telemetry.clone()));
         let t0 = std::time::Instant::now();
         let report = sim.run(&mix, horizon_s).expect("mix fits the 3x3");
-        (report, t0.elapsed())
+        let wall = t0.elapsed();
+        let phase_ms = telemetry
+            .phase_wall()
+            .iter()
+            .zip(&before)
+            .filter(|((p, _), _)| matches!(*p, "generation" | "evaluation" | "splice"))
+            .map(|((p, after), (_, b))| (*p, (after.total_s - b.total_s) * 1e3))
+            .collect();
+        ModeRun {
+            report,
+            wall,
+            phase_ms,
+        }
+    };
+    let run = |preemption: bool| {
+        let mut best = run_once(preemption);
+        for _ in 1..reps {
+            let rep = run_once(preemption);
+            assert_eq!(
+                rep.report, best.report,
+                "virtual-time determinism: identical reports across wall reps"
+            );
+            if rep.wall < best.wall {
+                best = rep;
+            }
+        }
+        best
     };
 
-    let (off, off_wall) = run(false);
-    let (on, on_wall) = run(true);
+    let off = run(false);
+    let on = run(true);
+    let wall_ratio = on.wall.as_secs_f64() / off.wall.as_secs_f64();
 
-    println!("\n── boundary-only rescheduling (preemption off)\n{off}");
-    println!("── mid-window preemption on\n{on}");
     println!(
-        "deadline-miss rate {:.1}% → {:.1}% | p99 {:.2} ms → {:.2} ms | {} splices",
-        off.deadline_miss_rate() * 100.0,
-        on.deadline_miss_rate() * 100.0,
-        off.latency.p99_s * 1e3,
-        on.latency.p99_s * 1e3,
-        on.preemptions,
+        "\n── boundary-only rescheduling (preemption off)\n{}",
+        off.report
+    );
+    println!("── mid-window preemption on\n{}", on.report);
+    println!(
+        "deadline-miss rate {:.1}% → {:.1}% | p99 {:.2} ms → {:.2} ms | {} splices | wall ×{wall_ratio:.2}",
+        off.report.deadline_miss_rate() * 100.0,
+        on.report.deadline_miss_rate() * 100.0,
+        off.report.latency.p99_s * 1e3,
+        on.report.latency.p99_s * 1e3,
+        on.report.preemptions,
     );
 
     let json = format!(
         "{{\n  \"mix\": \"{}\",\n  \"horizon_s\": {horizon_s},\n  \"mcm\": \"{}\",\n  \
-         \"nsplits\": {},\n  \"results\": {{\n{},\n{}\n  }}\n}}\n",
+         \"nsplits\": {},\n  \"preempt_wall_ratio\": {wall_ratio:.3},\n  \"results\": {{\n{},\n{}\n  }}\n}}\n",
         mix.name,
         mcm.name(),
         overload_cfg(true, Telemetry::disabled()).nsplits,
-        summary("boundary_only", &off, off_wall),
-        summary("preemption", &on, on_wall),
+        summary("boundary_only", &off),
+        summary("preemption", &on),
     );
     std::fs::write("BENCH_overload.json", json).expect("write BENCH_overload.json");
     println!("wrote BENCH_overload.json");
 
     // the acceptance gates: splices actually happened, no request was
     // lost or duplicated, and preemption strictly reduced the miss rate
-    assert_eq!(off.preemptions, 0, "preemption off must not splice");
-    assert!(on.preemptions > 0, "burst traffic must trigger splices");
-    for r in [&off, &on] {
+    assert_eq!(off.report.preemptions, 0, "preemption off must not splice");
+    assert!(
+        on.report.preemptions > 0,
+        "burst traffic must trigger splices"
+    );
+    for r in [&off.report, &on.report] {
         assert_eq!(
             r.completed + r.rejected,
             r.offered,
             "conservation of arrivals"
         );
     }
-    assert_eq!(off.offered, on.offered, "identical traffic either way");
+    assert_eq!(
+        off.report.offered, on.report.offered,
+        "identical traffic either way"
+    );
     assert!(
-        on.deadline_miss_rate() < off.deadline_miss_rate(),
+        on.report.deadline_miss_rate() < off.report.deadline_miss_rate(),
         "preemption must strictly reduce the deadline-miss rate \
          ({:.4} vs {:.4})",
-        on.deadline_miss_rate(),
-        off.deadline_miss_rate()
+        on.report.deadline_miss_rate(),
+        off.report.deadline_miss_rate()
     );
     println!("acceptance: preemption strictly reduces the deadline-miss rate: ok");
+
+    // the perf gate (opt-in for CI): splice fast path keeps preemption
+    // within 2× boundary-only wall, at no quality regression vs the
+    // committed baseline
+    if std::env::var("SCAR_PERF_GATE").is_ok_and(|v| !matches!(v.trim(), "" | "0")) {
+        assert!(
+            wall_ratio <= 2.0,
+            "perf gate: preemption wall {:.1} ms is {wall_ratio:.2}× boundary-only {:.1} ms (limit 2×)",
+            on.wall.as_secs_f64() * 1e3,
+            off.wall.as_secs_f64() * 1e3,
+        );
+        assert!(
+            on.report.deadline_miss_rate() <= BASELINE_MISS_RATE + BASELINE_ROUNDING,
+            "perf gate: preemption deadline-miss rate {:.6} regressed past the \
+             committed baseline {BASELINE_MISS_RATE}",
+            on.report.deadline_miss_rate(),
+        );
+        println!(
+            "perf gate: wall ×{wall_ratio:.2} ≤ 2, miss rate {:.6} ≤ baseline {BASELINE_MISS_RATE}: ok",
+            on.report.deadline_miss_rate()
+        );
+    }
 
     if let Some(summary) = telemetry.wall_summary() {
         println!("{summary}");

@@ -31,10 +31,13 @@ use scar_serve::{ServeConfig, ServeSim, TrafficMix};
 use scar_telemetry::Telemetry;
 use std::fmt::Write as _;
 
-/// The default schedules/s floor: an order of magnitude below what a
-/// laptop-class machine sustains, so the gate only catches collapses
-/// (e.g. the cache or the incremental path silently disabled).
-const DEFAULT_FLOOR: f64 = 2.0;
+/// The default schedules/s floor. A single-core CI box measures ~3.3k/s
+/// on the slowest mix (datacenter Poisson, cold pass included); 200/s is
+/// a 16× margin below that — tight enough to catch real collapses (the
+/// schedule cache, the splice fast path, or batched evaluation silently
+/// disabled all cost an order of magnitude), loose enough for machines
+/// of very different speeds.
+const DEFAULT_FLOOR: f64 = 200.0;
 
 fn main() {
     let horizon_s = 2.0;

@@ -20,7 +20,7 @@
 
 use crate::parallel::{self, Parallelism};
 use crate::problem::{EvalTotals, OptMetric, ScheduleInstance, WindowSchedule};
-use scar_maestro::CostDatabase;
+use scar_maestro::{CostDatabase, CostReader};
 use scar_mcm::{LinkLoads, Loc, McmConfig};
 use scar_workloads::{DataType, Scenario};
 use serde::{Deserialize, Serialize};
@@ -95,6 +95,11 @@ pub struct Evaluator<'a> {
     mcm: &'a McmConfig,
     db: &'a CostDatabase,
     metric: OptMetric,
+    /// Per-model batch divisors (descending), precomputed once at
+    /// construction: `plan_model` sweeps this list for every model in
+    /// every candidate window, so re-deriving it per call is pure hot-path
+    /// overhead.
+    divisors: Vec<Vec<u64>>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -110,11 +115,17 @@ impl<'a> Evaluator<'a> {
         db: &'a CostDatabase,
         metric: OptMetric,
     ) -> Self {
+        let divisors = scenario
+            .models()
+            .iter()
+            .map(|sm| divisors_desc(sm.batch))
+            .collect();
         Self {
             scenario,
             mcm,
             db,
             metric,
+            divisors,
         }
     }
 
@@ -127,13 +138,21 @@ impl<'a> Evaluator<'a> {
     /// [`Evaluator::evaluate_schedule`] with windows evaluated across a
     /// worker pool. Windows are independent and totals are accumulated in
     /// window order, so the result is bit-identical for any thread count.
+    ///
+    /// The shared evaluation context (precomputed batch divisors, one
+    /// batched cost-database read handle per worker) is hoisted once per
+    /// schedule rather than re-derived per window.
     pub fn evaluate_schedule_par(
         &self,
         s: &ScheduleInstance,
         parallelism: Parallelism,
     ) -> (EvalTotals, Vec<WindowEval>) {
-        let evals = parallel::par_map(&s.windows, parallelism.threads(), |w| {
-            self.evaluate_window(w)
+        let evals = parallel::par_map_chunks(&s.windows, parallelism.threads(), |chunk| {
+            let mut costs = self.db.reader();
+            chunk
+                .iter()
+                .map(|w| self.evaluate_window_with(w, &mut costs))
+                .collect()
         });
         let mut totals = EvalTotals::default();
         for e in &evals {
@@ -144,6 +163,25 @@ impl<'a> Evaluator<'a> {
 
     /// Evaluates one window schedule.
     pub fn evaluate_window(&self, ws: &WindowSchedule) -> WindowEval {
+        self.evaluate_window_with(ws, &mut self.db.reader())
+    }
+
+    /// Evaluates a slice of candidate window schedules with shared
+    /// per-slice setup: one batched cost-database read handle serves every
+    /// candidate in the slice instead of one lock round-trip per query.
+    /// Results are bit-identical to calling [`Evaluator::evaluate_window`]
+    /// per element, in order.
+    pub fn evaluate_windows(&self, windows: &[&WindowSchedule]) -> Vec<WindowEval> {
+        let mut costs = self.db.reader();
+        windows
+            .iter()
+            .map(|w| self.evaluate_window_with(w, &mut costs))
+            .collect()
+    }
+
+    /// [`Evaluator::evaluate_window`] against a caller-provided cost
+    /// handle (the batched hot path).
+    fn evaluate_window_with(&self, ws: &WindowSchedule, costs: &mut CostReader<'_>) -> WindowEval {
         let num_models = self.scenario.models().len();
         let mut per_model: Vec<Option<ModelWindowEval>> = vec![None; num_models];
 
@@ -154,7 +192,7 @@ impl<'a> Evaluator<'a> {
                 continue;
             }
             let batch = self.scenario.models()[m].batch;
-            let (bprime, segs) = self.plan_model(ws, m, batch);
+            let (bprime, segs) = self.plan_model(ws, m, batch, costs);
             let passes = batch / bprime;
             plans.push((m, bprime, passes, segs));
         }
@@ -200,10 +238,16 @@ impl<'a> Evaluator<'a> {
     /// DRAM once per window; otherwise weights re-stream every pass. Among
     /// all batch divisors the one minimizing the evaluator's target metric
     /// (over the model's rough latency/energy) is kept.
-    fn plan_model(&self, ws: &WindowSchedule, m: usize, batch: u64) -> (u64, Vec<SegPlan>) {
+    fn plan_model(
+        &self,
+        ws: &WindowSchedule,
+        m: usize,
+        batch: u64,
+        costs: &mut CostReader<'_>,
+    ) -> (u64, Vec<SegPlan>) {
         let mut best: Option<(f64, u64, Vec<SegPlan>)> = None;
-        for bp in divisors_desc(batch) {
-            let segs = self.plan_at(ws, m, bp);
+        for &bp in &self.divisors[m] {
+            let segs = self.plan_at(ws, m, bp, costs);
             let passes = batch / bp;
             let totals = self.rough_totals(&segs, passes);
             let score = self.metric.score(&totals);
@@ -249,7 +293,13 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Builds segment plans for mini-batch `bp`.
-    fn plan_at(&self, ws: &WindowSchedule, m: usize, bp: u64) -> Vec<SegPlan> {
+    fn plan_at(
+        &self,
+        ws: &WindowSchedule,
+        m: usize,
+        bp: u64,
+        costs: &mut CostReader<'_>,
+    ) -> Vec<SegPlan> {
         let layers = self.scenario.models()[m].model.layers();
         let segs = &ws.segments[m];
         let places = &ws.placement[m];
@@ -262,7 +312,7 @@ impl<'a> Evaluator<'a> {
             let mut weight_bytes = 0u64;
             let mut act_peak = 0u64;
             for l in seg.layer_range() {
-                let cost = self.db.get(class, &layers[l].kind, bp);
+                let cost = costs.get(class, &layers[l].kind, bp);
                 comp_time += cost.time_s;
                 comp_energy += cost.energy_j;
                 weight_bytes += layers[l].weight_bytes(dt);

@@ -78,6 +78,49 @@ where
         .collect()
 }
 
+/// Maps `f` over contiguous *chunks* of `items` on up to `threads` scoped
+/// workers, flattening the per-chunk results in input order.
+///
+/// This is the batched sibling of [`par_map`]: instead of one closure call
+/// per item, each worker receives its whole contiguous slice, letting it
+/// hoist per-task setup (evaluator context, cost-database read locks)
+/// across the chunk. `f` must return exactly one result per input item and
+/// must be pure per item, in which case the output is identical to
+/// `f(items)` run serially for every thread count.
+pub(crate) fn par_map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return f(items);
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|xs| s.spawn(move || f(xs)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map_chunks worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for (i, part) in per_chunk.into_iter().enumerate() {
+        debug_assert_eq!(
+            part.len(),
+            items.chunks(chunk).nth(i).map_or(0, <[T]>::len),
+            "chunk closures must return one result per input item"
+        );
+        out.extend(part);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +148,27 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert_eq!(par_map(&empty, 8, |x| *x), empty);
         assert_eq!(par_map(&[7u32], 8, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_chunks_matches_serial_for_every_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 2).collect();
+        for threads in [1, 2, 3, 8, 64, 1000] {
+            let got = par_map_chunks(&items, threads, |xs| {
+                // per-chunk "setup" hoisted outside the item loop
+                let base: u64 = 2;
+                xs.iter().map(|x| x * 3 + base).collect()
+            });
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_chunks_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let id = |xs: &[u32]| xs.to_vec();
+        assert_eq!(par_map_chunks(&empty, 8, id), empty);
+        assert_eq!(par_map_chunks(&[9u32], 8, id), vec![9]);
     }
 }

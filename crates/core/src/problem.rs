@@ -56,7 +56,7 @@ impl std::fmt::Display for Segment {
 ///
 /// Start/duration (`T_s`, `T_tw`) are emergent quantities computed by the
 /// evaluator; the window's identity is its layer assignment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TimeWindow {
     /// Position of the window in the schedule (0-based).
     pub index: usize,
@@ -157,7 +157,7 @@ impl WindowPartition {
 /// plus spatial mapping (Definition 7). Execution order within a model
 /// follows segment order (inter-chiplet pipeline); chiplets are exclusively
 /// owned for the window's duration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct WindowSchedule {
     /// The window's per-model layer ranges.
     pub window: TimeWindow,
@@ -226,7 +226,7 @@ impl WindowSchedule {
 
 /// A complete schedule instance (Definition 9): one [`WindowSchedule`] per
 /// time window.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ScheduleInstance {
     /// Window schedules in execution order.
     pub windows: Vec<WindowSchedule>,

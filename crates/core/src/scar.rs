@@ -297,7 +297,10 @@ impl ScarBuilder {
 
     /// Finalizes the scheduler.
     pub fn build(self) -> Scar {
-        Scar { config: self }
+        Scar {
+            config: self,
+            seg_memo: std::sync::Arc::default(),
+        }
     }
 }
 
@@ -308,6 +311,9 @@ impl ScarBuilder {
 #[derive(Debug, Clone)]
 pub struct Scar {
     config: ScarBuilder,
+    /// Cross-search segmentation memo, shared by clones of this scheduler
+    /// (observational: schedules are byte-identical with or without it).
+    seg_memo: std::sync::Arc<crate::segmentation::SegMemo>,
 }
 
 impl Scar {
@@ -345,6 +351,7 @@ impl Scar {
             db,
             &self.config.metric,
             &self.config.budget,
+            None,
             &Telemetry::disabled(),
         )
     }
@@ -352,6 +359,9 @@ impl Scar {
     /// The full pipeline, parameterized over the per-request knobs (the
     /// builder's `metric`/`budget` serve as defaults for the inherent entry
     /// points; the [`Scheduler`] trait substitutes the request's).
+    /// `warm_prefs` carries optional per-model placement hints mined from a
+    /// preempted in-flight schedule (see [`Scheduler::preempt`]).
+    #[allow(clippy::too_many_arguments)]
     fn schedule_core(
         &self,
         scenario: &Scenario,
@@ -359,6 +369,7 @@ impl Scar {
         db: &CostDatabase,
         metric: &OptMetric,
         budget: &SearchBudget,
+        warm_prefs: Option<&[Vec<usize>]>,
         tel: &Telemetry,
     ) -> Result<ScheduleResult, ScheduleError> {
         let cfg = &self.config;
@@ -401,6 +412,8 @@ impl Scar {
             expected: &expected,
             metric: &window_metric,
             budget,
+            warm_prefs,
+            seg_memo: Some(&self.seg_memo),
             tel,
         };
 
@@ -410,7 +423,7 @@ impl Scar {
         let mut per_window_candidates: Vec<Vec<EvalTotals>> = Vec::with_capacity(partition.len());
 
         for window in partition.windows() {
-            let allocations = {
+            let mut allocations = {
                 let _g = tel.span("schedule.provision").arg("window", window.index);
                 provision::allocations(
                     window,
@@ -422,6 +435,32 @@ impl Scar {
                     budget.node_constraint,
                 )
             };
+            if let Some(hints) = warm_prefs {
+                // data residency: a preempted remainder keeps its prior
+                // provisioning, so allocations that re-size a warm model
+                // away from its surviving chiplet count only dilute the
+                // search. Drop them — unless that would drop everything
+                // (e.g. the remainder's count is infeasible alongside the
+                // new tenants), in which case the full set stands.
+                let pinned: Vec<(usize, usize)> = window
+                    .active_models()
+                    .into_iter()
+                    .filter_map(|m| match hints.get(m) {
+                        Some(h) if !h.is_empty() => Some((m, h.len())),
+                        _ => None,
+                    })
+                    .collect();
+                if !pinned.is_empty() {
+                    let kept: Vec<Vec<usize>> = allocations
+                        .iter()
+                        .filter(|a| pinned.iter().all(|&(m, n)| a[m] == n))
+                        .cloned()
+                        .collect();
+                    if !kept.is_empty() {
+                        allocations = kept;
+                    }
+                }
+            }
             if allocations.is_empty() {
                 return Err(ScheduleError::InsufficientChiplets {
                     needed: window.active_models().len(),
@@ -558,8 +597,120 @@ impl Scheduler for Scar {
             session.database(),
             &request.metric,
             &request.budget,
+            None,
             tel,
         )
+    }
+
+    /// Splice-aware preemption: instead of the trait default's full
+    /// re-search, mine the cut `in_flight` instance for surviving
+    /// placements — carried remainder models keep their prior chiplets as
+    /// warm-start hints (data residency) — and run the pipeline under a
+    /// *trimmed* budget whose search explores the neighborhood around the
+    /// surviving placement plus the newly arrived tenants' deltas. The
+    /// splice search also drops one reconfiguration split (`nsplits - 1`,
+    /// floor 1): a mid-window cut rarely needs the full boundary count,
+    /// and fewer windows shrink every downstream stage. Falls
+    /// back to the full [`Scheduler::schedule`] path when mining yields no
+    /// hints or the seeded search finds nothing feasible, byte-identical
+    /// to the trait default.
+    ///
+    /// The *incumbent is always a candidate*: when the cut instance still
+    /// validates against the request (the degenerate "nothing actually
+    /// changed" splice), it is re-evaluated through the
+    /// [`Scheduler::reschedule`] fast path and the better of
+    /// {incumbent, trimmed search} wins under the request metric — the
+    /// fast path can therefore never answer worse than the plan it
+    /// replaces. Real mid-window splices rewrite the scenario (remainder
+    /// layers, new tenants), so the incumbent check is a single failed
+    /// `validate` there.
+    ///
+    /// Deterministic in `(request, in_flight)`: hint mining is a pure
+    /// structural function of the two, the incumbent re-evaluation is
+    /// search-free, and the trimmed search derives all randomness from
+    /// the request's seed.
+    ///
+    /// `SCAR_PREEMPT_FASTPATH=0` disables the fast path entirely.
+    fn preempt(
+        &self,
+        session: &Session,
+        request: &ScheduleRequest,
+        in_flight: &ScheduleInstance,
+    ) -> Result<ScheduleResult, ScheduleError> {
+        if !preempt_fastpath_enabled() {
+            return self.schedule(session, request);
+        }
+        let tel = session.telemetry();
+        let hints = {
+            let _g = tel
+                .span("schedule.preempt")
+                .arg_opt("tag", request.trace_tag.as_deref());
+            mine_warm_hints(&request.scenario, in_flight)
+        };
+        if hints.iter().all(Vec::is_empty) {
+            // nothing survived the cut (or the instance doesn't line up
+            // with the request): the trait-default full search
+            return self.schedule(session, request);
+        }
+        let trimmed = preempt_budget(&request.budget);
+        let splicer = Self {
+            config: ScarBuilder {
+                nsplits: self.config.nsplits.saturating_sub(1).max(1),
+                ..self.config.clone()
+            },
+            seg_memo: std::sync::Arc::clone(&self.seg_memo),
+        };
+        let fast = {
+            let _g = tel.span("schedule.preempt").arg(
+                "warm_models",
+                hints.iter().filter(|h| !h.is_empty()).count(),
+            );
+            splicer.schedule_core(
+                &request.scenario,
+                &request.mcm,
+                session.database(),
+                &request.metric,
+                &trimmed,
+                Some(&hints),
+                tel,
+            )
+        };
+        // the incumbent is always a candidate: if the cut plan still
+        // validates against the (possibly unchanged) request, the splice
+        // must beat it to replace it
+        let incumbent = self.reschedule(session, request, in_flight);
+        match (fast, incumbent) {
+            (Ok(f), Some(i)) => {
+                let metric = &request.metric;
+                if metric.score(&i.total()) < metric.score(&f.total()) {
+                    Ok(i)
+                } else {
+                    Ok(f)
+                }
+            }
+            (Ok(f), None) => Ok(f),
+            (Err(_), Some(i)) => Ok(i),
+            // infeasible under the trimmed neighborhood: full search
+            (Err(_), None) => self.schedule(session, request),
+        }
+    }
+
+    /// The fast path consumes `in_flight` through its mined hints *and*
+    /// through the incumbent re-evaluation (which reads the whole
+    /// instance when it validates), so the sound projection is the full
+    /// instance — the trait default. With the fast path disabled,
+    /// [`Scar::preempt`] ignores `in_flight` entirely and the fingerprint
+    /// is empty (request-only), so every cut of the same request shares
+    /// one cached full-search answer.
+    fn preempt_fingerprint(
+        &self,
+        _request: &ScheduleRequest,
+        in_flight: &ScheduleInstance,
+        mut state: &mut dyn Hasher,
+    ) {
+        if preempt_fastpath_enabled() {
+            in_flight.hash(&mut state);
+        }
     }
 
     fn supports_reschedule(&self) -> bool {
@@ -614,6 +765,106 @@ impl Scheduler for Scar {
             }
         }
     }
+}
+
+/// `SCAR_PREEMPT_FASTPATH` (default on, `0` disables): answer
+/// [`Scheduler::preempt`] with the splice-aware warm-start search instead
+/// of the trait default's full re-search.
+fn preempt_fastpath_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var("SCAR_PREEMPT_FASTPATH").map_or(true, |v| v != "0"))
+}
+
+/// The bounded perturbation neighborhood for splice re-scheduling: the
+/// request's budget with the placement-side caps trimmed. Warm hints pin
+/// the surviving placement into the explored set, so the search only needs
+/// enough head-room to cover newly arrived tenants and local perturbations
+/// around it — not the full cold-start space.
+fn preempt_budget(b: &SearchBudget) -> SearchBudget {
+    SearchBudget {
+        max_segmentations_enumerated: (b.max_segmentations_enumerated / 8).max(500),
+        max_placements_per_window: (b.max_placements_per_window / 2).max(12),
+        max_candidates_per_window: (b.max_candidates_per_window / 3).max(24),
+        ..b.clone()
+    }
+}
+
+/// Mines a cut in-flight schedule for surviving placements: one chiplet
+/// list per *request* model (empty = no hint).
+///
+/// The instance indexes models by the *old* scenario, the request by the
+/// *new* one, and the trait deliberately keeps the entry scenario-shape
+/// agnostic — so the correspondence is recovered structurally. A request
+/// model needing `need` layers matches an unused old model `oj` whose
+/// total layer count `T_oj` satisfies `T_oj - need == resume`, where
+/// `resume` is `0` (never started) or a window boundary at which `oj`'s
+/// execution resumed — exactly the shape of a boundary-cut remainder. The
+/// hint is the ordered, deduplicated chiplet set serving `oj` at or after
+/// `resume` (the chiplets whose L2 still holds that model's weights).
+///
+/// Pure in `(scenario, in_flight)`; malformed or mismatched instances
+/// yield empty hints, which callers treat as "fall back to full search".
+fn mine_warm_hints(scenario: &Scenario, in_flight: &ScheduleInstance) -> Vec<Vec<usize>> {
+    let n_new = scenario.models().len();
+    let mut hints = vec![Vec::new(); n_new];
+    let Some(first) = in_flight.windows.first() else {
+        return hints;
+    };
+    let n_old = first.window.layers.len();
+    if in_flight
+        .windows
+        .iter()
+        .any(|w| w.window.layers.len() != n_old || w.placement.len() != n_old)
+    {
+        return hints; // malformed instance: no hints, full fallback
+    }
+    let mut old_total = vec![0usize; n_old];
+    for w in &in_flight.windows {
+        for (m, r) in w.window.layers.iter().enumerate() {
+            old_total[m] = old_total[m].max(r.end);
+        }
+    }
+    let mut used = vec![false; n_old];
+    for (ni, sm) in scenario.models().iter().enumerate() {
+        let need = sm.model.num_layers();
+        if need == 0 {
+            continue;
+        }
+        for (oj, &total) in old_total.iter().enumerate() {
+            if used[oj] || total < need {
+                continue;
+            }
+            let resume = total - need;
+            let at_boundary = resume == 0
+                || in_flight.windows.iter().any(|w| {
+                    let r = &w.window.layers[oj];
+                    !r.is_empty() && r.start == resume
+                });
+            if !at_boundary {
+                continue;
+            }
+            // chiplets serving oj at/after the cut, in first-use order
+            let mut chiplets: Vec<usize> = Vec::new();
+            for w in &in_flight.windows {
+                let r = &w.window.layers[oj];
+                if r.is_empty() || r.end <= resume {
+                    continue;
+                }
+                for &c in &w.placement[oj] {
+                    if !chiplets.contains(&c) {
+                        chiplets.push(c);
+                    }
+                }
+            }
+            if chiplets.is_empty() {
+                continue;
+            }
+            hints[ni] = chiplets;
+            used[oj] = true;
+            break;
+        }
+    }
+    hints
 }
 
 #[cfg(test)]

@@ -51,7 +51,7 @@ use scar_mcm::McmConfig;
 use scar_telemetry::Telemetry;
 use scar_workloads::Scenario;
 use serde::{Deserialize, Serialize};
-use std::hash::Hasher;
+use std::hash::{Hash, Hasher};
 
 /// A scheduling session: the shared state every [`Scheduler`] call reuses.
 ///
@@ -353,6 +353,28 @@ pub trait Scheduler {
     ) -> Result<ScheduleResult, ScheduleError> {
         let _ = in_flight;
         self.schedule(session, request)
+    }
+
+    /// Hashes everything of `in_flight` that [`Scheduler::preempt`] can
+    /// actually read into `state` — the *preemption cache key* material
+    /// beyond the request itself. Serving loops combine this with the
+    /// request fingerprint to cache preempt results; two calls whose
+    /// fingerprints collide MUST return identical results.
+    ///
+    /// The default hashes the entire cut instance (always sound: no two
+    /// distinct in-flight schedules share a key). Schedulers that only
+    /// consume a *projection* of the instance — SCAR's splice fast path
+    /// mines it down to per-model chiplet hints — should hash just that
+    /// projection, so cuts that differ in irrelevant detail share one
+    /// cached result.
+    fn preempt_fingerprint(
+        &self,
+        request: &ScheduleRequest,
+        in_flight: &ScheduleInstance,
+        mut state: &mut dyn Hasher,
+    ) {
+        let _ = request;
+        in_flight.hash(&mut state);
     }
 
     /// Hashes the scheduler's *configuration* (everything beyond the

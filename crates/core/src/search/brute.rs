@@ -15,10 +15,25 @@
 //! allocation could not consume (no feasible segmentations, or a sparse
 //! placement space) is redistributed to the allocations after it instead of
 //! being silently lost.
+//!
+//! Segmentation expansion — the dominant generation cost — runs in
+//! *parallel* across allocations: each model's top-k list is a pure
+//! function of its content-derived subproblem key (search seed, layer
+//! range, node/cap budgets, fabric parameters — see
+//! [`segmentation::subproblem_key`](crate::segmentation::subproblem_key)),
+//! so `par_map` workers prepare allocations independently, identical
+//! subproblems hit the scheduler-wide [`SegMemo`](crate::segmentation::SegMemo)
+//! cache, and candidate ids are pre-computed from the allocation's PROV
+//! index (`alloc_idx << 32 | n`), not from arrival order. The
+//! ordered-stream contract of [`CandidateSource`] is untouched: batches
+//! are still emitted one allocation at a time, in PROV order, with
+//! strictly increasing ids.
 
 use super::engine::{CandidateSource, WindowCandidate};
 use super::SearchCtx;
+use crate::parallel::par_map;
 use crate::problem::{EvalTotals, Segment, TimeWindow, WindowSchedule};
+use crate::segmentation::SegCandidate;
 use crate::tree;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
@@ -31,19 +46,34 @@ const MIN_PER_ALLOC: usize = 8;
 /// Cap on segmentation combos ranked per allocation.
 const MAX_COMBOS: usize = 128;
 
+/// One allocation's pre-expanded segmentation space, prepared on a
+/// `par_map` worker: a pure function of `(search seed, window, allocation
+/// contents)`.
+struct PreparedAlloc {
+    /// The allocation's index in the PROV list — the candidate-id
+    /// namespace (`alloc_idx << 32 | n`).
+    alloc_idx: usize,
+    /// Per-model top-k segmentation lists (active-model order).
+    seg_lists: Vec<Vec<SegCandidate>>,
+    /// Segmentation combos (indices into `seg_lists`), best combined
+    /// score first, capped at [`MAX_COMBOS`].
+    combos: Vec<Vec<usize>>,
+}
+
 /// The brute-force candidate stream: one batch per allocation.
 pub(super) struct BruteSource<'c, 'r> {
     ctx: &'c SearchCtx<'c>,
     window: &'c TimeWindow,
-    allocations: &'c [Vec<usize>],
     rng: &'r mut StdRng,
     active: Vec<usize>,
     prefs: Vec<Vec<usize>>,
-    next_alloc: usize,
+    /// Feasible allocations with their segmentation spaces pre-expanded
+    /// (PROV order preserved); infeasible allocations are dropped here so
+    /// the budget split only counts allocations that can consume it.
+    prepared: Vec<PreparedAlloc>,
+    next_prep: usize,
     /// Window-wide candidate budget still unspent.
     remaining: usize,
-    /// Running candidate id (generation order across all batches).
-    next_id: u64,
 }
 
 impl<'c, 'r> BruteSource<'c, 'r> {
@@ -55,65 +85,49 @@ impl<'c, 'r> BruteSource<'c, 'r> {
     ) -> Self {
         let active = window.active_models();
         let prefs = affinity_prefs(ctx, window, &active);
+        // Parallel generation: segmentation expansion per allocation is
+        // independent given its content-derived seed, so it fans out over
+        // the same worker pool evaluation uses. Workers never touch the
+        // telemetry sink or the shared RNG (placement draws below stay on
+        // the coordinating thread, in batch order).
+        let idxs: Vec<usize> = (0..allocations.len()).collect();
+        let prepared: Vec<PreparedAlloc> = par_map(&idxs, ctx.budget.parallelism.threads(), |&i| {
+            prepare_alloc(ctx, window, i, &allocations[i])
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         Self {
             ctx,
             window,
-            allocations,
             rng,
             active,
             prefs,
-            next_alloc: 0,
+            prepared,
+            next_prep: 0,
             remaining: ctx.budget.max_candidates_per_window,
-            next_id: 0,
         }
     }
 
-    /// Generates up to `budget` candidates under one allocation (the old
-    /// interleaved search loop, minus every evaluation).
-    fn generate_alloc(&mut self, alloc: &[usize], budget: usize) -> Vec<WindowCandidate> {
+    /// Generates up to `budget` candidates under one prepared allocation
+    /// (the old interleaved search loop, minus every evaluation and minus
+    /// the segmentation expansion already done in [`prepare_alloc`]).
+    fn generate_alloc(&mut self, pi: usize, budget: usize) -> Vec<WindowCandidate> {
         let num_models = self.ctx.scenario.models().len();
-        let Some(seg_lists) = self.ctx.seg_lists(self.window, alloc, self.rng) else {
-            return Vec::new();
-        };
-
-        // all segmentation combos, best combined score first, capped
-        let mut combos: Vec<(f64, Vec<usize>)> = Vec::new();
-        let mut idx = vec![0usize; seg_lists.len()];
-        'enumerate: loop {
-            let score: f64 = idx
-                .iter()
-                .zip(&seg_lists)
-                .map(|(&i, list)| list[i].score)
-                .sum();
-            combos.push((score, idx.clone()));
-            let mut i = 0;
-            loop {
-                if i == idx.len() {
-                    break 'enumerate;
-                }
-                idx[i] += 1;
-                if idx[i] < seg_lists[i].len() {
-                    break;
-                }
-                idx[i] = 0;
-                i += 1;
-            }
-            if combos.len() >= 4096 {
-                break;
-            }
-        }
-        combos.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        combos.truncate(MAX_COMBOS);
+        let prep = &self.prepared[pi];
+        let base_id = (prep.alloc_idx as u64) << 32;
+        let seg_lists = &prep.seg_lists;
+        let combos = &prep.combos;
 
         // placements depend only on segment counts: cache by signature
         let mut placement_cache: HashMap<Vec<usize>, Vec<tree::Placement>> = HashMap::new();
         let mut rotate = 0usize;
         let mut out: Vec<WindowCandidate> = Vec::new();
 
-        for (rank, (_, combo)) in combos.iter().enumerate() {
+        for (rank, combo) in combos.iter().enumerate() {
             let seg_choice: Vec<&Vec<Segment>> = combo
                 .iter()
-                .zip(&seg_lists)
+                .zip(seg_lists)
                 .map(|(&i, list)| &list[i].segments)
                 .collect();
             let counts: Vec<usize> = seg_choice.iter().map(|s| s.len()).collect();
@@ -159,7 +173,7 @@ impl<'c, 'r> BruteSource<'c, 'r> {
                     place[m] = path.clone();
                 }
                 out.push(WindowCandidate {
-                    id: self.next_id + out.len() as u64,
+                    id: base_id + out.len() as u64,
                     schedule: WindowSchedule {
                         window: self.window.clone(),
                         segments,
@@ -169,21 +183,20 @@ impl<'c, 'r> BruteSource<'c, 'r> {
             }
             rotate = rotate.wrapping_add(share);
         }
-        self.next_id += out.len() as u64;
         out
     }
 }
 
 impl CandidateSource for BruteSource<'_, '_> {
     fn next_batch(&mut self) -> Vec<WindowCandidate> {
-        while self.remaining > 0 && self.next_alloc < self.allocations.len() {
-            let alloc = &self.allocations[self.next_alloc];
-            let remaining_allocs = self.allocations.len() - self.next_alloc;
-            self.next_alloc += 1;
+        while self.remaining > 0 && self.next_prep < self.prepared.len() {
+            let remaining_allocs = self.prepared.len() - self.next_prep;
+            let pi = self.next_prep;
+            self.next_prep += 1;
             // adaptive split: whatever earlier allocations left unspent is
             // shared evenly among the allocations still to come
             let share = (self.remaining / remaining_allocs).max(MIN_PER_ALLOC);
-            let batch = self.generate_alloc(alloc, share);
+            let batch = self.generate_alloc(pi, share);
             self.remaining = self.remaining.saturating_sub(batch.len());
             if !batch.is_empty() {
                 return batch;
@@ -193,12 +206,69 @@ impl CandidateSource for BruteSource<'_, '_> {
     }
 }
 
+/// Expands one allocation's segmentation space: top-k lists for every
+/// active model plus the ranked combo list. Runs on `par_map` workers —
+/// each model's enumeration is a pure function of its subproblem content
+/// through [`SearchCtx::seg_lists_keyed`], so neither worker scheduling
+/// nor the fate of other allocations can perturb the result (the
+/// budget-redistribution invariant), and recurring subproblems hit the
+/// cross-search memo. `None` when any active model has no feasible
+/// segmentation (the allocation consumes no budget).
+fn prepare_alloc(
+    ctx: &SearchCtx<'_>,
+    window: &TimeWindow,
+    alloc_idx: usize,
+    alloc: &[usize],
+) -> Option<PreparedAlloc> {
+    let seg_lists = ctx.seg_lists_keyed(window, alloc)?;
+
+    // all segmentation combos, best combined score first, capped
+    let mut combos: Vec<(f64, Vec<usize>)> = Vec::new();
+    let mut idx = vec![0usize; seg_lists.len()];
+    'enumerate: loop {
+        let score: f64 = idx
+            .iter()
+            .zip(&seg_lists)
+            .map(|(&i, list)| list[i].score)
+            .sum();
+        combos.push((score, idx.clone()));
+        let mut i = 0;
+        loop {
+            if i == idx.len() {
+                break 'enumerate;
+            }
+            idx[i] += 1;
+            if idx[i] < seg_lists[i].len() {
+                break;
+            }
+            idx[i] = 0;
+            i += 1;
+        }
+        if combos.len() >= 4096 {
+            break;
+        }
+    }
+    combos.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    combos.truncate(MAX_COMBOS);
+
+    Some(PreparedAlloc {
+        alloc_idx,
+        seg_lists,
+        combos: combos.into_iter().map(|(_, c)| c).collect(),
+    })
+}
+
 /// Per-model chiplet preference orders: chiplets sorted by the model's
 /// window-range cost — under the *search metric* — on the chiplet's
 /// dataflow class, with ties broken toward the off-chip interfaces (the
 /// heterogeneity-aware chiplet assignment of Figure 1). Under an EDP
 /// search this sends, e.g., batched encoder GEMMs to Shidiannao chiplets
 /// when the energy saving outweighs the utilization loss.
+///
+/// When the context carries warm-start hints (a preempted remainder's
+/// surviving chiplets), those chiplets are promoted to the front of the
+/// model's order: placement index 0 is the affinity-aligned path every
+/// combo tries first, so the surviving placement is always explored.
 fn affinity_prefs(ctx: &SearchCtx<'_>, window: &TimeWindow, active: &[usize]) -> Vec<Vec<usize>> {
     let classes = ctx.mcm.chiplet_classes();
     active
@@ -239,6 +309,28 @@ fn affinity_prefs(ctx: &SearchCtx<'_>, window: &TimeWindow, active: &[usize]) ->
                     })
                     .then(a.cmp(&b))
             });
+            if let Some(warm) = ctx.warm_prefs {
+                let hints: Vec<usize> = warm
+                    .get(m)
+                    .map(|h| {
+                        h.iter()
+                            .copied()
+                            .filter(|&c| c < ctx.mcm.num_chiplets())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if !hints.is_empty() {
+                    // hinted chiplets first (hint order), rest keep their
+                    // affinity order
+                    let mut promoted: Vec<usize> = Vec::with_capacity(ids.len());
+                    for &c in hints.iter().chain(ids.iter()) {
+                        if !promoted.contains(&c) {
+                            promoted.push(c);
+                        }
+                    }
+                    ids = promoted;
+                }
+            }
             ids
         })
         .collect()
@@ -288,6 +380,8 @@ mod tests {
             expected: &expected,
             metric: &metric,
             budget: &budget,
+            warm_prefs: None,
+            seg_memo: None,
             tel: &scar_telemetry::Telemetry::disabled(),
         };
         let n0 = sc.models()[0].model.num_layers();
@@ -338,6 +432,8 @@ mod tests {
             expected: &expected,
             metric: &metric,
             budget: &budget,
+            warm_prefs: None,
+            seg_memo: None,
             tel: &scar_telemetry::Telemetry::disabled(),
         };
         let n0 = sc.models()[0].model.num_layers();

@@ -21,8 +21,20 @@
 
 use super::{SearchCtx, WindowSearchResult};
 use crate::evaluate::{Evaluator, WindowEval};
-use crate::parallel::par_map;
+use crate::parallel::{par_map, par_map_chunks};
 use crate::problem::{EvalTotals, OptMetric, WindowSchedule};
+use std::sync::OnceLock;
+
+/// `SCAR_EVAL_BATCH` (default on, `0` disables): evaluate candidate
+/// *slices* per worker task — per-slice setup hoisted, cost-database
+/// lookups batched under one read-lock acquisition per chunk — instead of
+/// one evaluation call per candidate. Both paths are bit-identical; the
+/// knob exists to measure the difference and to fall back if a platform's
+/// lock behavior misbehaves.
+fn eval_batching_enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var("SCAR_EVAL_BATCH").map_or(true, |v| v != "0"))
+}
 
 /// One fully specified window schedule awaiting evaluation.
 pub(crate) struct WindowCandidate {
@@ -114,15 +126,36 @@ pub(crate) fn run(
 }
 
 /// Scores one batch on up to `threads` workers, results in batch order.
+///
+/// The default (batched) path hands each worker a contiguous candidate
+/// *slice* and evaluates it through [`Evaluator::evaluate_windows`], which
+/// amortizes cost-database locking and evaluation setup across the slice.
+/// Per-candidate evaluation is pure and the chunked merge preserves batch
+/// order, so both paths — and every thread count — produce bit-identical
+/// results.
 fn evaluate_batch(
     evaluator: &Evaluator<'_>,
     metric: &OptMetric,
     batch: &[WindowCandidate],
     threads: usize,
 ) -> Vec<Scored> {
-    par_map(batch, threads, |cand| {
-        let eval = evaluator.evaluate_window(&cand.schedule);
-        let score = metric.score(&eval.totals());
-        Scored { eval, score }
-    })
+    if eval_batching_enabled() {
+        par_map_chunks(batch, threads, |chunk| {
+            let schedules: Vec<&WindowSchedule> = chunk.iter().map(|c| &c.schedule).collect();
+            evaluator
+                .evaluate_windows(&schedules)
+                .into_iter()
+                .map(|eval| {
+                    let score = metric.score(&eval.totals());
+                    Scored { eval, score }
+                })
+                .collect()
+        })
+    } else {
+        par_map(batch, threads, |cand| {
+            let eval = evaluator.evaluate_window(&cand.schedule);
+            let score = metric.score(&eval.totals());
+            Scored { eval, score }
+        })
+    }
 }

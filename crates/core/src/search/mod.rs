@@ -19,8 +19,9 @@ use crate::evaluate::{Evaluator, WindowEval};
 use crate::expected::ExpectedCosts;
 use crate::parallel::Parallelism;
 use crate::problem::{EvalTotals, OptMetric, TimeWindow, WindowSchedule};
-use crate::segmentation::SegCandidate;
+use crate::segmentation::{SegCandidate, SegMemo};
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 use scar_maestro::CostDatabase;
 use scar_mcm::McmConfig;
 use scar_telemetry::Telemetry;
@@ -120,6 +121,15 @@ pub(crate) struct SearchCtx<'a> {
     pub expected: &'a ExpectedCosts,
     pub metric: &'a OptMetric,
     pub budget: &'a SearchBudget,
+    /// Warm-start placement hints, scenario-indexed (one chiplet list per
+    /// model): the chiplets a preempted remainder was already placed on.
+    /// Drivers promote these to the front of their placement-preference
+    /// orders so the surviving placement is always part of the explored
+    /// neighborhood (data residency). `None` for cold searches.
+    pub warm_prefs: Option<&'a [Vec<usize>]>,
+    /// Cross-search segmentation memo (observational: populated or absent,
+    /// candidate lists are byte-identical). `None` in one-shot contexts.
+    pub seg_memo: Option<&'a SegMemo>,
     /// Observational only: generation/evaluation spans are recorded from
     /// the coordinating thread, never inside `par_map` workers, so the
     /// Serial-vs-`Fixed(N)` determinism contract is untouched.
@@ -152,6 +162,63 @@ impl<'a> SearchCtx<'a> {
                 self.budget.max_segmentations_enumerated,
                 rng,
             );
+            if cands.is_empty() {
+                return None;
+            }
+            lists.push(cands);
+        }
+        Some(lists)
+    }
+
+    /// Content-keyed variant of [`SearchCtx::seg_lists`]: each model's
+    /// sampling RNG is seeded from its subproblem's *content key* (layer
+    /// kinds in range, batch, node count, caps, NoP/chiplet parameters,
+    /// plus the budget seed as stream identity), so the enumeration is a
+    /// pure function of the subproblem. That buys two things at once:
+    /// per-allocation expansion can run on `par_map` workers with no
+    /// cross-allocation RNG coupling, and identical subproblems across
+    /// windows, allocations, and *whole searches* can be answered from
+    /// [`SegMemo`] without re-enumerating. The memo is observational —
+    /// results are byte-identical with or without it.
+    pub fn seg_lists_keyed(
+        &self,
+        window: &TimeWindow,
+        alloc: &[usize],
+    ) -> Option<Vec<Vec<SegCandidate>>> {
+        let mut lists = Vec::new();
+        for m in window.active_models() {
+            let key = crate::segmentation::subproblem_key(
+                self.scenario,
+                self.mcm,
+                m,
+                &window.layers[m],
+                alloc[m],
+                self.budget.top_k_segmentations,
+                self.budget.max_segmentations_enumerated,
+                self.budget.seed,
+            );
+            if let Some(cands) = self.seg_memo.and_then(|memo| memo.get(key, m)) {
+                if cands.is_empty() {
+                    return None;
+                }
+                lists.push(cands);
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(key);
+            let cands = crate::segmentation::top_k_for_model(
+                self.scenario,
+                self.mcm,
+                self.expected,
+                m,
+                &window.layers[m],
+                alloc[m],
+                self.budget.top_k_segmentations,
+                self.budget.max_segmentations_enumerated,
+                &mut rng,
+            );
+            if let Some(memo) = self.seg_memo {
+                memo.insert(key, &cands);
+            }
             if cands.is_empty() {
                 return None;
             }

@@ -25,6 +25,102 @@ pub struct SegCandidate {
     pub score: f64,
 }
 
+/// Cross-search memo for [`top_k_for_model`] subproblems.
+///
+/// When the sampling RNG is seeded from the subproblem's content key
+/// ([`subproblem_key`]), the enumeration becomes a pure function of that
+/// key — and serving loops resolve the *same* subproblems round after
+/// round (the same zoo models cut at the same partition boundaries), so
+/// one enumeration can stand for all of them. Only the stored model
+/// *index* is position-dependent; hits remap it to the caller's.
+///
+/// The memo is observational: a populated memo, an empty memo, and no
+/// memo at all all yield byte-identical candidate lists. Unbounded, like
+/// the MAESTRO cost cache — entries are tiny (top-k cut lists) and the
+/// key space a serving session touches is small.
+#[derive(Debug, Default)]
+pub struct SegMemo {
+    map: std::sync::Mutex<std::collections::HashMap<u64, Vec<SegCandidate>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl SegMemo {
+    /// Looks up a subproblem, remapping stored segments onto `model`.
+    pub fn get(&self, key: u64, model: usize) -> Option<Vec<SegCandidate>> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let found = {
+            let map = self.map.lock().expect("seg memo poisoned");
+            map.get(&key).cloned()
+        };
+        match found {
+            Some(mut cands) => {
+                self.hits.fetch_add(1, Relaxed);
+                for c in &mut cands {
+                    for s in &mut c.segments {
+                        s.model = model;
+                    }
+                }
+                Some(cands)
+            }
+            None => {
+                self.misses.fetch_add(1, Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a subproblem's candidate list.
+    pub fn insert(&self, key: u64, cands: &[SegCandidate]) {
+        let mut map = self.map.lock().expect("seg memo poisoned");
+        map.entry(key).or_insert_with(|| cands.to_vec());
+    }
+
+    /// `(hits, misses)` so far — observability only.
+    pub fn counters(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+    }
+}
+
+/// The content key of one [`top_k_for_model`] subproblem: everything the
+/// enumeration and scoring read — the range-local layer kinds, the batch,
+/// the NoP link parameters, the chiplet classes behind the expected
+/// costs, the budget caps — plus `stream_seed`, the RNG-stream identity.
+/// Seeding the sampling RNG from this key makes equal keys imply
+/// byte-equal candidate lists (modulo the stored model index).
+#[allow(clippy::too_many_arguments)]
+pub fn subproblem_key(
+    scenario: &Scenario,
+    mcm: &McmConfig,
+    model: usize,
+    range: &Range<usize>,
+    nodes: usize,
+    top_k: usize,
+    enum_cap: usize,
+    stream_seed: u64,
+) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    stream_seed.hash(&mut h);
+    let sm = &scenario.models()[model];
+    sm.batch.hash(&mut h);
+    range.start.hash(&mut h);
+    range.end.hash(&mut h);
+    nodes.hash(&mut h);
+    top_k.hash(&mut h);
+    enum_cap.hash(&mut h);
+    mcm.nop.bw_bytes_per_s.to_bits().hash(&mut h);
+    mcm.nop.hop_latency_s.to_bits().hash(&mut h);
+    for c in mcm.chiplets() {
+        c.cache_key().hash(&mut h);
+    }
+    for l in &sm.model.layers()[range.clone()] {
+        l.hash(&mut h);
+    }
+    h.finish()
+}
+
 /// Enumerates and scores segmentations of `range` for `model`, returning
 /// the best `top_k` (Heuristic 1).
 ///

@@ -194,6 +194,17 @@ impl CostDatabase {
         self.evaluations.fetch_add(inserted, Ordering::Relaxed);
     }
 
+    /// Opens a batched read handle that amortizes lock acquisition across
+    /// many lookups (see [`CostReader`]). Intended for hot evaluation
+    /// loops that issue hundreds of lookups against an already-warm
+    /// database.
+    pub fn reader(&self) -> CostReader<'_> {
+        CostReader {
+            db: self,
+            guard: None,
+        }
+    }
+
     /// Number of memoized entries.
     pub fn len(&self) -> usize {
         self.cache.read().expect("cost cache poisoned").len()
@@ -202,6 +213,47 @@ impl CostDatabase {
     /// True if no entries are memoized yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// A batched read handle over a [`CostDatabase`].
+///
+/// [`CostDatabase::get`] takes the cache's read lock once *per query*; an
+/// evaluation pass over a candidate slice issues thousands of queries
+/// against a mostly-warm cache, so per-query locking dominates. The reader
+/// keeps one read guard open across consecutive hits and only cycles it on
+/// a miss: the guard is dropped (so `get` can upgrade to the write lock,
+/// memoize, and count the evaluation exactly as the unbatched path would),
+/// then re-acquired for subsequent hits. Results are bit-identical to
+/// calling [`CostDatabase::get`] per query.
+///
+/// The handle holds a read lock while alive — drop it before any code path
+/// that writes the same database from this thread.
+#[derive(Debug)]
+pub struct CostReader<'a> {
+    db: &'a CostDatabase,
+    guard: Option<std::sync::RwLockReadGuard<'a, HashMap<Key, LayerCost>>>,
+}
+
+impl CostReader<'_> {
+    /// Returns the cost of `kind` at `batch` on `chiplet`, exactly as
+    /// [`CostDatabase::get`] would, amortizing the read lock across
+    /// consecutive cache hits.
+    pub fn get(&mut self, chiplet: &ChipletConfig, kind: &LayerKind, batch: u64) -> LayerCost {
+        let key = (chiplet.cache_key(), kind.clone(), batch);
+        let db = self.db;
+        let guard = self
+            .guard
+            .get_or_insert_with(|| db.cache.read().expect("cost cache poisoned"));
+        if let Some(hit) = guard.get(&key) {
+            return *hit;
+        }
+        // Miss: release the read guard so the memoizing slow path can take
+        // the write lock (re-entrant read-while-write-queued deadlocks on
+        // some RwLock implementations, and holding the guard would starve
+        // the writer on all of them).
+        self.guard = None;
+        self.db.get(chiplet, kind, batch)
     }
 }
 
@@ -278,6 +330,29 @@ mod tests {
         // and a repeated warm-up adds nothing
         db.warm_up(&sc, &classes);
         assert_eq!(db.evaluations(), db.len() as u64);
+    }
+
+    /// The batched reader must agree with per-query `get` on both values
+    /// and evaluation accounting: misses memoize and count exactly once,
+    /// hits after a miss come back under a fresh guard.
+    #[test]
+    fn reader_matches_get_and_counts_misses_once() {
+        let db = CostDatabase::new();
+        let ch = ChipletConfig::datacenter(Dataflow::NvdlaLike);
+        let a = LayerKind::Gemm { m: 64, k: 64, n: 8 };
+        let b = LayerKind::Gemm { m: 32, k: 16, n: 4 };
+        let warm = db.get(&ch, &a, 1); // one pre-warmed entry
+        assert_eq!(db.evaluations(), 1);
+
+        let mut reader = db.reader();
+        assert_eq!(reader.get(&ch, &a, 1), warm, "hit path");
+        let miss = reader.get(&ch, &b, 1); // miss: cycles the guard
+        assert_eq!(miss, ch.evaluate(&b, 1));
+        assert_eq!(reader.get(&ch, &b, 1), miss, "hit after the miss");
+        drop(reader);
+
+        assert_eq!(db.evaluations(), 2, "reader misses count exactly once");
+        assert_eq!(db.len(), 2);
     }
 
     #[test]

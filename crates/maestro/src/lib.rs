@@ -50,6 +50,6 @@ pub mod snapshot;
 
 pub use chiplet::{ChipletClassKey, ChipletConfig};
 pub use cost::{EnergyModel, LayerCost};
-pub use database::{CostDatabase, CostEntry};
+pub use database::{CostDatabase, CostEntry, CostReader};
 pub use dataflow::Dataflow;
 pub use snapshot::{cost_model_fingerprint, SnapshotError, SNAPSHOT_FORMAT_VERSION};

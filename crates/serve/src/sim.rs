@@ -825,11 +825,15 @@ impl<'a> ServeSim<'a> {
     /// a full search (see the [`crate::cache`] docs).
     ///
     /// A round formed right after a mid-window splice (`preempted` holds
-    /// the cut result) routes through [`Scheduler::preempt`] instead and
-    /// bypasses the cache entirely: a preemption-aware scheduler may
-    /// legitimately answer differently than a cold `schedule` for the same
-    /// request, so memoizing that answer under the request fingerprint
-    /// would poison later non-preempt rounds.
+    /// the cut result) routes through [`Scheduler::preempt`] and is cached
+    /// under its own key — the request fingerprint *combined with* a
+    /// stable hash of the cut in-flight instance. A preemption-aware
+    /// scheduler may legitimately answer differently than a cold
+    /// `schedule` for the same request, so the preempt key never collides
+    /// with the plain-request key; but `Scheduler::preempt` is
+    /// deterministic in `(request, in_flight)`, so repeated identical
+    /// splices (replay, recurring burst patterns) hit instead of
+    /// re-searching.
     fn schedule_live(
         &mut self,
         live: &Scenario,
@@ -838,15 +842,51 @@ impl<'a> ServeSim<'a> {
     ) -> Result<Rc<ScheduleResult>, ScheduleError> {
         let tel = self.tel.clone();
         if let Some(in_flight) = preempted {
+            let mut probe = tel.span("serve.cache.probe");
+            let (base, _) = fingerprint_parts_in_context(
+                live,
+                self.mcm,
+                &self.cfg.metric,
+                &self.cfg.budget,
+                self.scheduler.as_ref(),
+                context,
+            );
             let request = self.tagged_request(live);
-            let _sp = tel.span("serve.schedule").arg("kind", "preempt");
-            let result = Rc::new(self.scheduler.preempt(
-                &self.session,
-                &request,
-                in_flight.schedule(),
-            )?);
-            // the spliced round is neither cached nor a seed for the
-            // incremental chain: its shape (remainder models) is one-off
+            let key = {
+                let mut h = StableHasher::new();
+                "preempt".hash(&mut h);
+                base.hash(&mut h);
+                // the scheduler hashes only what its `preempt` actually
+                // reads from the cut instance (SCAR: the mined warm
+                // hints), so cuts differing in irrelevant detail share
+                // one cached splice
+                self.scheduler
+                    .preempt_fingerprint(&request, in_flight.schedule(), &mut h);
+                h.finish()
+            };
+            if self.cfg.use_cache {
+                if let Some(hit) = self.cache.get(key) {
+                    probe.push_arg("hit", true);
+                    // spliced rounds never seed the incremental chain:
+                    // their shape (remainder models) is one-off
+                    self.incremental_chain = 0;
+                    self.last = None;
+                    return Ok(hit);
+                }
+            }
+            probe.push_arg("hit", false);
+            drop(probe);
+            let result = {
+                let _sp = tel.span("serve.schedule").arg("kind", "preempt");
+                Rc::new(
+                    self.scheduler
+                        .preempt(&self.session, &request, in_flight.schedule())?,
+                )
+            };
+            if self.cfg.use_cache {
+                let _g = tel.span("serve.cache.store");
+                self.cache.insert(key, Rc::clone(&result));
+            }
             self.incremental_chain = 0;
             self.last = None;
             return Ok(result);

@@ -1,0 +1,157 @@
+//! The splice-aware preemption fast path (`Scar::preempt`), locked down
+//! three ways on seeded sweeps:
+//!
+//! * **Parallelism-independence** — the trimmed warm-start search draws
+//!   all randomness from the request seed and merges candidate batches in
+//!   id order, so `Serial` and `Fixed(4)` evaluation answer a preemption
+//!   bit-identically, exactly like the full search.
+//! * **No-regression under the request metric** — on these sweeps the
+//!   warm-started neighborhood search scores no worse than the full
+//!   cold-start search it replaces: the surviving placement is pinned
+//!   into the explored set, so the fast path starts from the incumbent
+//!   instead of rediscovering it.
+//! * **Fallback fidelity** — when the cut instance yields no warm hints
+//!   (empty or structurally mismatched), `preempt` must degrade to the
+//!   trait-default full search, byte-for-byte: same schedule, same
+//!   totals, same candidate cloud.
+
+use scar::core::{
+    OptMetric, Parallelism, Scar, ScheduleInstance, ScheduleRequest, Scheduler, SearchBudget,
+    Session,
+};
+use scar::mcm::templates::{het_sides_3x3, Profile};
+use scar::mcm::McmConfig;
+use scar::workloads::Scenario;
+
+/// Serving-shaped budget: tight caps (the serve loop's regime, where the
+/// fast path matters) but enough head-room that every sweep scenario is
+/// feasible.
+fn budget(seed: u64, parallelism: Parallelism) -> SearchBudget {
+    SearchBudget {
+        max_root_perms: 8,
+        max_paths_per_model: 4,
+        max_placements_per_window: 60,
+        max_candidates_per_window: 120,
+        seed,
+        parallelism,
+        ..SearchBudget::default()
+    }
+}
+
+fn request(sc: &Scenario, mcm: &McmConfig, seed: u64, par: Parallelism) -> ScheduleRequest {
+    ScheduleRequest::new(sc.clone(), mcm.clone())
+        .metric(OptMetric::Edp)
+        .budget(budget(seed, par))
+}
+
+/// A `(request, in_flight)` pair that exercises the warm-start path: the
+/// instance is a fresh schedule of the same scenario, so every request
+/// model mines a hint (its own prior placement, resume at layer 0 — the
+/// degenerate "cut before anything ran" splice).
+fn warm_pair(
+    scar: &Scar,
+    session: &Session,
+    sc: &Scenario,
+    mcm: &McmConfig,
+    seed: u64,
+) -> (ScheduleRequest, ScheduleInstance) {
+    let req = request(sc, mcm, seed, Parallelism::Serial);
+    let in_flight = scar
+        .schedule(session, &req)
+        .expect("seeding schedule must be feasible")
+        .schedule()
+        .clone();
+    (req, in_flight)
+}
+
+/// (a) `Serial` ≡ `Fixed(4)`: the preemption answer is a pure function of
+/// `(request, in_flight)`, independent of evaluation parallelism.
+#[test]
+fn preempt_serial_matches_fixed4_bit_identically() {
+    let mcm = het_sides_3x3(Profile::ArVr);
+    let scar = Scar::builder().nsplits(2).build();
+    let session = Session::new();
+    for n in [6usize, 7, 8] {
+        let sc = Scenario::arvr(n);
+        for seed in [1u64, 42] {
+            let (req, in_flight) = warm_pair(&scar, &session, &sc, &mcm, seed);
+            let serial = scar.preempt(&session, &req, &in_flight).unwrap();
+            let fixed = scar
+                .preempt(
+                    &session,
+                    &req.clone().budget(budget(seed, Parallelism::Fixed(4))),
+                    &in_flight,
+                )
+                .unwrap();
+            assert_eq!(
+                serial, fixed,
+                "Sc{n} seed {seed}: preempt must be parallelism-independent"
+            );
+        }
+    }
+}
+
+/// (b) The fast path never scores worse than the full-search fallback it
+/// replaces, under the request's own metric.
+#[test]
+fn preempt_fastpath_no_worse_than_full_search() {
+    let mcm = het_sides_3x3(Profile::ArVr);
+    let scar = Scar::builder().nsplits(2).build();
+    let session = Session::new();
+    for n in [6usize, 7, 8, 9, 10] {
+        let sc = Scenario::arvr(n);
+        for seed in [1u64, 7, 42] {
+            let (req, in_flight) = warm_pair(&scar, &session, &sc, &mcm, seed);
+            let fast = scar.preempt(&session, &req, &in_flight).unwrap();
+            let full = scar.schedule(&session, &req).unwrap();
+            let (fast_score, full_score) = (
+                req.metric.score(&fast.total()),
+                req.metric.score(&full.total()),
+            );
+            assert!(
+                fast_score <= full_score,
+                "Sc{n} seed {seed}: fast path scored {fast_score} worse than full search {full_score}"
+            );
+        }
+    }
+}
+
+/// (c) Hint-less cuts fall back to the trait default, byte-for-byte: an
+/// empty instance and a structurally mismatched one (windows whose layer
+/// totals can't be any remainder of the request's models) must both
+/// reproduce `schedule` exactly — schedule, totals, windows, and the full
+/// candidate cloud.
+#[test]
+fn preempt_without_hints_matches_schedule_byte_for_byte() {
+    let mcm = het_sides_3x3(Profile::ArVr);
+    let scar = Scar::builder().nsplits(2).build();
+    let session = Session::new();
+    for n in [6usize, 8] {
+        let sc = Scenario::arvr(n);
+        for seed in [1u64, 42] {
+            let req = request(&sc, &mcm, seed, Parallelism::Serial);
+            let full = scar.schedule(&session, &req).unwrap();
+
+            // empty cut: nothing in flight survived
+            let empty = ScheduleInstance { windows: vec![] };
+            let fallback = scar.preempt(&session, &req, &empty).unwrap();
+            assert_eq!(
+                fallback, full,
+                "Sc{n} seed {seed}: empty cut must fall back to the full search"
+            );
+
+            // mismatched cut: a malformed instance (inconsistent per-window
+            // model counts) mines zero hints by construction
+            let mut malformed = full.schedule().clone();
+            if malformed.windows.len() > 1 {
+                malformed.windows[0].window.layers.pop();
+                malformed.windows[0].placement.pop();
+                let fallback = scar.preempt(&session, &req, &malformed).unwrap();
+                assert_eq!(
+                    fallback, full,
+                    "Sc{n} seed {seed}: malformed cut must fall back to the full search"
+                );
+            }
+        }
+    }
+}
