@@ -1,0 +1,321 @@
+//! Fleet serving at scale: one traffic mix sharded across N MCM replicas
+//! under every built-in dispatch policy.
+//!
+//! The paper schedules one MCM; a deployment runs many behind a router.
+//! This benchmark drives the XRBench-style AR/VR frame mix — over a
+//! horizon long enough for **≥1M arrivals** — through a heterogeneous
+//! 4-replica fleet (the four 3×3 strategies of
+//! [`scar_mcm::templates::all_3x3`]) under each [`DispatchKind`], and
+//! reports the global deadline-miss rate, aggregate and per-replica
+//! schedule-cache hit rates, per-replica utilization, and rebalance
+//! (migration) counts. Results land in `BENCH_fleet.json`.
+//!
+//! Every policy runs twice — candidate evaluation `Serial`, then
+//! `Fixed(4)` — and the two [`FleetReport`]s are asserted byte-identical
+//! (struct equality *and* rendered form): the fleet's dispatch-then-merge
+//! loop keeps the whole report parallelism-invariant. The smaller of the
+//! two walls is reported (least-interference estimate).
+//!
+//! Acceptance gates (always on):
+//!
+//! * conservation per policy: `offered == completed + rejected` and
+//!   `offered == Σ routed` across replicas;
+//! * identical offered traffic under every policy;
+//! * cache-affinity's aggregate schedule-cache hit rate is **strictly
+//!   higher** than round-robin's (sticky routing keeps each replica's
+//!   schedule cache and cost database warm for its resident streams).
+//!
+//! ```sh
+//! cargo run --release -p scar-bench --bin bench_fleet
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `SCAR_FLEET_SIZE` — replica count (default 4).
+//! * `SCAR_FLEET_HET` — `0` makes the fleet homogeneous (all Het-Sides);
+//!   default `1` cycles the four 3×3 strategies.
+//! * `SCAR_DISPATCH` — run a single policy (`rr`, `least`, `deadline`,
+//!   `affinity[:lag_s]`) instead of the full sweep; the affinity-vs-RR
+//!   gate only applies to the full sweep.
+//! * `SCAR_FLEET_HORIZON_S` — override the traffic horizon (the ≥1M
+//!   arrival floor is only asserted at the default horizon).
+//! * `SCAR_PERF_GATE` — additionally assert each policy's wall stays
+//!   under [`WALL_CEILING_S`].
+//! * `SCAR_TRACE` — record the span timeline (fleet.run → fleet.dispatch /
+//!   fleet.replica → per-round serving spans) and write it to
+//!   `TRACE_bench_fleet.json`. Trace runs drop to the `Serial` pass only
+//!   so the timeline holds one run per policy.
+
+use scar_core::Parallelism;
+use scar_mcm::templates::Profile;
+use scar_serve::{
+    DispatchKind, FleetConfig, FleetReport, FleetSim, ReplicaSpec, ServeConfig, TrafficMix,
+    TrafficShape,
+};
+use scar_telemetry::Telemetry;
+
+/// Default horizon: 135 req/s of AR/VR frame traffic × 7500 s ≈ 1.01M
+/// arrivals — past the 1M-arrival acceptance floor.
+const DEFAULT_HORIZON_S: f64 = 7500.0;
+
+/// Opt-in wall ceiling per policy (both parallelism passes together),
+/// generous against CI jitter: the committed run finishes the full sweep
+/// well under a quarter of this.
+const WALL_CEILING_S: f64 = 300.0;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(v) if v.trim().is_empty() => default,
+        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
+            eprintln!("{name}={v:?} is not a count");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn env_flag(name: &str, default: bool) -> bool {
+    match std::env::var(name).as_deref() {
+        Err(_) => default,
+        Ok("0") | Ok("") => false,
+        Ok(_) => true,
+    }
+}
+
+/// One policy's measurement: the (parallelism-invariant) report and the
+/// best-of-passes wall.
+struct PolicyRun {
+    kind: DispatchKind,
+    report: FleetReport,
+    wall: std::time::Duration,
+}
+
+fn policy_json(p: &PolicyRun) -> String {
+    let r = &p.report;
+    let replicas = r
+        .replicas
+        .iter()
+        .enumerate()
+        .map(|(i, rep)| {
+            format!(
+                "        {{ \"mcm\": \"{}\", \"routed\": {}, \"completed\": {}, \
+                 \"utilization\": {:.4}, \"cache_hit_rate\": {:.4} }}",
+                rep.mcm_name,
+                rep.routed,
+                rep.report.completed,
+                r.utilization(i),
+                rep.report.cache.hit_rate(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "    \"{}\": {{\n      \"completed\": {},\n      \"rejected\": {},\n      \
+         \"deadline_miss_rate\": {:.6},\n      \"cache_hit_rate\": {:.6},\n      \
+         \"migrations\": {},\n      \"makespan_s\": {:.3},\n      \"wall_ms\": {:.1},\n      \
+         \"replicas\": [\n{replicas}\n      ]\n    }}",
+        r.dispatch,
+        r.completed,
+        r.rejected,
+        r.deadline_miss_rate(),
+        r.cache_hit_rate(),
+        r.migrations,
+        r.makespan_s,
+        p.wall.as_secs_f64() * 1e3,
+    )
+}
+
+fn main() {
+    let fleet_size = env_usize("SCAR_FLEET_SIZE", 4).max(1);
+    let heterogeneous = env_flag("SCAR_FLEET_HET", true);
+    let (horizon_s, default_horizon) = match std::env::var("SCAR_FLEET_HORIZON_S") {
+        Err(_) => (DEFAULT_HORIZON_S, true),
+        Ok(v) => match v.trim().parse::<f64>() {
+            Ok(h) if h > 0.0 && h.is_finite() => (h, false),
+            _ => {
+                eprintln!("SCAR_FLEET_HORIZON_S={v:?} is not a positive horizon in seconds");
+                std::process::exit(2);
+            }
+        },
+    };
+    let kinds = match std::env::var("SCAR_DISPATCH") {
+        Err(_) => DispatchKind::builtins(),
+        Ok(spec) => vec![DispatchKind::parse(&spec).unwrap_or_else(|e| {
+            eprintln!("SCAR_DISPATCH: {e}");
+            std::process::exit(2);
+        })],
+    };
+    let full_sweep = kinds.len() == DispatchKind::builtins().len();
+
+    let telemetry = Telemetry::from_env();
+    // burst-reshaped AR/VR traffic (same mean rates, Markov-modulated
+    // on/off arrivals, per-frame deadlines kept): queue shapes vary round
+    // to round, so schedule-cache warmth is earned, not saturated — the
+    // regime where routing policy actually moves the hit rate
+    let mix = TrafficMix::arvr(0xF1EE7).reshaped(TrafficShape::Burst);
+    let make_replicas = |parallelism: Parallelism| {
+        let base = ServeConfig {
+            parallelism,
+            ..ServeConfig::default()
+        };
+        if heterogeneous {
+            ReplicaSpec::heterogeneous(fleet_size, Profile::ArVr, base)
+        } else {
+            ReplicaSpec::homogeneous(fleet_size, Profile::ArVr, base)
+        }
+    };
+    let replica_names: Vec<String> = make_replicas(Parallelism::Serial)
+        .iter()
+        .map(|r| r.mcm.name().to_string())
+        .collect();
+    println!(
+        "fleet: {fleet_size} replicas [{}] | mix {} ({:.0} req/s offered, {horizon_s} s horizon)",
+        replica_names.join(", "),
+        mix.name,
+        mix.offered_rps()
+    );
+
+    let run_policy = |kind: &DispatchKind| {
+        let run_at = |parallelism: Parallelism| {
+            let mut fleet = FleetSim::new(
+                make_replicas(parallelism),
+                FleetConfig {
+                    dispatch: kind.clone(),
+                    telemetry: telemetry.clone(),
+                },
+            );
+            let t0 = std::time::Instant::now();
+            let report = fleet.run(&mix, horizon_s).expect("mix fits each replica");
+            (report, t0.elapsed())
+        };
+        let (serial_report, serial_wall) = run_at(Parallelism::Serial);
+        let (report, wall) = if telemetry.trace_enabled() {
+            (serial_report, serial_wall)
+        } else {
+            let (fixed_report, fixed_wall) = run_at(Parallelism::Fixed(4));
+            assert_eq!(
+                serial_report, fixed_report,
+                "fleet determinism: Serial and Fixed(4) reports must be byte-identical"
+            );
+            assert_eq!(
+                serial_report.to_string(),
+                fixed_report.to_string(),
+                "fleet determinism: rendered reports must match byte-for-byte"
+            );
+            (serial_report, serial_wall.min(fixed_wall))
+        };
+        PolicyRun {
+            kind: kind.clone(),
+            report,
+            wall,
+        }
+    };
+
+    let mut runs = Vec::with_capacity(kinds.len());
+    for kind in &kinds {
+        let run = run_policy(kind);
+        println!("\n── dispatch: {}\n{}", kind.name(), run.report);
+        println!("wall {:.1?} (best of the parallelism passes)", run.wall);
+        runs.push(run);
+    }
+
+    // conservation + scale gates
+    for run in &runs {
+        let r = &run.report;
+        assert_eq!(
+            r.offered,
+            r.completed + r.rejected,
+            "{}: fleet conservation",
+            r.dispatch
+        );
+        assert_eq!(
+            r.offered,
+            r.replicas.iter().map(|rep| rep.routed).sum::<usize>(),
+            "{}: every arrival routed exactly once",
+            r.dispatch
+        );
+        assert_eq!(
+            r.offered, runs[0].report.offered,
+            "identical traffic under every policy"
+        );
+    }
+    if default_horizon {
+        assert!(
+            runs[0].report.offered >= 1_000_000,
+            "scale floor: the default horizon must offer ≥1M arrivals (got {})",
+            runs[0].report.offered
+        );
+    }
+    println!(
+        "\nacceptance: conservation holds across {} polic{} at {} arrivals: ok",
+        runs.len(),
+        if runs.len() == 1 { "y" } else { "ies" },
+        runs[0].report.offered
+    );
+
+    // the headline comparison: sticky routing keeps per-replica caches warm
+    if full_sweep {
+        let rate = |name: &str| {
+            runs.iter()
+                .find(|r| r.report.dispatch == name)
+                .map(|r| r.report.cache_hit_rate())
+                .expect("full sweep includes it")
+        };
+        let (rr, affinity) = (rate("round-robin"), rate("cache-affinity"));
+        assert!(
+            affinity > rr,
+            "cache-affinity hit rate {affinity:.4} must strictly beat round-robin {rr:.4}"
+        );
+        println!(
+            "acceptance: cache-affinity hit rate {:.2}% > round-robin {:.2}%: ok",
+            affinity * 100.0,
+            rr * 100.0
+        );
+    }
+    if env_flag("SCAR_PERF_GATE", false) {
+        for run in &runs {
+            assert!(
+                run.wall.as_secs_f64() <= WALL_CEILING_S,
+                "perf gate: {} wall {:.1} s exceeds the {WALL_CEILING_S} s ceiling",
+                run.report.dispatch,
+                run.wall.as_secs_f64()
+            );
+        }
+        println!("perf gate: every policy under the {WALL_CEILING_S} s wall ceiling: ok");
+    }
+
+    let json = format!(
+        "{{\n  \"mix\": \"{}\",\n  \"horizon_s\": {horizon_s},\n  \"offered\": {},\n  \
+         \"fleet_size\": {fleet_size},\n  \"heterogeneous\": {heterogeneous},\n  \
+         \"replicas\": [{}],\n  \"results\": {{\n{}\n  }}\n}}\n",
+        mix.name,
+        runs[0].report.offered,
+        replica_names
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        runs.iter().map(policy_json).collect::<Vec<_>>().join(",\n"),
+    );
+    std::fs::write("BENCH_fleet.json", json).expect("write BENCH_fleet.json");
+    println!("wrote BENCH_fleet.json");
+
+    // detail artifact: the rendered per-replica tables, gitignored
+    let detail = runs
+        .iter()
+        .map(|r| format!("# {:?}\n{}", r.kind, r.report))
+        .collect::<Vec<_>>()
+        .join("\n");
+    std::fs::write("ARTIFACT_fleet_reports.txt", detail).expect("write ARTIFACT_fleet_reports.txt");
+    println!("wrote ARTIFACT_fleet_reports.txt");
+
+    if let Some(summary) = telemetry.wall_summary() {
+        println!("{summary}");
+    }
+    if telemetry
+        .write_trace("TRACE_bench_fleet.json")
+        .expect("write TRACE_bench_fleet.json")
+    {
+        println!("wrote TRACE_bench_fleet.json (Chrome trace_event; load in Perfetto)");
+    }
+}

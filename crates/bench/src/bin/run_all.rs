@@ -1,4 +1,5 @@
-//! Runs every experiment binary in DESIGN.md §4's index, in order.
+//! Runs every experiment binary in DESIGN.md §4's index, in order, then
+//! the fleet-serving benchmark (DESIGN.md §12).
 
 use std::process::Command;
 
@@ -16,6 +17,7 @@ fn main() {
         "ablation_nsplits",
         "ablation_prov",
         "ablation_packing",
+        "bench_fleet",
     ];
     let exe = std::env::current_exe().expect("current exe path");
     let dir = exe.parent().expect("target dir");

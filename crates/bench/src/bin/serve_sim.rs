@@ -36,6 +36,11 @@
 //!   (if present) before serving, saved after each run. A second process
 //!   pointed at the same path serves the same traffic with **zero** cost
 //!   evaluations and byte-identical reports.
+//! * `SCAR_COST_DB_MAX` — entry bound for the persisted cost database:
+//!   before each save, a least-recently-used compaction pass evicts down
+//!   to this many entries (unset → never evict). Only affects what is
+//!   *persisted/kept cached* — costs are re-evaluated on demand, so
+//!   schedules and reports are unchanged.
 //! * `SCAR_EXPECT_ZERO_EVALS` — when set (CI's warm pass), assert that
 //!   every simulation performed zero MAESTRO evaluations.
 //! * `SCAR_EXPECT_PREEMPTIONS` — when set (CI's overload smoke), assert
@@ -123,6 +128,13 @@ fn main() {
         Err(_) => ServeConfig::default().nsplits,
     };
     let cost_db_path = std::env::var("SCAR_COST_DB").ok().map(Into::into);
+    let cost_db_max_entries = match std::env::var("SCAR_COST_DB_MAX") {
+        Ok(n) => Some(n.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("SCAR_COST_DB_MAX={n:?} is not an entry bound");
+            std::process::exit(2);
+        })),
+        Err(_) => None,
+    };
     let expect_zero_evals = std::env::var("SCAR_EXPECT_ZERO_EVALS").is_ok();
     let expect_preemptions = std::env::var("SCAR_EXPECT_PREEMPTIONS").is_ok();
     // one sink for every primary-policy simulation; the Standalone
@@ -135,6 +147,7 @@ fn main() {
         preemption,
         nsplits,
         cost_db_path: cost_db_path.clone(),
+        cost_db_max_entries,
         telemetry,
         ..ServeConfig::default()
     };
@@ -150,9 +163,11 @@ fn main() {
         if preemption { "on" } else { "off" },
         cost_db_path
             .as_ref()
-            .map_or("off".to_string(), |p: &std::path::PathBuf| p
-                .display()
-                .to_string()),
+            .map_or("off".to_string(), |p: &std::path::PathBuf| {
+                let bound =
+                    cost_db_max_entries.map_or(String::new(), |max| format!(" (≤{max} entries)"));
+                format!("{}{bound}", p.display())
+            }),
     );
     let mut total_preemptions = 0u64;
 

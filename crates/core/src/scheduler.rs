@@ -49,7 +49,7 @@ use crate::search::SearchBudget;
 use scar_maestro::{CostDatabase, SnapshotError};
 use scar_mcm::McmConfig;
 use scar_telemetry::Telemetry;
-use scar_workloads::Scenario;
+use scar_workloads::{Model, Scenario};
 use serde::{Deserialize, Serialize};
 use std::hash::{Hash, Hasher};
 
@@ -127,6 +127,37 @@ impl Session {
     /// lazily anyway.
     pub fn warm_up(&self, request: &ScheduleRequest) {
         self.db.warm_up(&request.scenario, request.mcm.chiplets());
+    }
+
+    /// A cheap load/feasibility probe: a lower bound on one `batch`-sized
+    /// request's service latency for `model` on `mcm` — the sum over the
+    /// model's layers of the best-chiplet latency at that batch, i.e. the
+    /// latency of an ideal schedule with zero queueing, zero interference,
+    /// and a free choice of chiplet per layer. Admission controllers use
+    /// it to bound deadline feasibility; fleet dispatchers use it as the
+    /// per-replica service estimate. Probed entries memoize into the
+    /// session's shared database (and persist with it), so a warm-started
+    /// process probes at zero MAESTRO evaluations.
+    pub fn min_service_s(&self, mcm: &McmConfig, model: &Model, batch: u64) -> f64 {
+        model
+            .layers()
+            .iter()
+            .map(|layer| {
+                mcm.chiplets()
+                    .iter()
+                    .map(|ch| self.db.get(ch, &layer.kind, batch).time_s)
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum()
+    }
+
+    /// Evicts least-recently-used cost entries until at most `max_entries`
+    /// remain (see [`CostDatabase::compact`]), returning how many were
+    /// dropped. Long-lived sessions — serving loops, fleets multiplying
+    /// store count — run this before [`Session::save_costs`] so snapshots
+    /// stop growing without bound.
+    pub fn compact_costs(&self, max_entries: usize) -> usize {
+        self.db.compact(max_entries)
     }
 
     /// Persists every memoized per-layer cost to `path` in the versioned

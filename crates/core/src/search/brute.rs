@@ -132,7 +132,12 @@ impl<'c, 'r> BruteSource<'c, 'r> {
                 .collect();
             let counts: Vec<usize> = seg_choice.iter().map(|s| s.len()).collect();
             let placements = placement_cache.entry(counts.clone()).or_insert_with(|| {
-                tree::enumerate_placements(
+                // the placement-tree walk is the costly slice of candidate
+                // generation; span it so phase breakdowns can split "walk
+                // the tree" from the rest of search.generation (it nests
+                // inside that span on the coordinating thread)
+                let mut span = self.ctx.tel.span("search.placements");
+                let placements = tree::enumerate_placements(
                     self.ctx.mcm,
                     &counts,
                     &self.prefs,
@@ -140,7 +145,9 @@ impl<'c, 'r> BruteSource<'c, 'r> {
                     self.ctx.budget.max_paths_per_model,
                     self.ctx.budget.max_placements_per_window,
                     self.rng,
-                )
+                );
+                span.push_arg("placements", placements.len() as u64);
+                placements
             });
             if placements.is_empty() {
                 continue;

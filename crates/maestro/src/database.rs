@@ -34,19 +34,46 @@ impl From<LayerCost> for CostEntry {
 
 pub(crate) type Key = (ChipletClassKey, LayerKind, u64);
 
+/// A memoized entry plus its last-touched usage epoch (see
+/// [`CostDatabase::compact`]). The stamp is an atomic so cache *hits* can
+/// refresh it under the shared read lock; every touch within one epoch
+/// stores the same value, so the final stamp state is independent of
+/// thread interleaving — compaction stays deterministic.
+#[derive(Debug)]
+pub(crate) struct Slot {
+    pub(crate) cost: LayerCost,
+    pub(crate) last_used: AtomicU64,
+}
+
+impl Slot {
+    fn new(cost: LayerCost, epoch: u64) -> Self {
+        Self {
+            cost,
+            last_used: AtomicU64::new(epoch),
+        }
+    }
+}
+
 /// Memoizing per-layer cost database over a set of chiplet classes.
 ///
 /// Thread-safe: lookups take a read lock, misses compute outside the lock
 /// and then upgrade. Construction is cheap; use [`CostDatabase::warm_up`]
 /// to pre-populate for a scenario in parallel, or load a persisted
 /// snapshot ([`CostDatabase::load_snapshot`]) to skip cost-model
-/// evaluation entirely on a warm start.
+/// evaluation entirely on a warm start. Long-lived stores are bounded with
+/// [`CostDatabase::compact`], which evicts least-recently-used entries.
 #[derive(Debug)]
 pub struct CostDatabase {
-    cache: RwLock<HashMap<Key, LayerCost>>,
+    cache: RwLock<HashMap<Key, Slot>>,
     /// Cost-model invocations (cache misses + warm-up evaluations) since
     /// construction — the price a persisted snapshot avoids.
     evaluations: AtomicU64,
+    /// Coarse usage clock for LRU compaction: every touch (hit, insert,
+    /// restore) stamps the entry with the *current* epoch, and the epoch
+    /// only advances at deterministic points ([`CostDatabase::compact`]),
+    /// never per-access — so recency is measured in compaction rounds, not
+    /// in racy wall-clock or access order.
+    epoch: AtomicU64,
 }
 
 impl Default for CostDatabase {
@@ -61,6 +88,7 @@ impl CostDatabase {
         Self {
             cache: RwLock::new(HashMap::new()),
             evaluations: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
         }
     }
 
@@ -68,8 +96,10 @@ impl CostDatabase {
     /// memoizing it on first use.
     pub fn get(&self, chiplet: &ChipletConfig, kind: &LayerKind, batch: u64) -> LayerCost {
         let key = (chiplet.cache_key(), kind.clone(), batch);
+        let epoch = self.epoch.load(Ordering::Relaxed);
         if let Some(hit) = self.cache.read().expect("cost cache poisoned").get(&key) {
-            return *hit;
+            hit.last_used.store(epoch, Ordering::Relaxed);
+            return hit.cost;
         }
         let cost = chiplet.evaluate(kind, batch);
         // count the entry only on first insert: two threads racing on one
@@ -80,7 +110,7 @@ impl CostDatabase {
             .cache
             .write()
             .expect("cost cache poisoned")
-            .insert(key, cost)
+            .insert(key, Slot::new(cost, epoch))
             .is_none()
         {
             self.evaluations.fetch_add(1, Ordering::Relaxed);
@@ -105,18 +135,49 @@ impl CostDatabase {
             .read()
             .expect("cost cache poisoned")
             .iter()
-            .map(|(k, v)| (k.clone(), *v))
+            .map(|(k, v)| (k.clone(), v.cost))
             .collect()
+    }
+
+    /// Every memoized entry with its last-used epoch stamp, in unspecified
+    /// order (the compaction pass ranks and tie-breaks deterministically).
+    pub(crate) fn stamped_entries(&self) -> Vec<(Key, LayerCost, u64)> {
+        self.cache
+            .read()
+            .expect("cost cache poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.cost, v.last_used.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Drops the given keys, returning how many were present. The
+    /// compaction pass (see [`crate::snapshot`]) decides *which* keys.
+    pub(crate) fn remove_keys(&self, keys: &[Key]) -> usize {
+        let mut cache = self.cache.write().expect("cost cache poisoned");
+        keys.iter().filter(|k| cache.remove(k).is_some()).count()
+    }
+
+    /// Current usage epoch (see [`CostDatabase::compact`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Advances the usage epoch: entries touched from now on out-rank
+    /// everything stamped before. Called at the end of every compaction
+    /// pass; deterministic because it only happens at such fixed points.
+    pub(crate) fn advance_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Bulk-inserts precomputed entries (snapshot restore), returning how
     /// many were new. Counts as zero evaluations: the entries were paid
     /// for by whichever process wrote the snapshot.
     pub(crate) fn insert_raw(&self, entries: impl IntoIterator<Item = (Key, LayerCost)>) -> usize {
+        let epoch = self.epoch.load(Ordering::Relaxed);
         let mut cache = self.cache.write().expect("cost cache poisoned");
         let before = cache.len();
         for (k, v) in entries {
-            cache.insert(k, v);
+            cache.insert(k, Slot::new(v, epoch));
         }
         cache.len() - before
     }
@@ -184,10 +245,11 @@ impl CostDatabase {
 
         // count at insertion (first insert only), like `get`: a lookup
         // racing this warm-up must not make the counter double-count
+        let epoch = self.epoch.load(Ordering::Relaxed);
         let mut cache = self.cache.write().expect("cost cache poisoned");
         let mut inserted = 0u64;
         for (k, v) in results {
-            if cache.insert(k, v).is_none() {
+            if cache.insert(k, Slot::new(v, epoch)).is_none() {
                 inserted += 1;
             }
         }
@@ -232,7 +294,7 @@ impl CostDatabase {
 #[derive(Debug)]
 pub struct CostReader<'a> {
     db: &'a CostDatabase,
-    guard: Option<std::sync::RwLockReadGuard<'a, HashMap<Key, LayerCost>>>,
+    guard: Option<std::sync::RwLockReadGuard<'a, HashMap<Key, Slot>>>,
 }
 
 impl CostReader<'_> {
@@ -242,11 +304,13 @@ impl CostReader<'_> {
     pub fn get(&mut self, chiplet: &ChipletConfig, kind: &LayerKind, batch: u64) -> LayerCost {
         let key = (chiplet.cache_key(), kind.clone(), batch);
         let db = self.db;
+        let epoch = db.epoch.load(Ordering::Relaxed);
         let guard = self
             .guard
             .get_or_insert_with(|| db.cache.read().expect("cost cache poisoned"));
         if let Some(hit) = guard.get(&key) {
-            return *hit;
+            hit.last_used.store(epoch, Ordering::Relaxed);
+            return hit.cost;
         }
         // Miss: release the read guard so the memoizing slow path can take
         // the write lock (re-entrant read-while-write-queued deadlocks on

@@ -214,6 +214,72 @@ impl CostDatabase {
         std::fs::rename(&tmp, path).map_err(io)
     }
 
+    /// Evicts least-recently-used entries until at most `max_entries`
+    /// remain, returning how many were dropped. Recency is measured in
+    /// *usage epochs*: every touch (hit, miss, restore) stamps the entry
+    /// with the current epoch, and the epoch only advances here, at the
+    /// end of each compaction pass — so a "generation" of recency is one
+    /// compaction round (in serving, one run), not one racy access.
+    /// Within an epoch, ties break on the entry's serialized form, the
+    /// same total order the snapshot writer sorts by: which entries
+    /// survive is a pure function of the database contents and stamps,
+    /// never of thread interleaving.
+    ///
+    /// An evicted entry is not an error — the next lookup re-evaluates
+    /// (and re-counts) it like any cold miss.
+    pub fn compact(&self, max_entries: usize) -> usize {
+        let entries = self.stamped_entries();
+        let evicted = if entries.len() > max_entries {
+            let mut ranked: Vec<(u64, String, Key)> = entries
+                .into_iter()
+                .map(|(key, cost, used)| {
+                    let form = serde::write_compact(
+                        &SnapshotEntry {
+                            key: key.clone(),
+                            cost,
+                        }
+                        .to_value(),
+                    );
+                    (used, form, key)
+                })
+                .collect();
+            // most recent first; ties in serialized order
+            ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+            let victims: Vec<Key> = ranked
+                .split_off(max_entries)
+                .into_iter()
+                .map(|(_, _, key)| key)
+                .collect();
+            self.remove_keys(&victims)
+        } else {
+            0
+        };
+        self.advance_epoch();
+        evicted
+    }
+
+    /// [`CostDatabase::compact`] to `max_entries` (when bounded), then
+    /// [`CostDatabase::save_snapshot`] — the lifecycle pass long-lived
+    /// stores run at persist time so snapshots stop growing without
+    /// bound. Returns how many entries the compaction evicted.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on filesystem failure (the compaction still
+    /// happened — it is an in-memory pass).
+    pub fn save_snapshot_compact(
+        &self,
+        path: impl AsRef<Path>,
+        max_entries: Option<usize>,
+    ) -> Result<usize, SnapshotError> {
+        let evicted = match max_entries {
+            Some(max) => self.compact(max),
+            None => 0,
+        };
+        self.save_snapshot(path)?;
+        Ok(evicted)
+    }
+
     /// Parses snapshot text and merges its entries into this database
     /// (existing entries are overwritten — they are equal by construction
     /// when both sides ran the same cost model). Returns the number of
@@ -425,6 +491,83 @@ mod tests {
         let mut h = StableHasher::new();
         h.write(COST_MODEL_TAG.as_bytes());
         assert_ne!(h.finish(), 0);
+    }
+
+    #[test]
+    fn compact_is_a_noop_under_the_bound() {
+        let db = populated();
+        let before = db.len();
+        assert_eq!(db.compact(before), 0);
+        assert_eq!(db.len(), before);
+        // the pass still advances the epoch: the next round's touches
+        // out-rank everything from this one
+        assert_eq!(db.epoch(), 1);
+    }
+
+    #[test]
+    fn compact_evicts_least_recently_used_first() {
+        let db = populated();
+        let total = db.len();
+        assert!(total > 2);
+        // one compaction round ends epoch 0; now touch two entries in
+        // epoch 1 — they must be the survivors of the next pass
+        db.compact(usize::MAX);
+        let nvd = ChipletConfig::datacenter(Dataflow::NvdlaLike);
+        let g = LayerKind::Gemm { m: 64, k: 64, n: 8 };
+        let kept_a = db.get(&nvd, &g, 1);
+        let kept_b = db.get(&nvd, &g, 8);
+        assert_eq!(db.evaluations(), total as u64, "touches were hits");
+
+        assert_eq!(db.compact(2), total - 2);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.get(&nvd, &g, 1), kept_a);
+        assert_eq!(db.get(&nvd, &g, 8), kept_b);
+        assert_eq!(
+            db.evaluations(),
+            total as u64,
+            "survivors are still warm — no re-evaluation"
+        );
+        // an evicted key is simply a cold miss again
+        let shi = ChipletConfig::arvr(Dataflow::ShidiannaoLike);
+        db.get(&shi, &LayerKind::Eltwise { elements: 4096 }, 1);
+        assert_eq!(db.evaluations(), total as u64 + 1);
+    }
+
+    #[test]
+    fn compact_ties_break_deterministically() {
+        // all stamps equal (no touches between construction and compact):
+        // survivors are decided purely by the serialized-form order, so
+        // two identical databases compact to identical snapshots
+        let snap = |max: usize| {
+            let db = populated();
+            db.compact(max);
+            db.snapshot_json()
+        };
+        assert_eq!(snap(3), snap(3));
+        // and the survivors are a subset of the uncompacted snapshot
+        let full = populated().snapshot_json();
+        for line in snap(3).lines().filter(|l| l.contains("\"batch\"")) {
+            assert!(full.contains(line.trim()), "survivor {line:?} not in full");
+        }
+    }
+
+    #[test]
+    fn save_snapshot_compact_bounds_the_file() {
+        let db = populated();
+        let total = db.len();
+        let path = std::env::temp_dir().join("scar_maestro_compact_test.json");
+        let evicted = db.save_snapshot_compact(&path, Some(2)).unwrap();
+        assert_eq!(evicted, total - 2);
+        let restored = CostDatabase::load_snapshot(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(restored.len(), 2);
+        // unbounded save leaves everything in place
+        let db2 = populated();
+        let path2 = std::env::temp_dir().join("scar_maestro_compact_test2.json");
+        assert_eq!(db2.save_snapshot_compact(&path2, None).unwrap(), 0);
+        let restored2 = CostDatabase::load_snapshot(&path2).unwrap();
+        std::fs::remove_file(&path2).ok();
+        assert_eq!(restored2.len(), total);
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! Pluggable request routing: which replica serves which arrival.
+//!
+//! The dispatcher sees every arrival of the global, time-sorted sequence
+//! exactly once, *before* any replica executes (see [`crate::fleet`] for
+//! why that single pass is what makes the fleet deterministic). Its view
+//! of replica load is a virtual backlog model maintained by the fleet —
+//! per-replica `busy_until` walls advanced by the cost-DB min-service
+//! probe ([`scar_core::Session::min_service_s`]) — so routing never
+//! depends on replica execution order or wall clocks.
+//!
+//! Built-ins (the dispatch-policy table of DESIGN.md §12):
+//!
+//! | policy | routes to | uses |
+//! |---|---|---|
+//! | [`RoundRobin`] | next replica, cyclically | nothing |
+//! | [`LeastLoaded`] | smallest estimated backlog | backlog |
+//! | [`DeadlineAware`] | least-loaded replica whose probe says the deadline is feasible | backlog + min-service probe + deadline |
+//! | [`CacheAffinity`] | the stream's home replica, spilling on overload | stream id + backlog |
+
+use crate::traffic::Request;
+
+/// The per-arrival view a [`DispatchPolicy`] routes on. All slices are
+/// indexed by replica.
+#[derive(Debug)]
+pub struct DispatchContext<'a> {
+    /// The arrival instant (virtual seconds).
+    pub now_s: f64,
+    /// The arrival's stream index within the mix.
+    pub stream: usize,
+    /// The arrival's absolute deadline, if its stream carries one.
+    pub deadline_s: Option<f64>,
+    /// Estimated queued work per replica at `now_s`: how long each
+    /// replica's virtual `busy_until` wall extends past now (0 for an
+    /// idle replica).
+    pub backlog_s: &'a [f64],
+    /// The stream's min-service estimate per replica (the cost-DB probe:
+    /// best-chiplet latency summed over the model's layers) — replicas
+    /// are possibly heterogeneous, so the same stream costs differently
+    /// across them.
+    pub min_service_s: &'a [f64],
+}
+
+impl DispatchContext<'_> {
+    /// The replica with the smallest estimated backlog (ties break on the
+    /// lowest index — the fixed merge order).
+    pub fn least_loaded(&self) -> usize {
+        least_index(self.backlog_s)
+    }
+}
+
+/// Index of the minimum of `values` (ties → lowest index). `total_cmp`
+/// keeps the choice deterministic for any float contents.
+fn least_index(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.total_cmp(b))
+        .map(|(i, _)| i)
+        .expect("fleet has at least one replica")
+}
+
+/// A routing policy: maps each arrival to a replica index.
+///
+/// Policies may carry state (a rotation counter, a migration count) but
+/// must be deterministic functions of the arrival sequence and the
+/// contexts they are shown — the fleet's byte-identical-report contract
+/// rests on it.
+pub trait DispatchPolicy {
+    /// Short policy name (reports, traces, config strings).
+    fn name(&self) -> &'static str;
+
+    /// The replica that serves `request`. Must return an index below
+    /// `ctx.backlog_s.len()`.
+    fn route(&mut self, request: &Request, ctx: &DispatchContext<'_>) -> usize;
+
+    /// Rebalance events so far: arrivals routed away from the policy's
+    /// preferred replica because of load (only [`CacheAffinity`] spills
+    /// today; stateless policies report 0).
+    fn migrations(&self) -> u64 {
+        0
+    }
+}
+
+/// Cyclic routing, ignoring load: arrival `k` goes to replica
+/// `k mod fleet_size`. The baseline every other policy is measured
+/// against.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl DispatchPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(&mut self, _request: &Request, ctx: &DispatchContext<'_>) -> usize {
+        let target = self.next % ctx.backlog_s.len();
+        self.next = (self.next + 1) % ctx.backlog_s.len();
+        target
+    }
+}
+
+/// Routes to the replica with the smallest estimated backlog (the
+/// virtual in-flight window wall), ties to the lowest index.
+#[derive(Debug, Default)]
+pub struct LeastLoaded;
+
+impl DispatchPolicy for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn route(&mut self, _request: &Request, ctx: &DispatchContext<'_>) -> usize {
+        ctx.least_loaded()
+    }
+}
+
+/// Routes deadline-bound arrivals to a replica whose admission probe says
+/// the deadline is feasible: `now + backlog + min_service <= deadline`.
+/// Among feasible replicas it picks the least-loaded; when none is
+/// feasible (or the arrival has no deadline) it degrades to least-loaded
+/// over all replicas — the request is likely late anywhere, so spread it.
+#[derive(Debug, Default)]
+pub struct DeadlineAware;
+
+impl DispatchPolicy for DeadlineAware {
+    fn name(&self) -> &'static str {
+        "deadline-aware"
+    }
+
+    fn route(&mut self, _request: &Request, ctx: &DispatchContext<'_>) -> usize {
+        if let Some(deadline) = ctx.deadline_s {
+            let feasible = (0..ctx.backlog_s.len())
+                .filter(|&i| ctx.now_s + ctx.backlog_s[i] + ctx.min_service_s[i] <= deadline)
+                .min_by(|&a, &b| {
+                    ctx.backlog_s[a]
+                        .total_cmp(&ctx.backlog_s[b])
+                        .then(a.cmp(&b))
+                });
+            if let Some(i) = feasible {
+                return i;
+            }
+        }
+        ctx.least_loaded()
+    }
+}
+
+/// Sticky routing for warm caches: stream `s` lives on home replica
+/// `s mod fleet_size`, so each replica sees a fixed small tenant subset,
+/// its live-scenario shapes recur, and its schedule cache and cost DB
+/// stay hot (the hit-rate delta vs [`RoundRobin`] is the benchmark gate).
+/// When the home falls more than `max_lag_s` behind the least-loaded
+/// replica the arrival spills there instead — counted as a migration.
+#[derive(Debug)]
+pub struct CacheAffinity {
+    /// How far (estimated backlog, seconds) the home replica may lag the
+    /// least-loaded one before an arrival is migrated away.
+    pub max_lag_s: f64,
+    migrations: u64,
+}
+
+impl CacheAffinity {
+    /// Default spill threshold, seconds. Generous relative to the
+    /// millisecond-scale service times of the built-in mixes: affinity
+    /// holds until the home replica is badly behind.
+    pub const DEFAULT_MAX_LAG_S: f64 = 0.25;
+
+    /// An affinity policy spilling when the home lags by `max_lag_s`.
+    pub fn new(max_lag_s: f64) -> Self {
+        Self {
+            max_lag_s,
+            migrations: 0,
+        }
+    }
+}
+
+impl Default for CacheAffinity {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_MAX_LAG_S)
+    }
+}
+
+impl DispatchPolicy for CacheAffinity {
+    fn name(&self) -> &'static str {
+        "cache-affinity"
+    }
+
+    fn route(&mut self, _request: &Request, ctx: &DispatchContext<'_>) -> usize {
+        let home = ctx.stream % ctx.backlog_s.len();
+        let least = ctx.least_loaded();
+        if ctx.backlog_s[home] - ctx.backlog_s[least] > self.max_lag_s {
+            self.migrations += 1;
+            least
+        } else {
+            home
+        }
+    }
+
+    fn migrations(&self) -> u64 {
+        self.migrations
+    }
+}
+
+/// The built-in dispatch policies by configuration value (the
+/// `SCAR_DISPATCH` knob), mirroring [`crate::admission::AdmissionKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DispatchKind {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`LeastLoaded`].
+    LeastLoaded,
+    /// [`DeadlineAware`].
+    DeadlineAware,
+    /// [`CacheAffinity`] with its spill threshold.
+    CacheAffinity {
+        /// Spill threshold, seconds (see [`CacheAffinity::max_lag_s`]).
+        max_lag_s: f64,
+    },
+}
+
+impl DispatchKind {
+    /// Every built-in at its default configuration, in a fixed sweep
+    /// order (benchmarks and invariant tests iterate this).
+    pub fn builtins() -> Vec<DispatchKind> {
+        vec![
+            DispatchKind::RoundRobin,
+            DispatchKind::LeastLoaded,
+            DispatchKind::DeadlineAware,
+            DispatchKind::CacheAffinity {
+                max_lag_s: CacheAffinity::DEFAULT_MAX_LAG_S,
+            },
+        ]
+    }
+
+    /// The policy's short name (matches what [`DispatchKind::parse`]
+    /// accepts).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DispatchKind::RoundRobin => "round-robin",
+            DispatchKind::LeastLoaded => "least-loaded",
+            DispatchKind::DeadlineAware => "deadline-aware",
+            DispatchKind::CacheAffinity { .. } => "cache-affinity",
+        }
+    }
+
+    /// Constructs a fresh policy value of this kind.
+    pub fn policy(&self) -> Box<dyn DispatchPolicy> {
+        match self {
+            DispatchKind::RoundRobin => Box::new(RoundRobin::default()),
+            DispatchKind::LeastLoaded => Box::new(LeastLoaded),
+            DispatchKind::DeadlineAware => Box::new(DeadlineAware),
+            DispatchKind::CacheAffinity { max_lag_s } => Box::new(CacheAffinity::new(*max_lag_s)),
+        }
+    }
+
+    /// Parses a `SCAR_DISPATCH`-style spec: `rr`/`round-robin`,
+    /// `least`/`least-loaded`, `deadline`/`deadline-aware`, and
+    /// `affinity`/`cache-affinity` with an optional `:<max_lag_s>` spill
+    /// threshold (`affinity:0.5`).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the accepted forms.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let spec = spec.trim().to_ascii_lowercase();
+        let (head, arg) = match spec.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (spec.as_str(), None),
+        };
+        let no_arg = |kind: DispatchKind| match arg {
+            Some(_) => Err(format!("dispatch policy {head:?} takes no argument")),
+            None => Ok(kind),
+        };
+        match head {
+            "rr" | "round-robin" | "roundrobin" => no_arg(DispatchKind::RoundRobin),
+            "least" | "least-loaded" | "leastloaded" => no_arg(DispatchKind::LeastLoaded),
+            "deadline" | "deadline-aware" | "deadlineaware" => no_arg(DispatchKind::DeadlineAware),
+            "affinity" | "cache-affinity" | "cacheaffinity" => {
+                let max_lag_s = match arg {
+                    None => CacheAffinity::DEFAULT_MAX_LAG_S,
+                    Some(a) => a.parse::<f64>().ok().filter(|l| *l >= 0.0).ok_or(format!(
+                        "bad affinity spill threshold {a:?} (want a non-negative number of seconds)"
+                    ))?,
+                };
+                Ok(DispatchKind::CacheAffinity { max_lag_s })
+            }
+            other => Err(format!(
+                "unknown dispatch policy {other:?} (try rr, least, deadline, \
+                 affinity or affinity:<max_lag_s>)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(stream: usize, at: f64, deadline: Option<f64>) -> Request {
+        Request {
+            id: 0,
+            stream,
+            arrival_s: at,
+            deadline_s: deadline,
+        }
+    }
+
+    fn ctx<'a>(
+        now: f64,
+        stream: usize,
+        deadline: Option<f64>,
+        backlog: &'a [f64],
+        min_service: &'a [f64],
+    ) -> DispatchContext<'a> {
+        DispatchContext {
+            now_s: now,
+            stream,
+            deadline_s: deadline,
+            backlog_s: backlog,
+            min_service_s: min_service,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut p = RoundRobin::default();
+        let backlog = [0.0; 3];
+        let ms = [0.0; 3];
+        let r = req(0, 0.0, None);
+        let picks: Vec<usize> = (0..5)
+            .map(|_| p.route(&r, &ctx(0.0, 0, None, &backlog, &ms)))
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_low() {
+        let mut p = LeastLoaded;
+        let r = req(0, 0.0, None);
+        let ms = [0.0; 3];
+        assert_eq!(p.route(&r, &ctx(0.0, 0, None, &[0.3, 0.1, 0.2], &ms)), 1);
+        assert_eq!(p.route(&r, &ctx(0.0, 0, None, &[0.2, 0.1, 0.1], &ms)), 1);
+        assert_eq!(p.route(&r, &ctx(0.0, 0, None, &[0.0, 0.0, 0.0], &ms)), 0);
+    }
+
+    #[test]
+    fn deadline_aware_picks_a_feasible_replica() {
+        let mut p = DeadlineAware;
+        // replica 0 is idle but slow, replica 1 busy but fast
+        let backlog = [0.0, 0.05];
+        let ms = [0.2, 0.01];
+        // deadline 0.1: only replica 1 makes it (0.05 + 0.01 <= 0.1)
+        let r = req(0, 0.0, Some(0.1));
+        assert_eq!(p.route(&r, &ctx(0.0, 0, Some(0.1), &backlog, &ms)), 1);
+        // hopeless deadline: fall back to least loaded (replica 0)
+        let r2 = req(0, 0.0, Some(0.001));
+        assert_eq!(p.route(&r2, &ctx(0.0, 0, Some(0.001), &backlog, &ms)), 0);
+        // no deadline at all: least loaded
+        let r3 = req(0, 0.0, None);
+        assert_eq!(p.route(&r3, &ctx(0.0, 0, None, &backlog, &ms)), 0);
+    }
+
+    #[test]
+    fn affinity_sticks_until_the_home_lags() {
+        let mut p = CacheAffinity::new(0.1);
+        let ms = [0.0; 2];
+        let r = req(1, 0.0, None);
+        // stream 1 of 2 replicas → home is replica 1
+        assert_eq!(p.route(&r, &ctx(0.0, 1, None, &[0.0, 0.05], &ms)), 1);
+        assert_eq!(p.migrations(), 0);
+        // home lags by more than max_lag_s → spill to least loaded
+        assert_eq!(p.route(&r, &ctx(0.0, 1, None, &[0.0, 0.25], &ms)), 0);
+        assert_eq!(p.migrations(), 1);
+    }
+
+    #[test]
+    fn kind_parses_and_round_trips() {
+        for (spec, kind) in [
+            ("rr", DispatchKind::RoundRobin),
+            (" Round-Robin ", DispatchKind::RoundRobin),
+            ("least", DispatchKind::LeastLoaded),
+            ("LEASTLOADED", DispatchKind::LeastLoaded),
+            ("deadline", DispatchKind::DeadlineAware),
+            (
+                "affinity",
+                DispatchKind::CacheAffinity {
+                    max_lag_s: CacheAffinity::DEFAULT_MAX_LAG_S,
+                },
+            ),
+            (
+                "cache-affinity:0.5",
+                DispatchKind::CacheAffinity { max_lag_s: 0.5 },
+            ),
+        ] {
+            let parsed = DispatchKind::parse(spec).expect(spec);
+            assert_eq!(parsed, kind, "{spec}");
+            assert_eq!(
+                DispatchKind::parse(parsed.name()).unwrap().name(),
+                parsed.name()
+            );
+        }
+        for bad in ["", "nope", "affinity:-1", "affinity:x", "rr:3"] {
+            assert!(DispatchKind::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn policies_report_their_names() {
+        for kind in DispatchKind::builtins() {
+            assert_eq!(kind.policy().name(), kind.name());
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! The fleet tier: one traffic mix sharded across many MCM replicas.
+//!
+//! The paper schedules multi-model workloads onto *one* heterogeneous
+//! MCM; production traffic at scale means a fleet of them behind a
+//! dispatcher. [`FleetSim`] owns N [`ServeSim`]-style replicas — possibly
+//! heterogeneous, e.g. Het-Sides mixed with the other 3×3 topologies —
+//! splits a [`TrafficMix`]'s arrival sequence into per-replica streams,
+//! and serves each share through the unmodified serving loop.
+//!
+//! # Determinism and the merge order
+//!
+//! Routing happens in **one pass over the globally time-sorted arrival
+//! sequence, before any replica executes**. The dispatcher's load signal
+//! is a virtual backlog model (per-replica `busy_until` walls advanced by
+//! the cost-DB min-service probe), not replica execution state — so the
+//! routing decision for arrival `k` depends only on the mix seed, the
+//! dispatch policy, and the decisions for arrivals `0..k`. Replicas then
+//! advance strictly in replica-index order (the fixed merge order), each
+//! one a deterministic [`ServeSim::run_arrivals`] call. Same seed + same
+//! dispatch policy ⇒ byte-identical [`FleetReport`] for any
+//! [`Parallelism`](scar_core::Parallelism) setting, because per-replica
+//! parallelism is already report-invariant and nothing else in the fleet
+//! touches a thread.
+//!
+//! A single-replica fleet routes every arrival to replica 0 under every
+//! built-in policy, and `run_arrivals(mix, mix.arrivals(h))` is exactly
+//! [`ServeSim::run`] — so `FleetSim` with one replica reproduces a plain
+//! serving run byte-for-byte (the no-regression gate in
+//! `tests/fleet_invariants.rs`).
+//!
+//! # Example: four heterogeneous replicas under cache-affinity routing
+//!
+//! ```
+//! use scar_serve::fleet::{DispatchKind, FleetConfig, FleetSim, ReplicaSpec};
+//! use scar_serve::{ServeConfig, TrafficMix};
+//! use scar_mcm::templates::Profile;
+//!
+//! let replicas = ReplicaSpec::heterogeneous(4, Profile::ArVr, ServeConfig::default());
+//! let mut fleet = FleetSim::new(
+//!     replicas,
+//!     FleetConfig {
+//!         dispatch: DispatchKind::parse("affinity").unwrap(),
+//!         ..FleetConfig::default()
+//!     },
+//! );
+//! let report = fleet.run(&TrafficMix::arvr(7), 0.05).expect("mix fits each 3x3");
+//! assert_eq!(report.offered, report.completed + report.rejected);
+//! println!("{report}");
+//! ```
+
+mod dispatch;
+mod report;
+
+pub use dispatch::{
+    CacheAffinity, DeadlineAware, DispatchContext, DispatchKind, DispatchPolicy, LeastLoaded,
+    RoundRobin,
+};
+pub use report::{FleetReport, ReplicaReport};
+
+use crate::cache::CacheStats;
+use crate::sim::{ServeConfig, ServeSim};
+use crate::traffic::{Request, TrafficMix};
+use scar_core::{ScheduleError, Session};
+use scar_mcm::templates::{self, Profile};
+use scar_mcm::McmConfig;
+use scar_telemetry::Telemetry;
+
+/// One replica's hardware and serving configuration. Replicas own their
+/// MCM (unlike a standalone [`ServeSim`], which borrows one) because the
+/// fleet constructs its serving loops internally, each run.
+#[derive(Debug, Clone)]
+pub struct ReplicaSpec {
+    /// The replica's chiplet package.
+    pub mcm: McmConfig,
+    /// The replica's serving configuration (search budget, admission,
+    /// preemption, parallelism, cost-DB persistence…). The `telemetry`
+    /// field is ignored: the fleet threads its own sink through every
+    /// replica so all spans and counters roll into one trace.
+    pub cfg: ServeConfig,
+}
+
+impl ReplicaSpec {
+    /// `n` heterogeneous replicas cycling the paper's four 3×3 MCM
+    /// strategies in order (`Simba (Shi)`, `Simba (NVD)`, `Het-CB`,
+    /// `Het-Sides` — [`templates::all_3x3`]), all sharing `base` as their
+    /// serving configuration.
+    pub fn heterogeneous(n: usize, profile: Profile, base: ServeConfig) -> Vec<ReplicaSpec> {
+        let pool = templates::all_3x3(profile);
+        (0..n)
+            .map(|i| ReplicaSpec {
+                mcm: pool[i % pool.len()].clone(),
+                cfg: base.clone(),
+            })
+            .collect()
+    }
+
+    /// `n` identical Het-Sides replicas sharing `base` — the homogeneous
+    /// fleet (`SCAR_FLEET_HET=0`).
+    pub fn homogeneous(n: usize, profile: Profile, base: ServeConfig) -> Vec<ReplicaSpec> {
+        (0..n)
+            .map(|_| ReplicaSpec {
+                mcm: templates::het_sides_3x3(profile),
+                cfg: base.clone(),
+            })
+            .collect()
+    }
+}
+
+/// Fleet-level configuration: how to route, and where to record.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The dispatch policy (see [`DispatchKind`]; round-robin by
+    /// default — the baseline the load- and cache-aware policies are
+    /// measured against).
+    pub dispatch: DispatchKind,
+    /// Telemetry sink for the whole fleet: the dispatch pass, every
+    /// replica's serving loop, and the fleet-level counters all record
+    /// into this one handle. Observational only.
+    pub telemetry: Telemetry,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            dispatch: DispatchKind::RoundRobin,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// The fleet simulator: N replica specs plus a dispatch policy.
+///
+/// Each [`FleetSim::run`] constructs its replicas' serving loops fresh
+/// (caches and per-replica sessions start cold), routes the mix's whole
+/// arrival sequence, then advances the replicas in index order. See the
+/// [module docs](self) for the determinism contract.
+pub struct FleetSim {
+    replicas: Vec<ReplicaSpec>,
+    cfg: FleetConfig,
+}
+
+impl FleetSim {
+    /// A fleet over `replicas` with the given fleet configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    pub fn new(replicas: Vec<ReplicaSpec>, cfg: FleetConfig) -> Self {
+        assert!(!replicas.is_empty(), "a fleet needs at least one replica");
+        Self { replicas, cfg }
+    }
+
+    /// Number of replicas.
+    pub fn size(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The configured dispatch policy kind.
+    pub fn dispatch(&self) -> &DispatchKind {
+        &self.cfg.dispatch
+    }
+
+    /// Serves every request the mix emits in `[0, horizon_s)` across the
+    /// fleet and reports per-replica and rolled-up metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first replica's [`ScheduleError`] (in merge order) if
+    /// its scheduler cannot schedule a live scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon_s` is not positive and finite (see
+    /// [`TrafficMix::arrivals`]).
+    pub fn run(&mut self, mix: &TrafficMix, horizon_s: f64) -> Result<FleetReport, ScheduleError> {
+        let tel = self.cfg.telemetry.clone();
+        let n = self.replicas.len();
+        let mut run_span = tel.span("fleet.run");
+        run_span.push_arg("mix", mix.name.as_str());
+        run_span.push_arg("replicas", n);
+        run_span.push_arg("dispatch", self.cfg.dispatch.name());
+
+        let arrivals = mix.arrivals(horizon_s);
+        let offered = arrivals.len();
+
+        // Per-(replica, stream) min-service estimates from one shared
+        // probe session: costs key on (chiplet class, layer, batch), so
+        // heterogeneous replicas share entries where their classes
+        // overlap. Stream-major for per-arrival slicing.
+        let probe = Session::new();
+        let min_service: Vec<Vec<f64>> = (0..mix.streams.len())
+            .map(|si| {
+                let s = &mix.streams[si];
+                self.replicas
+                    .iter()
+                    .map(|r| probe.min_service_s(&r.mcm, &s.model, s.samples_per_request))
+                    .collect()
+            })
+            .collect();
+
+        // The single routing pass (see module docs): virtual busy_until
+        // walls stand in for replica load, advanced by the min-service
+        // estimate of every routed arrival.
+        let mut policy = self.cfg.dispatch.policy();
+        let mut routed: Vec<Vec<Request>> = vec![Vec::new(); n];
+        {
+            let mut dispatch_span = tel.span("fleet.dispatch");
+            dispatch_span.push_arg("arrivals", offered);
+            let mut busy_until = vec![0.0f64; n];
+            let mut backlog = vec![0.0f64; n];
+            for r in &arrivals {
+                for (b, busy) in backlog.iter_mut().zip(&busy_until) {
+                    *b = (busy - r.arrival_s).max(0.0);
+                }
+                let ctx = DispatchContext {
+                    now_s: r.arrival_s,
+                    stream: r.stream,
+                    deadline_s: r.deadline_s,
+                    backlog_s: &backlog,
+                    min_service_s: &min_service[r.stream],
+                };
+                let target = policy.route(r, &ctx);
+                assert!(
+                    target < n,
+                    "dispatch policy {} routed to replica {target} of a {n}-replica fleet",
+                    policy.name()
+                );
+                busy_until[target] =
+                    busy_until[target].max(r.arrival_s) + min_service[r.stream][target];
+                routed[target].push(*r);
+            }
+            dispatch_span.push_arg("migrations", policy.migrations());
+        }
+        let migrations = policy.migrations();
+
+        // Advance replicas strictly in index order — the fixed merge
+        // order. Each share preserves global arrival order (the routing
+        // pass appends in sequence), so it is a valid arrival list.
+        let mut replica_reports = Vec::with_capacity(n);
+        for (ri, (spec, share)) in self.replicas.iter().zip(routed).enumerate() {
+            let mut span = tel.span("fleet.replica");
+            span.push_arg("replica", ri);
+            span.push_arg("mcm", spec.mcm.name().to_string());
+            span.push_arg("routed", share.len());
+            let mut cfg = spec.cfg.clone();
+            cfg.telemetry = tel.clone();
+            let mut sim = ServeSim::new(&spec.mcm, cfg);
+            let routed_count = share.len();
+            let report = sim.run_arrivals(mix, share)?;
+            span.push_arg("completed", report.completed);
+            span.push_arg("rejected", report.rejected);
+            span.push_arg("cache_hits", report.cache.hits);
+            replica_reports.push(ReplicaReport {
+                mcm_name: spec.mcm.name().to_string(),
+                routed: routed_count,
+                report,
+            });
+        }
+        drop(run_span);
+
+        let completed: usize = replica_reports.iter().map(|r| r.report.completed).sum();
+        let rejected: usize = replica_reports.iter().map(|r| r.report.rejected).sum();
+        let cache = replica_reports.iter().fold(
+            CacheStats {
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            },
+            |acc, r| CacheStats {
+                hits: acc.hits + r.report.cache.hits,
+                misses: acc.misses + r.report.cache.misses,
+                evictions: acc.evictions + r.report.cache.evictions,
+            },
+        );
+        let report = FleetReport {
+            mix_name: mix.name.clone(),
+            dispatch: self.cfg.dispatch.name().to_string(),
+            offered,
+            completed,
+            rejected,
+            deadline_misses: replica_reports
+                .iter()
+                .map(|r| r.report.deadline_misses)
+                .sum(),
+            deadline_bound: replica_reports
+                .iter()
+                .map(|r| r.report.deadline_bound)
+                .sum(),
+            migrations,
+            makespan_s: replica_reports
+                .iter()
+                .map(|r| r.report.makespan_s)
+                .fold(0.0, f64::max),
+            cache,
+            replicas: replica_reports,
+        };
+        debug_assert_eq!(
+            report.offered,
+            report.replicas.iter().map(|r| r.routed).sum::<usize>(),
+            "routing conserves arrivals: every offered request lands on exactly one replica"
+        );
+        debug_assert_eq!(
+            report.offered,
+            report.completed + report.rejected,
+            "fleet conservation: offered == Σ completed + rejected"
+        );
+        tel.count("fleet.offered", offered as u64);
+        tel.count("fleet.completed", completed as u64);
+        tel.count("fleet.rejected", rejected as u64);
+        tel.count("fleet.migrations", migrations);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::TrafficShape;
+
+    fn small_fleet(n: usize, dispatch: DispatchKind) -> FleetSim {
+        FleetSim::new(
+            ReplicaSpec::heterogeneous(n, Profile::ArVr, ServeConfig::default()),
+            FleetConfig {
+                dispatch,
+                ..FleetConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn every_builtin_serves_and_conserves() {
+        let mix = TrafficMix::arvr(11).reshaped(TrafficShape::Burst);
+        for kind in DispatchKind::builtins() {
+            let mut fleet = small_fleet(3, kind.clone());
+            let report = fleet.run(&mix, 0.2).expect("mix fits each replica");
+            assert_eq!(
+                report.offered,
+                report.completed + report.rejected,
+                "{kind:?}"
+            );
+            assert_eq!(
+                report.offered,
+                report.replicas.iter().map(|r| r.routed).sum::<usize>(),
+                "{kind:?}"
+            );
+            for r in &report.replicas {
+                assert_eq!(r.routed, r.report.offered, "{kind:?}");
+                assert_eq!(r.routed, r.report.completed + r.report.rejected, "{kind:?}");
+            }
+            assert!(report.completed > 0, "{kind:?}");
+            assert!(report.makespan_s > 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn identical_runs_are_byte_identical() {
+        let mix = TrafficMix::arvr(5);
+        let run = || {
+            small_fleet(
+                4,
+                DispatchKind::CacheAffinity {
+                    max_lag_s: CacheAffinity::DEFAULT_MAX_LAG_S,
+                },
+            )
+            .run(&mix, 0.1)
+            .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn single_replica_fleet_matches_plain_serve_sim() {
+        let mix = TrafficMix::arvr(3);
+        for kind in DispatchKind::builtins() {
+            let mut fleet = FleetSim::new(
+                ReplicaSpec::homogeneous(1, Profile::ArVr, ServeConfig::default()),
+                FleetConfig {
+                    dispatch: kind,
+                    ..FleetConfig::default()
+                },
+            );
+            let fleet_report = fleet.run(&mix, 0.1).unwrap();
+            let mcm = templates::het_sides_3x3(Profile::ArVr);
+            let mut plain = ServeSim::new(&mcm, ServeConfig::default());
+            let plain_report = plain.run(&mix, 0.1).unwrap();
+            assert_eq!(fleet_report.replicas[0].report, plain_report);
+        }
+    }
+
+    #[test]
+    fn affinity_keeps_streams_home_without_overload() {
+        // light load: no spills, so stream s is served only by replica
+        // s % n, and idle spares see zero traffic
+        let mix = TrafficMix::arvr(9);
+        let mut fleet = small_fleet(4, DispatchKind::parse("affinity").unwrap());
+        let report = fleet.run(&mix, 0.1).unwrap();
+        assert_eq!(report.migrations, 0, "light load must not spill");
+        assert_eq!(
+            report.replicas[3].routed, 0,
+            "3 streams on 4 replicas leave the last one idle"
+        );
+        assert!(report.utilization(3) == 0.0);
+        assert!(report.utilization(0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_fleet_panics() {
+        let _ = FleetSim::new(Vec::new(), FleetConfig::default());
+    }
+}

@@ -1,0 +1,214 @@
+//! Fleet-level serving metrics: per-replica breakdowns rolled up into
+//! global conservation, deadline, utilization, and cache-warmth numbers.
+
+use crate::cache::CacheStats;
+use crate::report::ServeReport;
+use std::fmt;
+
+/// One replica's slice of a fleet run: what was routed to it and the full
+/// [`ServeReport`] it produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaReport {
+    /// The replica's MCM name (replicas may be heterogeneous).
+    pub mcm_name: String,
+    /// Arrivals the dispatcher routed to this replica.
+    pub routed: usize,
+    /// The replica's own serving report (its `offered` equals `routed`).
+    pub report: ServeReport,
+}
+
+/// The outcome of one [`FleetSim`](crate::fleet::FleetSim) run.
+///
+/// Conservation holds at both levels: each replica's
+/// `offered == completed + rejected`, and the fleet's `offered` equals
+/// the sum of every replica's — no arrival is dropped or duplicated by
+/// routing. Determinism contract: same mix seed + same dispatch policy ⇒
+/// a byte-identical `FleetReport` (struct equality *and* rendered form)
+/// for any [`Parallelism`](scar_core::Parallelism) setting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// The traffic mix's name.
+    pub mix_name: String,
+    /// The dispatch policy's name.
+    pub dispatch: String,
+    /// Requests the mix offered over the horizon (fleet-wide).
+    pub offered: usize,
+    /// Requests completed across all replicas.
+    pub completed: usize,
+    /// Requests rejected by per-replica admission across all replicas.
+    pub rejected: usize,
+    /// Deadline misses across all replicas.
+    pub deadline_misses: usize,
+    /// Requests that carried a deadline, across all replicas.
+    pub deadline_bound: usize,
+    /// Rebalance events: arrivals the dispatch policy routed away from
+    /// its preferred replica because of load (cache-affinity spills; 0
+    /// for the stateless policies).
+    pub migrations: u64,
+    /// Fleet makespan: the latest completion across replicas, seconds
+    /// (replicas run the same virtual clock, so per-replica utilization
+    /// is `busy_s` over this).
+    pub makespan_s: f64,
+    /// Aggregate schedule-cache counters summed over replicas — the
+    /// number the cache-affinity-vs-round-robin gate compares.
+    pub cache: CacheStats,
+    /// Per-replica breakdowns, in replica (merge) order.
+    pub replicas: Vec<ReplicaReport>,
+}
+
+impl FleetReport {
+    /// Deadline misses as a fraction of deadline-bound requests
+    /// (0 when the mix has no deadlines).
+    pub fn deadline_miss_rate(&self) -> f64 {
+        if self.deadline_bound == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.deadline_bound as f64
+        }
+    }
+
+    /// Aggregate schedule-cache hit rate across replicas.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// Replica `i`'s utilization against the *fleet* makespan: the share
+    /// of the fleet's wall it spent executing windows. An idle spare
+    /// under a sticky policy shows up as 0 here even though its own
+    /// report (with a 0 makespan) says nothing.
+    pub fn utilization(&self, i: usize) -> f64 {
+        if self.makespan_s > 0.0 {
+            self.replicas[i].report.busy_s / self.makespan_s
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "=== fleet: {} via {} ({} replicas) ===",
+            self.mix_name,
+            self.dispatch,
+            self.replicas.len()
+        )?;
+        writeln!(
+            f,
+            "offered {} = completed {} + rejected {} | makespan {:.3} s | migrations {}",
+            self.offered, self.completed, self.rejected, self.makespan_s, self.migrations
+        )?;
+        writeln!(
+            f,
+            "deadline misses {}/{} ({:.1}%) | schedule cache {} hits / {} misses ({:.1}% hit rate)",
+            self.deadline_misses,
+            self.deadline_bound,
+            self.deadline_miss_rate() * 100.0,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache_hit_rate() * 100.0
+        )?;
+        writeln!(
+            f,
+            "  {:<3} {:<14} {:>7} {:>9} {:>9} {:>6} {:>9} {:>10}",
+            "#", "mcm", "routed", "completed", "rejected", "util", "hit rate", "miss rate"
+        )?;
+        for (i, r) in self.replicas.iter().enumerate() {
+            writeln!(
+                f,
+                "  {:<3} {:<14} {:>7} {:>9} {:>9} {:>5.1}% {:>8.1}% {:>9.1}%",
+                i,
+                r.mcm_name,
+                r.routed,
+                r.report.completed,
+                r.report.rejected,
+                self.utilization(i) * 100.0,
+                r.report.cache.hit_rate() * 100.0,
+                r.report.deadline_miss_rate() * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::LatencySummary;
+
+    fn stub_serve_report(completed: usize, rejected: usize) -> ServeReport {
+        ServeReport {
+            mix_name: "m".into(),
+            policy_name: "SCAR on X".into(),
+            makespan_s: 1.0,
+            busy_s: 0.5,
+            offered: completed + rejected,
+            completed,
+            rejected,
+            preemptions: 0,
+            windows_scheduled: 1,
+            throughput_rps: completed as f64,
+            energy_j: 0.1,
+            latency: LatencySummary::of(&[0.01]),
+            deadline_misses: 1,
+            deadline_bound: 2,
+            cache: CacheStats {
+                hits: 3,
+                misses: 1,
+                evictions: 0,
+            },
+            incremental_reschedules: 0,
+            full_searches: 1,
+            cost_evaluations: 5,
+            per_stream: vec![],
+        }
+    }
+
+    #[test]
+    fn report_renders_and_rates() {
+        let rep = FleetReport {
+            mix_name: "mix".into(),
+            dispatch: "cache-affinity".into(),
+            offered: 12,
+            completed: 10,
+            rejected: 2,
+            deadline_misses: 2,
+            deadline_bound: 4,
+            migrations: 1,
+            makespan_s: 2.0,
+            cache: CacheStats {
+                hits: 6,
+                misses: 2,
+                evictions: 0,
+            },
+            replicas: vec![
+                ReplicaReport {
+                    mcm_name: "Het-Sides".into(),
+                    routed: 7,
+                    report: stub_serve_report(6, 1),
+                },
+                ReplicaReport {
+                    mcm_name: "Het-CB".into(),
+                    routed: 5,
+                    report: stub_serve_report(4, 1),
+                },
+            ],
+        };
+        assert!((rep.deadline_miss_rate() - 0.5).abs() < 1e-12);
+        assert!((rep.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((rep.utilization(0) - 0.25).abs() < 1e-12);
+        let text = rep.to_string();
+        for needle in [
+            "fleet: mix via cache-affinity (2 replicas)",
+            "offered 12 = completed 10 + rejected 2",
+            "migrations 1",
+            "deadline misses 2/4 (50.0%)",
+            "Het-Sides",
+            "Het-CB",
+            "hit rate",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

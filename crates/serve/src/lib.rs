@@ -40,6 +40,11 @@
 //!   as a seeded candidate (incremental rescheduling) before searching.
 //! * [`report`] — serving metrics ([`ServeReport`]): p50/p95/p99 latency,
 //!   throughput, deadline-miss rates, energy, cache effectiveness.
+//! * [`fleet`] — the routing tier ([`FleetSim`]): one traffic mix sharded
+//!   across N possibly-heterogeneous MCM replicas through a pluggable
+//!   [`DispatchPolicy`] (round-robin, least-loaded, deadline-aware,
+//!   cache-affinity), with a deterministic dispatch-then-merge run loop
+//!   and a rolled-up [`FleetReport`].
 //!
 //! Everything is deterministic given the mix seed and scheduler
 //! configuration: two identical runs produce identical reports.
@@ -68,6 +73,7 @@
 
 pub mod admission;
 pub mod cache;
+pub mod fleet;
 pub mod registry;
 pub mod report;
 pub mod sim;
@@ -80,6 +86,10 @@ pub use admission::{
 pub use cache::{
     fingerprint, fingerprint_parts, fingerprint_parts_in_context, fingerprints, shape_fingerprint,
     CacheStats, ScheduleCache, ServeContext,
+};
+pub use fleet::{
+    CacheAffinity, DeadlineAware, DispatchContext, DispatchKind, DispatchPolicy, FleetConfig,
+    FleetReport, FleetSim, LeastLoaded, ReplicaReport, ReplicaSpec, RoundRobin,
 };
 pub use registry::{PolicyFactory, PolicyRegistry, UnknownPolicy};
 pub use report::{percentile, LatencySummary, ServeReport, StreamStats};

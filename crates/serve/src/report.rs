@@ -98,6 +98,11 @@ pub struct ServeReport {
     pub policy_name: String,
     /// Virtual time at which the last request completed, seconds.
     pub makespan_s: f64,
+    /// Virtual time the package spent executing scheduled windows,
+    /// seconds — the makespan minus idle gaps waiting for arrivals.
+    /// `busy_s / makespan_s` is the replica's utilization, the quantity a
+    /// fleet's load balancing tries to even out.
+    pub busy_s: f64,
     /// Requests the traffic mix offered over the horizon. Conservation of
     /// arrivals: `offered == completed + rejected`, always.
     pub offered: usize,
@@ -162,6 +167,15 @@ impl ServeReport {
             self.rejected as f64 / self.offered as f64
         }
     }
+
+    /// Busy time as a fraction of the makespan (0 for an empty run).
+    pub fn utilization(&self) -> f64 {
+        if self.makespan_s > 0.0 {
+            self.busy_s / self.makespan_s
+        } else {
+            0.0
+        }
+    }
 }
 
 fn ms(s: f64) -> String {
@@ -173,8 +187,12 @@ impl fmt::Display for ServeReport {
         writeln!(f, "=== {} on {} ===", self.mix_name, self.policy_name)?;
         writeln!(
             f,
-            "completed {} of {} requests in {:.3} s virtual ({} scheduling rounds)",
-            self.completed, self.offered, self.makespan_s, self.windows_scheduled
+            "completed {} of {} requests in {:.3} s virtual ({} scheduling rounds, {:.1}% busy)",
+            self.completed,
+            self.offered,
+            self.makespan_s,
+            self.windows_scheduled,
+            self.utilization() * 100.0
         )?;
         writeln!(
             f,
@@ -302,6 +320,7 @@ mod tests {
             mix_name: "test mix".into(),
             policy_name: "SCAR on Het-Sides".into(),
             makespan_s: 1.5,
+            busy_s: 0.75,
             offered: 12,
             completed: 10,
             rejected: 2,
@@ -342,6 +361,7 @@ mod tests {
             "rounds by phase: 4 full searches | 3 cache hits | 1 incremental | 3 preempt splices",
             "cost evaluations this run: 12",
             "completed 10 of 12",
+            "50.0% busy",
             "admission rejected 2 (16.7%)",
             "mid-window preemptions 3",
         ] {

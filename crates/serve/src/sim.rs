@@ -160,6 +160,12 @@ pub struct ServeConfig {
     /// snapshot never changes *what* is scheduled — only whether MAESTRO
     /// runs (watch [`ServeReport::cost_evaluations`]).
     pub cost_db_path: Option<std::path::PathBuf>,
+    /// Bound on the session's cost-database size at persist time. When
+    /// set together with [`ServeConfig::cost_db_path`], every run ends
+    /// with an LRU compaction pass ([`Session::compact_costs`]) before the
+    /// snapshot is saved, so long-lived stores (a fleet multiplies them)
+    /// stop growing without bound. `None` (the default) never evicts.
+    pub cost_db_max_entries: Option<usize>,
     /// Telemetry sink threaded through the whole loop: the [`Session`]
     /// (scheduler-side spans), the [`ScheduleCache`] (hit/miss/eviction
     /// counters), admission, and the loop's own phase spans all record
@@ -192,6 +198,7 @@ impl Default for ServeConfig {
             preempt_min_rate_hz: 0.0,
             parallelism: Parallelism::Auto,
             cost_db_path: None,
+            cost_db_max_entries: None,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -239,24 +246,13 @@ fn remainder_model(model: &Model, executed_end: usize) -> Model {
     )
 }
 
-/// The admission cost-DB probe: a lower bound on one request's service
-/// latency — the sum over the stream's layers of the best-chiplet latency
-/// at the stream's per-request batch. Probed entries memoize into the
-/// session's shared database (and persist with it), so a warm-started
-/// process probes at zero MAESTRO evaluations.
+/// The admission cost-DB probe: [`Session::min_service_s`] at the
+/// stream's per-request batch — a lower bound on one request's service
+/// latency. Probed entries memoize into the session's shared database
+/// (and persist with it), so a warm-started process probes at zero
+/// MAESTRO evaluations.
 fn min_service_probe(session: &Session, mcm: &McmConfig, stream: &RequestStream) -> f64 {
-    let db = session.database();
-    stream
-        .model
-        .layers()
-        .iter()
-        .map(|layer| {
-            mcm.chiplets()
-                .iter()
-                .map(|ch| db.get(ch, &layer.kind, stream.samples_per_request).time_s)
-                .fold(f64::INFINITY, f64::min)
-        })
-        .sum()
+    session.min_service_s(mcm, &stream.model, stream.samples_per_request)
 }
 
 /// Where (if anywhere) a schedule starting at `t` with per-window
@@ -495,6 +491,45 @@ impl<'a> ServeSim<'a> {
     /// Panics if `horizon_s` is not positive and finite (see
     /// [`TrafficMix::arrivals`]).
     pub fn run(&mut self, mix: &TrafficMix, horizon_s: f64) -> Result<ServeReport, ScheduleError> {
+        let arrivals = mix.arrivals(horizon_s);
+        self.run_arrivals(mix, arrivals)
+    }
+
+    /// Serves an explicit, time-sorted arrival list drawn from `mix`'s
+    /// streams to completion — the entry point a fleet dispatcher uses to
+    /// feed one replica its routed share of a globally generated arrival
+    /// sequence ([`crate::fleet`]). [`ServeSim::run`] is exactly
+    /// `run_arrivals(mix, mix.arrivals(horizon_s))`, so a single-replica
+    /// fleet reproduces a plain serving run byte-for-byte.
+    ///
+    /// Request ids are free-form (a fleet keeps them globally unique
+    /// across replicas); only arrival order and per-request fields matter.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScheduleError`] if the scheduler cannot schedule a live
+    /// scenario (e.g. more concurrent tenants than chiplets under
+    /// `Standalone`).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `arrivals` is not sorted by arrival
+    /// time or references a stream `mix` does not have.
+    pub fn run_arrivals(
+        &mut self,
+        mix: &TrafficMix,
+        arrivals: Vec<Request>,
+    ) -> Result<ServeReport, ScheduleError> {
+        debug_assert!(
+            arrivals
+                .windows(2)
+                .all(|w| w[0].arrival_s <= w[1].arrival_s),
+            "arrivals must be sorted by arrival time"
+        );
+        debug_assert!(
+            arrivals.iter().all(|r| r.stream < mix.streams.len()),
+            "every arrival must reference a stream of the mix"
+        );
         let cache_before = self.cache.stats();
         let incremental_before = self.incremental_reschedules;
         let preemptions_before = self.preemptions;
@@ -503,7 +538,6 @@ impl<'a> ServeSim<'a> {
         // local handle so span guards never borrow `self` across the
         // `&mut self` scheduling calls below
         let tel = self.tel.clone();
-        let arrivals = mix.arrivals(horizon_s);
         let offered = arrivals.len();
         let mut next_arrival = 0usize;
         let mut queues: Vec<VecDeque<Request>> = vec![VecDeque::new(); mix.streams.len()];
@@ -523,6 +557,9 @@ impl<'a> ServeSim<'a> {
         let mut windows_scheduled = 0usize;
         let mut energy_j = 0.0f64;
         let mut makespan = 0.0f64;
+        // wall the package spent executing windows (virtual time minus
+        // idle jumps) — the numerator of a replica's utilization
+        let mut busy_s = 0.0f64;
 
         // the root span every per-phase interval nests under (trace
         // coverage is measured against its extent)
@@ -670,6 +707,7 @@ impl<'a> ServeSim<'a> {
                     }
                     energy_j += result.total().energy_j;
                     t += window_total;
+                    busy_s += window_total;
                 }
                 Some(cut_w) => {
                     // execute windows 0..=cut_w, splice off the rest:
@@ -703,7 +741,9 @@ impl<'a> ServeSim<'a> {
                             });
                         }
                     }
-                    t += lats[..=cut_w].iter().sum::<f64>();
+                    let executed_s: f64 = lats[..=cut_w].iter().sum();
+                    t += executed_s;
+                    busy_s += executed_s;
                     preempt_seed = Some(Rc::clone(&result));
                     splice.push_arg("carried", carried.len());
                 }
@@ -736,11 +776,19 @@ impl<'a> ServeSim<'a> {
         tel.count("serve.full_searches", full_searches);
         tel.count("maestro.cost_evaluations", cost_evaluations);
         if let Some(path) = &self.cfg.cost_db_path {
+            // lifecycle pass at persist time: bound the store when
+            // configured (fleets multiply store count) by evicting
+            // least-recently-used entries; recency advances one epoch per
+            // compaction, so "recently used" means "used this run"
+            let evicted = match self.cfg.cost_db_max_entries {
+                Some(max) => self.session.compact_costs(max),
+                None => 0,
+            };
             // persist the accumulated database so the next process (or the
             // next run) starts warm; a steady-state run that added no
-            // entries skips the rewrite, and errors must not lose the
-            // report
-            if self.session.cached_costs() != self.persisted_costs {
+            // entries skips the rewrite (unless compaction shrank it), and
+            // errors must not lose the report
+            if evicted > 0 || self.session.cached_costs() != self.persisted_costs {
                 match self.session.save_costs(path) {
                     Ok(()) => self.persisted_costs = self.session.cached_costs(),
                     Err(e) => eprintln!("warning: failed to persist cost database: {e}"),
@@ -762,6 +810,7 @@ impl<'a> ServeSim<'a> {
             windows_scheduled,
             energy_j,
             makespan,
+            busy_s,
             cache,
             incremental,
             full_searches,
@@ -991,6 +1040,7 @@ impl<'a> ServeSim<'a> {
         windows_scheduled: usize,
         energy_j: f64,
         makespan_s: f64,
+        busy_s: f64,
         cache: crate::cache::CacheStats,
         incremental_reschedules: u64,
         full_searches: u64,
@@ -1029,6 +1079,7 @@ impl<'a> ServeSim<'a> {
             mix_name: mix.name.clone(),
             policy_name: format!("{} on {}", self.scheduler.name(), self.mcm.name()),
             makespan_s,
+            busy_s,
             offered,
             completed: completions.len(),
             rejected,

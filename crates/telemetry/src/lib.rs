@@ -65,8 +65,13 @@ use std::time::Instant;
 pub fn phase_of(span: &str) -> Option<&'static str> {
     match span {
         // candidate generation: window partitioning, chiplet provisioning,
-        // and the RNG-driven candidate sources
-        "search.generation" | "schedule.partition" | "schedule.provision" => Some("generation"),
+        // the RNG-driven candidate sources, and the placement-tree walk
+        // (`search.placements` nests inside `search.generation`; the
+        // trace analyzer unions intervals per phase, so the nesting never
+        // double-counts coverage)
+        "search.generation" | "search.placements" | "schedule.partition" | "schedule.provision" => {
+            Some("generation")
+        }
         // cost-model work: expected-cost precompute, batch evaluation,
         // seeded re-evaluation, final instance evaluation
         "search.evaluation" | "schedule.costs" | "schedule.finalize" | "schedule.seeded" => {
@@ -934,6 +939,7 @@ mod tests {
     fn phase_taxonomy_is_closed() {
         for name in [
             "search.generation",
+            "search.placements",
             "search.evaluation",
             "schedule.partition",
             "schedule.provision",

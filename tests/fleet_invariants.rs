@@ -1,0 +1,179 @@
+//! Fleet-tier invariants: seeded sweeps locking down the routing tier's
+//! determinism and conservation contracts from `DESIGN.md` §12.
+//!
+//! * **Parallelism-independence** — the fleet routes every arrival in one
+//!   pass off a virtual backlog model before any replica executes, then
+//!   advances replicas in fixed merge order; with per-replica reports
+//!   already parallelism-invariant, the whole [`FleetReport`] must be
+//!   byte-identical (struct equality *and* rendered form) between
+//!   `Serial` and `Fixed(4)` candidate evaluation, under every built-in
+//!   dispatch policy, with preemption and admission active.
+//! * **Conservation across replicas** — routing splits the arrival
+//!   sequence, it never drops or duplicates: `offered == Σ routed` and
+//!   `offered == completed + rejected` at the fleet level, with each
+//!   replica's own report conserving its share.
+//! * **No-regression** — a single-replica fleet is a plain [`ServeSim`]
+//!   run wearing a router: its replica report reproduces
+//!   `ServeSim::run` byte-for-byte under every policy.
+
+use scar::core::Parallelism;
+use scar::mcm::templates::{het_sides_3x3, Profile};
+use scar::serve::{
+    DispatchKind, FleetConfig, FleetSim, ReplicaSpec, ServeConfig, ServeSim, TrafficMix,
+    TrafficShape,
+};
+
+/// A replica config that exercises the serving machinery for real:
+/// preemption on, multi-window rounds, deadline-feasibility admission.
+fn busy_cfg(parallelism: Parallelism) -> ServeConfig {
+    ServeConfig {
+        preemption: true,
+        nsplits: 2,
+        admission: scar::serve::AdmissionKind::DeadlineFeasible,
+        parallelism,
+        ..ServeConfig::default()
+    }
+}
+
+fn fleet(n: usize, dispatch: DispatchKind, parallelism: Parallelism) -> FleetSim {
+    FleetSim::new(
+        ReplicaSpec::heterogeneous(n, Profile::ArVr, busy_cfg(parallelism)),
+        FleetConfig {
+            dispatch,
+            ..FleetConfig::default()
+        },
+    )
+}
+
+/// (a) `Serial` and `Fixed(4)` candidate evaluation produce byte-identical
+/// fleet reports for every built-in dispatch policy, across seeds, under
+/// burst traffic with preemption and admission active.
+#[test]
+fn fleet_reports_are_parallelism_invariant_per_policy() {
+    for seed in [1u64, 7, 42] {
+        let mix = TrafficMix::arvr(seed).reshaped(TrafficShape::Burst);
+        for kind in DispatchKind::builtins() {
+            let label = format!("seed {seed}, {kind:?}");
+            let serial = fleet(4, kind.clone(), Parallelism::Serial)
+                .run(&mix, 0.2)
+                .unwrap();
+            let fixed = fleet(4, kind, Parallelism::Fixed(4))
+                .run(&mix, 0.2)
+                .unwrap();
+            assert_eq!(serial, fixed, "{label}: struct equality");
+            assert_eq!(
+                serial.to_string(),
+                fixed.to_string(),
+                "{label}: rendered byte-for-byte"
+            );
+        }
+    }
+}
+
+/// (b) Conservation across replicas: the router assigns every offered
+/// arrival to exactly one replica, and completions plus rejections add
+/// back up at both levels — even while preemption splices rounds apart
+/// and admission sheds inside each replica.
+#[test]
+fn routing_conserves_arrivals_across_replicas() {
+    for seed in [1u64, 7, 42] {
+        let mix = TrafficMix::arvr(seed).reshaped(TrafficShape::Burst);
+        let offered = mix.arrivals(0.2).len();
+        for kind in DispatchKind::builtins() {
+            let label = format!("seed {seed}, {kind:?}");
+            let report = fleet(3, kind, Parallelism::Serial).run(&mix, 0.2).unwrap();
+            assert_eq!(report.offered, offered, "{label}");
+            assert_eq!(
+                report.offered,
+                report.replicas.iter().map(|r| r.routed).sum::<usize>(),
+                "{label}: every arrival routed exactly once"
+            );
+            assert_eq!(
+                report.offered,
+                report.completed + report.rejected,
+                "{label}: fleet conservation"
+            );
+            for (i, r) in report.replicas.iter().enumerate() {
+                assert_eq!(r.routed, r.report.offered, "{label}: replica {i} offered");
+                assert_eq!(
+                    r.routed,
+                    r.report.completed + r.report.rejected,
+                    "{label}: replica {i} conservation"
+                );
+            }
+            assert_eq!(
+                report.completed,
+                report
+                    .replicas
+                    .iter()
+                    .map(|r| r.report.completed)
+                    .sum::<usize>(),
+                "{label}: completed rollup"
+            );
+            assert_eq!(
+                report.deadline_misses,
+                report
+                    .replicas
+                    .iter()
+                    .map(|r| r.report.deadline_misses)
+                    .sum::<usize>(),
+                "{label}: miss rollup"
+            );
+        }
+    }
+}
+
+/// (c) No-regression: a single-replica fleet reproduces a plain
+/// `ServeSim` run byte-for-byte under every dispatch policy — the router
+/// adds nothing but the split, and a 1-way split is the identity.
+#[test]
+fn single_replica_fleet_is_a_plain_serve_sim() {
+    let mcm = het_sides_3x3(Profile::ArVr);
+    for seed in [1u64, 7] {
+        let mix = TrafficMix::arvr(seed).reshaped(TrafficShape::Burst);
+        let plain = ServeSim::new(&mcm, busy_cfg(Parallelism::Serial))
+            .run(&mix, 0.2)
+            .unwrap();
+        for kind in DispatchKind::builtins() {
+            let label = format!("seed {seed}, {kind:?}");
+            let mut one = FleetSim::new(
+                ReplicaSpec::homogeneous(1, Profile::ArVr, busy_cfg(Parallelism::Serial)),
+                FleetConfig {
+                    dispatch: kind,
+                    ..FleetConfig::default()
+                },
+            );
+            let fleet_report = one.run(&mix, 0.2).unwrap();
+            assert_eq!(
+                fleet_report.replicas[0].report, plain,
+                "{label}: replica report ≡ plain run"
+            );
+            assert_eq!(
+                fleet_report.replicas[0].report.to_string(),
+                plain.to_string(),
+                "{label}: rendered byte-for-byte"
+            );
+            assert_eq!(fleet_report.offered, plain.offered, "{label}");
+            assert_eq!(fleet_report.completed, plain.completed, "{label}");
+            assert_eq!(fleet_report.rejected, plain.rejected, "{label}");
+            assert_eq!(fleet_report.cache, plain.cache, "{label}: cache rollup");
+        }
+    }
+}
+
+/// Identical fleets are deterministic run-to-run: two fresh fleets with
+/// the same seed, policy, and replicas render the same report bytes.
+#[test]
+fn identical_fleet_runs_are_byte_identical() {
+    let mix = TrafficMix::arvr(9).reshaped(TrafficShape::Diurnal);
+    for kind in DispatchKind::builtins() {
+        let a = fleet(4, kind.clone(), Parallelism::Serial)
+            .run(&mix, 0.2)
+            .unwrap();
+        let b = fleet(4, kind.clone(), Parallelism::Serial)
+            .run(&mix, 0.2)
+            .unwrap();
+        assert_eq!(a, b, "{kind:?}");
+        assert_eq!(a.to_string(), b.to_string(), "{kind:?}");
+    }
+}
