@@ -14,6 +14,9 @@
 //!
 //! # what-if: re-target every recorded request at a different package
 //! SCAR_REPLAY_MCM=simba_nvd cargo run --release -p scar-bench --bin replay -- ARTIFACT_table04_edp.json
+//!
+//! # what-if: re-price every recorded request under a wireless fabric
+//! SCAR_REPLAY_FABRIC=wireless cargo run --release -p scar-bench --bin replay -- ARTIFACT_table04_edp.json
 //! ```
 //!
 //! Artifacts record the answering scheduler's *name and configuration*
@@ -28,7 +31,9 @@
 //! (unknown scheduler name): under an unchanged cost model, scheduling is
 //! deterministic, so drift means the model (or a scheduler
 //! reconstruction) changed out from under the recording. With
-//! `SCAR_REPLAY_MCM` set, drift is the expected output, not an error.
+//! `SCAR_REPLAY_MCM` or `SCAR_REPLAY_FABRIC` set, drift is the expected
+//! output, not an error (a fabric swaps the whole `Lat_com` pricing, so
+//! schedules legitimately move — that's the experiment).
 //! With `SCAR_REPLAY_BAND=<frac>` set (e.g. `0.05` for ±5%), the gate is
 //! the fidelity *tolerance band* instead of exactness: totals drift
 //! within the band passes, outside it fails — the re-anchoring mode for
@@ -71,7 +76,8 @@ fn main() -> ExitCode {
         eprintln!("usage: replay <ARTIFACT_*.json> [more artifact files…]");
         eprintln!(
             "env: SCAR_COST_DB=<snapshot> (warm-start costs), \
-             SCAR_REPLAY_MCM=<template[:profile]>, SCAR_NSPLITS=<n>, \
+             SCAR_REPLAY_MCM=<template[:profile]>, \
+             SCAR_REPLAY_FABRIC=none|nop|wireless, SCAR_NSPLITS=<n>, \
              SCAR_SEARCH=brute|evolutionary, SCAR_REPLAY_BAND=<frac> \
              (±band gate instead of exactness)"
         );
@@ -102,6 +108,22 @@ fn main() -> ExitCode {
                      (simba_shi, simba_nvd, het_cb, het_sides, het_t, het_cross; \
                      optional :datacenter/:arvr suffix)"
                 );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Ok(spec) = std::env::var("SCAR_REPLAY_FABRIC") {
+        match scar_mcm::InterconnectSpec::parse(&spec) {
+            Ok(fabric) => {
+                println!(
+                    "re-pricing every request under the {} fabric",
+                    fabric.as_ref().map_or("none (stripped)", |f| f.label())
+                );
+                options.fabric_override = Some(fabric);
+            }
+            Err(e) => {
+                eprintln!("SCAR_REPLAY_FABRIC: {e}");
                 return ExitCode::from(2);
             }
         }
@@ -144,7 +166,7 @@ fn main() -> ExitCode {
     }
 
     let registry = PolicyRegistry::with_builtins();
-    let what_if = options.mcm_override.is_some();
+    let what_if = options.mcm_override.is_some() || options.fabric_override.is_some();
     let mut all_exact = true;
     let mut violations = 0usize;
     let mut skipped = 0usize;

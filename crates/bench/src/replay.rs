@@ -24,7 +24,7 @@
 //!   happened rather than a synthetic Table III scenario.
 
 use scar_core::{EvalTotals, ScheduleArtifact, ScheduleError, Session};
-use scar_mcm::McmConfig;
+use scar_mcm::{InterconnectSpec, McmConfig};
 use scar_serve::{PolicyRegistry, ServeConfig};
 
 /// One artifact's recorded-vs-replayed comparison.
@@ -172,6 +172,16 @@ pub struct ReplayOptions {
     /// instead of the recorded one (the "what-if" mode). `None` replays
     /// on the recorded hardware.
     pub mcm_override: Option<McmConfig>,
+    /// Substitute communication fabric: `Some(spec)` re-prices every
+    /// request's package (recorded or overridden) under that
+    /// [`InterconnectSpec`] — `Some(None)` strips any recorded fabric
+    /// back to the plain Table II model. Like [`mcm_override`], this is a
+    /// what-if: a wireless fabric re-prices the on-package NoP too, so
+    /// schedules legitimately move. `None` (outer) keeps whatever the
+    /// artifact recorded.
+    ///
+    /// [`mcm_override`]: ReplayOptions::mcm_override
+    pub fabric_override: Option<Option<InterconnectSpec>>,
     /// Serving configuration handed to the registry factories (SCAR's
     /// structural knobs). Defaults match `serve_sim`'s defaults.
     pub serve_config: ServeConfig,
@@ -214,6 +224,9 @@ pub fn replay_artifacts(
             let mut request = a.request.clone();
             if let Some(mcm) = &options.mcm_override {
                 request.mcm = mcm.clone();
+            }
+            if let Some(fabric) = &options.fabric_override {
+                request.mcm = request.mcm.with_interconnect(*fabric);
             }
             let evals_before = session.cost_evaluations();
             let replayed = scheduler.schedule(session, &request);
@@ -330,6 +343,42 @@ mod tests {
         // the display renders both sides
         let text = diffs[0].to_string();
         assert!(text.contains("lat"), "{text}");
+    }
+
+    /// A fabric override is a what-if like an MCM override: wireless
+    /// re-prices every on-package transfer, so the recorded totals move —
+    /// and stripping the fabric again restores exact replay.
+    #[test]
+    fn fabric_override_reprices_the_request() {
+        let a = artifact();
+        let options = ReplayOptions {
+            fabric_override: Some(Some(InterconnectSpec::wireless())),
+            ..Default::default()
+        };
+        let diffs = replay_artifacts(
+            &Session::new(),
+            std::slice::from_ref(&a),
+            &PolicyRegistry::with_builtins(),
+            &options,
+        );
+        let replayed = diffs[0].replayed.as_ref().expect("still schedulable");
+        assert_ne!(
+            *replayed, diffs[0].recorded,
+            "wireless pricing must move the totals"
+        );
+
+        // explicit `none` on a fabric-less artifact is the identity
+        let strip = ReplayOptions {
+            fabric_override: Some(None),
+            ..Default::default()
+        };
+        let diffs = replay_artifacts(
+            &Session::new(),
+            &[a],
+            &PolicyRegistry::with_builtins(),
+            &strip,
+        );
+        assert!(diffs[0].is_exact(), "{}", diffs[0]);
     }
 
     #[test]

@@ -214,7 +214,11 @@ impl Session {
 pub struct ScheduleRequest {
     /// The multi-model workload to schedule.
     pub scenario: Scenario,
-    /// The chiplet package to schedule onto.
+    /// The chiplet package to schedule onto. An attached
+    /// [`InterconnectSpec`](scar_mcm::InterconnectSpec) (the tiered
+    /// communication fabric) rides along: it serializes with the config
+    /// and changes every `Lat_com` the evaluator prices, so two requests
+    /// differing only in fabric are genuinely different requests.
     pub mcm: McmConfig,
     /// The optimization metric (Definition 10; default EDP).
     pub metric: OptMetric,
@@ -637,6 +641,22 @@ mod tests {
         let v = serde::parse_value(&json).expect("valid JSON");
         let back = ScheduleRequest::from_value(&v).expect("schema matches");
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn request_roundtrips_an_attached_fabric() {
+        let mcm = het_sides_3x3(Profile::Datacenter)
+            .with_interconnect(Some(scar_mcm::InterconnectSpec::wireless()));
+        let r = ScheduleRequest::new(Scenario::datacenter(1), mcm);
+        let json = serde::write_compact(&r.to_value());
+        let v = serde::parse_value(&json).expect("valid JSON");
+        let back = ScheduleRequest::from_value(&v).expect("schema matches");
+        assert_eq!(back, r);
+        assert_eq!(
+            back.mcm.interconnect().map(|s| s.label()),
+            Some("wireless"),
+            "the fabric must survive the artifact round-trip"
+        );
     }
 
     #[test]

@@ -43,30 +43,22 @@ impl McmConfig {
     /// `delta_s` is the NoP-conflict term δ, computed by [`LinkLoads`]
     /// from the full set of concurrent flows (pass `0.0` for an
     /// uncontended estimate).
+    ///
+    /// Tier resolution (hop counts) happens here; pricing is delegated to
+    /// the package's [`crate::fabric::CommModel`], whose default
+    /// `NopFabric` reproduces the historical inline math byte-for-byte
+    /// (pinned by this module's tests and `tests/comm_model.rs`).
     pub fn transfer_with_delta(&self, src: Loc, dst: Loc, bytes: u64, delta_s: f64) -> CommCost {
-        let b = bytes as f64;
+        let model = self.comm_model();
         match (src, dst) {
             (Loc::Chiplet(a), Loc::Chiplet(c)) if a == c => CommCost::ZERO,
             (Loc::Chiplet(a), Loc::Chiplet(c)) => {
                 let hops = self.topology().hops(a, c) as f64;
-                CommCost {
-                    time_s: b / self.nop.bw_bytes_per_s + hops * self.nop.hop_latency_s + delta_s,
-                    energy_j: b * hops * self.nop.energy_pj_per_byte_hop * 1e-12,
-                }
+                model.on_package(bytes, hops, delta_s)
             }
             (Loc::Chiplet(a), Loc::Offchip) | (Loc::Offchip, Loc::Chiplet(a)) => {
                 let (_, hops) = self.nearest_interface(a);
-                let hops = hops as f64;
-                CommCost {
-                    time_s: b / self.offchip.bw_bytes_per_s
-                        + hops * self.nop.hop_latency_s
-                        + self.offchip.latency_s
-                        + delta_s,
-                    energy_j: b
-                        * (self.offchip.energy_pj_per_byte
-                            + hops * self.nop.energy_pj_per_byte_hop)
-                        * 1e-12,
-                }
+                model.off_chip(bytes, hops as f64, delta_s)
             }
             // data already resident off-chip: nothing moves
             (Loc::Offchip, Loc::Offchip) => CommCost::ZERO,

@@ -1,8 +1,9 @@
 //! The MCM package description (Definition 3).
 
+use crate::fabric::{CommModel, InterconnectSpec};
 use crate::topology::{ChipletId, NopTopology};
 use scar_maestro::{ChipletConfig, Dataflow};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Off-chip DRAM interface parameters (Table II, 28 nm scaled).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -50,7 +51,7 @@ impl Default for NopConfig {
 ///
 /// Build one with the [`crate::templates`] constructors (the Figure 6
 /// organizations) or assemble a custom package with [`McmConfig::new`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct McmConfig {
     name: String,
     chiplets: Vec<ChipletConfig>,
@@ -60,6 +61,56 @@ pub struct McmConfig {
     pub offchip: OffchipConfig,
     /// NoP link parameters.
     pub nop: NopConfig,
+    /// Optional inter-MCM fabric; `None` = legacy zero-cost tier.
+    interconnect: Option<InterconnectSpec>,
+}
+
+// Serde is hand-written (not derived) for artifact compatibility: the
+// `interconnect` key postdates persisted MCMs, so it is emitted only when
+// set and tolerated when absent — the vendored serde derive would instead
+// error on the missing field when loading pre-fabric artifacts.
+impl Serialize for McmConfig {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("chiplets".to_string(), self.chiplets.to_value()),
+            ("topology".to_string(), self.topology.to_value()),
+            (
+                "offchip_interfaces".to_string(),
+                self.offchip_interfaces.to_value(),
+            ),
+            ("offchip".to_string(), self.offchip.to_value()),
+            ("nop".to_string(), self.nop.to_value()),
+        ];
+        if let Some(spec) = &self.interconnect {
+            fields.push(("interconnect".to_string(), spec.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for McmConfig {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::expected("object", "McmConfig", v))?;
+        let interconnect = match obj.iter().find(|(k, _)| k == "interconnect") {
+            Some((_, v)) => Some(
+                InterconnectSpec::from_value(v)
+                    .map_err(|e| serde::DeError::msg(format!("McmConfig.interconnect: {e}")))?,
+            ),
+            None => None,
+        };
+        Ok(Self {
+            name: serde::__field(obj, "name", "McmConfig")?,
+            chiplets: serde::__field(obj, "chiplets", "McmConfig")?,
+            topology: serde::__field(obj, "topology", "McmConfig")?,
+            offchip_interfaces: serde::__field(obj, "offchip_interfaces", "McmConfig")?,
+            offchip: serde::__field(obj, "offchip", "McmConfig")?,
+            nop: serde::__field(obj, "nop", "McmConfig")?,
+            interconnect,
+        })
+    }
 }
 
 impl McmConfig {
@@ -96,6 +147,7 @@ impl McmConfig {
             offchip_interfaces,
             offchip: OffchipConfig::default(),
             nop: NopConfig::default(),
+            interconnect: None,
         }
     }
 
@@ -174,6 +226,50 @@ impl McmConfig {
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
         self
+    }
+
+    /// The inter-MCM fabric, if one is attached.
+    pub fn interconnect(&self) -> Option<&InterconnectSpec> {
+        self.interconnect.as_ref()
+    }
+
+    /// Attaches (or, with `None`, detaches) an inter-MCM fabric.
+    pub fn with_interconnect(mut self, spec: Option<InterconnectSpec>) -> Self {
+        self.interconnect = spec;
+        self
+    }
+
+    /// The tiered [`CommModel`] pricing this package's transfers: the
+    /// electrical `NopFabric` from Table II parameters when no
+    /// [`InterconnectSpec`] is attached (or a `Nop`-kind one is), the
+    /// `WirelessFabric` when a wireless spec is attached.
+    pub fn comm_model(&self) -> CommModel {
+        use crate::fabric::FabricKind;
+        match &self.interconnect {
+            None => CommModel::NopFabric {
+                nop: self.nop,
+                offchip: self.offchip,
+                inter: None,
+            },
+            Some(spec) => match spec.kind {
+                FabricKind::Nop => CommModel::NopFabric {
+                    nop: self.nop,
+                    offchip: self.offchip,
+                    inter: Some(spec.params),
+                },
+                FabricKind::Wireless => CommModel::WirelessFabric {
+                    link: spec.params,
+                    offchip: self.offchip,
+                },
+            },
+        }
+    }
+
+    /// Cost of pulling `bytes` into this package from a peer MCM — the
+    /// [`CommModel::inter_mcm`] tier. Zero (the legacy behaviour) when no
+    /// fabric is attached.
+    pub fn inter_mcm_transfer(&self, bytes: u64) -> crate::comm::CommCost {
+        self.comm_model().inter_mcm(bytes)
     }
 
     /// Restores internal topology caches after deserialization.
@@ -266,5 +362,50 @@ mod tests {
     fn display_shows_composition() {
         let s = mcm_3x3().to_string();
         assert!(s.contains("5×NVD") && s.contains("4×Shi"), "{s}");
+    }
+
+    #[test]
+    fn serde_omits_absent_interconnect_and_loads_pre_fabric_json() {
+        let m = mcm_3x3();
+        let json = serde::write_compact(&m.to_value());
+        assert!(
+            !json.contains("interconnect"),
+            "default MCMs must serialize exactly as before the fabric tier"
+        );
+        // pre-fabric artifacts (no `interconnect` key) keep loading
+        let mut back = McmConfig::from_value(&serde::parse_value(&json).unwrap()).unwrap();
+        back.rebuild_caches();
+        assert_eq!(back, m);
+        assert!(back.interconnect().is_none());
+    }
+
+    #[test]
+    fn serde_round_trips_an_attached_fabric() {
+        for spec in [InterconnectSpec::nop(), InterconnectSpec::wireless()] {
+            let m = mcm_3x3().with_interconnect(Some(spec));
+            let json = serde::write_compact(&m.to_value());
+            assert!(json.contains("interconnect"));
+            let mut back = McmConfig::from_value(&serde::parse_value(&json).unwrap()).unwrap();
+            back.rebuild_caches();
+            assert_eq!(back, m);
+            assert_eq!(back.interconnect(), Some(&spec));
+        }
+    }
+
+    #[test]
+    fn comm_model_tracks_the_attached_fabric() {
+        let m = mcm_3x3();
+        assert_eq!(m.comm_model().name(), "nop");
+        assert!(!m.comm_model().prices_inter_mcm());
+        assert_eq!(m.inter_mcm_transfer(1 << 30).time_s, 0.0);
+
+        let nop = m.clone().with_interconnect(Some(InterconnectSpec::nop()));
+        assert_eq!(nop.comm_model().name(), "nop");
+        assert!(nop.comm_model().prices_inter_mcm());
+        assert!(nop.inter_mcm_transfer(1 << 20).time_s > 0.0);
+
+        let w = m.with_interconnect(Some(InterconnectSpec::wireless()));
+        assert_eq!(w.comm_model().name(), "wireless");
+        assert!(w.inter_mcm_transfer(1 << 20).energy_j > 0.0);
     }
 }

@@ -13,6 +13,10 @@
 //! * [`comm`] — the `Lat_com` communication model of §III-E (same-chiplet /
 //!   same-package / off-chip) plus a link-level congestion estimator for
 //!   the paper's δ term.
+//! * [`fabric`] — the tiered [`CommModel`] behind `Lat_com`: the
+//!   electrical `NopFabric` default, a wireless what-if fabric, and the
+//!   optional inter-MCM tier ([`InterconnectSpec`]) that fleet dispatch
+//!   prices stream migrations through.
 //! * [`templates`] — every MCM organization of Figure 6.
 //!
 //! # Example
@@ -33,10 +37,12 @@
 
 pub mod comm;
 mod config;
+pub mod fabric;
 pub mod parse;
 pub mod templates;
 mod topology;
 
 pub use comm::{CommCost, LinkLoads, Loc};
 pub use config::{McmConfig, NopConfig, OffchipConfig};
+pub use fabric::{CommModel, CommTier, FabricKind, FabricParams, InterconnectSpec};
 pub use topology::{ChipletId, NopTopology, TopologyError};

@@ -210,6 +210,15 @@ pub fn fingerprint_parts_in_context(
     ] {
         v.to_bits().hash(&mut h);
     }
+    // the inter-MCM fabric folds in only when attached, so fingerprints of
+    // every pre-fabric (default) configuration — including the pinned
+    // process-stability vectors below — are unchanged
+    if let Some(spec) = mcm.interconnect() {
+        spec.label().hash(&mut h);
+        spec.params.bw_bytes_per_s.to_bits().hash(&mut h);
+        spec.params.latency_s.to_bits().hash(&mut h);
+        spec.params.energy_pj_per_byte.to_bits().hash(&mut h);
+    }
     metric.label().hash(&mut h);
     match metric {
         OptMetric::ConstrainedEdp { max_latency_s } => max_latency_s.to_bits().hash(&mut h),

@@ -16,6 +16,16 @@
 //! | [`LeastLoaded`] | smallest estimated backlog | backlog |
 //! | [`DeadlineAware`] | least-loaded replica whose probe says the deadline is feasible | backlog + min-service probe + deadline |
 //! | [`CacheAffinity`] | the stream's home replica, spilling on overload | stream id + backlog |
+//!
+//! [`CacheAffinity`] can additionally *re-home* streams: with
+//! `rehome_every > 0` the home map is mutable state, rebalanced at
+//! deterministic epoch boundaries (every `rehome_every` routed arrivals)
+//! from the routed-load imbalance observed during the epoch — see
+//! DESIGN.md §13. The backlog slice the fleet hands every policy already
+//! includes the inter-MCM migration penalty of moving each candidate
+//! replica's missing stream state (when a fabric is attached), so
+//! load-aware policies *see* the cost of going off-home before they
+//! commit to it.
 
 use crate::traffic::Request;
 
@@ -77,6 +87,13 @@ pub trait DispatchPolicy {
     /// preferred replica because of load (only [`CacheAffinity`] spills
     /// today; stateless policies report 0).
     fn migrations(&self) -> u64 {
+        0
+    }
+
+    /// Home-map rewrites so far: streams moved to a new home replica at an
+    /// epoch boundary (only [`CacheAffinity`] with `rehome_every > 0`
+    /// re-homes; every other policy reports 0).
+    fn rehomed(&self) -> u64 {
         0
     }
 }
@@ -146,18 +163,36 @@ impl DispatchPolicy for DeadlineAware {
     }
 }
 
-/// Sticky routing for warm caches: stream `s` lives on home replica
+/// Sticky routing for warm caches: stream `s` starts on home replica
 /// `s mod fleet_size`, so each replica sees a fixed small tenant subset,
 /// its live-scenario shapes recur, and its schedule cache and cost DB
 /// stay hot (the hit-rate delta vs [`RoundRobin`] is the benchmark gate).
 /// When the home falls more than `max_lag_s` behind the least-loaded
 /// replica the arrival spills there instead — counted as a migration.
+///
+/// With `rehome_every > 0` the home map is mutable: every `rehome_every`
+/// routed arrivals the policy closes an *epoch*, and if the busiest home
+/// replica carried more than twice the probe-estimated load of the idlest
+/// during it, the heaviest stream homed there moves to the idlest replica
+/// (ties break to the lowest index at every step, so rebalancing is a
+/// deterministic function of the arrival sequence — the fleet's
+/// byte-identical-report contract survives). A one-stream-per-epoch move
+/// keeps the map stable: the cache warmth an affinity policy exists to
+/// protect is destroyed by churn, not by lag.
 #[derive(Debug)]
 pub struct CacheAffinity {
     /// How far (estimated backlog, seconds) the home replica may lag the
     /// least-loaded one before an arrival is migrated away.
     pub max_lag_s: f64,
+    /// Re-homing epoch length in routed arrivals; `0` (the default)
+    /// keeps the static `stream % fleet_size` map.
+    pub rehome_every: usize,
+    homes: Vec<usize>,
+    epoch_home_load: Vec<f64>,
+    stream_load: Vec<f64>,
+    epoch_arrivals: usize,
     migrations: u64,
+    rehomed: u64,
 }
 
 impl CacheAffinity {
@@ -166,11 +201,69 @@ impl CacheAffinity {
     /// holds until the home replica is badly behind.
     pub const DEFAULT_MAX_LAG_S: f64 = 0.25;
 
-    /// An affinity policy spilling when the home lags by `max_lag_s`.
+    /// An affinity policy spilling when the home lags by `max_lag_s`,
+    /// with re-homing off.
     pub fn new(max_lag_s: f64) -> Self {
+        Self::with_rehoming(max_lag_s, 0)
+    }
+
+    /// An affinity policy that additionally rebalances its home map every
+    /// `rehome_every` routed arrivals (`0` = never).
+    pub fn with_rehoming(max_lag_s: f64, rehome_every: usize) -> Self {
         Self {
             max_lag_s,
+            rehome_every,
+            homes: Vec::new(),
+            epoch_home_load: Vec::new(),
+            stream_load: Vec::new(),
+            epoch_arrivals: 0,
             migrations: 0,
+            rehomed: 0,
+        }
+    }
+
+    /// The current home replica of `stream` in an `n`-replica fleet.
+    pub fn home_of(&self, stream: usize, n: usize) -> usize {
+        self.homes.get(stream).copied().unwrap_or(stream % n)
+    }
+
+    /// Closes an epoch: one stream moves from the busiest home to the
+    /// idlest if the probe-load imbalance exceeded 2×, then the epoch
+    /// counters reset.
+    fn rebalance(&mut self) {
+        self.epoch_arrivals = 0;
+        let busiest = self
+            .epoch_home_load
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.total_cmp(b).then(ib.cmp(ia)))
+            .map(|(i, _)| i);
+        let idlest = self
+            .epoch_home_load
+            .iter()
+            .enumerate()
+            .min_by(|(ia, a), (ib, b)| a.total_cmp(b).then(ia.cmp(ib)))
+            .map(|(i, _)| i);
+        if let (Some(busy), Some(idle)) = (busiest, idlest) {
+            if busy != idle && self.epoch_home_load[busy] > 2.0 * self.epoch_home_load[idle] {
+                let mover = self
+                    .stream_load
+                    .iter()
+                    .enumerate()
+                    .filter(|(s, _)| self.homes[*s] == busy)
+                    .max_by(|(sa, a), (sb, b)| a.total_cmp(b).then(sb.cmp(sa)))
+                    .map(|(s, _)| s);
+                if let Some(s) = mover {
+                    self.homes[s] = idle;
+                    self.rehomed += 1;
+                }
+            }
+        }
+        for v in &mut self.epoch_home_load {
+            *v = 0.0;
+        }
+        for v in &mut self.stream_load {
+            *v = 0.0;
         }
     }
 }
@@ -187,18 +280,45 @@ impl DispatchPolicy for CacheAffinity {
     }
 
     fn route(&mut self, _request: &Request, ctx: &DispatchContext<'_>) -> usize {
-        let home = ctx.stream % ctx.backlog_s.len();
+        let n = ctx.backlog_s.len();
+        if ctx.stream >= self.homes.len() {
+            // lazily extend the home map with the static default
+            for s in self.homes.len()..=ctx.stream {
+                self.homes.push(s % n);
+            }
+            self.stream_load.resize(self.homes.len(), 0.0);
+        }
+        let home = self.homes[ctx.stream];
         let least = ctx.least_loaded();
-        if ctx.backlog_s[home] - ctx.backlog_s[least] > self.max_lag_s {
+        let target = if ctx.backlog_s[home] - ctx.backlog_s[least] > self.max_lag_s {
             self.migrations += 1;
             least
         } else {
             home
+        };
+        if self.rehome_every > 0 {
+            if self.epoch_home_load.len() < n {
+                self.epoch_home_load.resize(n, 0.0);
+            }
+            // attribute the arrival's probe load to its *home*: imbalance
+            // of the sticky assignment is what re-homing corrects
+            let load = ctx.min_service_s[home];
+            self.epoch_home_load[home] += load;
+            self.stream_load[ctx.stream] += load;
+            self.epoch_arrivals += 1;
+            if self.epoch_arrivals >= self.rehome_every {
+                self.rebalance();
+            }
         }
+        target
     }
 
     fn migrations(&self) -> u64 {
         self.migrations
+    }
+
+    fn rehomed(&self) -> u64 {
+        self.rehomed
     }
 }
 
@@ -212,10 +332,13 @@ pub enum DispatchKind {
     LeastLoaded,
     /// [`DeadlineAware`].
     DeadlineAware,
-    /// [`CacheAffinity`] with its spill threshold.
+    /// [`CacheAffinity`] with its spill threshold and re-homing epoch.
     CacheAffinity {
         /// Spill threshold, seconds (see [`CacheAffinity::max_lag_s`]).
         max_lag_s: f64,
+        /// Re-homing epoch in routed arrivals, `0` = static homes (see
+        /// [`CacheAffinity::rehome_every`]).
+        rehome_every: usize,
     },
 }
 
@@ -229,6 +352,7 @@ impl DispatchKind {
             DispatchKind::DeadlineAware,
             DispatchKind::CacheAffinity {
                 max_lag_s: CacheAffinity::DEFAULT_MAX_LAG_S,
+                rehome_every: 0,
             },
         ]
     }
@@ -250,14 +374,18 @@ impl DispatchKind {
             DispatchKind::RoundRobin => Box::new(RoundRobin::default()),
             DispatchKind::LeastLoaded => Box::new(LeastLoaded),
             DispatchKind::DeadlineAware => Box::new(DeadlineAware),
-            DispatchKind::CacheAffinity { max_lag_s } => Box::new(CacheAffinity::new(*max_lag_s)),
+            DispatchKind::CacheAffinity {
+                max_lag_s,
+                rehome_every,
+            } => Box::new(CacheAffinity::with_rehoming(*max_lag_s, *rehome_every)),
         }
     }
 
     /// Parses a `SCAR_DISPATCH`-style spec: `rr`/`round-robin`,
     /// `least`/`least-loaded`, `deadline`/`deadline-aware`, and
     /// `affinity`/`cache-affinity` with an optional `:<max_lag_s>` spill
-    /// threshold (`affinity:0.5`).
+    /// threshold and an optional further `:<rehome_every>` re-homing
+    /// epoch (`affinity:0.5`, `affinity:0.5:5000`).
     ///
     /// # Errors
     ///
@@ -277,17 +405,33 @@ impl DispatchKind {
             "least" | "least-loaded" | "leastloaded" => no_arg(DispatchKind::LeastLoaded),
             "deadline" | "deadline-aware" | "deadlineaware" => no_arg(DispatchKind::DeadlineAware),
             "affinity" | "cache-affinity" | "cacheaffinity" => {
-                let max_lag_s = match arg {
+                let (lag, every) = match arg {
+                    None => (None, None),
+                    Some(a) => match a.split_once(':') {
+                        Some((l, e)) => (Some(l), Some(e)),
+                        None => (Some(a), None),
+                    },
+                };
+                let max_lag_s = match lag.filter(|l| !l.is_empty()) {
                     None => CacheAffinity::DEFAULT_MAX_LAG_S,
                     Some(a) => a.parse::<f64>().ok().filter(|l| *l >= 0.0).ok_or(format!(
                         "bad affinity spill threshold {a:?} (want a non-negative number of seconds)"
                     ))?,
                 };
-                Ok(DispatchKind::CacheAffinity { max_lag_s })
+                let rehome_every = match every {
+                    None => 0,
+                    Some(e) => e.parse::<usize>().map_err(|_| {
+                        format!("bad affinity re-homing epoch {e:?} (want a whole arrival count)")
+                    })?,
+                };
+                Ok(DispatchKind::CacheAffinity {
+                    max_lag_s,
+                    rehome_every,
+                })
             }
             other => Err(format!(
                 "unknown dispatch policy {other:?} (try rr, least, deadline, \
-                 affinity or affinity:<max_lag_s>)"
+                 affinity, affinity:<max_lag_s> or affinity:<max_lag_s>:<rehome_every>)"
             )),
         }
     }
@@ -386,11 +530,29 @@ mod tests {
                 "affinity",
                 DispatchKind::CacheAffinity {
                     max_lag_s: CacheAffinity::DEFAULT_MAX_LAG_S,
+                    rehome_every: 0,
                 },
             ),
             (
                 "cache-affinity:0.5",
-                DispatchKind::CacheAffinity { max_lag_s: 0.5 },
+                DispatchKind::CacheAffinity {
+                    max_lag_s: 0.5,
+                    rehome_every: 0,
+                },
+            ),
+            (
+                "affinity:0.5:5000",
+                DispatchKind::CacheAffinity {
+                    max_lag_s: 0.5,
+                    rehome_every: 5000,
+                },
+            ),
+            (
+                "affinity::2500",
+                DispatchKind::CacheAffinity {
+                    max_lag_s: CacheAffinity::DEFAULT_MAX_LAG_S,
+                    rehome_every: 2500,
+                },
             ),
         ] {
             let parsed = DispatchKind::parse(spec).expect(spec);
@@ -400,7 +562,15 @@ mod tests {
                 parsed.name()
             );
         }
-        for bad in ["", "nope", "affinity:-1", "affinity:x", "rr:3"] {
+        for bad in [
+            "",
+            "nope",
+            "affinity:-1",
+            "affinity:x",
+            "rr:3",
+            "affinity:0.5:x",
+            "affinity:0.5:-3",
+        ] {
             assert!(DispatchKind::parse(bad).is_err(), "{bad:?} must not parse");
         }
     }
@@ -410,5 +580,48 @@ mod tests {
         for kind in DispatchKind::builtins() {
             assert_eq!(kind.policy().name(), kind.name());
         }
+    }
+
+    #[test]
+    fn rehoming_moves_the_heaviest_stream_off_the_busiest_home() {
+        // 2 replicas, 2 streams both homed on replica 0 (streams 0 and 2).
+        // Stream 2 is twice as heavy; after one epoch it must move to the
+        // idle replica 1 while stream 0 stays.
+        let mut p = CacheAffinity::with_rehoming(10.0, 4);
+        let backlog = [0.0, 0.0];
+        let light = [0.01, 0.01];
+        let heavy = [0.02, 0.02];
+        let r0 = req(0, 0.0, None);
+        let r2 = req(2, 0.0, None);
+        for _ in 0..2 {
+            assert_eq!(p.route(&r0, &ctx(0.0, 0, None, &backlog, &light)), 0);
+            assert_eq!(p.route(&r2, &ctx(0.0, 2, None, &backlog, &heavy)), 0);
+        }
+        assert_eq!(p.rehomed(), 1, "epoch of 4 arrivals closed exactly once");
+        assert_eq!(p.home_of(0, 2), 0, "light stream keeps its home");
+        assert_eq!(
+            p.home_of(2, 2),
+            1,
+            "heavy stream re-homed to the idle replica"
+        );
+        assert_eq!(p.route(&r2, &ctx(0.0, 2, None, &backlog, &heavy)), 1);
+    }
+
+    #[test]
+    fn rehoming_holds_under_balanced_load() {
+        // streams 0 and 1 home on different replicas with equal load: no
+        // imbalance, no move, and rehome_every = 0 never rebalances at all
+        let mut balanced = CacheAffinity::with_rehoming(10.0, 2);
+        let mut off = CacheAffinity::new(10.0);
+        let backlog = [0.0, 0.0];
+        let ms = [0.01, 0.01];
+        for k in 0..10 {
+            let s = k % 2;
+            let r = req(s, 0.0, None);
+            assert_eq!(balanced.route(&r, &ctx(0.0, s, None, &backlog, &ms)), s);
+            assert_eq!(off.route(&r, &ctx(0.0, s, None, &backlog, &ms)), s);
+        }
+        assert_eq!(balanced.rehomed(), 0, "2x imbalance bar not met");
+        assert_eq!(off.rehomed(), 0);
     }
 }

@@ -28,6 +28,22 @@
 //! serving run byte-for-byte (the no-regression gate in
 //! `tests/fleet_invariants.rs`).
 //!
+//! # The inter-MCM fabric tier
+//!
+//! When replicas carry an
+//! [`InterconnectSpec`](scar_mcm::InterconnectSpec), routing a stream off
+//! the replica that last served it is no longer free: the stream's state
+//! (model weights + per-request activation residency) is priced through
+//! the target's fabric ([`McmConfig::inter_mcm_transfer`]), charged into
+//! the virtual backlog model *before* the policy routes (so load- and
+//! deadline-aware dispatch see the penalty pre-commit) and again into the
+//! target's `busy_until` wall after. Costs roll up per replica and
+//! fleet-wide ([`FabricRollup`]), and every migration emits a
+//! `fleet.migrate` telemetry span. The pricing pass is part of the same
+//! single deterministic routing pass, so Serial ≡ Fixed(N) byte-identity
+//! is preserved with any fabric; without one, the pass is bit-for-bit
+//! the pre-fabric fleet (DESIGN.md §13).
+//!
 //! # Example: four heterogeneous replicas under cache-affinity routing
 //!
 //! ```
@@ -55,15 +71,17 @@ pub use dispatch::{
     CacheAffinity, DeadlineAware, DispatchContext, DispatchKind, DispatchPolicy, LeastLoaded,
     RoundRobin,
 };
-pub use report::{FleetReport, ReplicaReport};
+pub use report::{FabricRollup, FleetReport, ReplicaReport};
 
 use crate::cache::CacheStats;
-use crate::sim::{ServeConfig, ServeSim};
+use crate::sim::{ServeConfig, ServePolicy, ServeSim};
 use crate::traffic::{Request, TrafficMix};
 use scar_core::{ScheduleError, Session};
 use scar_mcm::templates::{self, Profile};
-use scar_mcm::McmConfig;
+use scar_mcm::{CommCost, McmConfig};
 use scar_telemetry::Telemetry;
+use scar_workloads::DataType;
+use std::path::PathBuf;
 
 /// One replica's hardware and serving configuration. Replicas own their
 /// MCM (unlike a standalone [`ServeSim`], which borrows one) because the
@@ -113,6 +131,20 @@ pub struct FleetConfig {
     /// default — the baseline the load- and cache-aware policies are
     /// measured against).
     pub dispatch: DispatchKind,
+    /// Fleet-shared cost-database snapshot. When set, **one**
+    /// [`Session`] backs every replica: the snapshot loads once before
+    /// the dispatch probe, threads through the replicas in merge order
+    /// (entries replica `k` evaluates serve replica `k+1` warm), and
+    /// saves once — compacted per [`FleetConfig::cost_db_max_entries`] —
+    /// after the last replica. A warm fleet then runs at **zero**
+    /// cost-model evaluations ([`FleetReport::cost_evaluations`]).
+    /// Per-replica [`ServeConfig::cost_db_path`] values are ignored while
+    /// sharing, so the snapshot is never double-persisted. `None` (the
+    /// default) keeps fully independent per-replica sessions.
+    pub cost_db_path: Option<PathBuf>,
+    /// Entry bound applied by [`Session::compact_costs`] at fleet save
+    /// time (shared snapshots grow with every distinct replica class).
+    pub cost_db_max_entries: Option<usize>,
     /// Telemetry sink for the whole fleet: the dispatch pass, every
     /// replica's serving loop, and the fleet-level counters all record
     /// into this one handle. Observational only.
@@ -123,6 +155,8 @@ impl Default for FleetConfig {
     fn default() -> Self {
         Self {
             dispatch: DispatchKind::RoundRobin,
+            cost_db_path: None,
+            cost_db_max_entries: None,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -183,24 +217,84 @@ impl FleetSim {
         let arrivals = mix.arrivals(horizon_s);
         let offered = arrivals.len();
 
-        // Per-(replica, stream) min-service estimates from one shared
-        // probe session: costs key on (chiplet class, layer, batch), so
+        // One shared session when the fleet persists a cost DB; loaded
+        // once here, threaded through the probe and every replica, saved
+        // once (compacted) after the last replica. `None` keeps the
+        // legacy fully-independent sessions, byte-identical to before the
+        // sharing existed.
+        let mut shared_session = self.cfg.cost_db_path.as_ref().map(|path| {
+            let session = Session::new().with_telemetry(tel.clone());
+            if path.exists() {
+                let loaded = session.load_costs(path).unwrap_or_else(|e| {
+                    panic!("fleet cost_db_path {}: {e}", path.display());
+                });
+                debug_assert_eq!(session.cached_costs(), loaded);
+            }
+            session
+        });
+        let persisted_costs = shared_session
+            .as_ref()
+            .map(|s| s.cached_costs())
+            .unwrap_or(0);
+
+        // Per-(replica, stream) min-service estimates from one probe
+        // session: costs key on (chiplet class, layer, batch), so
         // heterogeneous replicas share entries where their classes
         // overlap. Stream-major for per-arrival slicing.
         let probe = Session::new();
+        let probe_ref = shared_session.as_ref().unwrap_or(&probe);
+        let probe_evals_before = probe_ref.cost_evaluations();
         let min_service: Vec<Vec<f64>> = (0..mix.streams.len())
             .map(|si| {
                 let s = &mix.streams[si];
                 self.replicas
                     .iter()
-                    .map(|r| probe.min_service_s(&r.mcm, &s.model, s.samples_per_request))
+                    .map(|r| probe_ref.min_service_s(&r.mcm, &s.model, s.samples_per_request))
                     .collect()
             })
             .collect();
+        let mut cost_evaluations = probe_ref.cost_evaluations() - probe_evals_before;
+
+        // Inter-MCM migration pricing: when any replica carries a fabric,
+        // routing a stream off the replica that last served it moves the
+        // stream's state — model weights plus per-request activation
+        // residency — over the *target's* fabric, and the transfer time
+        // lands in the virtual backlog model so load-aware policies see
+        // the penalty before committing. Without a fabric the table is
+        // `None` and this pass is byte-identical to the pre-fabric fleet.
+        let fabric_label = self
+            .replicas
+            .iter()
+            .find_map(|r| r.mcm.interconnect().map(|s| s.label().to_string()));
+        let stream_bytes: Vec<u64> = mix
+            .streams
+            .iter()
+            .map(|s| {
+                let stats = s.model.stats(DataType::Int8);
+                stats.weight_bytes
+                    + (stats.input_bytes + stats.output_bytes) * s.samples_per_request
+            })
+            .collect();
+        let migrate: Option<Vec<Vec<CommCost>>> = fabric_label.as_ref().map(|_| {
+            stream_bytes
+                .iter()
+                .map(|&bytes| {
+                    self.replicas
+                        .iter()
+                        .map(|r| r.mcm.inter_mcm_transfer(bytes))
+                        .collect()
+                })
+                .collect()
+        });
+        let mut last_replica: Vec<Option<usize>> = vec![None; mix.streams.len()];
+        let mut fab_migrations = vec![0u64; n];
+        let mut fab_bytes = vec![0u64; n];
+        let mut fab_cost_s = vec![0.0f64; n];
+        let mut fab_energy_j = vec![0.0f64; n];
 
         // The single routing pass (see module docs): virtual busy_until
         // walls stand in for replica load, advanced by the min-service
-        // estimate of every routed arrival.
+        // estimate (plus any migration transfer) of every routed arrival.
         let mut policy = self.cfg.dispatch.policy();
         let mut routed: Vec<Vec<Request>> = vec![Vec::new(); n];
         {
@@ -209,8 +303,13 @@ impl FleetSim {
             let mut busy_until = vec![0.0f64; n];
             let mut backlog = vec![0.0f64; n];
             for r in &arrivals {
-                for (b, busy) in backlog.iter_mut().zip(&busy_until) {
+                for (i, (b, busy)) in backlog.iter_mut().zip(&busy_until).enumerate() {
                     *b = (busy - r.arrival_s).max(0.0);
+                    if let (Some(mig), Some(last)) = (&migrate, last_replica[r.stream]) {
+                        if last != i {
+                            *b += mig[r.stream][i].time_s;
+                        }
+                    }
                 }
                 let ctx = DispatchContext {
                     now_s: r.arrival_s,
@@ -225,13 +324,34 @@ impl FleetSim {
                     "dispatch policy {} routed to replica {target} of a {n}-replica fleet",
                     policy.name()
                 );
-                busy_until[target] =
-                    busy_until[target].max(r.arrival_s) + min_service[r.stream][target];
+                let mut service = min_service[r.stream][target];
+                if let Some(mig) = &migrate {
+                    if let Some(last) = last_replica[r.stream] {
+                        if last != target {
+                            let cost = mig[r.stream][target];
+                            service += cost.time_s;
+                            fab_migrations[target] += 1;
+                            fab_bytes[target] += stream_bytes[r.stream];
+                            fab_cost_s[target] += cost.time_s;
+                            fab_energy_j[target] += cost.energy_j;
+                            let mut mspan = tel.span("fleet.migrate");
+                            mspan.push_arg("stream", r.stream);
+                            mspan.push_arg("from", last);
+                            mspan.push_arg("to", target);
+                            mspan.push_arg("bytes", stream_bytes[r.stream]);
+                            mspan.push_arg("cost_s", cost.time_s);
+                        }
+                    }
+                    last_replica[r.stream] = Some(target);
+                }
+                busy_until[target] = busy_until[target].max(r.arrival_s) + service;
                 routed[target].push(*r);
             }
             dispatch_span.push_arg("migrations", policy.migrations());
+            dispatch_span.push_arg("rehomed", policy.rehomed());
         }
         let migrations = policy.migrations();
+        let rehomed = policy.rehomed();
 
         // Advance replicas strictly in index order — the fixed merge
         // order. Each share preserves global arrival order (the routing
@@ -244,17 +364,43 @@ impl FleetSim {
             span.push_arg("routed", share.len());
             let mut cfg = spec.cfg.clone();
             cfg.telemetry = tel.clone();
-            let mut sim = ServeSim::new(&spec.mcm, cfg);
             let routed_count = share.len();
-            let report = sim.run_arrivals(mix, share)?;
+            let report = match shared_session.take() {
+                Some(session) => {
+                    // sharing: the fleet persists the snapshot itself
+                    cfg.cost_db_path = None;
+                    let scheduler = ServePolicy::Scar.scheduler(&cfg);
+                    let mut sim = ServeSim::with_session(&spec.mcm, scheduler, cfg, session);
+                    let report = sim.run_arrivals(mix, share)?;
+                    shared_session = Some(sim.into_session());
+                    report
+                }
+                None => ServeSim::new(&spec.mcm, cfg).run_arrivals(mix, share)?,
+            };
             span.push_arg("completed", report.completed);
             span.push_arg("rejected", report.rejected);
             span.push_arg("cache_hits", report.cache.hits);
+            cost_evaluations += report.cost_evaluations;
             replica_reports.push(ReplicaReport {
                 mcm_name: spec.mcm.name().to_string(),
                 routed: routed_count,
+                migrated_in: fab_migrations[ri],
+                fabric_bytes: fab_bytes[ri],
+                fabric_cost_s: fab_cost_s[ri],
+                fabric_energy_j: fab_energy_j[ri],
                 report,
             });
+        }
+        if let (Some(session), Some(path)) = (&shared_session, &self.cfg.cost_db_path) {
+            let evicted = match self.cfg.cost_db_max_entries {
+                Some(max) => session.compact_costs(max),
+                None => 0,
+            };
+            if evicted > 0 || session.cached_costs() != persisted_costs {
+                if let Err(e) = session.save_costs(path) {
+                    eprintln!("warning: failed to persist fleet cost database: {e}");
+                }
+            }
         }
         drop(run_span);
 
@@ -287,6 +433,17 @@ impl FleetSim {
                 .map(|r| r.report.deadline_bound)
                 .sum(),
             migrations,
+            rehomed,
+            // summed from the per-replica accumulators in replica order,
+            // so `rollup == Σ replicas` holds exactly (bit-for-bit)
+            fabric: fabric_label.map(|label| FabricRollup {
+                fabric: label,
+                migrations: fab_migrations.iter().sum(),
+                bytes: fab_bytes.iter().sum(),
+                cost_s: fab_cost_s.iter().sum(),
+                energy_j: fab_energy_j.iter().sum(),
+            }),
+            cost_evaluations,
             makespan_s: replica_reports
                 .iter()
                 .map(|r| r.report.makespan_s)
@@ -308,6 +465,13 @@ impl FleetSim {
         tel.count("fleet.completed", completed as u64);
         tel.count("fleet.rejected", rejected as u64);
         tel.count("fleet.migrations", migrations);
+        if rehomed > 0 {
+            tel.count("fleet.rehomed", rehomed);
+        }
+        if let Some(fab) = &report.fabric {
+            tel.count("fleet.fabric_migrations", fab.migrations);
+            tel.count("fleet.fabric_bytes", fab.bytes);
+        }
         Ok(report)
     }
 }
@@ -360,6 +524,7 @@ mod tests {
                 4,
                 DispatchKind::CacheAffinity {
                     max_lag_s: CacheAffinity::DEFAULT_MAX_LAG_S,
+                    rehome_every: 0,
                 },
             )
             .run(&mix, 0.1)

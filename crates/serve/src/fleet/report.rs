@@ -13,8 +13,38 @@ pub struct ReplicaReport {
     pub mcm_name: String,
     /// Arrivals the dispatcher routed to this replica.
     pub routed: usize,
+    /// Arrivals that migrated *into* this replica over the inter-MCM
+    /// fabric (their stream last ran elsewhere). Always 0 without a
+    /// fabric.
+    pub migrated_in: u64,
+    /// Bytes pulled into this replica by those migrations.
+    pub fabric_bytes: u64,
+    /// Seconds of migration transfer charged into this replica's virtual
+    /// backlog (before each migrated arrival's service).
+    pub fabric_cost_s: f64,
+    /// Energy of those transfers, joules.
+    pub fabric_energy_j: f64,
     /// The replica's own serving report (its `offered` equals `routed`).
     pub report: ServeReport,
+}
+
+/// Fleet-wide inter-MCM fabric accounting: the per-replica migration
+/// costs summed in replica order, so `Σ replicas == rollup` holds exactly
+/// (the conservation invariant of `tests/comm_model.rs`). Present on a
+/// [`FleetReport`] only when at least one replica carries an
+/// [`InterconnectSpec`](scar_mcm::InterconnectSpec).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FabricRollup {
+    /// Fabric label (`"nop"` / `"wireless"`) of the first priced replica.
+    pub fabric: String,
+    /// Stream migrations priced over the fabric.
+    pub migrations: u64,
+    /// Total bytes moved between packages.
+    pub bytes: u64,
+    /// Total transfer seconds charged into replica backlogs.
+    pub cost_s: f64,
+    /// Total transfer energy, joules.
+    pub energy_j: f64,
 }
 
 /// The outcome of one [`FleetSim`](crate::fleet::FleetSim) run.
@@ -45,6 +75,20 @@ pub struct FleetReport {
     /// its preferred replica because of load (cache-affinity spills; 0
     /// for the stateless policies).
     pub migrations: u64,
+    /// Home-map rewrites: streams moved to a new home replica by
+    /// cache-affinity's epoch rebalancer (0 for every other policy and
+    /// when re-homing is off).
+    pub rehomed: u64,
+    /// Inter-MCM fabric rollup; `None` when no replica carries a fabric
+    /// (the default — migrations are then free, as before the fabric
+    /// tier existed).
+    pub fabric: Option<FabricRollup>,
+    /// MAESTRO cost-model evaluations across the whole run: the
+    /// dispatcher's min-service probe plus every replica's serving loop.
+    /// A warm fleet sharing a persisted cost DB
+    /// ([`FleetConfig::cost_db_path`](crate::fleet::FleetConfig)) runs at
+    /// exactly 0.
+    pub cost_evaluations: u64,
     /// Fleet makespan: the latest completion across replicas, seconds
     /// (replicas run the same virtual clock, so per-replica utilization
     /// is `busy_s` over this).
@@ -94,11 +138,24 @@ impl fmt::Display for FleetReport {
             self.dispatch,
             self.replicas.len()
         )?;
-        writeln!(
+        write!(
             f,
             "offered {} = completed {} + rejected {} | makespan {:.3} s | migrations {}",
             self.offered, self.completed, self.rejected, self.makespan_s, self.migrations
         )?;
+        // appended only when re-homing actually fired, so pre-fabric
+        // reports render byte-identically
+        if self.rehomed > 0 {
+            write!(f, " | rehomed {}", self.rehomed)?;
+        }
+        writeln!(f)?;
+        if let Some(fab) = &self.fabric {
+            writeln!(
+                f,
+                "inter-MCM fabric {}: {} migrations moved {} B | {:.6} s backlog | {:.6} J",
+                fab.fabric, fab.migrations, fab.bytes, fab.cost_s, fab.energy_j
+            )?;
+        }
         writeln!(
             f,
             "deadline misses {}/{} ({:.1}%) | schedule cache {} hits / {} misses ({:.1}% hit rate)",
@@ -176,6 +233,9 @@ mod tests {
             deadline_misses: 2,
             deadline_bound: 4,
             migrations: 1,
+            rehomed: 0,
+            fabric: None,
+            cost_evaluations: 10,
             makespan_s: 2.0,
             cache: CacheStats {
                 hits: 6,
@@ -186,11 +246,19 @@ mod tests {
                 ReplicaReport {
                     mcm_name: "Het-Sides".into(),
                     routed: 7,
+                    migrated_in: 0,
+                    fabric_bytes: 0,
+                    fabric_cost_s: 0.0,
+                    fabric_energy_j: 0.0,
                     report: stub_serve_report(6, 1),
                 },
                 ReplicaReport {
                     mcm_name: "Het-CB".into(),
                     routed: 5,
+                    migrated_in: 0,
+                    fabric_bytes: 0,
+                    fabric_cost_s: 0.0,
+                    fabric_energy_j: 0.0,
                     report: stub_serve_report(4, 1),
                 },
             ],
@@ -207,6 +275,28 @@ mod tests {
             "Het-Sides",
             "Het-CB",
             "hit rate",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert!(
+            !text.contains("rehomed") && !text.contains("fabric "),
+            "quiet features must not change the rendered report:\n{text}"
+        );
+
+        let mut priced = rep.clone();
+        priced.rehomed = 3;
+        priced.fabric = Some(FabricRollup {
+            fabric: "nop".into(),
+            migrations: 2,
+            bytes: 4096,
+            cost_s: 0.25,
+            energy_j: 0.125,
+        });
+        let text = priced.to_string();
+        for needle in [
+            "rehomed 3",
+            "inter-MCM fabric nop: 2 migrations moved 4096 B",
+            "0.250000 s backlog",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

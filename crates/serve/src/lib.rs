@@ -88,8 +88,8 @@ pub use cache::{
     CacheStats, ScheduleCache, ServeContext,
 };
 pub use fleet::{
-    CacheAffinity, DeadlineAware, DispatchContext, DispatchKind, DispatchPolicy, FleetConfig,
-    FleetReport, FleetSim, LeastLoaded, ReplicaReport, ReplicaSpec, RoundRobin,
+    CacheAffinity, DeadlineAware, DispatchContext, DispatchKind, DispatchPolicy, FabricRollup,
+    FleetConfig, FleetReport, FleetSim, LeastLoaded, ReplicaReport, ReplicaSpec, RoundRobin,
 };
 pub use registry::{PolicyFactory, PolicyRegistry, UnknownPolicy};
 pub use report::{percentile, LatencySummary, ServeReport, StreamStats};

@@ -383,9 +383,7 @@ impl<'a> ServeSim<'a> {
         scheduler: Box<dyn Scheduler>,
         cfg: ServeConfig,
     ) -> Self {
-        let tel = cfg.telemetry.clone();
-        let cache = ScheduleCache::with_capacity(cfg.cache_capacity).with_telemetry(tel.clone());
-        let session = Session::new().with_telemetry(tel.clone());
+        let session = Session::new().with_telemetry(cfg.telemetry.clone());
         if let Some(path) = &cfg.cost_db_path {
             if path.exists() {
                 let loaded = session.load_costs(path).unwrap_or_else(|e| {
@@ -394,6 +392,23 @@ impl<'a> ServeSim<'a> {
                 debug_assert_eq!(session.cached_costs(), loaded);
             }
         }
+        Self::with_session(mcm, scheduler, cfg, session)
+    }
+
+    /// [`ServeSim::with_scheduler`] over a caller-provided [`Session`] —
+    /// the fleet tier threads one session (and its cost database) through
+    /// every replica this way, so warm entries from replica `k` serve
+    /// replica `k+1`. The session keeps whatever telemetry the caller
+    /// attached, and `cfg.cost_db_path` loading/persistence stays with
+    /// the caller too (pass it as `None` here to avoid double-persisting).
+    pub fn with_session(
+        mcm: &'a McmConfig,
+        scheduler: Box<dyn Scheduler>,
+        cfg: ServeConfig,
+        session: Session,
+    ) -> Self {
+        let tel = cfg.telemetry.clone();
+        let cache = ScheduleCache::with_capacity(cfg.cache_capacity).with_telemetry(tel.clone());
         let persisted_costs = session.cached_costs();
         let admission = cfg.admission.policy();
         Self {
@@ -411,6 +426,13 @@ impl<'a> ServeSim<'a> {
             tel,
             persisted_costs,
         }
+    }
+
+    /// Consumes the simulator, handing back its [`Session`] — the other
+    /// half of [`ServeSim::with_session`]: the fleet reclaims the shared
+    /// session after each replica's run to pass it to the next.
+    pub fn into_session(self) -> Session {
+        self.session
     }
 
     /// Replaces the admission policy with an arbitrary implementation —
