@@ -165,7 +165,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let registry = PolicyRegistry::with_builtins();
+    let registry = PolicyRegistry::with_zoo();
     let what_if = options.mcm_override.is_some() || options.fabric_override.is_some();
     let mut all_exact = true;
     let mut violations = 0usize;

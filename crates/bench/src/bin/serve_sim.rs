@@ -19,7 +19,14 @@
 //!   `serial` → no pool, `N` → `Fixed(N)`. Wall-clock only; reports are
 //!   bit-identical across settings.
 //! * `SCAR_POLICY` — primary serving policy, resolved through the
-//!   [`PolicyRegistry`] (default `SCAR`; also `Standalone`, `NN-baton`).
+//!   zoo [`PolicyRegistry`] (default `SCAR`; also `Standalone`,
+//!   `NN-baton`, `NSGA-SCAR`, `Merged-Pipeline`, `SCAR-splice` — run
+//!   the `zoo` bin for the catalog).
+//! * `SCAR_POLICY_FILE` — path to a JSON policy file (`{"policy": ...,
+//!   "nsplits": ..., "search": ...}`, see [`scar_serve::PolicyFile`])
+//!   naming the policy and its scheduler overrides. Layered *under* the
+//!   env knobs: `SCAR_POLICY` / `SCAR_NSPLITS`, when set, win over the
+//!   file's choices.
 //! * `SCAR_ADMISSION` — admission policy: `accept` (default),
 //!   `deadline` (deadline-feasibility via the cost-DB probe), or
 //!   `shed[:N]` (per-stream queue bound, default 8).
@@ -60,7 +67,8 @@
 use scar_core::Parallelism;
 use scar_mcm::templates::{het_sides_3x3, Profile};
 use scar_serve::{
-    AdmissionKind, PolicyRegistry, ServeConfig, ServePolicy, ServeSim, TrafficMix, TrafficShape,
+    AdmissionKind, PolicyFile, PolicyRegistry, ServeConfig, ServePolicy, ServeSim, TrafficMix,
+    TrafficShape,
 };
 use scar_telemetry::Telemetry;
 use std::fmt::Write as _;
@@ -90,8 +98,24 @@ fn parallelism_from_env() -> Parallelism {
 fn main() {
     let horizon_s = 2.0;
     let parallelism = parallelism_from_env();
-    let registry = PolicyRegistry::with_builtins();
-    let policy = std::env::var("SCAR_POLICY").unwrap_or_else(|_| "SCAR".to_string());
+    let registry = PolicyRegistry::with_zoo();
+    // the policy file (when given) is the base layer; SCAR_POLICY /
+    // SCAR_NSPLITS env knobs, when also set, win over its choices
+    let policy_file = match std::env::var("SCAR_POLICY_FILE") {
+        Ok(path) => match PolicyFile::load(&path) {
+            Ok(f) => Some(f),
+            Err(e) => {
+                eprintln!("SCAR_POLICY_FILE: {e}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => None,
+    };
+    let policy = std::env::var("SCAR_POLICY").unwrap_or_else(|_| {
+        policy_file
+            .as_ref()
+            .map_or_else(|| "SCAR".to_string(), |f| f.policy.clone())
+    });
     if !registry.contains(&policy) {
         eprintln!(
             "SCAR_POLICY={policy:?} is not registered (known: {})",
@@ -125,8 +149,15 @@ fn main() {
             eprintln!("SCAR_NSPLITS={n:?} is not a window-split count");
             std::process::exit(2);
         }),
-        Err(_) => ServeConfig::default().nsplits,
+        Err(_) => policy_file
+            .as_ref()
+            .and_then(|f| f.overrides.nsplits)
+            .unwrap_or_else(|| ServeConfig::default().nsplits),
     };
+    let search = policy_file
+        .as_ref()
+        .and_then(|f| f.overrides.search.clone())
+        .unwrap_or_else(|| ServeConfig::default().search);
     let cost_db_path = std::env::var("SCAR_COST_DB").ok().map(Into::into);
     let cost_db_max_entries = match std::env::var("SCAR_COST_DB_MAX") {
         Ok(n) => Some(n.parse::<usize>().unwrap_or_else(|_| {
@@ -146,6 +177,7 @@ fn main() {
         admission,
         preemption,
         nsplits,
+        search: search.clone(),
         cost_db_path: cost_db_path.clone(),
         cost_db_max_entries,
         telemetry,

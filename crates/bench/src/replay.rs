@@ -50,22 +50,42 @@ pub struct ReplayDiff {
     pub cached_costs: usize,
 }
 
+/// Relative drift `(replayed - recorded) / recorded`, guarded for the
+/// degenerate denominators a recorded artifact can legally carry:
+/// bit-equal values are zero drift even when the recorded total is `0.0`
+/// (previously `0/0 = NaN`, which [`ReplayDiff::within`] rejected against
+/// *every* band — even [`ToleranceBand::exact`] on a bit-exact replay),
+/// and a genuine departure from a zero recording is infinite drift
+/// (outside every band) rather than NaN or a signless `±inf` ambiguity.
+fn rel_drift(replayed: f64, recorded: f64) -> f64 {
+    if replayed == recorded {
+        0.0
+    } else if recorded == 0.0 {
+        f64::INFINITY
+    } else {
+        (replayed - recorded) / recorded
+    }
+}
+
 impl ReplayDiff {
     /// Relative latency drift `(replayed - recorded) / recorded`, if the
-    /// replay scheduled.
+    /// replay scheduled. A bit-exact replay is `0.0` drift even for a
+    /// zero-latency recording; only a genuine departure from a zero
+    /// recording yields `∞` (never `0/0 = NaN`, which every band passed).
     pub fn latency_drift(&self) -> Option<f64> {
         self.replayed
             .as_ref()
             .ok()
-            .map(|r| (r.latency_s - self.recorded.latency_s) / self.recorded.latency_s)
+            .map(|r| rel_drift(r.latency_s, self.recorded.latency_s))
     }
 
-    /// Relative EDP drift, if the replay scheduled.
+    /// Relative EDP drift, if the replay scheduled. Guarded like
+    /// [`ReplayDiff::latency_drift`] for zero-EDP recordings.
     pub fn edp_drift(&self) -> Option<f64> {
         self.replayed
             .as_ref()
             .ok()
-            .map(|r| (r.edp() - self.recorded.edp()) / self.recorded.edp())
+            .map(|r| rel_drift(r.edp(), self.recorded.edp()))
     }
 
     /// True when the replay reproduced the recorded totals bit-for-bit.
@@ -262,7 +282,7 @@ pub fn replay_file(
     Ok(replay_artifacts(
         session,
         &artifacts,
-        &PolicyRegistry::with_builtins(),
+        &PolicyRegistry::with_zoo(),
         options,
     ))
 }
@@ -465,6 +485,42 @@ mod tests {
     #[should_panic(expected = "non-negative finite")]
     fn negative_tolerance_panics() {
         let _ = ToleranceBand::uniform(-0.1);
+    }
+
+    /// Regression: a bit-exact replay of a zero-total artifact (empty
+    /// scenario, degenerate recording) used to compute `0/0 = NaN` drift,
+    /// and NaN fails every `|drift| ≤ frac` comparison — so `within()`
+    /// rejected the replay against *every* band including `exact()`.
+    /// Equal totals are zero drift regardless of the denominator, and a
+    /// genuine departure from a zero recording is infinite drift (outside
+    /// every band), not NaN.
+    #[test]
+    fn zero_total_artifacts_replay_within_exact_band() {
+        let zero = EvalTotals {
+            latency_s: 0.0,
+            energy_j: 0.0,
+        };
+        let mk = |replayed: EvalTotals| ReplayDiff {
+            label: "zero-total".into(),
+            scheduler: "SCAR".into(),
+            recorded: zero,
+            replayed: Ok(replayed),
+            identical_schedule: true,
+            cost_evaluations: 0,
+            cached_costs: 0,
+        };
+        let exact = mk(zero);
+        assert_eq!(exact.latency_drift(), Some(0.0));
+        assert_eq!(exact.edp_drift(), Some(0.0));
+        assert!(exact.within(&ToleranceBand::exact()));
+        assert!(exact.is_exact());
+        // a real departure from a zero recording violates every band
+        let drifted = mk(EvalTotals {
+            latency_s: 0.5,
+            energy_j: 1.0,
+        });
+        assert_eq!(drifted.latency_drift(), Some(f64::INFINITY));
+        assert!(!drifted.within(&ToleranceBand::uniform(1e9)));
     }
 
     /// An artifact recorded under a *non-default* scheduler configuration

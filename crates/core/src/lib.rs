@@ -69,6 +69,7 @@ mod scheduler;
 pub mod search;
 pub mod segmentation;
 pub mod tree;
+pub mod zoo;
 
 pub use evaluate::{ModelWindowEval, WindowEval};
 pub use expected::ExpectedCosts;
@@ -80,7 +81,9 @@ pub use problem::{
 pub use provision::ProvisionRule;
 pub use reconfig::PackingRule;
 pub use scar::{
-    CandidatePoint, ModelWindowReport, Scar, ScarBuilder, ScheduleResult, WindowReport,
+    pareto_front, CandidatePoint, ModelWindowReport, Scar, ScarBuilder, ScheduleResult,
+    WindowReport,
 };
 pub use scheduler::{ScheduleArtifact, ScheduleRequest, Scheduler, SchedulerConfig, Session};
 pub use search::{EvoParams, SearchBudget, SearchKind};
+pub use zoo::{MergedPipeline, NsgaScar, SpliceScar};

@@ -141,27 +141,7 @@ impl ScheduleResult {
     /// The Pareto-optimal subset of [`ScheduleResult::candidates`] in the
     /// (latency, energy) plane, sorted by latency.
     pub fn pareto_front(&self) -> Vec<CandidatePoint> {
-        let mut pts = self.candidates.clone();
-        // total_cmp: a NaN-polluted candidate cloud (e.g. a degenerate cost
-        // model) must not panic the report path; NaNs sort last and never
-        // enter the front (no finite energy exceeds them)
-        pts.sort_by(|a, b| {
-            a.latency_s
-                .total_cmp(&b.latency_s)
-                .then(a.energy_j.total_cmp(&b.energy_j))
-        });
-        let mut front: Vec<CandidatePoint> = Vec::new();
-        let mut best_energy = f64::INFINITY;
-        for p in pts {
-            if p.latency_s.is_nan() || p.energy_j.is_nan() {
-                continue;
-            }
-            if p.energy_j < best_energy {
-                best_energy = p.energy_j;
-                front.push(p);
-            }
-        }
-        front
+        pareto_front(&self.candidates)
     }
 
     /// Assembles a result from a schedule instance by evaluating it under
@@ -188,6 +168,35 @@ impl ScheduleResult {
             candidates,
         }
     }
+}
+
+/// Extracts the Pareto-optimal (minimize latency, minimize energy) subset
+/// of a candidate cloud, sorted by latency.
+///
+/// This is the one NaN-safe implementation every front extraction in the
+/// workspace routes through ([`ScheduleResult::pareto_front`], the bench
+/// crate's figure bins): `total_cmp` keeps the sort panic-free on a
+/// NaN-polluted cloud (e.g. a degenerate cost model), NaN points sort
+/// last and are filtered before they can enter the front.
+pub fn pareto_front(points: &[CandidatePoint]) -> Vec<CandidatePoint> {
+    let mut pts = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.latency_s
+            .total_cmp(&b.latency_s)
+            .then(a.energy_j.total_cmp(&b.energy_j))
+    });
+    let mut front: Vec<CandidatePoint> = Vec::new();
+    let mut best_energy = f64::INFINITY;
+    for p in pts {
+        if p.latency_s.is_nan() || p.energy_j.is_nan() {
+            continue;
+        }
+        if p.energy_j < best_energy {
+            best_energy = p.energy_j;
+            front.push(p);
+        }
+    }
+    front
 }
 
 fn build_reports(

@@ -67,6 +67,20 @@ struct Scored {
     score: f64,
 }
 
+/// A fully evaluated candidate retained for multi-objective selection:
+/// the schedule itself, its full per-model evaluation, and its scalar
+/// score under the search metric. Position in the [`run_collect`] output
+/// *is* generation order (the id stream is strictly increasing), so
+/// selectors tie-break on index.
+pub(crate) struct ScoredCandidate {
+    /// The candidate window schedule.
+    pub schedule: WindowSchedule,
+    /// Its evaluation (totals + per-model breakdown).
+    pub eval: WindowEval,
+    /// Its scalar score under the search metric.
+    pub score: f64,
+}
+
 /// Drains `source`, evaluating every batch in parallel, and returns the
 /// best window schedule with the full candidate cloud (in generation
 /// order). `None` when the source produced no candidates at all.
@@ -123,6 +137,63 @@ pub(crate) fn run(
         eval,
         candidates,
     })
+}
+
+/// [`run`]'s retaining sibling: drains `source` through the identical
+/// batch/evaluate/observe loop — same batches, same parallel evaluation,
+/// same in-generation-order merge, same feedback — but keeps **every**
+/// candidate (schedule + full evaluation + scalar score) instead of only
+/// the scalar-best. This is the raw material for selectors that need the
+/// whole cloud at once, like NSGA-II non-dominated sorting
+/// ([`crate::search::nsga`]). Kept separate from [`run`] so the
+/// single-objective hot path never pays the per-candidate retention.
+///
+/// The returned vector is in generation order (ids strictly increasing),
+/// bit-identical for any thread count — the same contract [`run`] keeps.
+/// Empty when the source produced no candidates.
+pub(crate) fn run_collect(
+    ctx: &SearchCtx<'_>,
+    mut source: impl CandidateSource,
+) -> Vec<ScoredCandidate> {
+    let evaluator = ctx.evaluator();
+    let threads = ctx.budget.parallelism.threads();
+    let mut out: Vec<ScoredCandidate> = Vec::new();
+
+    loop {
+        let batch = {
+            let mut g = ctx.tel.span("search.generation");
+            let batch = source.next_batch();
+            g.push_arg("candidates", batch.len());
+            batch
+        };
+        if batch.is_empty() {
+            break;
+        }
+        debug_assert!(
+            batch.windows(2).all(|w| w[0].id < w[1].id),
+            "candidate ids must be strictly increasing in generation order"
+        );
+        let _eval_span = ctx
+            .tel
+            .span("search.evaluation")
+            .arg("candidates", batch.len())
+            .arg("threads", threads);
+        let scored = evaluate_batch(&evaluator, ctx.metric, &batch, threads);
+
+        let mut scores = Vec::with_capacity(scored.len());
+        for (cand, sc) in batch.into_iter().zip(scored) {
+            scores.push(sc.score);
+            out.push(ScoredCandidate {
+                schedule: cand.schedule,
+                eval: sc.eval,
+                score: sc.score,
+            });
+        }
+        drop(_eval_span);
+        let _g = ctx.tel.span("search.generation");
+        source.observe(&scores);
+    }
+    out
 }
 
 /// Scores one batch on up to `threads` workers, results in batch order.

@@ -14,6 +14,7 @@
 mod brute;
 pub(crate) mod engine;
 mod evolutionary;
+pub mod nsga;
 
 use crate::evaluate::{Evaluator, WindowEval};
 use crate::expected::ExpectedCosts;
@@ -259,6 +260,43 @@ pub(crate) fn search_window(
                 evolutionary::EvoSource::new(ctx, window, allocations, *p, rng)
             };
             engine::run(ctx, source)
+        }
+    }
+}
+
+/// [`search_window`]'s cloud-retaining sibling: drains the same driver
+/// stream through [`engine::run_collect`], returning **every** evaluated
+/// candidate (schedule + evaluation + scalar score) in generation order
+/// instead of only the scalar-best. Used by multi-objective selectors
+/// ([`nsga`], [`crate::zoo::NsgaScar`]) that pick their winner after
+/// seeing the whole window cloud. Empty = no feasible candidate.
+pub(crate) fn search_window_collect(
+    ctx: &SearchCtx<'_>,
+    window: &TimeWindow,
+    allocations: &[Vec<usize>],
+    kind: &SearchKind,
+    rng: &mut StdRng,
+) -> Vec<engine::ScoredCandidate> {
+    match kind {
+        SearchKind::BruteForce => {
+            let source = {
+                let _g = ctx
+                    .tel
+                    .span("search.generation")
+                    .arg("window", window.index);
+                brute::BruteSource::new(ctx, window, allocations, rng)
+            };
+            engine::run_collect(ctx, source)
+        }
+        SearchKind::Evolutionary(p) => {
+            let source = {
+                let _g = ctx
+                    .tel
+                    .span("search.generation")
+                    .arg("window", window.index);
+                evolutionary::EvoSource::new(ctx, window, allocations, *p, rng)
+            };
+            engine::run_collect(ctx, source)
         }
     }
 }

@@ -582,6 +582,67 @@ mod tests {
         }
     }
 
+    /// Every built-in's `name()` is a spec its own `parse()` accepts and
+    /// maps back to the same kind (default-configured) — the guarantee
+    /// that lets reports, CI matrices, and `SCAR_DISPATCH` values quote
+    /// policy names verbatim.
+    #[test]
+    fn builtin_names_parse_back_to_themselves() {
+        for kind in DispatchKind::builtins() {
+            let reparsed = DispatchKind::parse(kind.name())
+                .unwrap_or_else(|e| panic!("{} must self-parse: {e}", kind.name()));
+            assert_eq!(reparsed, kind, "{}", kind.name());
+        }
+    }
+
+    /// The `parse` error paths each carry a targeted, human-readable
+    /// message: empty heads, trailing garbage on the affinity epoch,
+    /// arguments handed to no-argument policies, and malformed
+    /// `affinity:<lag>:<epoch>` fields all name what was wrong.
+    #[test]
+    fn parse_errors_name_the_offense() {
+        // empty heads: nothing before the first `:` (or nothing at all)
+        for empty in ["", "   ", ":least", ":"] {
+            let err = DispatchKind::parse(empty).unwrap_err();
+            assert!(
+                err.contains("unknown dispatch policy \"\""),
+                "{empty:?} → {err:?}"
+            );
+        }
+        // no-argument policies reject any argument, even an empty one
+        for (spec, head) in [
+            ("least:", "least"),
+            ("rr:0", "rr"),
+            ("deadline-aware:soon", "deadline-aware"),
+        ] {
+            let err = DispatchKind::parse(spec).unwrap_err();
+            assert!(
+                err.contains(&format!("{head:?} takes no argument")),
+                "{spec:?} → {err:?}"
+            );
+        }
+        // malformed affinity lag: non-numeric, negative, or NaN
+        for bad_lag in ["affinity:abc", "affinity:-0.5", "affinity:nan"] {
+            let err = DispatchKind::parse(bad_lag).unwrap_err();
+            assert!(err.contains("spill threshold"), "{bad_lag:?} → {err:?}");
+        }
+        // malformed affinity epoch: non-integer, negative, or trailing
+        // garbage (a fourth `:` field rides along inside the epoch text)
+        for bad_epoch in [
+            "affinity:0.5:x",
+            "affinity:0.5:-3",
+            "affinity:0.5:2.5",
+            "affinity:0.5:5000:extra",
+            "affinity::",
+        ] {
+            let err = DispatchKind::parse(bad_epoch).unwrap_err();
+            assert!(err.contains("re-homing epoch"), "{bad_epoch:?} → {err:?}");
+        }
+        // unknown heads list the accepted forms
+        let err = DispatchKind::parse("weighted").unwrap_err();
+        assert!(err.contains("try rr, least, deadline"), "{err:?}");
+    }
+
     #[test]
     fn rehoming_moves_the_heaviest_stream_off_the_busiest_home() {
         // 2 replicas, 2 streams both homed on replica 0 (streams 0 and 2).

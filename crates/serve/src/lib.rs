@@ -78,6 +78,7 @@ pub mod registry;
 pub mod report;
 pub mod sim;
 pub mod traffic;
+pub mod zoo;
 
 pub use admission::{
     admit_observed, AcceptAll, AdmissionContext, AdmissionKind, AdmissionPolicy, DeadlineFeasible,
@@ -95,3 +96,4 @@ pub use registry::{PolicyFactory, PolicyRegistry, UnknownPolicy};
 pub use report::{percentile, LatencySummary, ServeReport, StreamStats};
 pub use sim::{ServeConfig, ServePolicy, ServeSim};
 pub use traffic::{ArrivalProcess, Request, RequestStream, TrafficMix, TrafficShape};
+pub use zoo::{catalog, render_catalog, PolicyFile, ZooCard};

@@ -113,16 +113,25 @@ impl PolicyRegistry {
 
     /// Registers (or replaces — last registration wins, so users can
     /// shadow a built-in with a tuned variant) a factory under `name`.
+    ///
+    /// Shadowing is *surfaced*, not silent: when a factory was already
+    /// registered under a case-insensitive match of `name`, the displaced
+    /// `(registered_name, factory)` pair is returned so the caller can
+    /// warn, re-register it elsewhere, or assert no shadowing happened.
+    /// A fresh registration returns `None`.
     pub fn register(
         &mut self,
         name: impl Into<String>,
         factory: impl Fn(&ServeConfig) -> Box<dyn Scheduler> + 'static,
-    ) -> &mut Self {
+    ) -> Option<(String, PolicyFactory)> {
         let name = name.into();
-        self.factories
-            .retain(|(n, _)| !n.eq_ignore_ascii_case(&name));
+        let displaced = self
+            .factories
+            .iter()
+            .position(|(n, _)| n.eq_ignore_ascii_case(&name))
+            .map(|i| self.factories.remove(i));
         self.factories.push((name, Box::new(factory)));
-        self
+        displaced
     }
 
     /// Builds the scheduler registered under `name` (case-insensitive).
@@ -252,14 +261,24 @@ mod tests {
             }
         }
         let mut r = PolicyRegistry::with_builtins();
-        r.register("custom", |_| Box::new(Custom));
+        assert!(
+            r.register("custom", |_| Box::new(Custom)).is_none(),
+            "fresh registration displaces nothing"
+        );
         assert!(r.contains("CUSTOM"));
         assert_eq!(
             r.build("custom", &ServeConfig::default()).unwrap().name(),
             "custom"
         );
-        // shadowing a built-in: last registration wins
-        r.register("Standalone", |_| Box::new(Custom));
+        // shadowing a built-in: last registration wins, and the displaced
+        // factory is returned (in its registered spelling) rather than
+        // silently dropped
+        let displaced = r
+            .register("STANDALONE", |_| Box::new(Custom))
+            .expect("shadowing a built-in must surface the displaced entry");
+        assert_eq!(displaced.0, "Standalone");
+        let original = (displaced.1)(&ServeConfig::default());
+        assert_eq!(original.name(), "Standalone", "displaced factory works");
         assert_eq!(
             r.build("standalone", &ServeConfig::default())
                 .unwrap()
